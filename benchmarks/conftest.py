@@ -1,0 +1,46 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs its figure's experiment exactly once (the
+experiments are deterministic and internally cached, so repeated timing
+rounds would measure the cache) and prints the same rows/series the
+paper's figure reports, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig
+
+#: System used by the per-figure benchmarks: the paper's architecture
+#: with a moderate value-sample per application.
+BENCH_SYSTEM = SystemConfig(sample_blocks=3000)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure harness exactly once under pytest-benchmark."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run
+
+
+def print_series(title: str, series: dict, fmt: str = "{:.3f}") -> None:
+    """Pretty-print one figure series as labelled rows."""
+    print(f"\n=== {title} ===")
+    for key, value in series.items():
+        if isinstance(value, dict):
+            row = "  ".join(
+                f"{k}={fmt.format(v)}" for k, v in value.items()
+                if isinstance(v, (int, float))
+            )
+            print(f"  {key:32s} {row}")
+        elif isinstance(value, (int, float)):
+            print(f"  {key:32s} {fmt.format(value)}")
+        else:
+            print(f"  {key:32s} {value}")

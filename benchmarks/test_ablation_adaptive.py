@@ -1,0 +1,50 @@
+"""Ablation: adaptive skipping vs zero skipping (the paper's §3.3 aside).
+
+The paper considered electing frequent non-zero chunk values at runtime
+and dismissed it: "the attainable delay and energy improvements are not
+appreciable … because of the relatively uniform distribution of chunk
+values other than zero."  This ablation implements the adaptive policy
+and quantifies the claim across the full workload suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveDescCostModel
+from repro.core.analysis import DescCostModel
+from repro.core.chunking import ChunkLayout
+from repro.workloads import PARALLEL_SUITE, block_stream
+
+
+def test_ablation_adaptive_skipping(run_once):
+    layout = ChunkLayout()
+
+    def sweep():
+        rows = {}
+        for app in PARALLEL_SUITE:
+            blocks = block_stream(app, 3000, seed=1)
+            zero = DescCostModel(layout, "zero").stream_cost(blocks).total()
+            rows[app.name] = {}
+            for window in (8, 32, 128):
+                adaptive = AdaptiveDescCostModel(layout, window=window)
+                total = adaptive.stream_cost(blocks).total()
+                rows[app.name][window] = total.total_flips / zero.total_flips
+        return rows
+
+    rows = run_once(sweep)
+    print("\n=== Ablation: adaptive vs zero skipping (flip ratio) ===")
+    print(f"  {'app':16s} {'w=8':>8s} {'w=32':>8s} {'w=128':>8s}")
+    for app, by_window in rows.items():
+        print(f"  {app:16s}" + "".join(f"{by_window[w]:8.3f}" for w in (8, 32, 128)))
+    means = {w: float(np.mean([r[w] for r in rows.values()])) for w in (8, 32, 128)}
+    print(f"  mean: " + "  ".join(f"w={w}: {m:.3f}" for w, m in means.items()))
+    best = min(means.values())
+    print(f"  best mean gain over zero skipping: {(1-best)*100:.1f}% — "
+          f"'not appreciable' (Section 3.3) confirmed"
+          if best > 0.90 else "  adaptation helps materially (contradicts paper)")
+    # The paper's dismissal: adaptation buys only a few percent at best.
+    assert best > 0.88
+    # And it must never be drastically WORSE than zero skipping either
+    # (zero stays a frequent value, so elections rarely leave it).
+    assert max(means.values()) < 1.15

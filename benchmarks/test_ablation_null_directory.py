@@ -1,0 +1,48 @@
+"""Ablation: a null-block directory vs (and with) zero-skipped DESC.
+
+Section 2 positions DESC against storage-level null-block optimizations
+(Dynamic Zero Compression, Zero-Content Augmented caches): DESC
+"has mechanisms that exploit null and redundant blocks, and compares
+favorably".  This ablation adds a controller-side null-block directory
+(`repro.cache.null_directory`) that serves all-zero blocks with no
+array access and no data transfer, and measures how much of DESC's
+saving it captures alone, and what the two achieve together.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments.common import geomean, run_suite
+from repro.sim.config import baseline_scheme, desc_scheme
+
+
+def test_ablation_null_block_directory(run_once):
+    def sweep():
+        rows = {}
+        with_dir = BENCH_SYSTEM.with_(null_directory=True)
+        base = run_suite(baseline_scheme("binary"), BENCH_SYSTEM)
+        base_energy = geomean(r.l2_energy_j for r in base)
+        for label, scheme, system in (
+            ("binary + null-dir", baseline_scheme("binary"), with_dir),
+            ("desc-zs", desc_scheme("zero"), BENCH_SYSTEM),
+            ("desc-zs + null-dir", desc_scheme("zero"), with_dir),
+        ):
+            results = run_suite(scheme, system)
+            rows[label] = geomean(r.l2_energy_j for r in results) / base_energy
+        return rows
+
+    rows = run_once(sweep)
+    print("\n=== Ablation: null-block directory (L2 energy vs binary) ===")
+    for label, ratio in rows.items():
+        print(f"  {label:22s} {ratio:.3f}")
+    print("  A null directory alone barely moves H-tree energy: null")
+    print("  blocks are already cheap on a bus that holds its state, and")
+    print("  cheap under value skipping — DESC 'compares favorably' (§2).")
+
+    # Alone, the directory captures only a small slice of DESC's win.
+    directory_saving = 1.0 - rows["binary + null-dir"]
+    desc_saving = 1.0 - rows["desc-zs"]
+    assert directory_saving < 0.35 * desc_saving
+    # The techniques compose: together at least as good as DESC alone.
+    assert rows["desc-zs + null-dir"] <= rows["desc-zs"] + 1e-9

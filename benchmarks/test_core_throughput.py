@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the simulation engines themselves.
+
+Not a paper figure — these track the performance of the two fidelity
+layers (cycle-accurate link vs closed-form model) and of the system
+simulator, so regressions in the engines show up in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import DescCostModel
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+from repro.sim.config import SystemConfig, desc_scheme
+from repro.sim.system import clear_caches, simulate
+
+
+def test_cycle_accurate_link_throughput(benchmark):
+    layout = ChunkLayout()
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 16, size=(10, 128))
+
+    def send_all():
+        link = DescLink(layout, skip_policy="zero")
+        for block in blocks:
+            link.send_block(block)
+        return link.cost_so_far()
+
+    cost = benchmark(send_all)
+    assert cost.data_flips > 0
+
+
+def test_cost_model_throughput(benchmark):
+    layout = ChunkLayout()
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 16, size=(5000, 128))
+
+    def run_model():
+        return DescCostModel(layout, skip_policy="zero").stream_cost(blocks)
+
+    stream = benchmark(run_model)
+    assert stream.num_blocks == 5000
+
+
+def test_system_simulation_throughput(benchmark):
+    system = SystemConfig(sample_blocks=2000)
+
+    def run_sim():
+        clear_caches()
+        return simulate("Ocean", desc_scheme("zero"), system)
+
+    result = benchmark.pedantic(run_sim, rounds=3, iterations=1)
+    assert result.cycles > 0

@@ -1,0 +1,27 @@
+"""Reliability sweep for the Figure 9 ECC layout (beyond the paper).
+
+Quantifies Section 3.2.3's guarantees under escalating chunk-error
+counts: single errors always corrected, double errors never silent, and
+graceful degradation beyond the design point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ecc_error_rate
+
+
+def test_ecc_error_rate_sweep(run_once):
+    result = run_once(ecc_error_rate.run, 300, 4)
+    print("\n=== ECC outcome rates vs injected chunk errors ===")
+    for code, by_errors in result["outcome_rates"].items():
+        print(f"  {code}:")
+        for errors, rates in by_errors.items():
+            print(f"    {errors} error(s): corrected {rates['corrected']:.3f}  "
+                  f"detected {rates['detected']:.3f}  SILENT {rates['silent']:.3f}")
+    guarantees = result["guarantees"]
+    assert guarantees["single_error_always_corrected"]
+    assert guarantees["double_error_never_silent"]
+    # Beyond the SECDED design point detection degrades gracefully but
+    # silent corruption becomes possible — the sweep should show it.
+    for by_errors in result["outcome_rates"].values():
+        assert by_errors[3]["detected"] + by_errors[3]["silent"] > 0.5

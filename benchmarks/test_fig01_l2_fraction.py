@@ -1,0 +1,15 @@
+"""Regenerates Figure 1: L2 energy as a fraction of processor energy."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig01_l2_fraction
+
+
+def test_fig01_l2_fraction(run_once):
+    result = run_once(fig01_l2_fraction.run, BENCH_SYSTEM)
+    print_series("Figure 1: L2 fraction of processor energy", result["l2_fraction"])
+    geomean = result["l2_fraction"]["Geomean"]
+    print(f"  paper average: {result['paper_average']}")
+    assert 0.10 < geomean < 0.20

@@ -1,0 +1,17 @@
+"""Regenerates Figure 2: components of the 8 MB L2 energy."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig02_l2_breakdown
+
+
+def test_fig02_l2_breakdown(run_once):
+    result = run_once(fig02_l2_breakdown.run, BENCH_SYSTEM)
+    print_series("Figure 2: L2 energy breakdown", result["breakdown"])
+    avg = result["average"]
+    print(f"  average: static={avg['static']:.3f} "
+          f"other={avg['other_dynamic']:.3f} htree={avg['htree_dynamic']:.3f} "
+          f"(paper htree ≈ {result['paper_htree_average']})")
+    assert 0.70 < avg["htree_dynamic"] < 0.92

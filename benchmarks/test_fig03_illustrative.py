@@ -1,0 +1,19 @@
+"""Regenerates Figure 3: parallel vs serial vs DESC on one byte."""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import fig03_illustrative
+
+
+def test_fig03_illustrative(run_once):
+    result = run_once(fig03_illustrative.run)
+    print_series("Figure 3: one-byte example (01010011)", {
+        "parallel": result["parallel"],
+        "serial": result["serial"],
+        "desc": result["desc"],
+    }, fmt="{:.0f}")
+    assert result["parallel"]["flips"] == result["paper"]["parallel_flips"] == 4
+    assert result["serial"]["flips"] == result["paper"]["serial_flips"] == 5
+    assert result["desc"]["flips"] == result["paper"]["desc_flips"] == 3

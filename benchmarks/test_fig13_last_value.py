@@ -1,0 +1,18 @@
+"""Regenerates Figure 13: fraction of last-value-matching chunks."""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import fig13_last_value
+
+
+def test_fig13_last_value(run_once):
+    result = run_once(fig13_last_value.run, 4000)
+    print_series(
+        "Figure 13: chunks matching the previous chunk",
+        result["last_value_fraction"],
+    )
+    geomean = result["last_value_fraction"]["Geomean"]
+    print(f"  paper geomean: {result['paper_geomean']}")
+    assert abs(geomean - 0.39) < 0.06

@@ -1,0 +1,31 @@
+"""Regenerates Figure 14: device-type design-space exploration."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig14_design_space
+
+
+def test_fig14_design_space(run_once):
+    result = run_once(fig14_design_space.run, BENCH_SYSTEM)
+    table = result["by_device_pair"]
+    print_series("Figure 14: cells-periphery device pairs "
+                 "(normalized to LSTP-LSTP)", table)
+    organisation = result["by_organisation"]
+    print_series("Figure 14: organisation sweep (LSTP-LSTP binary)",
+                 organisation)
+    # LSTP-LSTP minimizes L2 and processor energy; HP-HP is far worse.
+    assert table["LSTP-LSTP"]["l2_energy"] == 1.0
+    assert all(row["l2_energy"] >= 0.999 for row in table.values())
+    assert table["HP-HP"]["l2_energy"] > 50
+    # The paper's footnote: the LSTP energy choice costs only ~2% time.
+    assert table["LSTP-LSTP"]["execution_time"] < table["HP-HP"]["execution_time"] * 1.06
+    # Organisation: the paper's 8-bank/64-bit choice is (near-)optimal —
+    # narrow buses strangle performance, very wide buses pay coupling
+    # energy, and many banks pay peripheral leakage.
+    chosen = organisation["8banks-64bit"]
+    assert chosen["l2_energy"] == 1.0 and chosen["execution_time"] == 1.0
+    assert organisation["8banks-8bit"]["execution_time"] > 1.3
+    assert organisation["8banks-512bit"]["l2_energy"] > 1.2
+    assert organisation["32banks-64bit"]["l2_energy"] > 1.2

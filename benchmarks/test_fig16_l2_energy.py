@@ -1,0 +1,40 @@
+"""Regenerates Figure 16: L2 energy of the eight transfer schemes.
+
+This is the paper's headline cache-level figure (zero-skipped DESC =
+1.81× average reduction).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments import fig16_l2_energy
+
+
+def test_fig16_l2_energy(run_once):
+    result = run_once(fig16_l2_energy.run, BENCH_SYSTEM)
+    table = result["l2_energy_normalized"]
+    apps = [k for k in next(iter(table.values())) if k != "Geomean"]
+    print("\n=== Figure 16: L2 energy normalized to binary ===")
+    header = f"  {'app':16s}" + "".join(f"{s[:10]:>11s}" for s in table)
+    print(header)
+    for app in apps + ["Geomean"]:
+        row = f"  {app:16s}" + "".join(f"{table[s][app]:11.3f}" for s in table)
+        print(row)
+    print("  paper geomeans:", result["paper_geomeans"])
+
+    geo = {s: v["Geomean"] for s, v in table.items()}
+    assert geo["Zero Skipped DESC"] < 1 / 1.6           # headline ≥1.6x
+    assert geo["Zero Skipped DESC"] < geo["Last Value Skipped DESC"]
+    assert geo["Dynamic Zero Compression"] > geo["Bus Invert Coding"]
+    # Zero skipping helps bus-invert; the gap is small in the paper too
+    # (0.80 vs 0.81), so allow sampling noise.
+    assert geo["Zero Skipped Bus Invert"] <= geo["Bus Invert Coding"] + 0.005
+    # Section 5.2 singles out the "few bit flips" applications — CG,
+    # Cholesky, Equake, Radix, Water-NSquared — as basic DESC's worst
+    # cases: its mandatory one-flip-per-chunk floor hurts most where
+    # binary activity is already low.
+    low_activity = ("CG", "Cholesky", "Equake", "Radix", "Water-NSquared")
+    basic = table["Basic DESC"]
+    low_mean = sum(basic[a] for a in low_activity) / len(low_activity)
+    assert low_mean > basic["Geomean"]

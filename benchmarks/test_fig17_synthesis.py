@@ -1,0 +1,22 @@
+"""Regenerates Figure 17: DESC transmitter/receiver synthesis results."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17_synthesis
+
+
+def test_fig17_synthesis(run_once):
+    result = run_once(fig17_synthesis.run)
+    print("\n=== Figure 17: synthesis results (22nm, 128 chunks) ===")
+    for side in ("transmitter", "receiver"):
+        row = result[side]
+        print(f"  {side:12s} area={row['area_um2']:7.0f} um2  "
+              f"peak={row['peak_power_mw']:5.1f} mW  delay={row['delay_ns']:.3f} ns")
+    print(f"  pair: {result['pair_area_um2']:.0f} um2 (paper 2120), "
+          f"{result['pair_peak_power_mw']:.1f} mW (paper 46), "
+          f"round trip {result['round_trip_delay_ps']:.0f} ps (paper 625)")
+    print(f"  L2 area overhead: {result['l2_area_overhead']*100:.2f}% (paper <1%)")
+    paper = result["paper"]
+    assert abs(result["pair_area_um2"] / paper["pair_area_um2"] - 1) < 0.12
+    assert abs(result["pair_peak_power_mw"] / paper["pair_peak_power_mw"] - 1) < 0.12
+    assert abs(result["round_trip_delay_ps"] / paper["round_trip_delay_ps"] - 1) < 0.12

@@ -1,0 +1,20 @@
+"""Regenerates Figure 18: static vs dynamic L2 energy per scheme."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig18_energy_split
+
+
+def test_fig18_energy_split(run_once):
+    result = run_once(fig18_energy_split.run, BENCH_SYSTEM)
+    print_series("Figure 18: static/dynamic split (norm. to binary total)",
+                 result["energy_split"])
+    split = result["energy_split"]
+    binary = split["Conventional Binary"]
+    desc = split["Zero Skipped DESC"]
+    # Zero-skipped DESC ~halves dynamic energy at a small static cost.
+    assert desc["dynamic"] < 0.62 * binary["dynamic"]
+    assert desc["static"] >= binary["static"]
+    assert desc["static"] < 1.10 * binary["static"]

@@ -1,0 +1,19 @@
+"""Regenerates Figure 19: processor energy with zero-skipped DESC.
+
+The paper's headline system-level number: 7 % processor-energy savings.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig19_processor_energy
+
+
+def test_fig19_processor_energy(run_once):
+    result = run_once(fig19_processor_energy.run, BENCH_SYSTEM)
+    print_series("Figure 19: processor energy (norm. to binary)",
+                 result["processor_energy_normalized"])
+    geomean = result["processor_energy_normalized"]["Geomean"]["total"]
+    print(f"  paper geomean: {result['paper_geomean']}")
+    assert 0.90 < geomean < 0.97

@@ -1,0 +1,19 @@
+"""Regenerates Figure 20: execution time of the transfer schemes."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig20_exec_time
+
+
+def test_fig20_exec_time(run_once):
+    result = run_once(fig20_exec_time.run, BENCH_SYSTEM)
+    times = result["execution_time_normalized"]
+    print_series("Figure 20: execution time normalized to binary", times)
+    # Paper: skipped DESC costs <2%; baselines ~1%.
+    assert times["Zero Skipped DESC"] < 1.04
+    assert times["Last Value Skipped DESC"] < 1.04
+    assert times["Basic DESC"] < times["Zero Skipped DESC"] * 1.02
+    for label, value in times.items():
+        assert value >= 0.999, label

@@ -1,0 +1,25 @@
+"""Regenerates Figure 21: average L2 hit delay, binary vs DESC."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments import fig21_hit_delay
+
+
+def test_fig21_hit_delay(run_once):
+    result = run_once(fig21_hit_delay.run, BENCH_SYSTEM)
+    table = result["hit_delay_cycles"]
+    apps = [k for k in next(iter(table.values())) if k != "Average"]
+    print("\n=== Figure 21: average L2 hit delay (cycles) ===")
+    print(f"  {'app':16s}" + "".join(f"{cfg:>16s}" for cfg in table))
+    for app in apps + ["Average"]:
+        print(f"  {app:16s}" + "".join(f"{table[cfg][app]:16.1f}" for cfg in table))
+    extra = result["desc_extra_delay"]
+    print(f"  DESC extra delay: 64-wire +{extra['64-wire']:.1f} "
+          f"(paper +31.2), 128-wire +{extra['128-wire']:.1f} (paper +8.45)")
+    # Shape: DESC adds delay; the narrow bus pays ~2-4x more of it.
+    assert extra["128-wire"] > 0
+    assert 2.0 < extra["64-wire"] / extra["128-wire"] < 5.0
+    # Wider binary buses are faster.
+    assert table["128-bit Binary"]["Average"] < table["64-bit Binary"]["Average"]

@@ -1,0 +1,24 @@
+"""Regenerates Figure 22: the (energy, delay) design-space scatter."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments import fig22_design_scatter
+
+
+def test_fig22_design_scatter(run_once):
+    result = run_once(fig22_design_scatter.run, BENCH_SYSTEM)
+    points = result["points"]
+    print("\n=== Figure 22: design space (energy, time) vs 8b/64w binary ===")
+    for family, rows in points.items():
+        for label, (energy, time) in sorted(rows.items()):
+            print(f"  {family:7s} {label:16s} energy={energy:6.3f} time={time:6.3f}")
+    # DESC opens design points with lower energy than ANY binary design
+    # at comparable execution time (the paper's Pareto claim).
+    best_binary_energy = min(e for e, _ in points["binary"].values())
+    desc_better = [
+        (e, t) for e, t in points["desc"].values()
+        if e < best_binary_energy and t < 1.2
+    ]
+    assert desc_better, "DESC should extend the Pareto frontier"

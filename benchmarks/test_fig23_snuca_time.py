@@ -1,0 +1,16 @@
+"""Regenerates Figure 23: execution time of DESC on S-NUCA-1."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig23_snuca_time
+
+
+def test_fig23_snuca_time(run_once):
+    result = run_once(fig23_snuca_time.run, BENCH_SYSTEM)
+    print_series("Figure 23: DESC + S-NUCA-1 time (norm. to S-NUCA-1)",
+                 result["execution_time_normalized"])
+    geomean = result["execution_time_normalized"]["Geomean"]
+    print(f"  paper geomean: {result['paper_geomean']}")
+    assert 1.0 <= geomean < 1.04

@@ -1,0 +1,20 @@
+"""Regenerates Figure 24: L2 energy of DESC on S-NUCA-1."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig24_snuca_energy
+
+
+def test_fig24_snuca_energy(run_once):
+    result = run_once(fig24_snuca_energy.run, BENCH_SYSTEM)
+    print_series("Figure 24: DESC + S-NUCA-1 energy (norm. to S-NUCA-1)",
+                 result["l2_energy_normalized"])
+    print(f"  power reduction {1/result['l2_power_normalized']:.2f}x "
+          f"(paper {result['paper']['power_reduction']}x), "
+          f"EDP reduction {1/result['l2_edp_normalized']:.2f}x "
+          f"(paper {result['paper']['edp_reduction']}x)")
+    geomean = result["l2_energy_normalized"]["Geomean"]
+    assert geomean < 1 / 1.4  # paper: 1 / 1.62
+    assert result["l2_edp_normalized"] < 1 / 1.3

@@ -1,0 +1,22 @@
+"""Regenerates Figure 26: chunk-size sensitivity of zero-skipped DESC."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments import fig26_chunk_size
+
+
+def test_fig26_chunk_size(run_once):
+    result = run_once(fig26_chunk_size.run, BENCH_SYSTEM)
+    points = result["points"]
+    print("\n=== Figure 26: chunk size x wires (norm. to 64-bit binary) ===")
+    for label, p in sorted(points.items()):
+        print(f"  {label:10s} energy={p['l2_energy']:6.3f} time={p['execution_time']:6.3f}")
+    best = result["best_edp_point"]
+    print(f"  best EDP: {best['chunk_bits']}-bit chunks, {best['wires']} wires "
+          f"(paper: 4-bit, 128 wires)")
+    assert (best["chunk_bits"], best["wires"]) == (4, 128)
+    # Larger chunks trade energy for latency (the paper's Fig. 26 story):
+    assert points["c8-w64"]["execution_time"] > points["c2-w64"]["execution_time"]
+    assert points["c1-w128"]["l2_energy"] > points["c4-w128"]["l2_energy"]

@@ -1,0 +1,23 @@
+"""Regenerates Figure 27: impact of L2 capacity on cache energy."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM
+
+from repro.experiments import fig27_cache_size
+
+
+def test_fig27_cache_size(run_once):
+    result = run_once(fig27_cache_size.run, BENCH_SYSTEM)
+    print("\n=== Figure 27: L2 capacity sweep (norm. to 8MB binary) ===")
+    for size in result["binary"]:
+        print(f"  {size:>6s}  binary={result['binary'][size]:6.3f}  "
+              f"desc={result['desc'][size]:6.3f}  "
+              f"improvement={result['desc_improvement'][size]:.2f}x")
+    print(f"  paper: 1.87x at 512KB down to 1.75x at 64MB")
+    imp = result["desc_improvement"]
+    # Energy grows with capacity for both schemes.
+    assert result["binary"]["64MB"] > result["binary"]["0.5MB"]
+    assert result["desc"]["64MB"] > result["desc"]["0.5MB"]
+    # DESC's advantage narrows as leakage grows with capacity.
+    assert imp["0.5MB"] > imp["64MB"] > 1.3

@@ -1,0 +1,19 @@
+"""Regenerates Figure 28: execution time under SECDED ECC."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig28_ecc_time
+
+
+def test_fig28_ecc_time(run_once):
+    result = run_once(fig28_ecc_time.run, BENCH_SYSTEM)
+    print_series("Figure 28: execution time under ECC (norm. to 64-64 binary)",
+                 result["execution_time_normalized"])
+    table = result["execution_time_normalized"]
+    # Paper: DESC's ECC-protected penalty ≈ 1%.
+    assert table["128-64 DESC"] < 1.05
+    assert table["128-128 DESC"] < 1.05
+    # The wider binary bus is a touch faster (fewer beats).
+    assert table["128-128 Binary"] <= 1.0

@@ -1,0 +1,19 @@
+"""Regenerates Figure 29: L2 energy under SECDED ECC."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig29_ecc_energy
+
+
+def test_fig29_ecc_energy(run_once):
+    result = run_once(fig29_ecc_energy.run, BENCH_SYSTEM)
+    print_series("Figure 29: L2 energy under ECC (norm. to 64-64 binary)",
+                 result["l2_energy_normalized"])
+    imp = result["desc_improvement"]
+    print(f"  DESC improvement: (72,64) {imp['(72,64)']:.2f}x (paper 1.82x); "
+          f"(137,128) {imp['(137,128)']:.2f}x (paper 1.92x)")
+    # Shape: both protected DESC configs win big; the wider Hamming code
+    # (fewer parity wires per data bit) wins more.
+    assert imp["(137,128)"] > imp["(72,64)"] > 1.4

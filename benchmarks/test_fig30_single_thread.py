@@ -1,0 +1,17 @@
+"""Regenerates Figure 30: single-threaded OoO latency sensitivity."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SYSTEM, print_series
+
+from repro.experiments import fig30_single_thread
+
+
+def test_fig30_single_thread(run_once):
+    result = run_once(fig30_single_thread.run, BENCH_SYSTEM)
+    print_series("Figure 30: SPEC CPU2006 OoO time (norm. to binary)",
+                 result["execution_time_normalized"])
+    geomean = result["execution_time_normalized"]["Geomean"]
+    print(f"  paper geomean: {result['paper_geomean']}")
+    # Paper: ~6% mean penalty; far above the multicore's ~2%.
+    assert 1.02 < geomean < 1.10

@@ -1,0 +1,41 @@
+"""Regenerates Tables 1–3: the configuration inputs of the evaluation."""
+
+from __future__ import annotations
+
+from repro.energy.technology import NODE_22NM, NODE_45NM
+from repro.sim.config import DEFAULT_SYSTEM
+from repro.workloads.suites import suite_table
+
+
+def test_table1_simulation_parameters(run_once):
+    cfg = run_once(lambda: DEFAULT_SYSTEM)
+    print("\n=== Table 1: simulation parameters ===")
+    print(f"  L2 cache      {cfg.l2_size_bytes // (1024*1024)}MB, "
+          f"{cfg.l2_associativity}-way, {cfg.block_bytes}B blocks, "
+          f"{cfg.num_banks} banks")
+    print(f"  clock         {cfg.clock_hz/1e9:.1f} GHz")
+    print(f"  cores         8 in-order, 4 HW contexts (smt) / 4-issue OoO")
+    print(f"  DRAM          2x DDR3-1066, FR-FCFS")
+    assert cfg.l2_size_bytes == 8 * 1024 * 1024
+    assert cfg.l2_associativity == 16
+    assert cfg.clock_hz == 3.2e9
+
+
+def test_table2_applications(run_once):
+    rows = run_once(suite_table)
+    print("\n=== Table 2: applications and data sets ===")
+    for row in rows:
+        print(f"  {row['benchmark']:16s} {row['suite']:14s} {row['input']}")
+    assert len(rows) == 24
+    suites = {row["suite"] for row in rows}
+    assert {"Phoenix", "SPLASH-2", "SPEC OpenMP", "NAS OpenMP",
+            "SPEC CPU2006"} <= suites
+
+
+def test_table3_technology_parameters(run_once):
+    nodes = run_once(lambda: (NODE_45NM, NODE_22NM))
+    print("\n=== Table 3: technology parameters ===")
+    for node in nodes:
+        print(f"  {node.name:5s} {node.voltage_v:.2f} V  "
+              f"FO4 {node.fo4_delay_s*1e12:.2f} ps")
+    assert nodes[0].voltage_v == 1.1 and nodes[1].voltage_v == 0.83

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bring your own workload: custom profiles, stress streams, adaptation.
+
+Shows the three ways to feed the library data beyond the Table 2 suite:
+
+1. a **custom application profile** (your own value statistics and
+   access intensities) through the full system model;
+2. the **stress microbenchmarks** probing each scheme's corner cases;
+3. the **adaptive skipping** extension on a workload engineered to have
+   a dominant non-zero value — the one case where the paper's dismissed
+   technique actually shines.
+
+Run:  python examples/custom_workload_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveDescCostModel, ChunkLayout, DescCostModel
+from repro.sim import SystemConfig, baseline_scheme, desc_scheme, simulate
+from repro.workloads import AppProfile
+from repro.workloads.microbench import MICROBENCH_NAMES, microbench_stream
+
+
+def custom_profile_demo() -> None:
+    print("=" * 64)
+    print("1. A custom application profile through the system model")
+    print("=" * 64)
+    app = AppProfile(
+        name="kv-store", suite="custom", input_set="YCSB-like",
+        p_null_block=0.25,        # many empty slots
+        p_zero_word=0.35, p_zero_chunk=0.10,
+        p_repeat_chunk=0.45,      # hot keys rewritten with same values
+        p_word_repeat=0.40,
+        instructions=2e8, l2_apki=30.0, l2_miss_rate=0.45,
+        write_fraction=0.5, cpi_base=1.1, threads=32,
+    )
+    system = SystemConfig(sample_blocks=3000)
+    binary = simulate(app, baseline_scheme("binary"), system)
+    desc = simulate(app, desc_scheme("zero"), system)
+    print(f"  L2 energy: DESC/binary = "
+          f"{desc.l2_energy_j / binary.l2_energy_j:.3f} "
+          f"({binary.l2_energy_j / desc.l2_energy_j:.2f}x reduction)")
+    print(f"  exec time: {desc.cycles / binary.cycles:.3f}\n")
+
+
+def stress_demo() -> None:
+    print("=" * 64)
+    print("2. Stress streams: flips/block at the corners")
+    print("=" * 64)
+    layout = ChunkLayout()
+    print(f"  {'stream':14s} {'desc':>8s} {'desc-zs':>9s}")
+    for name in MICROBENCH_NAMES:
+        chunks = microbench_stream(name, 300, seed=1)
+        basic = DescCostModel(layout, "none").stream_cost(chunks).total()
+        zs = DescCostModel(layout, "zero").stream_cost(chunks).total()
+        print(f"  {name:14s} {basic.total_flips/300:8.1f} {zs.total_flips/300:9.1f}")
+    print("  Basic DESC is flat across all inputs: data independence.\n")
+
+
+def adaptive_demo() -> None:
+    print("=" * 64)
+    print("3. Adaptive skipping on a dominant-value workload")
+    print("=" * 64)
+    rng = np.random.default_rng(4)
+    # A sensor-log-like stream: 70% of chunks are the calibration
+    # value 0xB, the rest noise.
+    blocks = rng.integers(0, 16, size=(2000, 128))
+    blocks[rng.random(blocks.shape) < 0.7] = 0xB
+    layout = ChunkLayout()
+    zero = DescCostModel(layout, "zero").stream_cost(blocks).total()
+    adaptive = AdaptiveDescCostModel(layout, window=32).stream_cost(blocks).total()
+    print(f"  zero skipping:     {zero.total_flips/2000:7.1f} flips/block")
+    print(f"  adaptive skipping: {adaptive.total_flips/2000:7.1f} flips/block "
+          f"({zero.total_flips / adaptive.total_flips:.1f}x better)")
+    print("  On the paper's workloads (uniform non-zero tail) adaptation")
+    print("  gains nothing — Section 3.3's dismissal — but a dominant")
+    print("  non-zero value flips the verdict.")
+
+
+def main() -> None:
+    custom_profile_demo()
+    stress_demo()
+    adaptive_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""ECC fault-injection campaign on the DESC interleaved layout.
+
+A DESC wire error corrupts a whole chunk (up to four bits at once).
+This campaign encodes random blocks with the Figure 9 layout — four
+128-bit segments under (137, 128) SECDED, parity interleaved so every
+chunk carries at most one bit per segment — injects 1..4 chunk errors
+per transfer, and tabulates the outcomes: corrected, detected, or
+(never, for <=2 errors) silently corrupt.
+
+Run:  python examples/ecc_fault_injection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc import DecodeStatus, DescEccLayout, inject_chunk_errors
+
+
+def campaign(layout: DescEccLayout, errors: int, trials: int,
+             rng: np.random.Generator) -> dict[str, int]:
+    outcomes = {"corrected": 0, "detected": 0, "silent": 0}
+    for _ in range(trials):
+        data = rng.integers(0, 2, size=layout.block_bits).astype(np.uint8)
+        chunks = layout.encode_block(data)
+        corrupted, _ = inject_chunk_errors(chunks, errors, rng)
+        result = layout.decode_block(corrupted)
+        if not result.ok:
+            outcomes["detected"] += 1
+        elif np.array_equal(result.data_bits, data):
+            outcomes["corrected"] += 1
+        else:
+            outcomes["silent"] += 1
+    return outcomes
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+    trials = 400
+    for segment_bits, label in ((128, "(137,128)"), (64, "(72,64)")):
+        layout = DescEccLayout(512, segment_bits, 4)
+        print(f"\n{label} SECDED, {layout.num_segments} segments, "
+              f"{layout.num_parity_chunks} parity chunks "
+              f"({layout.num_parity_chunks} extra wires)")
+        print(f"  {'chunk errors':>12s} {'corrected':>10s} {'detected':>9s} "
+              f"{'SILENT':>7s}")
+        for errors in (1, 2, 3, 4):
+            out = campaign(layout, errors, trials, rng)
+            print(f"  {errors:12d} {out['corrected']:10d} "
+                  f"{out['detected']:9d} {out['silent']:7d}")
+        print("  Guarantee: one corrupted chunk is always corrected, two")
+        print("  are never silent (each chunk carries <=1 bit/segment).")
+
+
+if __name__ == "__main__":
+    main()

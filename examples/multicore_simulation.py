@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Drive the event-driven multicore substrate directly.
+
+Runs a synthetic memory trace through the detailed system — private
+MESI-coherent L1s, the banked L2 with real bank conflicts, and queued
+DRAM channels — once with a binary-style 8-cycle transfer window and
+once with a DESC-like 17-cycle window, and reports how well the
+multithreaded cores tolerate the longer transfers (the paper's central
+latency-tolerance argument, Sections 5.3/5.8).
+
+Run:  python examples/multicore_simulation.py [app] [references]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cpu.multicore import MulticoreConfig, MulticoreSimulator
+from repro.workloads import memory_trace, profile
+
+
+def run(app_name: str, references: int, transfer_cycles: int):
+    app = profile(app_name)
+    trace = memory_trace(app, references, seed=7)
+    sim = MulticoreSimulator(MulticoreConfig(l2_transfer_cycles=transfer_cycles))
+    stats = sim.run(trace)
+    sim.directory.check_invariants()
+    return stats
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "Ocean"
+    references = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    print(f"Event-driven simulation: {app_name}, {references} references, "
+          f"8 cores x 4 contexts, 8-bank 8MB L2, 2 DRAM channels\n")
+    binary = run(app_name, references, transfer_cycles=8)
+    desc = run(app_name, references, transfer_cycles=17)
+
+    for label, stats in (("binary (8-cycle window)", binary),
+                         ("DESC-like (17-cycle window)", desc)):
+        print(f"{label}:")
+        print(f"  cycles            {stats.cycles:10d}")
+        print(f"  L1 miss rate      {stats.l1_miss_rate:10.3f}")
+        print(f"  L2 miss rate      {stats.l2_miss_rate:10.3f}")
+        print(f"  bank conflicts    {stats.bank_conflicts:10d}")
+        print(f"  DRAM row hits     {stats.dram_row_hit_rate:10.3f}")
+        print(f"  invalidations     {stats.invalidations:10d}")
+        print(f"  coh. writebacks   {stats.coherence_writebacks:10d}\n")
+
+    slowdown = desc.cycles / binary.cycles
+    print(f"Doubling the transfer window costs only {100*(slowdown-1):.1f}% "
+          f"execution time — fine-grained multithreading hides most of "
+          f"DESC's value-dependent latency (paper Figure 20).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of DESC (Bojnordi & Ipek, MICRO 2013).
+
+DESC is an energy-efficient data-exchange technique for last-level-cache
+interconnects that represents chunk values as the delay between pulses on
+a wire, bounding transitions to one per chunk.  This package implements
+DESC and every substrate the paper's evaluation depends on: baseline bus
+encodings, an H-tree interconnect and cache energy model, a banked cache
+with MESI-coherent L1s, SECDED ECC with DESC's interleaved layout, a
+trace-driven multicore timing model, synthetic workloads calibrated to
+the paper's published value statistics, and one experiment module per
+figure.
+
+Quick start::
+
+    from repro import ChunkLayout, DescLink
+    import numpy as np
+
+    link = DescLink(ChunkLayout(block_bits=512, chunk_bits=4, num_wires=128),
+                    skip_policy="zero")
+    block = np.random.default_rng(0).integers(0, 16, size=128)
+    cost = link.send_block(block)
+    print(cost.total_flips, cost.cycles)
+"""
+
+from repro.core import (
+    ChunkLayout,
+    DescCostModel,
+    DescLink,
+    DescReceiver,
+    DescTransmitter,
+    StreamCost,
+    TransferCost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChunkLayout",
+    "DescCostModel",
+    "DescLink",
+    "DescReceiver",
+    "DescTransmitter",
+    "StreamCost",
+    "TransferCost",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Cache substrate: set-associative arrays, MESI, banked L2, NUCA, controller."""
+
+from repro.cache.controller import DescCacheController
+from repro.cache.datapath import DescL2DataPath
+from repro.cache.l2 import BankedL2Cache, L2AccessResult
+from repro.cache.lru import LruState
+from repro.cache.mat_interface import DescMatInterface, MatTransaction
+from repro.cache.mesi import CoherenceOutcome, MesiDirectory, MesiState
+from repro.cache.nuca import SNuca1Mapping
+from repro.cache.null_directory import NullBlockDirectory
+from repro.cache.sets import AccessOutcome, SetAssociativeCache
+
+__all__ = [
+    "AccessOutcome",
+    "BankedL2Cache",
+    "CoherenceOutcome",
+    "DescCacheController",
+    "DescL2DataPath",
+    "DescMatInterface",
+    "MatTransaction",
+    "L2AccessResult",
+    "LruState",
+    "MesiDirectory",
+    "MesiState",
+    "NullBlockDirectory",
+    "SNuca1Mapping",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,192 @@
+"""The full Figure 7 data path, functionally: banks, subbanks, shared trees.
+
+:class:`DescL2DataPath` realizes the paper's cache organisation end to
+end with real signal-level machinery:
+
+* the L2 is split into address-interleaved **banks**;
+* each bank holds ``2**subbank_depth`` **subbanks**, each storing whole
+  blocks and owning a DESC transmitter (its mats' chunk transmitters
+  aggregate into one 128-wire bundle sharing a reset strobe, Figure 6);
+* subbank read bundles merge onto the bank's shared vertical H-tree
+  through a :class:`~repro.interconnect.regenerator_tree.RegeneratorTree`
+  of Figure 8-c toggle regenerators, and the cache controller's DESC
+  receiver decodes the regenerated stream;
+* writes travel a controller-side transmitter down to the addressed
+  subbank's receiver (inactive subbanks are clock-gated and do not
+  sample).
+
+Zero skipping (the paper's best variant) is stateless per transfer, so
+interleaving transfers from different subbanks over the shared wires is
+safe — exactly the property the regenerators exist to provide, and the
+property the integration tests drive hard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.protocol import TransferCost
+from repro.core.receiver import DescReceiver
+from repro.core.skipping import make_policy
+from repro.core.transmitter import DescTransmitter
+from repro.interconnect.regenerator_tree import RegeneratorTree
+from repro.util.validation import require_positive
+
+__all__ = ["DescL2DataPath"]
+
+_SAFE_POLICIES = ("none", "zero")
+
+
+class _Subbank:
+    """Block storage plus the subbank-side DESC endpoints."""
+
+    def __init__(self, layout: ChunkLayout, skip_policy: str) -> None:
+        self.storage: dict[int, np.ndarray] = {}
+        self.transmitter = DescTransmitter(
+            layout, make_policy(skip_policy, layout.num_wires)
+        )
+        self.receiver = DescReceiver(
+            layout, make_policy(skip_policy, layout.num_wires)
+        )
+
+
+class _Bank:
+    """Subbanks sharing one vertical H-tree via toggle regenerators."""
+
+    def __init__(
+        self, layout: ChunkLayout, subbank_depth: int, skip_policy: str
+    ) -> None:
+        self.subbanks = [
+            _Subbank(layout, skip_policy) for _ in range(2**subbank_depth)
+        ]
+        # +1 wire for the shared reset/skip strobe.
+        self.read_tree = RegeneratorTree(layout.num_wires + 1, subbank_depth)
+        self.controller_rx = DescReceiver(
+            layout, make_policy(skip_policy, layout.num_wires)
+        )
+        self.controller_tx = DescTransmitter(
+            layout, make_policy(skip_policy, layout.num_wires)
+        )
+
+
+class DescL2DataPath:
+    """Functional banked L2 data path with DESC everywhere (Figure 7)."""
+
+    def __init__(
+        self,
+        num_banks: int = 8,
+        subbank_depth: int = 2,
+        block_bits: int = 512,
+        chunk_bits: int = 4,
+        skip_policy: str = "zero",
+        block_bytes: int = 64,
+    ) -> None:
+        require_positive("num_banks", num_banks)
+        if skip_policy not in _SAFE_POLICIES:
+            raise ValueError(
+                "shared subbank wires require a stateless skip policy "
+                f"({_SAFE_POLICIES}); last-value tracking needs per-mat "
+                "state at the controller (Section 5.2)"
+            )
+        self.layout = ChunkLayout(
+            block_bits=block_bits,
+            chunk_bits=chunk_bits,
+            num_wires=block_bits // chunk_bits,
+        )
+        self.num_banks = num_banks
+        self.block_bytes = block_bytes
+        self.skip_policy = skip_policy
+        self._banks = [
+            _Bank(self.layout, subbank_depth, skip_policy)
+            for _ in range(num_banks)
+        ]
+        self.read_cost = TransferCost(0, 0, 0, 0)
+        self.write_cost = TransferCost(0, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def route(self, addr: int) -> tuple[int, int]:
+        """(bank, subbank) an address maps to."""
+        block = addr // self.block_bytes
+        bank = block % self.num_banks
+        subbank = (block // self.num_banks) % len(self._banks[0].subbanks)
+        return bank, subbank
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def write_block(self, addr: int, chunks: np.ndarray) -> TransferCost:
+        """Send a block from the controller down to its subbank."""
+        chunks = np.asarray(chunks, dtype=np.int64)
+        bank_index, subbank_index = self.route(addr)
+        bank = self._banks[bank_index]
+        subbank = bank.subbanks[subbank_index]
+
+        data_before = bank.controller_tx.data_flips
+        overhead_before = bank.controller_tx.overhead_flips
+        # The subbank was clock-gated while others were written; its
+        # detectors re-arm on the current wire levels (Figure 8-b).
+        subbank.receiver.resync(bank.controller_tx.wire_levels())
+        bank.controller_tx.load_block(chunks)
+        cycles = 0
+        received_before = len(subbank.receiver.received_blocks)
+        while len(subbank.receiver.received_blocks) == received_before:
+            levels = bank.controller_tx.step()
+            # Only the addressed subbank's receiver is clocked.
+            subbank.receiver.step(levels)
+            cycles += 1
+            if cycles > 10_000:
+                raise RuntimeError("write did not complete")
+        block = subbank.receiver.received_blocks[-1]
+        subbank.storage[addr] = block.copy()
+        cost = TransferCost(
+            data_flips=bank.controller_tx.data_flips - data_before,
+            overhead_flips=bank.controller_tx.overhead_flips - overhead_before,
+            sync_flips=(cycles + 1) // 2,
+            cycles=cycles,
+        )
+        self.write_cost = self.write_cost + cost
+        return cost
+
+    def read_block(self, addr: int) -> tuple[np.ndarray, TransferCost]:
+        """Fetch a block from its subbank over the shared read tree."""
+        bank_index, subbank_index = self.route(addr)
+        bank = self._banks[bank_index]
+        subbank = bank.subbanks[subbank_index]
+        if addr not in subbank.storage:
+            raise KeyError(f"no block stored at {addr:#x}")
+
+        per_wire_before = bank.read_tree.upstream_transitions_per_wire()
+        subbank.transmitter.load_block(subbank.storage[addr])
+        cycles = 0
+        received_before = len(bank.controller_rx.received_blocks)
+        while len(bank.controller_rx.received_blocks) == received_before:
+            subbank.transmitter.step()
+            branch_levels = np.stack(
+                [sb.transmitter.wire_levels() for sb in bank.subbanks]
+            )
+            upstream = bank.read_tree.sample(branch_levels, subbank_index)
+            bank.controller_rx.step(upstream)
+            cycles += 1
+            if cycles > 10_000:
+                raise RuntimeError("read did not complete")
+        block = bank.controller_rx.received_blocks[-1]
+        per_wire = bank.read_tree.upstream_transitions_per_wire()
+        deltas = [after - before for after, before in zip(per_wire, per_wire_before)]
+        cost = TransferCost(
+            data_flips=sum(deltas[1:]),  # wire 0 is the reset/skip strobe
+            overhead_flips=deltas[0],
+            sync_flips=(cycles + 1) // 2,
+            cycles=cycles,
+        )
+        self.read_cost = self.read_cost + cost
+        return block, cost
+
+    @property
+    def total_cost(self) -> TransferCost:
+        """Aggregate activity since construction, both directions."""
+        return self.read_cost + self.write_cost

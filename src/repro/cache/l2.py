@@ -1,0 +1,112 @@
+"""The shared, banked L2 cache of the event-driven substrate (Table 1).
+
+Wraps :class:`~repro.cache.sets.SetAssociativeCache` with bank
+interleaving and per-bank occupancy tracking, so the multicore
+simulator sees bank conflicts: a bank is busy for the array access plus
+the block-transfer window of the configured transfer scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.sets import AccessOutcome, SetAssociativeCache
+from repro.util.validation import require_positive, require_power_of_two
+
+__all__ = ["L2AccessResult", "BankedL2Cache"]
+
+
+@dataclass(frozen=True)
+class L2AccessResult:
+    """Outcome of one L2 access in the event-driven substrate.
+
+    Attributes:
+        hit: Tag hit in the L2 array.
+        bank: Bank the block maps to.
+        ready_time: Cycle at which the data is available, including any
+            wait for the bank to free up.
+        victim_addr / victim_dirty: Replacement bookkeeping on misses.
+    """
+
+    hit: bool
+    bank: int
+    ready_time: int
+    victim_addr: int | None
+    victim_dirty: bool
+
+
+class BankedL2Cache:
+    """Set-associative L2 with address-interleaved banks."""
+
+    def __init__(
+        self,
+        size_bytes: int = 8 * 1024 * 1024,
+        block_bytes: int = 64,
+        associativity: int = 16,
+        num_banks: int = 8,
+        array_latency: int = 3,
+        service_cycles: int = 11,
+    ) -> None:
+        require_power_of_two("num_banks", num_banks)
+        require_positive("array_latency", array_latency)
+        require_positive("service_cycles", service_cycles)
+        self.array = SetAssociativeCache(size_bytes, block_bytes, associativity)
+        self.num_banks = num_banks
+        self.block_bytes = block_bytes
+        self.array_latency = array_latency
+        #: Cycles a bank stays busy per access (array + transfer window).
+        self.service_cycles = service_cycles
+        self._bank_free: list[int] = [0] * num_banks
+        self.bank_conflicts = 0
+        self.accesses = 0
+
+    def bank(self, addr: int) -> int:
+        """Bank an address interleaves to."""
+        return (addr // self.block_bytes) % self.num_banks
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        now: int,
+        service_cycles: int | None = None,
+    ) -> L2AccessResult:
+        """Access the L2 at cycle ``now``; models bank occupancy.
+
+        ``service_cycles`` overrides the default bank occupancy for this
+        access — the value-aware mode, where DESC's transfer window
+        depends on the block being moved.
+        """
+        self.accesses += 1
+        bank = self.bank(addr)
+        start = max(now, self._bank_free[bank])
+        if start > now:
+            self.bank_conflicts += 1
+        outcome: AccessOutcome = self.array.access(addr, is_write)
+        occupancy = (
+            service_cycles if service_cycles is not None else self.service_cycles
+        )
+        self._bank_free[bank] = start + occupancy
+        ready = start + self.array_latency
+        return L2AccessResult(
+            hit=outcome.hit,
+            bank=bank,
+            ready_time=ready,
+            victim_addr=outcome.victim_addr,
+            victim_dirty=outcome.victim_dirty,
+        )
+
+    @property
+    def hits(self) -> int:
+        """Tag hits so far."""
+        return self.array.hits
+
+    @property
+    def misses(self) -> int:
+        """Tag misses so far."""
+        return self.array.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate so far."""
+        return self.array.miss_rate

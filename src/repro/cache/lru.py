@@ -1,0 +1,52 @@
+"""True-LRU replacement state for set-associative caches (Table 1)."""
+
+from __future__ import annotations
+
+from repro.util.validation import require_positive
+
+__all__ = ["LruState"]
+
+
+class LruState:
+    """Tracks recency order of the ways in every set.
+
+    Way indices are kept per set in most-recent-first order; ways never
+    touched yet are implicitly least recent (and are victimized first,
+    which doubles as invalid-way-first allocation).
+    """
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        require_positive("num_sets", num_sets)
+        require_positive("num_ways", num_ways)
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self._order: list[list[int]] = [[] for _ in range(num_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Mark ``way`` most recently used in ``set_index``."""
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range 0..{self.num_ways - 1}")
+        order = self._order[set_index]
+        if way in order:
+            order.remove(way)
+        order.insert(0, way)
+
+    def victim(self, set_index: int) -> int:
+        """Way to replace: an untouched way if any, else the LRU way."""
+        order = self._order[set_index]
+        if len(order) < self.num_ways:
+            used = set(order)
+            for way in range(self.num_ways):
+                if way not in used:
+                    return way
+        return order[-1]
+
+    def forget(self, set_index: int, way: int) -> None:
+        """Drop a way from the recency order (invalidation)."""
+        order = self._order[set_index]
+        if way in order:
+            order.remove(way)
+
+    def recency(self, set_index: int) -> tuple[int, ...]:
+        """Ways of a set, most recent first (touched ways only)."""
+        return tuple(self._order[set_index])

@@ -1,0 +1,117 @@
+"""Transaction-level DESC mat interface (the full Figure 6 structure).
+
+Figure 6 shows the complete interface between the cache controller and
+a mat controller: *write-data* strobes driven by a controller-side
+transmitter into a mat-side receiver, *read-data* strobes driven the
+other way, a binary address/control channel, and ready signalling.
+:class:`DescMatInterface` packages that as transactions:
+
+* ``write(addr, chunks)`` — address in binary, data over the downstream
+  DESC link, stored at the mat;
+* ``read(addr)`` — address in binary, data returned over the upstream
+  DESC link;
+
+with per-transaction cost accounting that includes the binary address
+flips (Section 3.2.1 keeps address/control in conventional binary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+from repro.core.protocol import TransferCost
+from repro.util.bitops import popcount_array
+from repro.util.validation import require_positive
+
+__all__ = ["MatTransaction", "DescMatInterface"]
+
+
+class MatTransaction:
+    """Outcome of one mat access.
+
+    Attributes:
+        data: The chunk values read (reads only; ``None`` for writes).
+        data_cost: Wire activity of the DESC data transfer.
+        address_flips: Binary flips on the address/control channel.
+        latency_cycles: Data-transfer occupancy plus the interface's
+            fixed address/decode cycles.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray | None,
+        data_cost: TransferCost,
+        address_flips: int,
+        address_cycles: int,
+    ) -> None:
+        self.data = data
+        self.data_cost = data_cost
+        self.address_flips = address_flips
+        self.latency_cycles = data_cost.cycles + address_cycles
+
+    @property
+    def total_flips(self) -> int:
+        """Data, strobe, and address transitions of the transaction."""
+        return self.data_cost.total_flips + self.address_flips
+
+
+class DescMatInterface:
+    """A controller↔mat pair with duplex DESC data and binary address."""
+
+    def __init__(
+        self,
+        layout: ChunkLayout | None = None,
+        skip_policy: str = "zero",
+        address_bits: int = 14,
+        wire_delay: int = 2,
+        address_cycles: int = 1,
+    ) -> None:
+        require_positive("address_bits", address_bits)
+        require_positive("address_cycles", address_cycles)
+        self.layout = layout if layout is not None else ChunkLayout()
+        self.address_bits = address_bits
+        self.address_cycles = address_cycles
+        # Figure 6: separate write-data and read-data strobe sets.
+        self.write_link = DescLink(self.layout, skip_policy, wire_delay)
+        self.read_link = DescLink(self.layout, skip_policy, wire_delay)
+        self._address_lines = 0  # current binary levels
+        self._storage: dict[int, np.ndarray] = {}
+        self.transactions = 0
+
+    def _drive_address(self, addr: int) -> int:
+        """Drive the binary address lines; returns the flips."""
+        index = (addr // (self.layout.block_bits // 8)) % (1 << self.address_bits)
+        flips = int(popcount_array(np.array([self._address_lines ^ index]))[0])
+        self._address_lines = index
+        return flips
+
+    def write(self, addr: int, chunks: np.ndarray) -> MatTransaction:
+        """Send a block to the mat (write-data strobes, Figure 6)."""
+        chunks = np.asarray(chunks, dtype=np.int64)
+        if chunks.shape != (self.layout.num_chunks,):
+            raise ValueError(
+                f"expected {self.layout.num_chunks} chunks, got {chunks.shape}"
+            )
+        address_flips = self._drive_address(addr)
+        cost = self.write_link.send_block(chunks)
+        stored = self.write_link.receiver.received_blocks[-1]
+        self._storage[addr] = stored.copy()
+        self.transactions += 1
+        return MatTransaction(None, cost, address_flips, self.address_cycles)
+
+    def read(self, addr: int) -> MatTransaction:
+        """Fetch a block from the mat (read-data strobes, Figure 6)."""
+        if addr not in self._storage:
+            raise KeyError(f"no block stored at {addr:#x}")
+        address_flips = self._drive_address(addr)
+        cost = self.read_link.send_block(self._storage[addr])
+        data = self.read_link.receiver.received_blocks[-1]
+        self.transactions += 1
+        return MatTransaction(data, cost, address_flips, self.address_cycles)
+
+    @property
+    def total_cost(self) -> TransferCost:
+        """Aggregate DESC wire activity, both directions."""
+        return self.write_link.cost_so_far() + self.read_link.cost_so_far()

@@ -1,0 +1,140 @@
+"""MESI coherence directory for the private L1 data caches (Table 1).
+
+A directory-style implementation: for every block cached anywhere it
+tracks each core's state (Modified / Exclusive / Shared / Invalid) and
+serializes the protocol actions the multicore substrate needs — who to
+invalidate on a write, when a dirty owner must write back before a read,
+and whether the requester receives E or S.
+
+Invariants (asserted by the property tests):
+
+* at most one core holds M or E for a block;
+* if any core holds M or E, no other core holds S;
+* every transition leaves the directory consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MesiState", "CoherenceOutcome", "MesiDirectory"]
+
+
+class MesiState(Enum):
+    """Per-core cache-line state."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(frozen=True)
+class CoherenceOutcome:
+    """Bus/interconnect activity one access caused.
+
+    Attributes:
+        invalidations: Sharer copies invalidated.
+        writeback: A dirty owner flushed the block to the L2.
+        granted: State granted to the requester.
+    """
+
+    invalidations: int
+    writeback: bool
+    granted: MesiState
+
+
+class MesiDirectory:
+    """Directory tracking every block's sharers across the L1s."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self._sharers: dict[int, dict[int, MesiState]] = {}
+        self.invalidations = 0
+        self.writebacks = 0
+
+    def state(self, core: int, addr: int) -> MesiState:
+        """Current state of ``addr`` in ``core``'s cache."""
+        return self._sharers.get(addr, {}).get(core, MesiState.INVALID)
+
+    def sharers(self, addr: int) -> dict[int, MesiState]:
+        """Non-invalid holders of a block."""
+        return dict(self._sharers.get(addr, {}))
+
+    def _entry(self, addr: int) -> dict[int, MesiState]:
+        return self._sharers.setdefault(addr, {})
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range 0..{self.num_cores - 1}")
+
+    def read(self, core: int, addr: int) -> CoherenceOutcome:
+        """Core reads a block: downgrade any dirty owner, join sharers."""
+        self._check_core(core)
+        entry = self._entry(addr)
+        current = entry.get(core, MesiState.INVALID)
+        if current is not MesiState.INVALID:
+            return CoherenceOutcome(0, False, current)
+
+        writeback = False
+        for other, state in list(entry.items()):
+            if state is MesiState.MODIFIED:
+                writeback = True
+                self.writebacks += 1
+                entry[other] = MesiState.SHARED
+            elif state is MesiState.EXCLUSIVE:
+                entry[other] = MesiState.SHARED
+        granted = MesiState.EXCLUSIVE if not entry else MesiState.SHARED
+        entry[core] = granted
+        return CoherenceOutcome(0, writeback, granted)
+
+    def write(self, core: int, addr: int) -> CoherenceOutcome:
+        """Core writes a block: invalidate all other copies, take M."""
+        self._check_core(core)
+        entry = self._entry(addr)
+        current = entry.get(core, MesiState.INVALID)
+        if current is MesiState.MODIFIED:
+            return CoherenceOutcome(0, False, MesiState.MODIFIED)
+
+        invalidations = 0
+        writeback = False
+        for other, state in list(entry.items()):
+            if other == core:
+                continue
+            if state is MesiState.MODIFIED:
+                writeback = True
+                self.writebacks += 1
+            invalidations += 1
+            self.invalidations += 1
+            del entry[other]
+        entry[core] = MesiState.MODIFIED
+        return CoherenceOutcome(invalidations, writeback, MesiState.MODIFIED)
+
+    def evict(self, core: int, addr: int) -> bool:
+        """Core drops a block (capacity); returns whether it was dirty."""
+        self._check_core(core)
+        entry = self._sharers.get(addr)
+        if not entry or core not in entry:
+            return False
+        dirty = entry[core] is MesiState.MODIFIED
+        if dirty:
+            self.writebacks += 1
+        del entry[core]
+        if not entry:
+            del self._sharers[addr]
+        return dirty
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any MESI invariant is violated."""
+        for addr, entry in self._sharers.items():
+            owners = [s for s in entry.values() if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+            assert len(owners) <= 1, f"block {addr:#x} has {len(owners)} owners"
+            if owners:
+                assert len(entry) == 1, (
+                    f"block {addr:#x} owned ({owners[0]}) but has "
+                    f"{len(entry)} holders"
+                )
+            assert MesiState.INVALID not in entry.values()

@@ -1,0 +1,61 @@
+"""S-NUCA-1 bank mapping (Kim, Burger & Keckler; paper Section 5.5).
+
+The static NUCA organisation the paper evaluates: an 8 MB array of 128
+banks with 128-bit ports, statically routed to the cache controller
+without switches.  Bank access latency grows linearly with the bank's
+physical distance from the controller, spanning 3–13 core cycles.
+Blocks map to banks by address interleaving, so latency is fixed per
+address (the "static" in S-NUCA).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_positive
+
+__all__ = ["SNuca1Mapping"]
+
+
+class SNuca1Mapping:
+    """Address → (bank, latency) mapping for the S-NUCA-1 cache."""
+
+    def __init__(
+        self,
+        num_banks: int = 128,
+        block_bytes: int = 64,
+        min_latency: int = 3,
+        max_latency: int = 13,
+    ) -> None:
+        require_positive("num_banks", num_banks)
+        require_positive("block_bytes", block_bytes)
+        require_positive("min_latency", min_latency)
+        if max_latency < min_latency:
+            raise ValueError(
+                f"max_latency {max_latency} < min_latency {min_latency}"
+            )
+        self.num_banks = num_banks
+        self.block_bytes = block_bytes
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+
+    def bank(self, addr: int) -> int:
+        """Bank holding the block (block-address interleaving)."""
+        return (addr // self.block_bytes) % self.num_banks
+
+    def latency(self, bank: int) -> int:
+        """Access latency of a bank, linear in its distance rank."""
+        if not 0 <= bank < self.num_banks:
+            raise ValueError(f"bank {bank} out of range 0..{self.num_banks - 1}")
+        span = self.max_latency - self.min_latency
+        if self.num_banks == 1:
+            return self.min_latency
+        return self.min_latency + (bank * span) // (self.num_banks - 1)
+
+    def access_latency(self, addr: int) -> int:
+        """Latency of the bank an address maps to."""
+        return self.latency(self.bank(addr))
+
+    @property
+    def mean_latency(self) -> float:
+        """Average bank latency over a uniform address stream."""
+        total = sum(self.latency(b) for b in range(self.num_banks))
+        return total / self.num_banks

@@ -1,0 +1,65 @@
+"""Null-block directory: serving all-zero blocks without data movement.
+
+The paper notes (Section 2) that DESC "has mechanisms that exploit null
+and redundant blocks" and that cache-compression work (e.g.
+Zero-Content Augmented caches, Dusser et al.) attacks the same
+opportunity at the *storage* level.  This module implements that
+orthogonal optimization as a substrate: a small directory of block
+addresses known to be all-zero.  A read that hits the directory is
+served at the controller — no SRAM array access, no H-tree data
+transfer — and a write of a null block only updates the directory.
+
+The ablation benchmark (``benchmarks/test_ablation_null_directory.py``)
+uses it to ask how much of zero-skipped DESC's benefit a null directory
+alone would capture, and whether the two compose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.util.validation import require_positive
+
+__all__ = ["NullBlockDirectory"]
+
+
+class NullBlockDirectory:
+    """LRU directory of known-all-zero block addresses."""
+
+    def __init__(self, capacity_blocks: int = 4096) -> None:
+        require_positive("capacity_blocks", capacity_blocks)
+        self.capacity_blocks = capacity_blocks
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, addr: int) -> bool:
+        """Whether ``addr`` is a known null block (counts hit/miss)."""
+        if addr in self._entries:
+            self._entries.move_to_end(addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def record_null(self, addr: int) -> None:
+        """Mark a block as all-zero (a null write or a null fill)."""
+        if addr in self._entries:
+            self._entries.move_to_end(addr)
+            return
+        if len(self._entries) >= self.capacity_blocks:
+            self._entries.popitem(last=False)
+        self._entries[addr] = None
+
+    def record_data(self, addr: int) -> None:
+        """A non-zero write makes the block ordinary again."""
+        self._entries.pop(addr, None)
+
+    @property
+    def hit_rate(self) -> float:
+        """Directory hits over all lookups."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

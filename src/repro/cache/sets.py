@@ -1,0 +1,126 @@
+"""A generic set-associative cache structure (tags + LRU + dirty bits).
+
+Used for both the private L1s (16 KB, Table 1) and the shared L2 (8 MB,
+16-way) of the event-driven substrate.  Purely functional/structural:
+timing and energy live in the models that drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.lru import LruState
+from repro.util.validation import require_positive, require_power_of_two
+
+__all__ = ["AccessOutcome", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one cache access.
+
+    Attributes:
+        hit: Whether the block was present.
+        victim_addr: Block-aligned address evicted to make room (misses
+            only), or ``None``.
+        victim_dirty: Whether the evicted block needed a writeback.
+    """
+
+    hit: bool
+    victim_addr: int | None = None
+    victim_dirty: bool = False
+
+
+class SetAssociativeCache:
+    """Tags, LRU state, and dirty bits for one cache level."""
+
+    def __init__(
+        self, size_bytes: int, block_bytes: int, associativity: int
+    ) -> None:
+        require_positive("size_bytes", size_bytes)
+        require_power_of_two("block_bytes", block_bytes)
+        require_positive("associativity", associativity)
+        num_blocks = size_bytes // block_bytes
+        if num_blocks % associativity:
+            raise ValueError(
+                f"{num_blocks} blocks do not divide into {associativity} ways"
+            )
+        self.size_bytes = size_bytes
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.num_sets = num_blocks // associativity
+        self._tags: list[list[int | None]] = [
+            [None] * associativity for _ in range(self.num_sets)
+        ]
+        self._dirty: list[list[bool]] = [
+            [False] * associativity for _ in range(self.num_sets)
+        ]
+        self._lru = LruState(self.num_sets, associativity)
+        self.hits = 0
+        self.misses = 0
+
+    def block_address(self, addr: int) -> int:
+        """Block-aligned address containing ``addr``."""
+        return addr & ~(self.block_bytes - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Set the address maps to."""
+        return (addr // self.block_bytes) % self.num_sets
+
+    def _find(self, addr: int) -> int | None:
+        block = self.block_address(addr)
+        row = self._tags[self.set_index(addr)]
+        for way, tag in enumerate(row):
+            if tag == block:
+                return way
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """Whether the block holding ``addr`` is resident."""
+        return self._find(addr) is not None
+
+    def access(self, addr: int, is_write: bool) -> AccessOutcome:
+        """Look up an address; on a miss, allocate and report the victim."""
+        block = self.block_address(addr)
+        set_index = self.set_index(addr)
+        way = self._find(addr)
+        if way is not None:
+            self.hits += 1
+            self._lru.touch(set_index, way)
+            if is_write:
+                self._dirty[set_index][way] = True
+            return AccessOutcome(hit=True)
+
+        self.misses += 1
+        way = self._lru.victim(set_index)
+        victim = self._tags[set_index][way]
+        victim_dirty = self._dirty[set_index][way]
+        self._tags[set_index][way] = block
+        self._dirty[set_index][way] = is_write
+        self._lru.touch(set_index, way)
+        return AccessOutcome(
+            hit=False, victim_addr=victim, victim_dirty=victim_dirty
+        )
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove a block (coherence); returns whether it was present."""
+        set_index = self.set_index(addr)
+        way = self._find(addr)
+        if way is None:
+            return False
+        self._tags[set_index][way] = None
+        self._dirty[set_index][way] = False
+        self._lru.forget(set_index, way)
+        return True
+
+    def mark_clean(self, addr: int) -> None:
+        """Clear the dirty bit after a writeback."""
+        way = self._find(addr)
+        if way is not None:
+            self._dirty[self.set_index(addr)][way] = False
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over all accesses so far."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

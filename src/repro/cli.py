@@ -1,0 +1,208 @@
+"""Command-line front-end: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list                     # figures and what they show
+    python -m repro run fig16                # pretty-print one figure
+    python -m repro run fig19 --json         # machine-readable output
+    python -m repro run fig25 --sample-blocks 1500
+    python -m repro all --json results.json  # run everything, save JSON
+
+The heavy lifting lives in :mod:`repro.experiments`; this module only
+dispatches and formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Callable
+
+from repro.sim.config import SystemConfig
+
+__all__ = ["main", "FIGURES"]
+
+
+def _system_runner(module) -> Callable[[argparse.Namespace], dict]:
+    def run(args: argparse.Namespace) -> dict:
+        return module.run(SystemConfig(sample_blocks=args.sample_blocks))
+
+    return run
+
+
+def _blocks_runner(module) -> Callable[[argparse.Namespace], dict]:
+    def run(args: argparse.Namespace) -> dict:
+        return module.run(num_blocks=args.sample_blocks)
+
+    return run
+
+
+def _plain_runner(module) -> Callable[[argparse.Namespace], dict]:
+    def run(args: argparse.Namespace) -> dict:
+        return module.run()
+
+    return run
+
+
+def _build_registry() -> dict[str, tuple[str, Callable]]:
+    import repro.experiments as ex
+
+    return {
+        "fig01": ("L2 energy fraction of processor energy",
+                  _system_runner(ex.fig01_l2_fraction)),
+        "fig02": ("L2 energy breakdown (static / other / H-tree)",
+                  _system_runner(ex.fig02_l2_breakdown)),
+        "fig03": ("parallel vs serial vs DESC on one byte",
+                  _plain_runner(ex.fig03_illustrative)),
+        "fig12": ("distribution of 4-bit chunk values",
+                  _blocks_runner(ex.fig12_chunk_values)),
+        "fig13": ("fraction of last-value-matching chunks",
+                  _blocks_runner(ex.fig13_last_value)),
+        "fig14": ("device-type design-space exploration",
+                  _system_runner(ex.fig14_design_space)),
+        "fig15": ("baseline energy vs segment size",
+                  _system_runner(ex.fig15_segment_size)),
+        "fig16": ("L2 energy of the eight transfer schemes",
+                  _system_runner(ex.fig16_l2_energy)),
+        "fig17": ("DESC transmitter/receiver synthesis results",
+                  _plain_runner(ex.fig17_synthesis)),
+        "fig18": ("static vs dynamic L2 energy per scheme",
+                  _system_runner(ex.fig18_energy_split)),
+        "fig19": ("processor energy with zero-skipped DESC",
+                  _system_runner(ex.fig19_processor_energy)),
+        "fig20": ("execution time per scheme",
+                  _system_runner(ex.fig20_exec_time)),
+        "fig21": ("average L2 hit delay, binary vs DESC",
+                  _system_runner(ex.fig21_hit_delay)),
+        "fig22": ("(energy, delay) design-space scatter",
+                  _system_runner(ex.fig22_design_scatter)),
+        "fig23": ("S-NUCA-1 execution time with DESC",
+                  _system_runner(ex.fig23_snuca_time)),
+        "fig24": ("S-NUCA-1 L2 energy with DESC",
+                  _system_runner(ex.fig24_snuca_energy)),
+        "fig25": ("sensitivity to the number of banks",
+                  _system_runner(ex.fig25_banks)),
+        "fig26": ("sensitivity to chunk size and wire count",
+                  _system_runner(ex.fig26_chunk_size)),
+        "fig27": ("impact of L2 capacity on cache energy",
+                  _system_runner(ex.fig27_cache_size)),
+        "fig28": ("execution time under SECDED ECC",
+                  _system_runner(ex.fig28_ecc_time)),
+        "fig29": ("L2 energy under SECDED ECC",
+                  _system_runner(ex.fig29_ecc_energy)),
+        "fig30": ("single-threaded out-of-order execution time",
+                  _system_runner(ex.fig30_single_thread)),
+    }
+
+
+#: Lazily built figure registry (name → (description, runner)).
+FIGURES: dict[str, tuple[str, Callable]] | None = None
+
+
+def _figures() -> dict[str, tuple[str, Callable]]:
+    global FIGURES
+    if FIGURES is None:
+        FIGURES = _build_registry()
+    return FIGURES
+
+
+def _pretty(value, indent: int = 0) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            if isinstance(inner, (dict, list)) and inner and not isinstance(
+                inner, str
+            ):
+                print(f"{pad}{key}:")
+                _pretty(inner, indent + 1)
+            else:
+                print(f"{pad}{key}: {_scalar(inner)}")
+    elif isinstance(value, list):
+        print(pad + ", ".join(_scalar(v) for v in value))
+    else:
+        print(pad + _scalar(value))
+
+
+def _scalar(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from the DESC (MICRO 2013) reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available figures")
+
+    run_parser = sub.add_parser("run", help="run one figure experiment")
+    run_parser.add_argument("figure", help="figure name, e.g. fig16")
+    run_parser.add_argument("--sample-blocks", type=int, default=3000,
+                            help="value-sample size per application")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit JSON instead of pretty text")
+
+    all_parser = sub.add_parser("all", help="run every figure experiment")
+    all_parser.add_argument("--sample-blocks", type=int, default=3000)
+    all_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="write all results to a JSON file")
+
+    validate_parser = sub.add_parser(
+        "validate", help="check headline results against the paper"
+    )
+    validate_parser.add_argument("--sample-blocks", type=int, default=2500)
+
+    args = parser.parse_args(argv)
+    figures = _figures()
+
+    if args.command == "list":
+        for name, (description, _) in figures.items():
+            print(f"  {name}: {description}")
+        return 0
+
+    if args.command == "run":
+        if args.figure not in figures:
+            parser.error(
+                f"unknown figure {args.figure!r}; see 'python -m repro list'"
+            )
+        description, runner = figures[args.figure]
+        result = runner(args)
+        if args.json:
+            json.dump(result, sys.stdout, indent=2, default=str)
+            print()
+        else:
+            print(f"=== {args.figure}: {description} ===")
+            _pretty(result)
+        return 0
+
+    if args.command == "validate":
+        from repro.validation import run_validation
+
+        results = run_validation(args.sample_blocks)
+        print(f"{'check':42s} {'paper':>9s} {'measured':>9s} {'band':>17s}  verdict")
+        failures = 0
+        for r in results:
+            verdict = "PASS" if r.passed else "FAIL"
+            failures += not r.passed
+            band = f"[{r.low:g}, {r.high:g}]"
+            print(f"{r.name:42s} {r.paper:9g} {r.measured:9.3f} {band:>17s}  {verdict}")
+        print(f"\n{len(results) - failures}/{len(results)} checks passed")
+        return 1 if failures else 0
+
+    # command == "all"
+    results = {}
+    for name, (description, runner) in figures.items():
+        print(f"running {name}: {description} ...", file=sys.stderr)
+        results[name] = runner(args)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, default=str)
+        print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        _pretty(results)
+    return 0

@@ -1,0 +1,54 @@
+"""DESC itself: chunking, signaling circuits, protocol, link, cost model.
+
+Public surface for the paper's primary contribution (Section 3):
+
+* :class:`ChunkLayout` — block/chunk/wire geometry (Figure 4).
+* :class:`DescTransmitter` / :class:`DescReceiver` — cycle-accurate
+  endpoints (Figures 5, 6, 11).
+* :class:`DescLink` — a full channel with wire delay and sync strobe.
+* :class:`DescCostModel` / :class:`StreamCost` — closed-form, vectorized
+  costs used by the system simulator.
+* Skip policies (Section 3.3) and the toggle circuits of Figure 8.
+* :class:`AdaptiveSkipping` / :class:`AdaptiveDescCostModel` — the
+  runtime frequency-elected skipping the paper considered and dismissed
+  (checked quantitatively by the ablation benchmarks).
+"""
+
+from repro.core.adaptive import AdaptiveDescCostModel, AdaptiveSkipping
+from repro.core.analysis import DescCostModel, StreamCost
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+from repro.core.protocol import TransferCost, decode_cycle, fire_cycle, round_duration
+from repro.core.receiver import DescReceiver
+from repro.core.skipping import (
+    LastValueSkipping,
+    NoSkipping,
+    SkipPolicy,
+    ZeroSkipping,
+    make_policy,
+)
+from repro.core.toggles import ToggleDetector, ToggleGenerator, ToggleRegenerator
+from repro.core.transmitter import DescTransmitter
+
+__all__ = [
+    "AdaptiveDescCostModel",
+    "AdaptiveSkipping",
+    "ChunkLayout",
+    "DescCostModel",
+    "DescLink",
+    "DescReceiver",
+    "DescTransmitter",
+    "LastValueSkipping",
+    "NoSkipping",
+    "SkipPolicy",
+    "StreamCost",
+    "ToggleDetector",
+    "ToggleGenerator",
+    "ToggleRegenerator",
+    "TransferCost",
+    "ZeroSkipping",
+    "decode_cycle",
+    "fire_cycle",
+    "make_policy",
+    "round_duration",
+]

@@ -1,0 +1,208 @@
+"""Closed-form DESC transfer costs, vectorized over block streams.
+
+This is "layer 2" of the fidelity stack (see DESIGN.md §4): given the
+chunk values of whole streams of cache blocks as numpy arrays, compute
+*exactly* the flips and cycles the cycle-accurate link of
+:mod:`repro.core.link` would produce — including the parity-sensitive
+synchronization-strobe accounting and the cross-block wire history of
+last-value skipping.  Property tests in ``tests/core/test_agreement.py``
+assert bit-for-bit agreement with the link on random streams.
+
+The system simulator calls this model once per application with the full
+block-value stream, which is what makes whole-paper sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.protocol import TransferCost
+
+__all__ = ["StreamCost", "DescCostModel"]
+
+_POLICIES = ("none", "zero", "last-value")
+
+
+@dataclass(frozen=True)
+class StreamCost:
+    """Per-block transfer costs for a stream of blocks.
+
+    Each attribute is an array with one entry per block.
+    ``latency_cycles`` is the *critical-path* delivery latency of the
+    block: for the fixed-beat encoders it equals ``cycles``; for DESC it
+    is the average-value-based latency the paper uses for hit time and
+    bank throughput (Section 5.3 — "the average value transferred by
+    the zero skipped DESC is approximately five.  This value determines
+    the throughput of each bank"), while ``cycles`` is the full time
+    window that bounds the synchronization strobe and wire occupancy.
+    """
+
+    data_flips: np.ndarray
+    overhead_flips: np.ndarray
+    sync_flips: np.ndarray
+    cycles: np.ndarray
+    latency_cycles: np.ndarray | None = None
+
+    @property
+    def delivery_latency(self) -> np.ndarray:
+        """Critical-path latency per block (defaults to ``cycles``)."""
+        return self.latency_cycles if self.latency_cycles is not None else self.cycles
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the stream."""
+        return len(self.cycles)
+
+    @property
+    def total_flips_per_block(self) -> np.ndarray:
+        """All wire transitions charged to each block."""
+        return self.data_flips + self.overhead_flips + self.sync_flips
+
+    def total(self) -> TransferCost:
+        """Aggregate cost over the whole stream."""
+        return TransferCost(
+            data_flips=int(self.data_flips.sum()),
+            overhead_flips=int(self.overhead_flips.sum()),
+            sync_flips=int(self.sync_flips.sum()),
+            cycles=int(self.cycles.sum()),
+        )
+
+    def block(self, index: int) -> TransferCost:
+        """Cost of a single block in the stream."""
+        return TransferCost(
+            data_flips=int(self.data_flips[index]),
+            overhead_flips=int(self.overhead_flips[index]),
+            sync_flips=int(self.sync_flips[index]),
+            cycles=int(self.cycles[index]),
+        )
+
+
+class DescCostModel:
+    """Computes DESC wire activity without simulating individual cycles.
+
+    The model is stateful in exactly the ways the hardware is: the
+    last-value history of every wire and the busy-cycle parity of the
+    synchronization strobe persist across calls, so feeding a stream in
+    one call or block-by-block yields identical results.
+    """
+
+    #: Skip-policy names this class accepts; subclasses may extend.
+    POLICY_NAMES: tuple[str, ...] = _POLICIES
+
+    def __init__(self, layout: ChunkLayout | None = None, skip_policy: str = "zero") -> None:
+        if skip_policy not in self.POLICY_NAMES:
+            raise ValueError(
+                f"unknown skip policy {skip_policy!r}; "
+                f"expected one of {self.POLICY_NAMES}"
+            )
+        self._layout = layout if layout is not None else ChunkLayout()
+        self._skip_policy = skip_policy
+        self._last = np.zeros(self._layout.num_wires, dtype=np.int64)
+        self._busy_cycles = 0
+
+    @property
+    def layout(self) -> ChunkLayout:
+        """Chunk/wire geometry assumed by the model."""
+        return self._layout
+
+    @property
+    def skip_policy(self) -> str:
+        """Name of the value-skipping policy ("none", "zero", "last-value")."""
+        return self._skip_policy
+
+    def reset(self) -> None:
+        """Clear wire history and strobe parity (fresh link)."""
+        self._last[:] = 0
+        self._busy_cycles = 0
+
+    def block_cost(self, chunks: np.ndarray) -> TransferCost:
+        """Cost of transferring one block (advances internal history)."""
+        stream = self.stream_cost(np.asarray(chunks, dtype=np.int64)[None, :])
+        return stream.block(0)
+
+    def stream_cost(self, blocks: np.ndarray) -> StreamCost:
+        """Costs for a ``(num_blocks, num_chunks)`` stream of blocks."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.ndim != 2 or blocks.shape[1] != self._layout.num_chunks:
+            raise ValueError(
+                f"expected blocks of shape (n, {self._layout.num_chunks}), "
+                f"got {blocks.shape}"
+            )
+        num_blocks = blocks.shape[0]
+        rounds = self._layout.num_rounds
+        wires = self._layout.num_wires
+        if num_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return StreamCost(empty, empty, empty, empty)
+
+        # values[t, w]: chunk sent on wire w in global round t (time order).
+        values = blocks.reshape(num_blocks * rounds, wires)
+        skipped, fire = self._fire_schedule(values)
+
+        unskipped = ~skipped
+        masked_fire = np.where(unskipped, fire, -1)
+        last_fire = masked_fire.max(axis=1)
+        any_skipped = skipped.any(axis=1)
+
+        # Round duration per repro.core.protocol.round_duration.
+        duration = np.where(
+            last_fire < 0,
+            2,
+            last_fire + 1 + any_skipped.astype(np.int64),
+        )
+
+        per_round_data = unskipped.sum(axis=1)
+
+        # Critical-path latency: the mean fire cycle of the round's
+        # transmitted chunks (the paper's average-value latency model)
+        # plus the strobe overhead — one cycle for basic DESC's final
+        # toggle, two when a closing skip toggle is needed.
+        fire_sum = np.where(unskipped, fire, 0).sum(axis=1).astype(np.float64)
+        counts = np.maximum(per_round_data, 1)
+        mean_fire = fire_sum / counts
+        extra = 1.0 + (self._skip_policy != "none")
+        round_latency = np.where(per_round_data > 0, mean_fire + extra, 2.0)
+        per_block = lambda per_round: per_round.reshape(num_blocks, rounds).sum(axis=1)
+
+        data_flips = per_block(per_round_data)
+        overhead_flips = per_block(1 + any_skipped.astype(np.int64))
+        cycles = per_block(duration)
+        latency = round_latency.reshape(num_blocks, rounds).sum(axis=1)
+
+        # Sync strobe: one flip per two busy cycles, with parity carried
+        # across blocks (and across calls) exactly as the link does.
+        cum = self._busy_cycles + np.cumsum(cycles)
+        prev = np.concatenate(([self._busy_cycles], cum[:-1]))
+        sync_flips = (cum + 1) // 2 - (prev + 1) // 2
+        self._busy_cycles = int(cum[-1])
+
+        # Wire history after the stream: the last round's delivered values.
+        self._last = values[-1].copy()
+        return StreamCost(
+            data_flips=data_flips.astype(np.int64),
+            overhead_flips=overhead_flips.astype(np.int64),
+            sync_flips=sync_flips.astype(np.int64),
+            cycles=cycles.astype(np.int64),
+            latency_cycles=latency,
+        )
+
+    def _fire_schedule(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-round skip mask and fire cycles (protocol.fire_cycle, vectorized)."""
+        if self._skip_policy == "none":
+            skipped = np.zeros(values.shape, dtype=bool)
+            return skipped, values
+        if self._skip_policy == "zero":
+            skipped = values == 0
+            return skipped, values
+        # Last-value skipping: the skip value of wire w in round t is the
+        # value delivered on w in round t-1 (the policy observes skipped
+        # chunks too, and they deliver the skip value itself).
+        prev = np.empty_like(values)
+        prev[0] = self._last
+        prev[1:] = values[:-1]
+        skipped = values == prev
+        fire = values + (values < prev).astype(np.int64)
+        return skipped, fire

@@ -1,0 +1,126 @@
+"""Partitioning of cache blocks into chunks and assignment to wires.
+
+This implements Figure 4 of the paper: a cache block is cut into
+fixed-size contiguous chunks, and each chunk is assigned to a specific
+data wire.  When there are more chunks than wires, wire ``w`` carries
+chunks ``w``, ``w + num_wires``, ``w + 2 * num_wires`` … transmitted
+successively in FIFO order (Figure 4-b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util import bits_to_chunks, chunks_to_bits, chunks_to_int, int_to_chunks
+from repro.util.validation import require_multiple, require_positive
+
+
+@dataclass(frozen=True)
+class ChunkLayout:
+    """Geometry of a DESC transfer: block size, chunk size, wire count.
+
+    Parameters mirror the paper's defaults: a 512-bit cache block, 4-bit
+    chunks (128 chunks total) and 128 data wires, so each wire carries a
+    single chunk per block.  Narrower buses assign several chunks per
+    wire and transfer them in successive *rounds*.
+
+    Attributes:
+        block_bits: Size of a transferred block in bits (512 for the L2).
+        chunk_bits: Width of each chunk in bits (paper default 4).
+        num_wires: Number of physical data wires.
+    """
+
+    block_bits: int = 512
+    chunk_bits: int = 4
+    num_wires: int = 128
+
+    def __post_init__(self) -> None:
+        require_positive("block_bits", self.block_bits)
+        require_positive("chunk_bits", self.chunk_bits)
+        require_positive("num_wires", self.num_wires)
+        require_multiple("block_bits", self.block_bits, self.chunk_bits)
+        num_chunks = self.block_bits // self.chunk_bits
+        if num_chunks % self.num_wires:
+            raise ValueError(
+                f"{num_chunks} chunks cannot be spread evenly over "
+                f"{self.num_wires} wires"
+            )
+
+    @property
+    def num_chunks(self) -> int:
+        """Total chunks per block (128 in the paper's default layout)."""
+        return self.block_bits // self.chunk_bits
+
+    @property
+    def chunks_per_wire(self) -> int:
+        """Chunks transmitted successively on each wire (rounds per block)."""
+        return self.num_chunks // self.num_wires
+
+    @property
+    def num_rounds(self) -> int:
+        """Alias for :attr:`chunks_per_wire`; each round moves one chunk per wire."""
+        return self.chunks_per_wire
+
+    @property
+    def max_chunk_value(self) -> int:
+        """Largest value a chunk can hold (15 for 4-bit chunks)."""
+        return (1 << self.chunk_bits) - 1
+
+    @cached_property
+    def wire_of_chunk(self) -> np.ndarray:
+        """Wire index carrying each chunk: chunk ``c`` rides wire ``c % num_wires``."""
+        return np.arange(self.num_chunks, dtype=np.int64) % self.num_wires
+
+    @cached_property
+    def round_of_chunk(self) -> np.ndarray:
+        """Round in which each chunk is sent: chunk ``c`` goes in round ``c // num_wires``."""
+        return np.arange(self.num_chunks, dtype=np.int64) // self.num_wires
+
+    def split(self, block: int) -> np.ndarray:
+        """Split a block integer into its chunk-value array (chunk 0 = LSBs)."""
+        return int_to_chunks(block, self.chunk_bits, self.num_chunks)
+
+    def join(self, chunks: np.ndarray) -> int:
+        """Reassemble a block integer from its chunk values."""
+        if len(chunks) != self.num_chunks:
+            raise ValueError(
+                f"expected {self.num_chunks} chunks, got {len(chunks)}"
+            )
+        return chunks_to_int(chunks, self.chunk_bits)
+
+    def split_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Split a little-endian bit array into chunk values."""
+        if len(bits) != self.block_bits:
+            raise ValueError(f"expected {self.block_bits} bits, got {len(bits)}")
+        return bits_to_chunks(bits, self.chunk_bits)
+
+    def join_bits(self, chunks: np.ndarray) -> np.ndarray:
+        """Reassemble the little-endian bit array from chunk values."""
+        return chunks_to_bits(chunks, self.chunk_bits)
+
+    def schedule(self, chunks: np.ndarray) -> np.ndarray:
+        """Arrange chunk values into a ``(num_rounds, num_wires)`` schedule.
+
+        Entry ``[r, w]`` is the value sent on wire ``w`` during round ``r``.
+        This is the FIFO order of Figure 4-b: wire ``w``'s queue holds
+        chunks ``w, w + num_wires, …`` front to back.
+        """
+        if len(chunks) != self.num_chunks:
+            raise ValueError(
+                f"expected {self.num_chunks} chunks, got {len(chunks)}"
+            )
+        return np.asarray(chunks, dtype=np.int64).reshape(
+            self.num_rounds, self.num_wires
+        )
+
+    def unschedule(self, schedule: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`schedule`: flatten rounds back to chunk order."""
+        expected = (self.num_rounds, self.num_wires)
+        if schedule.shape != expected:
+            raise ValueError(
+                f"expected schedule of shape {expected}, got {schedule.shape}"
+            )
+        return np.asarray(schedule, dtype=np.int64).reshape(-1)

@@ -1,0 +1,146 @@
+"""A complete DESC link: transmitter, delayed wires, receiver, sync strobe.
+
+:class:`DescLink` wires a :class:`~repro.core.transmitter.DescTransmitter`
+to a :class:`~repro.core.receiver.DescReceiver` through a fixed-delay
+pipe that models the equalized propagation delay of the cache H-tree
+(Section 3.2.2: "Because of the equalized transmission delay of the
+wires … the content of the DESC receiver counter at the time the strobe
+is received is always the same as the content of the transmitter counter
+at the time the strobe is transmitted").
+
+The link also drives the synchronization strobe — a wire that toggles at
+half the clock frequency while a transfer is in flight (Section 3.1) —
+and accounts for its transitions, as the paper does.
+
+This is the reference ("layer 1") implementation; the closed-form model
+in :mod:`repro.core.analysis` is property-tested against it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.protocol import TransferCost
+from repro.core.receiver import DescReceiver
+from repro.core.skipping import SkipPolicy, make_policy
+from repro.core.transmitter import DescTransmitter
+
+__all__ = ["DescLink"]
+
+
+class DescLink:
+    """Synchronous point-to-point DESC channel with a wire delay."""
+
+    def __init__(
+        self,
+        layout: ChunkLayout | None = None,
+        skip_policy: str | SkipPolicy = "none",
+        wire_delay: int = 0,
+    ) -> None:
+        if wire_delay < 0:
+            raise ValueError(f"wire_delay must be non-negative, got {wire_delay}")
+        self._layout = layout if layout is not None else ChunkLayout()
+        if isinstance(skip_policy, SkipPolicy):
+            # Each endpoint gets its own fresh copy; the protocol keeps
+            # them coherent by observing the same delivered values.
+            self._tx_policy: SkipPolicy = skip_policy.clone()
+            self._rx_policy: SkipPolicy = skip_policy.clone()
+        else:
+            self._tx_policy = make_policy(skip_policy, self._layout.num_wires)
+            self._rx_policy = make_policy(skip_policy, self._layout.num_wires)
+        self.transmitter = DescTransmitter(self._layout, self._tx_policy)
+        self.receiver = DescReceiver(self._layout, self._rx_policy)
+        self._wire_delay = wire_delay
+        idle_levels = self.transmitter.wire_levels()
+        self._pipe: deque[np.ndarray] = deque(
+            [idle_levels.copy() for _ in range(wire_delay)]
+        )
+        self._sync_level = 0
+        self._sync_flips = 0
+        self._cycles = 0
+        self._busy_cycles = 0
+
+    @property
+    def layout(self) -> ChunkLayout:
+        """Chunk/wire geometry of the link."""
+        return self._layout
+
+    @property
+    def wire_delay(self) -> int:
+        """Propagation delay, in cycles, applied equally to every wire."""
+        return self._wire_delay
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles stepped since construction."""
+        return self._cycles
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles during which a transfer was in flight at the transmitter."""
+        return self._busy_cycles
+
+    @property
+    def sync_flips(self) -> int:
+        """Transitions driven on the synchronization strobe."""
+        return self._sync_flips
+
+    def cost_so_far(self) -> TransferCost:
+        """Aggregate wire activity since construction."""
+        return TransferCost(
+            data_flips=self.transmitter.data_flips,
+            overhead_flips=self.transmitter.overhead_flips,
+            sync_flips=self._sync_flips,
+            cycles=self._busy_cycles,
+        )
+
+    def step(self) -> None:
+        """Advance the whole link by one clock cycle."""
+        busy_before = self.transmitter.busy
+        levels = self.transmitter.step()
+        if busy_before:
+            self._busy_cycles += 1
+            # The sync strobe toggles at half the clock rate while a
+            # transfer is in flight (one flip per two busy cycles).
+            if self._busy_cycles % 2 == 1:
+                self._sync_level ^= 1
+                self._sync_flips += 1
+        self._pipe.append(levels)
+        delayed = self._pipe.popleft()
+        self.receiver.step(delayed)
+        self._cycles += 1
+
+    def send_block(self, chunks: np.ndarray, max_cycles: int | None = None) -> TransferCost:
+        """Transfer one block and return its wire activity and latency.
+
+        Runs the clock until the receiver has assembled the block; the
+        returned ``cycles`` is the transmitter-side occupancy (excluding
+        the fixed wire delay, which is the same for every scheme).
+        """
+        before = self.cost_so_far()
+        blocks_before = len(self.receiver.received_blocks)
+        self.transmitter.load_block(chunks)
+        limit = max_cycles if max_cycles is not None else self._transfer_bound()
+        for _ in range(limit):
+            self.step()
+            if len(self.receiver.received_blocks) > blocks_before:
+                break
+        else:
+            raise RuntimeError(
+                f"block transfer did not complete within {limit} cycles"
+            )
+        after = self.cost_so_far()
+        return TransferCost(
+            data_flips=after.data_flips - before.data_flips,
+            overhead_flips=after.overhead_flips - before.overhead_flips,
+            sync_flips=after.sync_flips - before.sync_flips,
+            cycles=after.cycles - before.cycles,
+        )
+
+    def _transfer_bound(self) -> int:
+        """A safe upper bound on one block's transfer time."""
+        worst_round = self._layout.max_chunk_value + 3
+        return self._layout.num_rounds * worst_round + self._wire_delay + 4

@@ -1,0 +1,141 @@
+"""Cycle-accurate DESC receiver (Section 3.2.2).
+
+The receiver mirrors the transmitter: an internal counter restarted by
+each reset toggle, one toggle detector per wire, and a copy of the skip
+policy.  It reconstructs chunk values *purely* from the observed wire
+levels — it never peeks at the transmitter's queues — which is what the
+round-trip property tests rely on.
+
+A toggle on the shared reset/skip wire is interpreted as the paper
+specifies: a counter reset (start of a round) when no chunk is pending,
+or a skip command (assign the skip value to all silent wires) when some
+chunk receivers are still waiting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.protocol import decode_cycle
+from repro.core.skipping import NoSkipping, SkipPolicy
+from repro.core.toggles import ToggleDetector
+
+__all__ = ["DescReceiver"]
+
+
+class DescReceiver:
+    """Recovers blocks from DESC wire activity, one round at a time."""
+
+    def __init__(self, layout: ChunkLayout, policy: SkipPolicy | None = None) -> None:
+        self._layout = layout
+        self._policy = policy if policy is not None else NoSkipping()
+        self._reset_detector = ToggleDetector()
+        self._data_detectors = [ToggleDetector() for _ in range(layout.num_wires)]
+        self._in_round = False
+        self._cycle_in_round = -1
+        self._pending: np.ndarray = np.zeros(layout.num_wires, dtype=bool)
+        self._round_values = np.zeros(layout.num_wires, dtype=np.int64)
+        self._completed_rounds: list[np.ndarray] = []
+        #: Blocks fully received, in arrival order (chunk-value arrays).
+        self.received_blocks: list[np.ndarray] = []
+
+    @property
+    def layout(self) -> ChunkLayout:
+        """Chunk/wire geometry this receiver expects."""
+        return self._layout
+
+    @property
+    def policy(self) -> SkipPolicy:
+        """The receiver-side skip policy instance."""
+        return self._policy
+
+    @property
+    def in_round(self) -> bool:
+        """Whether a round is currently being decoded."""
+        return self._in_round
+
+    def resync(self, levels: np.ndarray) -> None:
+        """Re-arm all toggle detectors on the current wire levels.
+
+        Used when a clock-gated receiver (an unselected subbank,
+        Figure 7) is re-enabled: transitions that happened while it was
+        gated must not surface as edges (Figure 8-b's delayed-input
+        detector guarantees this in hardware).
+        """
+        if len(levels) != 1 + self._layout.num_wires:
+            raise ValueError(
+                f"expected {1 + self._layout.num_wires} wire levels, "
+                f"got {len(levels)}"
+            )
+        self._reset_detector.resync(int(levels[0]))
+        for wire, detector in enumerate(self._data_detectors):
+            detector.resync(int(levels[1 + wire]))
+
+    def step(self, levels: np.ndarray) -> None:
+        """Consume one cycle of wire levels (reset/skip first, then data)."""
+        if len(levels) != 1 + self._layout.num_wires:
+            raise ValueError(
+                f"expected {1 + self._layout.num_wires} wire levels, "
+                f"got {len(levels)}"
+            )
+        if self._in_round:
+            self._cycle_in_round += 1
+
+        reset_edge = self._reset_detector.sample(int(levels[0]))
+        if reset_edge:
+            if self._in_round and self._pending.any():
+                self._apply_skip_command()
+            else:
+                self._begin_round()
+
+        for wire, detector in enumerate(self._data_detectors):
+            edge = detector.sample(int(levels[1 + wire]))
+            if not edge:
+                continue
+            if not self._in_round or not self._pending[wire]:
+                raise RuntimeError(
+                    f"unexpected data toggle on wire {wire}: no chunk pending"
+                )
+            skip = self._policy.skip_value(wire)
+            self._round_values[wire] = decode_cycle(self._cycle_in_round, skip)
+            self._pending[wire] = False
+
+        if self._in_round and not self._pending.any():
+            self._finish_round()
+
+    def _begin_round(self) -> None:
+        """Reset toggle with nothing pending: a new round starts this cycle."""
+        self._in_round = True
+        self._cycle_in_round = 0
+        self._pending[:] = True
+        self._round_values[:] = -1
+
+    def _apply_skip_command(self) -> None:
+        """Reset/skip toggle with chunks pending: silent wires take the skip value."""
+        for wire in np.flatnonzero(self._pending):
+            skip = self._policy.skip_value(int(wire))
+            if skip is None:
+                raise RuntimeError(
+                    "skip command received but the policy does not skip"
+                )
+            self._round_values[wire] = skip
+        self._pending[:] = False
+        # _finish_round runs from step() since pending is now empty — but
+        # step() already passed the completion check when it called us, so
+        # finish explicitly here.
+        self._finish_round()
+
+    def _finish_round(self) -> None:
+        """Commit the round; assemble the block once all rounds arrived."""
+        if not self._in_round:
+            return
+        for wire, value in enumerate(self._round_values):
+            self._policy.observe(wire, int(value))
+        self._completed_rounds.append(self._round_values.copy())
+        self._in_round = False
+        self._cycle_in_round = -1
+        if len(self._completed_rounds) == self._layout.num_rounds:
+            schedule = np.stack(self._completed_rounds)
+            self.received_blocks.append(self._layout.unschedule(schedule))
+            self._completed_rounds = []

@@ -1,0 +1,140 @@
+"""Cycle-accurate DESC transmitter (Section 3.2.1, Figures 5/6/11).
+
+The transmitter owns one FIFO queue per data wire (filled by
+:meth:`DescTransmitter.load_block`), a free-running counter, a toggle
+generator per wire, and the shared reset/skip wire.  Calling
+:meth:`DescTransmitter.step` advances one clock cycle and returns the
+levels currently driven on the wires.
+
+The implementation matches ``repro.core.protocol`` exactly; the
+receiver (`repro.core.receiver`) decodes using only the observed wire
+levels and its own copy of the skip policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import ChunkLayout
+from repro.core.protocol import fire_cycle
+from repro.core.skipping import NoSkipping, SkipPolicy
+from repro.core.toggles import ToggleGenerator
+
+__all__ = ["DescTransmitter"]
+
+
+class DescTransmitter:
+    """Drives a block onto the DESC wires, one round at a time."""
+
+    def __init__(self, layout: ChunkLayout, policy: SkipPolicy | None = None) -> None:
+        self._layout = layout
+        self._policy = policy if policy is not None else NoSkipping()
+        self._reset_wire = ToggleGenerator()
+        self._data_wires = [ToggleGenerator() for _ in range(layout.num_wires)]
+        self._pending_rounds: list[np.ndarray] = []
+        self._fire_cycles: np.ndarray | None = None
+        self._any_skipped = False
+        self._cycle_in_round = -1
+        self._close_cycle: int | None = None
+        self._round_values = np.zeros(layout.num_wires, dtype=np.int64)
+
+    @property
+    def layout(self) -> ChunkLayout:
+        """Chunk/wire geometry this transmitter drives."""
+        return self._layout
+
+    @property
+    def policy(self) -> SkipPolicy:
+        """The transmitter-side skip policy instance."""
+        return self._policy
+
+    @property
+    def busy(self) -> bool:
+        """Whether a block transfer is still in flight."""
+        return bool(self._pending_rounds) or self._fire_cycles is not None
+
+    @property
+    def data_flips(self) -> int:
+        """Total transitions driven on the data wires so far."""
+        return sum(wire.transitions for wire in self._data_wires)
+
+    @property
+    def overhead_flips(self) -> int:
+        """Total transitions driven on the reset/skip wire so far."""
+        return self._reset_wire.transitions
+
+    def wire_levels(self) -> np.ndarray:
+        """Current levels: index 0 is the reset/skip wire, then data wires."""
+        levels = np.empty(1 + self._layout.num_wires, dtype=np.uint8)
+        levels[0] = self._reset_wire.level
+        for i, wire in enumerate(self._data_wires):
+            levels[1 + i] = wire.level
+        return levels
+
+    def load_block(self, chunks: np.ndarray) -> None:
+        """Queue a block (chunk-value array) for transmission.
+
+        Raises ``RuntimeError`` if a transfer is already in flight — the
+        cache controller must wait for the ready signal (``not busy``).
+        """
+        if self.busy:
+            raise RuntimeError("transmitter is busy; wait for the ready signal")
+        schedule = self._layout.schedule(np.asarray(chunks, dtype=np.int64))
+        self._pending_rounds = [schedule[r] for r in range(schedule.shape[0])]
+
+    def step(self) -> np.ndarray:
+        """Advance one clock cycle; return the driven wire levels.
+
+        An idle transmitter holds its levels (no transitions).
+        """
+        if self._fire_cycles is None:
+            if not self._pending_rounds:
+                return self.wire_levels()
+            self._begin_round(self._pending_rounds.pop(0))
+            return self.wire_levels()
+
+        self._cycle_in_round += 1
+        assert self._fire_cycles is not None
+        for wire, cycle in enumerate(self._fire_cycles):
+            if cycle == self._cycle_in_round:
+                self._data_wires[wire].pulse()
+        if self._close_cycle is not None and self._cycle_in_round >= self._close_cycle:
+            if self._any_skipped:
+                self._reset_wire.pulse()  # closing skip toggle
+            self._finish_round()
+        return self.wire_levels()
+
+    def _begin_round(self, values: np.ndarray) -> None:
+        """Cycle 0 of a round: toggle reset/skip, compute fire cycles."""
+        self._reset_wire.pulse()
+        self._cycle_in_round = 0
+        fire = np.full(self._layout.num_wires, -1, dtype=np.int64)
+        self._any_skipped = False
+        for wire, value in enumerate(values):
+            cycle = fire_cycle(int(value), self._policy.skip_value(wire))
+            if cycle is None:
+                self._any_skipped = True
+            else:
+                fire[wire] = cycle
+        self._round_values = values
+        unskipped = fire[fire >= 0]
+        last_fire = int(unskipped.max()) if unskipped.size else None
+        if self._any_skipped:
+            self._close_cycle = 1 if last_fire is None else last_fire + 1
+        else:
+            self._close_cycle = last_fire  # round ends with the final data toggle
+        self._fire_cycles = fire
+        # A chunk may fire on cycle 0 itself (value 0 under basic DESC).
+        for wire, cycle in enumerate(fire):
+            if cycle == 0:
+                self._data_wires[wire].pulse()
+        if self._close_cycle == 0:
+            self._finish_round()
+
+    def _finish_round(self) -> None:
+        """Commit per-wire history and arm the next round (next cycle)."""
+        for wire, value in enumerate(self._round_values):
+            self._policy.observe(wire, int(value))
+        self._fire_cycles = None
+        self._close_cycle = None
+        self._cycle_in_round = -1

@@ -1,0 +1,14 @@
+"""Processor substrate: core timing models, DRAM, queueing, multicore sim."""
+
+from repro.cpu.dram import DramModel
+from repro.cpu.inorder import SmtCoreModel
+from repro.cpu.ooo import OooCoreModel
+from repro.cpu.queueing import md1_wait, utilization
+
+__all__ = [
+    "DramModel",
+    "OooCoreModel",
+    "SmtCoreModel",
+    "md1_wait",
+    "utilization",
+]

@@ -1,0 +1,38 @@
+"""DDR3-1066 memory-channel model (Table 1).
+
+Two channels with FR-FCFS scheduling.  For the analytic path the
+channels are M/D/1 servers: a row-buffer-managed access occupies a
+channel for ``service_cycles`` (burst + bank cycle at DDR3-1066,
+expressed in 3.2 GHz core cycles) on top of a fixed ``base_latency``
+(controller, command, data return).  The event-driven substrate in
+:mod:`repro.cpu.multicore` uses the same parameters with an explicit
+per-channel queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.queueing import md1_wait
+from repro.util.validation import require_positive
+
+__all__ = ["DramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Off-chip memory timing for L2 misses."""
+
+    channels: int = 2
+    base_latency_cycles: float = 130.0
+    service_cycles: float = 24.0
+
+    def __post_init__(self) -> None:
+        require_positive("channels", self.channels)
+        require_positive("base_latency_cycles", self.base_latency_cycles)
+        require_positive("service_cycles", self.service_cycles)
+
+    def miss_latency(self, miss_arrival_rate: float) -> float:
+        """Mean L2-miss latency (cycles) at the given miss rate per cycle."""
+        wait = md1_wait(miss_arrival_rate, self.service_cycles, self.channels)
+        return self.base_latency_cycles + self.service_cycles + wait

@@ -1,0 +1,14 @@
+"""SECDED ECC: Hamming codes, DESC's interleaved layout, fault injection."""
+
+from repro.ecc.hamming import DecodeResult, DecodeStatus, HammingSecded
+from repro.ecc.injection import inject_chunk_errors
+from repro.ecc.layout import DescEccLayout, EccBlockResult
+
+__all__ = [
+    "DecodeResult",
+    "DecodeStatus",
+    "DescEccLayout",
+    "EccBlockResult",
+    "HammingSecded",
+    "inject_chunk_errors",
+]

@@ -1,0 +1,45 @@
+"""Fault injection for the DESC ECC layout.
+
+A wire error on a DESC H-tree shifts or drops a toggle, so the receiver
+latches a wrong counter value: the whole chunk takes an arbitrary wrong
+value (up to ``chunk_bits`` corrupted bits at once).  The injector
+models exactly that — it replaces whole chunk values — which is the
+error model Figure 9's interleaving is designed for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_non_negative
+
+__all__ = ["inject_chunk_errors"]
+
+
+def inject_chunk_errors(
+    chunks: np.ndarray,
+    num_errors: int,
+    rng: np.random.Generator,
+    chunk_bits: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Corrupt ``num_errors`` distinct chunks with arbitrary wrong values.
+
+    Returns ``(corrupted_chunks, error_positions)``.  Each selected
+    chunk is replaced by a uniformly random *different* value, modelling
+    a mislatched DESC counter.
+    """
+    require_non_negative("num_errors", num_errors)
+    chunks = np.asarray(chunks, dtype=np.int64).copy()
+    if num_errors > len(chunks):
+        raise ValueError(
+            f"cannot corrupt {num_errors} of {len(chunks)} chunks"
+        )
+    positions = rng.choice(len(chunks), size=num_errors, replace=False)
+    limit = 1 << chunk_bits
+    for pos in positions:
+        wrong = int(rng.integers(0, limit - 1))
+        # Shift past the original value so the chunk always changes.
+        if wrong >= chunks[pos]:
+            wrong += 1
+        chunks[pos] = wrong
+    return chunks, positions

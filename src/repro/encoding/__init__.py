@@ -1,0 +1,36 @@
+"""Bus-encoding schemes: the paper's baselines plus DESC as an encoder.
+
+All schemes implement :class:`~repro.encoding.base.BusEncoder` and are
+built via :func:`~repro.encoding.registry.make_encoder`.
+"""
+
+from repro.encoding.address import GrayCodeEncoder, T0Encoder, addresses_to_bits
+from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.encoding.binary import BinaryEncoder
+from repro.encoding.bus_invert import BusInvertEncoder
+from repro.encoding.desc import DescEncoder
+from repro.encoding.registry import (
+    BEST_SEGMENT_BITS,
+    FIGURE16_SCHEMES,
+    make_encoder,
+    scheme_names,
+)
+from repro.encoding.serial import SerialEncoder
+from repro.encoding.zero_compression import ZeroCompressionEncoder
+
+__all__ = [
+    "BEST_SEGMENT_BITS",
+    "BinaryEncoder",
+    "BusEncoder",
+    "BusInvertEncoder",
+    "DescEncoder",
+    "FIGURE16_SCHEMES",
+    "GrayCodeEncoder",
+    "T0Encoder",
+    "SerialEncoder",
+    "ZeroCompressionEncoder",
+    "addresses_to_bits",
+    "as_bit_matrix",
+    "make_encoder",
+    "scheme_names",
+]

@@ -1,0 +1,133 @@
+"""Address-bus encodings: Gray and T0.
+
+Section 3.2.1 opts *out* of applying DESC to the address and control
+wires: "the physical wire activity caused by the address bits in
+conventional binary encoding is relatively low, which makes it
+inefficient to apply DESC to the address wires."  To check that claim
+quantitatively (``benchmarks/test_ablation_address_bus.py``) this
+module provides the classic address-bus encodings from the low-power
+literature:
+
+* **Gray code** — consecutive values differ in one bit; effective when
+  the address stream is sequential;
+* **T0 code** — an extra *increment* wire: when the next address equals
+  the previous one plus a fixed stride, the bus freezes and the
+  increment wire signals "+stride" with a single transition.
+
+Both operate on single-beat word transfers (an address per access), so
+``block_bits == data_wires``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import StreamCost
+from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.util.validation import require_positive
+
+__all__ = ["GrayCodeEncoder", "T0Encoder", "addresses_to_bits"]
+
+
+def addresses_to_bits(addresses: np.ndarray, width: int = 32) -> np.ndarray:
+    """Little-endian bit matrix of an address stream (one row per access)."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if (addresses < 0).any():
+        raise ValueError("addresses must be non-negative")
+    if width < 1 or (addresses >> width).any():
+        raise ValueError(f"addresses do not fit in {width} bits")
+    shifts = np.arange(width, dtype=np.int64)
+    return ((addresses[:, None] >> shifts) & 1).astype(np.uint8)
+
+
+class GrayCodeEncoder(BusEncoder):
+    """Binary-reflected Gray code on a single-beat word bus."""
+
+    name = "gray"
+
+    def __init__(self, data_wires: int = 32) -> None:
+        super().__init__(block_bits=data_wires, data_wires=data_wires)
+
+    @property
+    def overhead_wires(self) -> int:
+        return 0
+
+    def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
+        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        n = blocks_bits.shape[0]
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return StreamCost(empty, empty, empty, empty)
+        weights = (1 << np.arange(self.data_wires, dtype=np.int64))
+        values = blocks_bits.astype(np.int64) @ weights
+        gray = values ^ (values >> 1)
+        previous = np.empty_like(gray)
+        previous[0] = 0
+        previous[1:] = gray[:-1]
+        from repro.util.bitops import popcount_array
+
+        flips = popcount_array(gray ^ previous)
+        zeros = np.zeros(n, dtype=np.int64)
+        return StreamCost(
+            data_flips=flips,
+            overhead_flips=zeros,
+            sync_flips=zeros.copy(),
+            cycles=np.ones(n, dtype=np.int64),
+        )
+
+
+class T0Encoder(BusEncoder):
+    """T0 coding: a freeze-the-bus increment wire for strided streams."""
+
+    name = "t0"
+
+    def __init__(self, data_wires: int = 32, stride: int = 64) -> None:
+        super().__init__(block_bits=data_wires, data_wires=data_wires)
+        require_positive("stride", stride)
+        self.stride = stride
+
+    @property
+    def overhead_wires(self) -> int:
+        return 1  # the increment wire
+
+    def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
+        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        n = blocks_bits.shape[0]
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return StreamCost(empty, empty, empty, empty)
+        weights = (1 << np.arange(self.data_wires, dtype=np.int64))
+        values = blocks_bits.astype(np.int64) @ weights
+        previous = np.empty_like(values)
+        previous[0] = 0
+        previous[1:] = values[:-1]
+        strided = values == previous + self.stride
+        strided[0] = False  # nothing on the bus yet; first access drives
+
+        # Bus state holds the last *driven* value; an increment freezes
+        # it, so the next driven access measures its distance from the
+        # last non-strided value.
+        from repro.util.bitops import popcount_array
+
+        time_index = np.arange(n, dtype=np.int64)
+        drive_index = np.where(~strided, time_index, np.int64(-1))
+        last_drive = np.maximum.accumulate(drive_index)
+        before = np.empty_like(last_drive)
+        before[0] = -1
+        before[1:] = last_drive[:-1]
+        padded = np.concatenate(([np.int64(0)], values))
+        held = padded[before + 1]
+
+        data_flips = np.where(strided, 0, popcount_array(values ^ held))
+        # Increment wire: level-signalled "strided" indicator.
+        inc_levels = strided.astype(np.int64)
+        inc_flips = np.empty_like(inc_levels)
+        inc_flips[0] = inc_levels[0]
+        inc_flips[1:] = np.abs(inc_levels[1:] - inc_levels[:-1])
+        zeros = np.zeros(n, dtype=np.int64)
+        return StreamCost(
+            data_flips=data_flips.astype(np.int64),
+            overhead_flips=inc_flips.astype(np.int64),
+            sync_flips=zeros,
+            cycles=np.ones(n, dtype=np.int64),
+        )

@@ -1,0 +1,99 @@
+"""Common interface for all bus-encoding schemes evaluated in the paper.
+
+Every scheme — conventional binary, serial, bus-invert coding and its
+zero-skipped variants, dynamic zero compression, and DESC itself — is
+exposed as a :class:`BusEncoder`: given a stream of cache blocks (bit
+matrices), it reports per-block wire transitions split into *data* wires
+and *overhead* wires (invert lines, skip lines, zero indicators, DESC's
+reset/skip and synchronization strobes), plus per-block transfer latency
+in bus cycles.
+
+The shared cost containers live in :mod:`repro.core.analysis`
+(:class:`~repro.core.analysis.StreamCost`) and
+:mod:`repro.core.protocol` (:class:`~repro.core.protocol.TransferCost`).
+
+State semantics: each call to :meth:`BusEncoder.stream_cost` models a
+freshly reset bus (all wires low); state *within* a stream (bus levels,
+invert/skip lines, DESC wire history) chains across the blocks of that
+stream, exactly as consecutive transfers share physical wires.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.analysis import StreamCost
+from repro.core.protocol import TransferCost
+from repro.util.validation import require_multiple, require_positive
+
+__all__ = ["BusEncoder", "as_bit_matrix"]
+
+
+def as_bit_matrix(blocks_bits: np.ndarray, block_bits: int) -> np.ndarray:
+    """Validate and normalise a ``(num_blocks, block_bits)`` 0/1 matrix."""
+    blocks_bits = np.asarray(blocks_bits)
+    if blocks_bits.ndim != 2 or blocks_bits.shape[1] != block_bits:
+        raise ValueError(
+            f"expected bit matrix of shape (n, {block_bits}), "
+            f"got {blocks_bits.shape}"
+        )
+    if blocks_bits.dtype != np.uint8:
+        blocks_bits = blocks_bits.astype(np.uint8)
+    if ((blocks_bits != 0) & (blocks_bits != 1)).any():
+        raise ValueError("bit matrix entries must be 0 or 1")
+    return blocks_bits
+
+
+class BusEncoder(ABC):
+    """A data-transfer scheme for the cache H-tree.
+
+    Attributes:
+        name: Scheme identifier used in figures and the registry.
+        block_bits: Bits per transferred cache block (512 for the L2).
+        data_wires: Physical data wires in the bus.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, block_bits: int, data_wires: int) -> None:
+        require_positive("block_bits", block_bits)
+        require_positive("data_wires", data_wires)
+        require_multiple("block_bits", block_bits, data_wires)
+        self.block_bits = block_bits
+        self.data_wires = data_wires
+
+    @property
+    def beats(self) -> int:
+        """Bus cycles a block needs at one word per cycle."""
+        return self.block_bits // self.data_wires
+
+    @property
+    @abstractmethod
+    def overhead_wires(self) -> int:
+        """Extra wires beyond the data bus (invert/skip/indicator/strobes)."""
+
+    @property
+    def total_wires(self) -> int:
+        """All wires the scheme routes through the H-tree."""
+        return self.data_wires + self.overhead_wires
+
+    @abstractmethod
+    def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
+        """Per-block costs for a ``(num_blocks, block_bits)`` bit matrix.
+
+        The bus starts from the all-zero reset state; wire state chains
+        across the blocks of the stream.
+        """
+
+    def transfer_block(self, bits: np.ndarray) -> TransferCost:
+        """Cost of a single block on a freshly reset bus."""
+        stream = self.stream_cost(np.asarray(bits)[None, :])
+        return stream.block(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(block_bits={self.block_bits}, "
+            f"data_wires={self.data_wires})"
+        )

@@ -1,0 +1,82 @@
+"""DESC exposed through the common :class:`BusEncoder` interface.
+
+This adapter lets the cache controller, the energy model, and the
+figure harnesses treat DESC uniformly with the baseline encodings: bits
+in, per-block flips/cycles out.  Internally it converts the bit matrix
+to chunk values and delegates to the closed-form
+:class:`~repro.core.analysis.DescCostModel` (which is property-tested
+against the cycle-accurate link).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import DescCostModel, StreamCost
+from repro.core.chunking import ChunkLayout
+from repro.encoding.base import BusEncoder, as_bit_matrix
+
+__all__ = ["DescEncoder"]
+
+_VARIANT_NAMES = {
+    "none": "desc",
+    "zero": "desc+zero-skip",
+    "last-value": "desc+last-value-skip",
+}
+
+
+class DescEncoder(BusEncoder):
+    """DESC as a bus encoder: data wires plus reset/skip and sync strobes."""
+
+    def __init__(
+        self,
+        block_bits: int = 512,
+        data_wires: int = 128,
+        chunk_bits: int = 4,
+        skip_policy: str = "zero",
+    ) -> None:
+        super().__init__(block_bits, data_wires)
+        if skip_policy not in _VARIANT_NAMES:
+            raise ValueError(
+                f"skip_policy must be one of {tuple(_VARIANT_NAMES)}, "
+                f"got {skip_policy!r}"
+            )
+        self.layout = ChunkLayout(
+            block_bits=block_bits, chunk_bits=chunk_bits, num_wires=data_wires
+        )
+        self.skip_policy = skip_policy
+        self.name = _VARIANT_NAMES[skip_policy]
+
+    @property
+    def chunk_bits(self) -> int:
+        """Chunk width in bits (paper default 4)."""
+        return self.layout.chunk_bits
+
+    @property
+    def overhead_wires(self) -> int:
+        return 2  # shared reset/skip wire + synchronization strobe
+
+    @property
+    def beats(self) -> int:
+        """DESC has no fixed beat count; rounds stand in for beats."""
+        return self.layout.num_rounds
+
+    def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
+        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        chunks = self.bits_to_chunk_matrix(blocks_bits)
+        model = DescCostModel(self.layout, skip_policy=self.skip_policy)
+        return model.stream_cost(chunks)
+
+    def chunk_stream_cost(self, chunk_blocks: np.ndarray) -> StreamCost:
+        """Costs for blocks already given as chunk values (fast path)."""
+        model = DescCostModel(self.layout, skip_policy=self.skip_policy)
+        return model.stream_cost(chunk_blocks)
+
+    def bits_to_chunk_matrix(self, blocks_bits: np.ndarray) -> np.ndarray:
+        """Vectorized bit-matrix → chunk-matrix conversion."""
+        num_blocks = blocks_bits.shape[0]
+        weights = 1 << np.arange(self.layout.chunk_bits, dtype=np.int64)
+        grouped = blocks_bits.astype(np.int64).reshape(
+            num_blocks, self.layout.num_chunks, self.layout.chunk_bits
+        )
+        return grouped @ weights

@@ -1,0 +1,93 @@
+"""Factory for the eight data-transfer schemes of Figure 16.
+
+The registry maps the scheme names used throughout the figures to
+configured :class:`~repro.encoding.base.BusEncoder` instances.  As the
+paper does (Section 4.1), each segmented baseline defaults to its
+best-performing segment size; the paper marks its picks with stars in
+Figure 15 without printing the values, so the defaults below are the
+bests *our* Figure 15 harness derives on the synthetic workloads:
+8-bit segments for dynamic zero compression, 4-bit for bus-invert
+coding, and 8-bit for the two zero-skipped bus-invert variants.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.base import BusEncoder
+from repro.encoding.binary import BinaryEncoder
+from repro.encoding.bus_invert import BusInvertEncoder
+from repro.encoding.desc import DescEncoder
+from repro.encoding.serial import SerialEncoder
+from repro.encoding.zero_compression import ZeroCompressionEncoder
+
+__all__ = ["FIGURE16_SCHEMES", "make_encoder", "scheme_names"]
+
+#: Scheme names in the order Figure 16 plots them.
+FIGURE16_SCHEMES = (
+    "binary",
+    "zero-compression",
+    "bus-invert",
+    "bus-invert+zero-skip",
+    "bus-invert+encoded-zero-skip",
+    "desc",
+    "desc+zero-skip",
+    "desc+last-value-skip",
+)
+
+#: Best segment size per baseline scheme (bits), re-derived by the
+#: Figure 15 harness (``repro.experiments.fig15_segment_size``).
+BEST_SEGMENT_BITS = {
+    "zero-compression": 8,
+    "bus-invert": 4,
+    "bus-invert+zero-skip": 8,
+    "bus-invert+encoded-zero-skip": 8,
+}
+
+
+def scheme_names() -> tuple[str, ...]:
+    """All encoder names the registry can build."""
+    return FIGURE16_SCHEMES + ("serial",)
+
+
+def make_encoder(
+    name: str,
+    block_bits: int = 512,
+    data_wires: int = 64,
+    segment_bits: int | None = None,
+    desc_wires: int = 128,
+    chunk_bits: int = 4,
+) -> BusEncoder:
+    """Build a configured encoder by scheme name.
+
+    Args:
+        name: One of :func:`scheme_names`.
+        block_bits: Cache block size in bits.
+        data_wires: Bus width for the binary-style schemes (the paper's
+            baseline L2 uses a 64-bit data H-tree).
+        segment_bits: Segment size for the segmented baselines; defaults
+            to the per-scheme best configuration of Figure 15.
+        desc_wires: Data-wire count for the DESC variants (paper: 128).
+        chunk_bits: DESC chunk width (paper: 4).
+    """
+    if name == "binary":
+        return BinaryEncoder(block_bits, data_wires)
+    if name == "serial":
+        return SerialEncoder(block_bits)
+    if name == "zero-compression":
+        bits = segment_bits or BEST_SEGMENT_BITS[name]
+        return ZeroCompressionEncoder(block_bits, data_wires, bits)
+    if name == "bus-invert":
+        bits = segment_bits or BEST_SEGMENT_BITS[name]
+        return BusInvertEncoder(block_bits, data_wires, bits, zero_skipping=None)
+    if name == "bus-invert+zero-skip":
+        bits = segment_bits or BEST_SEGMENT_BITS[name]
+        return BusInvertEncoder(block_bits, data_wires, bits, zero_skipping="sparse")
+    if name == "bus-invert+encoded-zero-skip":
+        bits = segment_bits or BEST_SEGMENT_BITS[name]
+        return BusInvertEncoder(block_bits, data_wires, bits, zero_skipping="encoded")
+    if name == "desc":
+        return DescEncoder(block_bits, desc_wires, chunk_bits, skip_policy="none")
+    if name == "desc+zero-skip":
+        return DescEncoder(block_bits, desc_wires, chunk_bits, skip_policy="zero")
+    if name == "desc+last-value-skip":
+        return DescEncoder(block_bits, desc_wires, chunk_bits, skip_policy="last-value")
+    raise ValueError(f"unknown scheme {name!r}; expected one of {scheme_names()}")

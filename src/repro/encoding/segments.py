@@ -1,0 +1,96 @@
+"""Segment-level machinery shared by the segmented bus encoders.
+
+Bus-invert coding, its zero-skipped variants, and dynamic zero
+compression all partition the data bus into fixed-width *segments* and
+keep per-segment wire state.  Their flip counts reduce to one common
+quantity: the Hamming distance between the word currently on a segment's
+wires and the word about to be driven — where "currently on the wires"
+means the last *non-skipped* word, since skipped beats leave the bus
+untouched.
+
+This module computes that quantity fully vectorized:
+
+* :func:`beat_view` — reshape a block stream into a time-ordered
+  ``(beats, segments, segment_bits)`` bit tensor;
+* :func:`held_pattern` — for every beat, the bit pattern physically held
+  on each segment's wires just before the beat (forward-fill of the last
+  driven word, all-zero before the first drive);
+* :func:`level_transitions` — transitions of a level-signalled overhead
+  wire (invert line, skip line, zero indicator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["beat_view", "held_pattern", "level_transitions", "per_block"]
+
+
+def beat_view(blocks_bits: np.ndarray, data_wires: int, segment_bits: int) -> np.ndarray:
+    """Reshape ``(n, block_bits)`` bits to ``(n*beats, nseg, segment_bits)``.
+
+    Beat ``t`` of the result is the word driven on the bus at global bus
+    cycle ``t``; segments slice the bus into contiguous wire groups.
+    """
+    num_blocks, block_bits = blocks_bits.shape
+    if block_bits % data_wires:
+        raise ValueError(
+            f"block_bits {block_bits} not divisible by bus width {data_wires}"
+        )
+    if data_wires % segment_bits:
+        raise ValueError(
+            f"bus width {data_wires} not divisible by segment size {segment_bits}"
+        )
+    beats = block_bits // data_wires
+    nseg = data_wires // segment_bits
+    return blocks_bits.reshape(num_blocks * beats, nseg, segment_bits)
+
+
+def held_pattern(beats: np.ndarray, driven: np.ndarray) -> np.ndarray:
+    """Pattern on each segment's wires just before every beat.
+
+    Args:
+        beats: ``(T, nseg, s)`` bit tensor of words offered to the bus.
+        driven: ``(T, nseg)`` bool — whether the word was actually driven
+            (False = the beat was skipped and the wires kept their state).
+
+    Returns:
+        ``(T, nseg, s)`` bit tensor: for beat ``t`` the last driven word
+        before ``t`` on that segment, or zeros if none was driven yet.
+
+    Note the returned pattern is the *logical* word; encoders that drive
+    inverted words (bus-invert) handle polarity themselves — Hamming
+    distances to an inverted pattern are ``s`` minus the distance to the
+    plain pattern, so the plain forward-fill is sufficient.
+    """
+    num_beats, nseg, _ = beats.shape
+    time_index = np.arange(num_beats, dtype=np.int64)[:, None]
+    drive_index = np.where(driven, time_index, np.int64(-1))
+    last_drive = np.maximum.accumulate(drive_index, axis=0)
+    # Pattern *before* beat t = last drive strictly earlier than t.
+    before = np.empty_like(last_drive)
+    before[0] = -1
+    before[1:] = last_drive[:-1]
+    padded = np.concatenate(
+        [np.zeros((1, nseg, beats.shape[2]), dtype=beats.dtype), beats], axis=0
+    )
+    return np.take_along_axis(padded, (before + 1)[:, :, None], axis=0)
+
+
+def level_transitions(levels: np.ndarray) -> np.ndarray:
+    """Transitions of a level-signalled wire, per time step.
+
+    ``levels`` is a ``(T, nseg)`` 0/1 array of wire levels; the wire is
+    assumed low before the first beat.  Returns a ``(T, nseg)`` int64
+    array with a 1 wherever the level changed.
+    """
+    levels = levels.astype(np.int64)
+    flips = np.empty_like(levels)
+    flips[0] = levels[0]  # wires start low
+    flips[1:] = np.abs(levels[1:] - levels[:-1])
+    return flips
+
+
+def per_block(per_beat: np.ndarray, num_blocks: int) -> np.ndarray:
+    """Sum a ``(T, ...)`` per-beat quantity into per-block totals."""
+    return per_beat.reshape(num_blocks, -1).sum(axis=1).astype(np.int64)

@@ -1,0 +1,49 @@
+"""Serial transmission over a single wire (Figure 3-b).
+
+Included for the illustrative comparison of Section 3: one wire, one bit
+per cycle, so a 512-bit block takes 512 cycles and flips the wire at
+every 0↔1 boundary in the serialized stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import StreamCost
+from repro.encoding.base import BusEncoder, as_bit_matrix
+
+__all__ = ["SerialEncoder"]
+
+
+class SerialEncoder(BusEncoder):
+    """Single-wire serial bus."""
+
+    name = "serial"
+
+    def __init__(self, block_bits: int) -> None:
+        super().__init__(block_bits, data_wires=1)
+
+    @property
+    def overhead_wires(self) -> int:
+        return 0
+
+    def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
+        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        num_blocks = blocks_bits.shape[0]
+        if num_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return StreamCost(empty, empty, empty, empty)
+        stream = blocks_bits.reshape(-1).astype(np.int64)
+        previous = np.empty_like(stream)
+        previous[0] = 0  # the wire starts low
+        previous[1:] = stream[:-1]
+        flips = np.abs(stream - previous)
+        data_flips = flips.reshape(num_blocks, -1).sum(axis=1)
+        zeros = np.zeros(num_blocks, dtype=np.int64)
+        cycles = np.full(num_blocks, self.block_bits, dtype=np.int64)
+        return StreamCost(
+            data_flips=data_flips,
+            overhead_flips=zeros,
+            sync_flips=zeros.copy(),
+            cycles=cycles,
+        )

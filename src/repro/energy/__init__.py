@@ -1,0 +1,26 @@
+"""Energy and physical-design models: technology, cache, processor, synthesis."""
+
+from repro.energy.cacti import CacheEnergyModel, CacheGeometry
+from repro.energy.mcpat import ProcessorEnergyBreakdown, ProcessorPowerModel
+from repro.energy.synthesis import DescSynthesisModel, SynthesisResult
+from repro.energy.technology import (
+    DEVICE_TYPES,
+    NODE_22NM,
+    NODE_45NM,
+    DeviceType,
+    TechnologyNode,
+)
+
+__all__ = [
+    "CacheEnergyModel",
+    "CacheGeometry",
+    "DEVICE_TYPES",
+    "DescSynthesisModel",
+    "DeviceType",
+    "NODE_22NM",
+    "NODE_45NM",
+    "ProcessorEnergyBreakdown",
+    "ProcessorPowerModel",
+    "SynthesisResult",
+    "TechnologyNode",
+]

@@ -1,0 +1,292 @@
+"""CACTI-class analytical model of a banked SRAM last-level cache.
+
+Composes the H-tree geometry (:mod:`repro.interconnect`) with SRAM
+array and peripheral-circuit estimates to produce the quantities the
+evaluation needs: area, leakage power, per-access array energy,
+per-flip H-tree energy, and access-latency components, all as functions
+of capacity, bank count, bus width, and the ITRS device types chosen
+for the cells and the periphery (Section 4.1).
+
+The model is *structural*: trends across banks/width/size/devices come
+from geometry and device factors, while a handful of constants (array
+efficiency, peripheral gate counts, address activity) anchor the
+baseline 8 MB / 8-bank / 64-bit LSTP-LSTP configuration to the paper's
+published shares — H-tree dynamic ≈ 80 % of L2 energy (Figure 2) and a
+~15 % static share (Figure 18).  See DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.technology import DEVICE_TYPES, NODE_22NM, DeviceType, TechnologyNode
+from repro.interconnect.htree import HTreeModel
+from repro.interconnect.wires import WireModel
+from repro.util.validation import require_positive, require_power_of_two
+
+__all__ = ["CacheGeometry", "CacheEnergyModel"]
+
+# Fraction of the die actually covered by storage cells; the rest is
+# sense amplifiers, decoders, and routing (CACTI-class value).
+_ARRAY_EFFICIENCY = 0.45
+# Peripheral circuitry per bank, in NAND2-equivalent gates: a term that
+# scales with the bank's bitline/wordline periphery plus a fixed bank
+# controller.  More banks buy shorter internal wires but pay this fixed
+# cost — the upturn of Figure 25 beyond 8 banks.
+_PERIPH_GATES_PER_SQRT_BIT = 1200.0
+_PERIPH_GATES_FIXED = 300_000.0
+# SRAM cell leakage relative to a NAND2 gate of the same device type.
+_CELL_LEAK_VS_GATE = 4.0
+# Array dynamic energy: gate-energy equivalents switched per accessed
+# bit (wordline, bitline swing, sense amp) in the active mats.
+_ARRAY_GATE_EQUIV_PER_BIT = 18.0
+# Row decode + comparators per access, gate-equivalents.
+_DECODE_GATE_EQUIV = 14_000.0
+# Address/control wires routed alongside the data bus, and their mean
+# switching activity per access under binary encoding (the paper keeps
+# address/control in binary for DESC too, Section 3.2.1).
+_ADDRESS_WIRES = 32
+_ADDRESS_ACTIVITY = 0.25
+# Metal pitch of the global H-tree wires (mm per wire track).
+_WIRE_PITCH_MM = 0.6e-3
+# The H-tree routing channel accommodates up to this many wires at a
+# relaxed pitch (the paper's widest evaluated interface, DESC's 128
+# data wires + strobes + address, fits).  Wider buses pack at tighter
+# pitch, and sidewall coupling raises the switched capacitance per
+# flip logarithmically in the overflow.
+_CHANNEL_WIRES = 176
+_COUPLING_SLOPE = 0.5
+# Array access time, in FO4 delays, for a mat read (decode + sense).
+_ARRAY_FO4_DELAYS = 28.0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Organisation of the last-level cache (Table 1 defaults).
+
+    Attributes:
+        size_bytes: Total capacity (8 MB in the paper).
+        block_bytes: Cache block size (64 B).
+        associativity: Set associativity (16).
+        num_banks: Independently addressable banks (8).
+        subbanks_per_bank: Subbanks below each bank (4, Figure 7).
+        mats_per_subbank: Mats below each subbank (4, Figure 7).
+        data_wires: Width of the data H-tree in wires (64).
+        overhead_wires: Extra scheme wires routed with the data bus.
+    """
+
+    size_bytes: int = 8 * 1024 * 1024
+    block_bytes: int = 64
+    associativity: int = 16
+    num_banks: int = 8
+    subbanks_per_bank: int = 4
+    mats_per_subbank: int = 4
+    data_wires: int = 64
+    overhead_wires: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("size_bytes", self.size_bytes)
+        require_positive("block_bytes", self.block_bytes)
+        require_positive("associativity", self.associativity)
+        require_power_of_two("num_banks", self.num_banks)
+        require_power_of_two("subbanks_per_bank", self.subbanks_per_bank)
+        require_power_of_two("mats_per_subbank", self.mats_per_subbank)
+        require_positive("data_wires", self.data_wires)
+
+    @property
+    def total_bits(self) -> int:
+        """Storage bits (data array; tags are folded into efficiency)."""
+        return self.size_bytes * 8
+
+    @property
+    def block_bits(self) -> int:
+        """Bits per cache block."""
+        return self.block_bytes * 8
+
+    @property
+    def num_sets(self) -> int:
+        """Cache sets."""
+        return self.size_bytes // (self.block_bytes * self.associativity)
+
+    @property
+    def internal_leaves(self) -> int:
+        """Mats reachable below one bank."""
+        return self.subbanks_per_bank * self.mats_per_subbank
+
+    @property
+    def total_wires(self) -> int:
+        """Wires in the H-tree bundle: data + scheme overhead + address."""
+        return self.data_wires + self.overhead_wires + _ADDRESS_WIRES
+
+
+class CacheEnergyModel:
+    """Area, power, energy, and latency figures for one cache design."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry | None = None,
+        cell_device: str = "LSTP",
+        periph_device: str = "LSTP",
+        node: TechnologyNode = NODE_22NM,
+        clock_hz: float = 3.2e9,
+        wire_model: WireModel | None = None,
+        route_scale: float = 1.0,
+    ) -> None:
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        if cell_device not in DEVICE_TYPES or periph_device not in DEVICE_TYPES:
+            raise ValueError(
+                f"devices must be in {tuple(DEVICE_TYPES)}; "
+                f"got {cell_device!r}, {periph_device!r}"
+            )
+        self.cell_device: DeviceType = DEVICE_TYPES[cell_device]
+        self.periph_device: DeviceType = DEVICE_TYPES[periph_device]
+        self.node = node
+        require_positive("clock_hz", clock_hz)
+        require_positive("route_scale", route_scale)
+        self.clock_hz = clock_hz
+        # Fraction of the full H-tree route an average access traverses:
+        # 1.0 for the recursive shared H-tree; S-NUCA-1's statically
+        # routed per-bank channels average a shorter distance.
+        self.route_scale = route_scale
+        base_wires = wire_model if wire_model is not None else WireModel()
+        self.wire_model = base_wires.scaled(voltage_v=node.voltage_v)
+        self._htree = self._build_htree()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def _build_htree(self) -> HTreeModel:
+        """Solve the area fixed point (wire area depends on total area)."""
+        g = self.geometry
+        cell_area_mm2 = (
+            g.total_bits * self.node.sram_cell_area_um2 / _ARRAY_EFFICIENCY * 1e-6
+        )
+        periph_area_mm2 = (
+            self._periph_gates_total() * self.node.gate_area_um2 * 1e-6
+        )
+        area = cell_area_mm2 + periph_area_mm2
+        for _ in range(4):  # converges in a couple of iterations
+            wire_area = g.total_wires * 2.0 * math.sqrt(area) * _WIRE_PITCH_MM
+            area = cell_area_mm2 + periph_area_mm2 + wire_area
+        return HTreeModel(
+            area_mm2=area,
+            num_banks=g.num_banks,
+            internal_leaves=g.internal_leaves,
+            wires=self.wire_model,
+            num_wires=g.total_wires,
+        )
+
+    @property
+    def htree(self) -> HTreeModel:
+        """The solved interconnect model."""
+        return self._htree
+
+    @property
+    def area_mm2(self) -> float:
+        """Total cache footprint."""
+        return self._htree.area_mm2
+
+    def _periph_gates_per_bank(self) -> float:
+        bits_per_bank = self.geometry.total_bits / self.geometry.num_banks
+        return (
+            _PERIPH_GATES_PER_SQRT_BIT * math.sqrt(bits_per_bank)
+            + _PERIPH_GATES_FIXED
+        )
+
+    def _periph_gates_total(self) -> float:
+        return self._periph_gates_per_bank() * self.geometry.num_banks
+
+    # ------------------------------------------------------------------
+    # Static power
+    # ------------------------------------------------------------------
+
+    @property
+    def cell_leakage_w(self) -> float:
+        """Leakage of the storage arrays."""
+        per_cell = self.node.gate_leakage_w * _CELL_LEAK_VS_GATE
+        return self.geometry.total_bits * per_cell * self.cell_device.leakage_factor
+
+    @property
+    def periph_leakage_w(self) -> float:
+        """Leakage of decoders, sense amps, bank controllers, repeaters."""
+        gates = self._periph_gates_total() * self.node.gate_leakage_w
+        repeaters = self._htree.repeater_leakage_w
+        return (gates + repeaters) * self.periph_device.leakage_factor
+
+    @property
+    def leakage_w(self) -> float:
+        """Total standby power of the cache."""
+        return self.cell_leakage_w + self.periph_leakage_w
+
+    # ------------------------------------------------------------------
+    # Dynamic energy
+    # ------------------------------------------------------------------
+
+    @property
+    def coupling_factor(self) -> float:
+        """Capacitance penalty of packing the bus tighter than the
+        relaxed-pitch channel allows (1.0 up to 176 wires)."""
+        overflow = self.geometry.total_wires / _CHANNEL_WIRES
+        if overflow <= 1.0:
+            return 1.0
+        return 1.0 + _COUPLING_SLOPE * math.log2(overflow)
+
+    @property
+    def energy_per_flip_j(self) -> float:
+        """H-tree energy of one wire transition (controller to mat)."""
+        return (
+            self._htree.energy_per_flip_j
+            * self.periph_device.dynamic_factor
+            * self.route_scale
+            * self.coupling_factor
+        )
+
+    @property
+    def array_access_energy_j(self) -> float:
+        """Array-side energy of reading/writing one block (active mats only)."""
+        per_bit = _ARRAY_GATE_EQUIV_PER_BIT * self.node.gate_energy_j
+        array = self.geometry.block_bits * per_bit * self.cell_device.dynamic_factor
+        decode = (
+            _DECODE_GATE_EQUIV * self.node.gate_energy_j
+            * self.periph_device.dynamic_factor
+        )
+        return array + decode
+
+    @property
+    def address_energy_j(self) -> float:
+        """Mean H-tree energy of the (binary-encoded) address per access."""
+        flips = _ADDRESS_WIRES * _ADDRESS_ACTIVITY
+        return flips * self.energy_per_flip_j
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+
+    @property
+    def htree_delay_cycles(self) -> int:
+        """One-way H-tree traversal, in clock cycles."""
+        delay = self._htree.traversal_delay_s * self.route_scale
+        return max(1, math.ceil(delay * self.clock_hz))
+
+    @property
+    def array_delay_cycles(self) -> int:
+        """Mat access (decode + read + sense), in clock cycles."""
+        device = max(self.cell_device.delay_factor, self.periph_device.delay_factor)
+        seconds = _ARRAY_FO4_DELAYS * self.node.fo4_delay_s * device
+        return max(1, math.ceil(seconds * self.clock_hz))
+
+    @property
+    def base_hit_cycles(self) -> int:
+        """Hit latency before the data-transfer beats: request H-tree in,
+        array access, first-word H-tree out."""
+        return 2 * self.htree_delay_cycles + self.array_delay_cycles
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"CacheEnergyModel({g.size_bytes // (1024 * 1024)}MB, "
+            f"{g.num_banks} banks, {g.data_wires}-bit bus, "
+            f"{self.cell_device.name}-{self.periph_device.name})"
+        )

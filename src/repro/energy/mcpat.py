@@ -1,0 +1,122 @@
+"""McPAT-class processor power model.
+
+The paper uses McPAT to put the L2 savings in processor context: the
+8 MB L2 averages 15 % of total processor energy (Figure 1), so a 1.81×
+L2 reduction yields the headline 7 % processor-energy saving
+(Figure 19).  This model reproduces that accounting: per-instruction
+core energy, core leakage, L1 access energy, and memory-interface
+energy, combined with the L2 energy computed elsewhere.
+
+Constants are calibrated so the evaluated *memory-intensive* workload
+mix lands near the published 15 % L2 share on the Niagara-like
+configuration; per-application variation then follows from each
+application's instruction/L2-access mix (DESIGN.md §6).  Absolute watts
+are not calibrated — every figure the paper reports is normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_non_negative, require_positive
+
+__all__ = ["ProcessorEnergyBreakdown", "ProcessorPowerModel"]
+
+
+@dataclass(frozen=True)
+class ProcessorEnergyBreakdown:
+    """Processor energy split for one simulation (joules).
+
+    Attributes:
+        core_dynamic_j: Pipeline + register file + L1-interface dynamic.
+        core_static_j: Core and L1 leakage over the run.
+        l1_dynamic_j: Instruction and data L1 access energy.
+        memory_interface_j: Memory-controller and DRAM-bus I/O energy.
+        l2_j: Last-level cache energy (from the cache model).
+    """
+
+    core_dynamic_j: float
+    core_static_j: float
+    l1_dynamic_j: float
+    memory_interface_j: float
+    l2_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Whole-processor energy."""
+        return (
+            self.core_dynamic_j
+            + self.core_static_j
+            + self.l1_dynamic_j
+            + self.memory_interface_j
+            + self.l2_j
+        )
+
+    @property
+    def l2_fraction(self) -> float:
+        """Share of processor energy spent in the L2 (Figure 1)."""
+        return self.l2_j / self.total_j if self.total_j else 0.0
+
+    @property
+    def non_l2_j(self) -> float:
+        """Everything except the L2 ("other hardware units", Figure 19)."""
+        return self.total_j - self.l2_j
+
+
+class ProcessorPowerModel:
+    """Core/L1/memory-interface energy for the simulated systems."""
+
+    def __init__(
+        self,
+        num_cores: int = 8,
+        clock_hz: float = 3.2e9,
+        core_energy_per_instruction_j: float = 1.38e-11,
+        core_leakage_w_per_core: float = 6.0e-3,
+        l1_access_energy_j: float = 2.0e-12,
+        memory_access_energy_j: float = 0.6e-9,
+    ) -> None:
+        require_positive("num_cores", num_cores)
+        require_positive("clock_hz", clock_hz)
+        require_positive(
+            "core_energy_per_instruction_j", core_energy_per_instruction_j
+        )
+        require_positive("core_leakage_w_per_core", core_leakage_w_per_core)
+        require_positive("l1_access_energy_j", l1_access_energy_j)
+        require_positive("memory_access_energy_j", memory_access_energy_j)
+        self.num_cores = num_cores
+        self.clock_hz = clock_hz
+        self.core_energy_per_instruction_j = core_energy_per_instruction_j
+        self.core_leakage_w_per_core = core_leakage_w_per_core
+        self.l1_access_energy_j = l1_access_energy_j
+        self.memory_access_energy_j = memory_access_energy_j
+
+    def breakdown(
+        self,
+        instructions: float,
+        cycles: float,
+        l1_accesses: float,
+        memory_accesses: float,
+        l2_energy_j: float,
+    ) -> ProcessorEnergyBreakdown:
+        """Assemble the processor energy split for one run.
+
+        Args:
+            instructions: Committed instructions across all cores.
+            cycles: Execution time in core clock cycles.
+            l1_accesses: IL1 + DL1 accesses across all cores.
+            memory_accesses: Off-chip (DRAM) accesses.
+            l2_energy_j: Total L2 energy from the cache/encoding models.
+        """
+        require_non_negative("instructions", instructions)
+        require_non_negative("cycles", cycles)
+        require_non_negative("l1_accesses", l1_accesses)
+        require_non_negative("memory_accesses", memory_accesses)
+        require_non_negative("l2_energy_j", l2_energy_j)
+        seconds = cycles / self.clock_hz
+        return ProcessorEnergyBreakdown(
+            core_dynamic_j=instructions * self.core_energy_per_instruction_j,
+            core_static_j=seconds * self.core_leakage_w_per_core * self.num_cores,
+            l1_dynamic_j=l1_accesses * self.l1_access_energy_j,
+            memory_interface_j=memory_accesses * self.memory_access_energy_j,
+            l2_j=l2_energy_j,
+        )

@@ -1,0 +1,149 @@
+"""Gate-inventory model of the DESC transmitter/receiver (Figure 17).
+
+The paper implements DESC in Verilog and synthesizes it with Cadence
+RTL Compiler on FreePDK45, then scales to 22 nm (Tables 3).  Without the
+RTL toolchain we model the same structural inventory in NAND2-equivalent
+gates:
+
+* per chunk transmitter (Figure 11-a): a ``k``-bit chunk register, a
+  ``k``-bit comparator against the counter, a toggle generator, and
+  skip/start control;
+* per chunk receiver (Figure 11-b): a toggle detector, a ``k``-bit
+  capture register, and load control;
+* shared per endpoint: the ``k``-bit up/down counter, the reset/skip
+  transmitter, the synchronization toggle generator/detector, and the
+  ready/done reduction tree over all chunks.
+
+Area, power, and delay then follow from the per-gate figures of the
+process node (Table 3).  The constants below are calibrated so the
+default 128-chunk, 4-bit interface lands on the published 22 nm
+figures: ≈2120 µm² for a transmitter+receiver pair, ≈46 mW peak power,
+and ≈625 ps of added round-trip logic delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.technology import NODE_22NM, TechnologyNode
+from repro.util.validation import require_positive
+
+__all__ = ["SynthesisResult", "DescSynthesisModel"]
+
+# NAND2-equivalents of a D flip-flop.
+_FF_GATE_EQUIV = 3.0
+# Comparator gates per bit (XNOR + AND-tree share).
+_COMPARATOR_GATES_PER_BIT = 1.0
+# Toggle generator: one FF + XOR; toggle detector: delay cell + XOR.
+_TOGGLE_GEN_GATES = _FF_GATE_EQUIV + 2.0
+_TOGGLE_DET_GATES = 3.0
+# Control overhead per chunk endpoint (start/done/skip gating).
+_CHUNK_CONTROL_GATES = 2.0
+# Shared control per endpoint beyond the counter (FSM, ready tree seed).
+_SHARED_CONTROL_GATES = 55.0
+# Fraction of gates switching in the peak cycle (clock + counters +
+# all comparators evaluating simultaneously).
+_PEAK_ACTIVITY = 5.9
+# Critical path of one endpoint in FO4 delays (comparator + toggle).
+_ENDPOINT_FO4_DELAYS = 26.0
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Synthesis-style figures for one DESC endpoint or pair.
+
+    Attributes:
+        area_um2: Cell area.
+        peak_power_w: Worst-cycle dynamic power at the given clock.
+        delay_s: Added logic delay on the data path.
+        gate_equivalents: NAND2-equivalent gate count.
+    """
+
+    area_um2: float
+    peak_power_w: float
+    delay_s: float
+    gate_equivalents: float
+
+    def __add__(self, other: "SynthesisResult") -> "SynthesisResult":
+        return SynthesisResult(
+            area_um2=self.area_um2 + other.area_um2,
+            peak_power_w=self.peak_power_w + other.peak_power_w,
+            delay_s=self.delay_s + other.delay_s,
+            gate_equivalents=self.gate_equivalents + other.gate_equivalents,
+        )
+
+
+class DescSynthesisModel:
+    """Area/power/delay of DESC interface hardware at a process node."""
+
+    def __init__(
+        self,
+        num_chunks: int = 128,
+        chunk_bits: int = 4,
+        node: TechnologyNode = NODE_22NM,
+        clock_hz: float = 3.2e9,
+    ) -> None:
+        require_positive("num_chunks", num_chunks)
+        require_positive("chunk_bits", chunk_bits)
+        require_positive("clock_hz", clock_hz)
+        self.num_chunks = num_chunks
+        self.chunk_bits = chunk_bits
+        self.node = node
+        self.clock_hz = clock_hz
+
+    def _result(self, gates: float) -> SynthesisResult:
+        area = gates * self.node.gate_area_um2
+        peak = (
+            gates * _PEAK_ACTIVITY * self.node.gate_energy_j * self.clock_hz
+        )
+        delay = _ENDPOINT_FO4_DELAYS * self.node.fo4_delay_s
+        return SynthesisResult(
+            area_um2=area, peak_power_w=peak, delay_s=delay, gate_equivalents=gates
+        )
+
+    def transmitter(self) -> SynthesisResult:
+        """The chunk transmitters plus shared counter and strobe logic."""
+        k = self.chunk_bits
+        per_chunk = (
+            k * _FF_GATE_EQUIV  # chunk register
+            + k * _COMPARATOR_GATES_PER_BIT  # counter comparator
+            + _TOGGLE_GEN_GATES  # data strobe driver
+            + _CHUNK_CONTROL_GATES
+        )
+        shared = (
+            k * _FF_GATE_EQUIV + 4.0 * k  # down counter + increment logic
+            + _TOGGLE_GEN_GATES * 2  # reset/skip + synchronization strobes
+            + _SHARED_CONTROL_GATES
+            + self.num_chunks * 0.5  # done-reduction tree
+        )
+        return self._result(self.num_chunks * per_chunk + shared)
+
+    def receiver(self) -> SynthesisResult:
+        """The chunk receivers plus shared counter and detectors."""
+        k = self.chunk_bits
+        per_chunk = (
+            k * _FF_GATE_EQUIV  # capture register
+            + _TOGGLE_DET_GATES  # data strobe detector
+            + _CHUNK_CONTROL_GATES
+        )
+        shared = (
+            k * _FF_GATE_EQUIV + 4.0 * k  # up counter
+            + _TOGGLE_DET_GATES * 2  # reset/skip + synchronization detectors
+            + _SHARED_CONTROL_GATES
+            + self.num_chunks * 0.5  # ready-reduction tree
+        )
+        return self._result(self.num_chunks * per_chunk + shared)
+
+    def interface_pair(self) -> SynthesisResult:
+        """A transmitter + receiver pair as placed at each mat."""
+        return self.transmitter() + self.receiver()
+
+    def round_trip_delay_s(self) -> float:
+        """Logic delay added to a round-trip cache access (two endpoints)."""
+        return self.transmitter().delay_s + self.receiver().delay_s
+
+    def round_trip_delay_cycles(self) -> int:
+        """Added delay quantized to clock cycles."""
+        import math
+
+        return max(1, math.ceil(self.round_trip_delay_s() * self.clock_hz))

@@ -1,0 +1,116 @@
+"""Technology parameters: process nodes (Table 3) and ITRS device types.
+
+The paper synthesizes DESC at 45 nm and scales to 22 nm using the
+parameters of its Table 3, and explores ITRS high-performance (HP), low
+operating power (LOP), and low standby power (LSTP) devices for the
+SRAM cells and the cache periphery (Section 4.1, Figure 14).
+
+Device-type figures are *relative* factors anchored to published ITRS
+trends: LSTP transistors leak three-plus orders of magnitude less than
+HP (the paper cites row-by-row VDD control reaching "two orders of
+magnitude" on top of device choice) but switch about twice as slowly —
+the paper's footnote 3 notes HP devices give "approximately 2× faster
+access time" than LSTP with <2 % end-to-end performance impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+__all__ = ["TechnologyNode", "DeviceType", "NODE_45NM", "NODE_22NM", "DEVICE_TYPES"]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A process node (paper Table 3).
+
+    Attributes:
+        name: Node label, e.g. ``"22nm"``.
+        feature_nm: Drawn feature size in nanometres.
+        voltage_v: Nominal supply voltage.
+        fo4_delay_s: Fanout-of-4 inverter delay.
+        sram_cell_area_um2: 6T SRAM cell footprint.
+        gate_area_um2: Area of a NAND2-equivalent standard cell.
+        gate_energy_j: Switching energy of a NAND2-equivalent gate.
+        gate_leakage_w: Leakage of a NAND2-equivalent HP gate.
+    """
+
+    name: str
+    feature_nm: float
+    voltage_v: float
+    fo4_delay_s: float
+    sram_cell_area_um2: float
+    gate_area_um2: float
+    gate_energy_j: float
+    gate_leakage_w: float
+
+    def __post_init__(self) -> None:
+        require_positive("feature_nm", self.feature_nm)
+        require_positive("voltage_v", self.voltage_v)
+        require_positive("fo4_delay_s", self.fo4_delay_s)
+        require_positive("sram_cell_area_um2", self.sram_cell_area_um2)
+        require_positive("gate_area_um2", self.gate_area_um2)
+        require_positive("gate_energy_j", self.gate_energy_j)
+        require_positive("gate_leakage_w", self.gate_leakage_w)
+
+
+#: Table 3, 45 nm row (FreePDK45 synthesis node).
+NODE_45NM = TechnologyNode(
+    name="45nm",
+    feature_nm=45.0,
+    voltage_v=1.1,
+    fo4_delay_s=20.25e-12,
+    sram_cell_area_um2=0.35,
+    gate_area_um2=1.6,
+    gate_energy_j=1.6e-15,
+    gate_leakage_w=40e-9,
+)
+
+#: Table 3, 22 nm row (evaluation node).
+NODE_22NM = TechnologyNode(
+    name="22nm",
+    feature_nm=22.0,
+    voltage_v=0.83,
+    fo4_delay_s=11.75e-12,
+    sram_cell_area_um2=0.1,
+    gate_area_um2=0.4,
+    gate_energy_j=0.45e-15,
+    gate_leakage_w=25e-9,
+)
+
+
+@dataclass(frozen=True)
+class DeviceType:
+    """Relative figures of an ITRS device flavour.
+
+    All factors are relative to the HP device at the same node.
+
+    Attributes:
+        name: ``"HP"``, ``"LOP"`` or ``"LSTP"``.
+        leakage_factor: Subthreshold leakage relative to HP.
+        delay_factor: Switching delay relative to HP.
+        dynamic_factor: Switching energy relative to HP (higher-Vt
+            devices swing less internal capacitance).
+    """
+
+    name: str
+    leakage_factor: float
+    delay_factor: float
+    dynamic_factor: float
+
+    def __post_init__(self) -> None:
+        require_positive("leakage_factor", self.leakage_factor)
+        require_positive("delay_factor", self.delay_factor)
+        require_positive("dynamic_factor", self.dynamic_factor)
+
+
+#: ITRS device flavours used in the Figure 14 design-space exploration.
+DEVICE_TYPES = {
+    "HP": DeviceType(name="HP", leakage_factor=1.0, delay_factor=1.0, dynamic_factor=1.0),
+    "LOP": DeviceType(name="LOP", leakage_factor=0.02, delay_factor=1.4, dynamic_factor=0.7),
+    "LSTP": DeviceType(
+        name="LSTP", leakage_factor=1.1e-3, delay_factor=2.0, dynamic_factor=0.85
+    ),
+}

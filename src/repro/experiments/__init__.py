@@ -1,0 +1,61 @@
+"""One experiment module per paper figure; each exposes ``run() -> dict``.
+
+The per-experiment index in DESIGN.md §5 maps figures to these modules;
+the ``benchmarks/`` tree regenerates every figure through them.
+"""
+
+from repro.experiments import (
+    ecc_error_rate,
+    fig01_l2_fraction,
+    fig02_l2_breakdown,
+    fig03_illustrative,
+    fig12_chunk_values,
+    fig13_last_value,
+    fig14_design_space,
+    fig15_segment_size,
+    fig16_l2_energy,
+    fig17_synthesis,
+    fig18_energy_split,
+    fig19_processor_energy,
+    fig20_exec_time,
+    fig21_hit_delay,
+    fig22_design_scatter,
+    fig23_snuca_time,
+    fig24_snuca_energy,
+    fig25_banks,
+    fig26_chunk_size,
+    fig27_cache_size,
+    fig28_ecc_time,
+    fig29_ecc_energy,
+    fig30_single_thread,
+)
+from repro.experiments.common import DEFAULT_SCHEMES, geomean, run_suite
+
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "geomean",
+    "run_suite",
+    "ecc_error_rate",
+    "fig01_l2_fraction",
+    "fig02_l2_breakdown",
+    "fig03_illustrative",
+    "fig12_chunk_values",
+    "fig13_last_value",
+    "fig14_design_space",
+    "fig15_segment_size",
+    "fig16_l2_energy",
+    "fig17_synthesis",
+    "fig18_energy_split",
+    "fig19_processor_energy",
+    "fig20_exec_time",
+    "fig21_hit_delay",
+    "fig22_design_scatter",
+    "fig23_snuca_time",
+    "fig24_snuca_energy",
+    "fig25_banks",
+    "fig26_chunk_size",
+    "fig27_cache_size",
+    "fig28_ecc_time",
+    "fig29_ecc_energy",
+    "fig30_single_thread",
+]

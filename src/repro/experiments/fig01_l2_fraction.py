@@ -1,0 +1,20 @@
+"""Figure 1: L2 energy as a fraction of total processor energy.
+
+The paper reports ~15 % on average for the 8 MB L2 of the Niagara-like
+baseline (conventional binary encoding, LSTP devices).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig
+
+__all__ = ["run"]
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Per-application L2-energy fraction plus the geomean."""
+    results = run_suite(SchemeConfig(name="binary"), system)
+    fractions = {r.app: r.processor.l2_fraction for r in results}
+    fractions["Geomean"] = geomean(fractions.values())
+    return {"l2_fraction": fractions, "paper_average": 0.15}

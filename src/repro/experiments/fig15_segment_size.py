@@ -1,0 +1,42 @@
+"""Figure 15: baseline L2 energy as a function of data segment size.
+
+Dynamic zero compression and the bus-invert variants are sensitive to
+the segment size; the paper sweeps 4..64-bit segments on the 64-bit
+bus, picks each scheme's best configuration (starred in the figure),
+and uses those as the baselines everywhere else.  Our registry defaults
+(:data:`repro.encoding.registry.BEST_SEGMENT_BITS`) are re-derived by
+this experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig
+
+__all__ = ["run", "SEGMENT_SIZES", "SEGMENTED_SCHEMES"]
+
+SEGMENT_SIZES = (4, 8, 16, 32, 64)
+SEGMENTED_SCHEMES = (
+    "zero-compression",
+    "bus-invert",
+    "bus-invert+zero-skip",
+    "bus-invert+encoded-zero-skip",
+)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """L2 energy vs segment size, normalized to binary, plus best picks."""
+    baseline = run_suite(SchemeConfig(name="binary"), system)
+    base_energy = geomean(r.l2_energy_j for r in baseline)
+    table: dict[str, dict[int, float]] = {}
+    best: dict[str, int] = {}
+    for name in SEGMENTED_SCHEMES:
+        table[name] = {}
+        for bits in SEGMENT_SIZES:
+            results = run_suite(
+                SchemeConfig(name=name, segment_bits=bits), system
+            )
+            energy = geomean(r.l2_energy_j for r in results)
+            table[name][bits] = energy / base_energy
+        best[name] = min(table[name], key=table[name].get)
+    return {"energy_by_segment": table, "best_segment_bits": best}

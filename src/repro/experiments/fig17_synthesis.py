@@ -1,0 +1,44 @@
+"""Figure 17: synthesis results for the DESC transmitter and receiver.
+
+Paper (22 nm, 128 chunks): the interface pair occupies ≈2120 µm²
+(<1 % of the 8 MB L2), peaks at ≈46 mW, and adds ≈625 ps of logic delay
+to the round-trip access.
+"""
+
+from __future__ import annotations
+
+from repro.energy.cacti import CacheEnergyModel
+from repro.energy.synthesis import DescSynthesisModel
+
+__all__ = ["run"]
+
+
+def run(num_chunks: int = 128, chunk_bits: int = 4) -> dict:
+    """Area/power/delay of TX and RX plus the L2 area-overhead check."""
+    model = DescSynthesisModel(num_chunks=num_chunks, chunk_bits=chunk_bits)
+    tx, rx = model.transmitter(), model.receiver()
+    pair = model.interface_pair()
+
+    cache = CacheEnergyModel()
+    mats = (
+        cache.geometry.num_banks
+        * cache.geometry.subbanks_per_bank
+        * cache.geometry.mats_per_subbank
+    )
+    # One interface pair at the controller side per mat path plus one at
+    # every mat (Figure 7).
+    total_interface_mm2 = pair.area_um2 * (mats + 1) * 1e-6
+    area_overhead = total_interface_mm2 / cache.area_mm2
+
+    return {
+        "transmitter": {"area_um2": tx.area_um2, "peak_power_mw": tx.peak_power_w * 1e3,
+                        "delay_ns": tx.delay_s * 1e9},
+        "receiver": {"area_um2": rx.area_um2, "peak_power_mw": rx.peak_power_w * 1e3,
+                     "delay_ns": rx.delay_s * 1e9},
+        "pair_area_um2": pair.area_um2,
+        "pair_peak_power_mw": pair.peak_power_w * 1e3,
+        "round_trip_delay_ps": model.round_trip_delay_s() * 1e12,
+        "l2_area_overhead": area_overhead,
+        "paper": {"pair_area_um2": 2120, "pair_peak_power_mw": 46,
+                  "round_trip_delay_ps": 625, "l2_area_overhead_max": 0.01},
+    }

@@ -1,0 +1,30 @@
+"""Figure 18: static vs dynamic L2 energy per transfer technique.
+
+The paper shows zero-skipped DESC halving the dynamic component while
+adding ~3 % static energy (the slightly longer run time), averaged over
+the sixteen applications.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_SCHEMES, run_suite
+from repro.sim.config import SystemConfig
+
+__all__ = ["run"]
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Per-scheme (static, dynamic) energy, normalized to binary total."""
+    baseline = run_suite(DEFAULT_SCHEMES[0][1], system)
+    base_total = sum(r.l2.total_j for r in baseline)
+    table = {}
+    for label, scheme in DEFAULT_SCHEMES:
+        results = run_suite(scheme, system)
+        static = sum(r.l2.static_j for r in results)
+        dynamic = sum(r.l2.dynamic_j for r in results)
+        table[label] = {
+            "static": static / base_total,
+            "dynamic": dynamic / base_total,
+            "total": (static + dynamic) / base_total,
+        }
+    return {"energy_split": table}

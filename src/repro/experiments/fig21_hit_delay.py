@@ -1,0 +1,36 @@
+"""Figure 21: average L2 hit delay for binary and zero-skipped DESC.
+
+The paper compares 64- and 128-wire buses: zero-skipped DESC adds 31.2
+cycles on a 64-wire bus (two chunks per wire, two rounds) but only 8.45
+cycles on the 128-wire bus used in the main configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+
+__all__ = ["run", "CONFIGS"]
+
+CONFIGS = (
+    ("64-bit Binary", SchemeConfig(name="binary", data_wires=64)),
+    ("128-bit Binary", SchemeConfig(name="binary", data_wires=128)),
+    ("64-bit DESC", desc_scheme("zero", data_wires=64)),
+    ("128-bit DESC", desc_scheme("zero", data_wires=128)),
+)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Per-app average hit delay (cycles) for the four configurations."""
+    table: dict[str, dict[str, float]] = {}
+    for label, scheme in CONFIGS:
+        results = run_suite(scheme, system)
+        table[label] = {r.app: r.hit_latency for r in results}
+        table[label]["Average"] = sum(r.hit_latency for r in results) / len(results)
+    extra_128 = table["128-bit DESC"]["Average"] - table["128-bit Binary"]["Average"]
+    extra_64 = table["64-bit DESC"]["Average"] - table["64-bit Binary"]["Average"]
+    return {
+        "hit_delay_cycles": table,
+        "desc_extra_delay": {"64-wire": extra_64, "128-wire": extra_128},
+        "paper_extra_delay": {"64-wire": 31.2, "128-wire": 8.45},
+    }

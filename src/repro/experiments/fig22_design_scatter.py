@@ -1,0 +1,48 @@
+"""Figure 22: cache design-space possibilities, binary vs skipped DESC.
+
+Varies bank count and data-bus width (and chunk size for DESC) at fixed
+8 MB capacity, plotting each design's (L2 energy, execution time)
+normalized to the baseline (8 banks, 64-bit bus, binary).  The paper's
+conclusion: DESC opens new design points with substantially lower
+energy at similar latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SWEEP_SYSTEM, geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+
+__all__ = ["run", "BANK_SWEEP", "WIDTH_SWEEP"]
+
+BANK_SWEEP = (2, 4, 8, 16, 32)
+WIDTH_SWEEP = (32, 64, 128, 256)
+_DESC_CHUNKS = (2, 4, 8)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Scatter points: label → (energy, time) normalized to baseline."""
+    base_system = system if system is not None else SWEEP_SYSTEM
+    baseline = run_suite(SchemeConfig(name="binary"), base_system)
+    base_energy = geomean(r.l2_energy_j for r in baseline)
+    base_time = geomean(r.cycles for r in baseline)
+
+    def point(scheme: SchemeConfig, banks: int) -> tuple[float, float]:
+        results = run_suite(scheme, base_system.with_(num_banks=banks))
+        return (
+            geomean(r.l2_energy_j for r in results) / base_energy,
+            geomean(r.cycles for r in results) / base_time,
+        )
+
+    points: dict[str, dict[str, tuple[float, float]]] = {"binary": {}, "desc": {}}
+    for banks in BANK_SWEEP:
+        for width in WIDTH_SWEEP:
+            points["binary"][f"b{banks}-w{width}"] = point(
+                SchemeConfig(name="binary", data_wires=width), banks
+            )
+            for chunk in _DESC_CHUNKS:
+                if (512 // chunk) % width:
+                    continue  # chunks must spread evenly over the wires
+                points["desc"][f"b{banks}-w{width}-c{chunk}"] = point(
+                    desc_scheme("zero", data_wires=width, chunk_bits=chunk), banks
+                )
+    return {"points": points, "baseline": "8 banks, 64-bit bus, binary"}

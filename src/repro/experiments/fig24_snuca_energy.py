@@ -1,0 +1,37 @@
+"""Figure 24: L2 energy of zero-skipped DESC on an S-NUCA-1 cache.
+
+Paper results for the 128-bank S-NUCA-1: 1.62× cache energy reduction
+(1.64× average power, 1.59× energy-delay product).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+from repro.experiments.fig23_snuca_time import snuca_system
+
+__all__ = ["run"]
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Per-app L2 energy of DESC+S-NUCA-1 normalized to S-NUCA-1."""
+    cfg = snuca_system(system)
+    binary = run_suite(SchemeConfig(name="binary", data_wires=128), cfg)
+    desc = run_suite(desc_scheme("zero", data_wires=128), cfg)
+    energy = {d.app: d.l2_energy_j / b.l2_energy_j for d, b in zip(desc, binary)}
+    energy["Geomean"] = geomean(energy.values())
+    power = geomean(
+        (d.l2_energy_j / d.cycles) / (b.l2_energy_j / b.cycles)
+        for d, b in zip(desc, binary)
+    )
+    edp = geomean(
+        (d.l2_energy_j * d.cycles) / (b.l2_energy_j * b.cycles)
+        for d, b in zip(desc, binary)
+    )
+    return {
+        "l2_energy_normalized": energy,
+        "l2_power_normalized": power,
+        "l2_edp_normalized": edp,
+        "paper": {"energy_reduction": 1.62, "power_reduction": 1.64,
+                  "edp_reduction": 1.59},
+    }

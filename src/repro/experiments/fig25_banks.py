@@ -1,0 +1,38 @@
+"""Figure 25: sensitivity of zero-skipped DESC to the bank count.
+
+Sweeping 1–64 banks: going from one to two banks removes most bank
+conflicts (large speedup), energy and time reach their best around
+eight banks, and beyond that the fixed per-bank periphery and DESC
+circuitry push the energy-delay product back up.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SWEEP_SYSTEM, geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+
+__all__ = ["run", "BANK_COUNTS"]
+
+BANK_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Energy and execution time vs banks, normalized to 8-bank binary."""
+    base_system = system if system is not None else SWEEP_SYSTEM
+    baseline = run_suite(SchemeConfig(name="binary"), base_system.with_(num_banks=8))
+    base_energy = geomean(r.l2_energy_j for r in baseline)
+    base_time = geomean(r.cycles for r in baseline)
+
+    energy: dict[int, float] = {}
+    time: dict[int, float] = {}
+    for banks in BANK_COUNTS:
+        results = run_suite(
+            desc_scheme("zero"), base_system.with_(num_banks=banks)
+        )
+        energy[banks] = geomean(r.l2_energy_j for r in results) / base_energy
+        time[banks] = geomean(r.cycles for r in results) / base_time
+    return {
+        "l2_energy_normalized": energy,
+        "execution_time_normalized": time,
+        "paper_best_banks": 8,
+    }

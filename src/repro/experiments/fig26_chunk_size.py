@@ -1,0 +1,48 @@
+"""Figure 26: sensitivity of zero-skipped DESC to the chunk size.
+
+Chunk sizes of 1–8 bits with 32–256 data wires at fixed capacity:
+larger chunks mean fewer transitions (lower dynamic energy) but longer
+value-dependent windows (higher latency and leakage).  The paper finds
+4-bit chunks with 128 wires give the best L2 energy-delay product.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SWEEP_SYSTEM, geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+
+__all__ = ["run", "CHUNK_SIZES", "WIRE_COUNTS"]
+
+CHUNK_SIZES = (1, 2, 4, 8)
+WIRE_COUNTS = (32, 64, 128, 256)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """(energy, time) normalized to the binary baseline per design point."""
+    base_system = system if system is not None else SWEEP_SYSTEM
+    baseline = run_suite(SchemeConfig(name="binary"), base_system)
+    base_energy = geomean(r.l2_energy_j for r in baseline)
+    base_time = geomean(r.cycles for r in baseline)
+
+    points: dict[str, dict[str, float]] = {}
+    for chunk in CHUNK_SIZES:
+        chunks_per_block = 512 // chunk
+        for wires in WIRE_COUNTS:
+            if chunks_per_block % wires:
+                continue  # layout must spread chunks evenly (Figure 4)
+            results = run_suite(
+                desc_scheme("zero", data_wires=wires, chunk_bits=chunk),
+                base_system,
+            )
+            points[f"c{chunk}-w{wires}"] = {
+                "chunk_bits": chunk,
+                "wires": wires,
+                "l2_energy": geomean(r.l2_energy_j for r in results) / base_energy,
+                "execution_time": geomean(r.cycles for r in results) / base_time,
+            }
+    best = min(points.values(), key=lambda p: p["l2_energy"] * p["execution_time"])
+    return {
+        "points": points,
+        "best_edp_point": best,
+        "paper_best": {"chunk_bits": 4, "wires": 128},
+    }

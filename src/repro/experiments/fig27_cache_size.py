@@ -1,0 +1,43 @@
+"""Figure 27: impact of L2 capacity on cache energy.
+
+512 KB – 64 MB at fixed organisation: energy grows with capacity for
+both binary and DESC, and DESC's advantage narrows slightly — the paper
+reports 1.87× at 512 KB down to 1.75× at 64 MB, because leakage (which
+DESC cannot reduce) scales with capacity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SWEEP_SYSTEM, geomean, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+
+__all__ = ["run", "CACHE_SIZES_MB"]
+
+CACHE_SIZES_MB = (0.5, 1, 2, 4, 8, 16, 32, 64)
+
+
+def run(system: SystemConfig | None = None) -> dict:
+    """Binary and DESC energy vs capacity, normalized to 8 MB binary."""
+    base_system = system if system is not None else SWEEP_SYSTEM
+    baseline = run_suite(SchemeConfig(name="binary"), base_system)
+    base_energy = geomean(r.l2_energy_j for r in baseline)
+
+    binary: dict[str, float] = {}
+    desc: dict[str, float] = {}
+    improvement: dict[str, float] = {}
+    for size_mb in CACHE_SIZES_MB:
+        cfg = base_system.with_(l2_size_bytes=int(size_mb * 1024 * 1024))
+        b = geomean(
+            r.l2_energy_j for r in run_suite(SchemeConfig(name="binary"), cfg)
+        )
+        d = geomean(r.l2_energy_j for r in run_suite(desc_scheme("zero"), cfg))
+        label = f"{size_mb:g}MB"
+        binary[label] = b / base_energy
+        desc[label] = d / base_energy
+        improvement[label] = b / d
+    return {
+        "binary": binary,
+        "desc": desc,
+        "desc_improvement": improvement,
+        "paper_improvement": {"0.5MB": 1.87, "64MB": 1.75},
+    }

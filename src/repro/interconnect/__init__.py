@@ -1,0 +1,7 @@
+"""Cache interconnect: repeated-wire electrical model and H-tree geometry."""
+
+from repro.interconnect.htree import HTreeModel, htree_route_length_mm
+from repro.interconnect.regenerator_tree import RegeneratorTree
+from repro.interconnect.wires import WireModel
+
+__all__ = ["HTreeModel", "RegeneratorTree", "WireModel", "htree_route_length_mm"]

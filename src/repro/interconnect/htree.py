@@ -1,0 +1,111 @@
+"""H-tree geometry of a banked last-level cache (Figure 7).
+
+The cache is a square of banks; a *main* H-tree routes from the central
+cache controller to the active bank, and *horizontal*/*vertical* trees
+continue inside the bank to the subbanks and mats.  Every data-wire
+transition switches the full controller-to-mat route once (the toggle
+regenerators re-drive shared vertical segments but each segment still
+swings exactly once per toggle), so the energy of one flip is the
+route length times the wire model's per-millimetre energy.
+
+Route lengths follow the classic H-tree recursion: from the centre of a
+square of side ``L``, the level-``i`` segment is ``L / 2**((i - 1)//2 + 2)``
+(alternating horizontal/vertical, halving every two levels); the route
+to a leaf at depth ``d`` is the sum of the first ``d`` segments and
+approaches ``L`` (centre-to-corner Manhattan distance) as ``d`` grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.interconnect.wires import WireModel
+from repro.util.validation import require_positive, require_power_of_two
+
+__all__ = ["htree_route_length_mm", "HTreeModel"]
+
+
+def htree_route_length_mm(side_mm: float, depth: int) -> float:
+    """Root-to-leaf route of an H-tree with ``2**depth`` leaves."""
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    return sum(side_mm / 2 ** ((i - 1) // 2 + 2) for i in range(1, depth + 1))
+
+
+@dataclass(frozen=True)
+class HTreeModel:
+    """Controller-to-mat interconnect of a banked cache.
+
+    Attributes:
+        area_mm2: Total cache footprint (cells + periphery + wiring).
+        num_banks: Leaves of the main H-tree.
+        internal_leaves: Subbanks * mats inside each bank (leaves of
+            the horizontal+vertical trees).
+        wires: Electrical model of the repeated global wires.
+        num_wires: Wires routed through the tree (data + overhead +
+            address/control).
+    """
+
+    area_mm2: float
+    num_banks: int
+    internal_leaves: int
+    wires: WireModel
+    num_wires: int
+
+    def __post_init__(self) -> None:
+        require_positive("area_mm2", self.area_mm2)
+        require_power_of_two("num_banks", self.num_banks)
+        require_power_of_two("internal_leaves", self.internal_leaves)
+        require_positive("num_wires", self.num_wires)
+
+    @property
+    def side_mm(self) -> float:
+        """Side of the (square) cache footprint."""
+        return math.sqrt(self.area_mm2)
+
+    @property
+    def main_route_mm(self) -> float:
+        """Controller-to-bank route over the main H-tree."""
+        return htree_route_length_mm(self.side_mm, int(math.log2(self.num_banks)))
+
+    @property
+    def bank_side_mm(self) -> float:
+        """Side of one bank's footprint."""
+        return math.sqrt(self.area_mm2 / self.num_banks)
+
+    @property
+    def internal_route_mm(self) -> float:
+        """Bank-entry-to-mat route over the horizontal/vertical trees."""
+        return htree_route_length_mm(
+            self.bank_side_mm, int(math.log2(self.internal_leaves))
+        )
+
+    @property
+    def route_mm(self) -> float:
+        """Full controller-to-mat route switched by one wire flip."""
+        return self.main_route_mm + self.internal_route_mm
+
+    @property
+    def energy_per_flip_j(self) -> float:
+        """Dynamic energy of one data-wire transition."""
+        return self.wires.energy_per_flip_j(self.route_mm)
+
+    @property
+    def traversal_delay_s(self) -> float:
+        """One-way signal propagation delay along the route."""
+        return self.wires.delay_s(self.route_mm)
+
+    @property
+    def repeater_leakage_w(self) -> float:
+        """Leakage of all repeaters in the tree (before device scaling).
+
+        The main tree carries the full bundle; inside a bank the bundle
+        fans out but only one path is repeated per level, so charging
+        the bundle over one full route per bank is a close account of
+        the repeater population.
+        """
+        per_bank_route = self.internal_route_mm
+        main = self.wires.leakage_w(self.main_route_mm * self.num_banks, self.num_wires)
+        internal = self.wires.leakage_w(per_bank_route * self.num_banks, self.num_wires)
+        return main + internal

@@ -1,0 +1,97 @@
+"""Toggle-regenerator trees: sharing H-tree wires between subbanks.
+
+Figure 7 shares the vertical H-tree between subbanks: toggles from the
+*active* subbank must travel upstream without the *inactive* branches'
+stale levels creating spurious edges.  Figure 8-c's toggle regenerator
+solves this per merge point; this module composes regenerators into a
+binary tree so ``2**depth`` subbank branches share one upstream bundle.
+
+The tree is *per wire bundle*: each level holds one
+:class:`~repro.core.toggles.ToggleRegenerator` per wire per merge
+point.  ``sample(branch_levels, select)`` consumes the current levels
+of every leaf branch plus the selected leaf index, and returns the
+upstream levels — with the guarantee (tested in
+``tests/interconnect/test_regenerator_tree.py``) that switching the
+selection between transfers never toggles the upstream wires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.toggles import ToggleRegenerator
+from repro.util.validation import require_positive
+
+__all__ = ["RegeneratorTree"]
+
+
+class RegeneratorTree:
+    """A binary merge tree of toggle regenerators over a wire bundle."""
+
+    def __init__(self, num_wires: int, depth: int) -> None:
+        require_positive("num_wires", num_wires)
+        if depth < 1:
+            raise ValueError(f"depth must be at least 1, got {depth}")
+        self.num_wires = num_wires
+        self.depth = depth
+        # Level 0 merges pairs of leaves; the last level feeds upstream.
+        self._levels: list[list[list[ToggleRegenerator]]] = [
+            [
+                [ToggleRegenerator() for _ in range(num_wires)]
+                for _ in range(2 ** (depth - 1 - level))
+            ]
+            for level in range(depth)
+        ]
+
+    @property
+    def num_branches(self) -> int:
+        """Leaf branches the tree merges."""
+        return 2**self.depth
+
+    def sample(self, branch_levels: np.ndarray, select: int) -> np.ndarray:
+        """Advance one cycle; return the upstream wire levels.
+
+        Args:
+            branch_levels: ``(num_branches, num_wires)`` current levels
+                of every leaf branch (inactive branches hold levels).
+            select: Index of the active leaf branch.
+        """
+        branch_levels = np.asarray(branch_levels)
+        if branch_levels.shape != (self.num_branches, self.num_wires):
+            raise ValueError(
+                f"expected levels of shape {(self.num_branches, self.num_wires)}, "
+                f"got {branch_levels.shape}"
+            )
+        if not 0 <= select < self.num_branches:
+            raise ValueError(f"select {select} out of range")
+
+        levels = branch_levels
+        path = select
+        for level_nodes in self._levels:
+            merged = np.empty((len(level_nodes), self.num_wires), dtype=np.uint8)
+            active_node, active_side = divmod(path, 2)
+            for node, regenerators in enumerate(level_nodes):
+                # Only the node on the active path can see edges; the
+                # select of idle nodes is immaterial (their branches
+                # hold their levels).
+                side = active_side if node == active_node else 0
+                for wire, regen in enumerate(regenerators):
+                    regen.sample(
+                        int(levels[2 * node, wire]),
+                        int(levels[2 * node + 1, wire]),
+                        select=side,
+                    )
+                    merged[node, wire] = regen.output_level
+            levels = merged
+            path = active_node
+        return levels[0]
+
+    def upstream_transitions(self) -> int:
+        """Total transitions driven on the final upstream bundle."""
+        return sum(self.upstream_transitions_per_wire())
+
+    def upstream_transitions_per_wire(self) -> list[int]:
+        """Transitions driven on each upstream wire."""
+        return [
+            regen.upstream_transitions for regen in self._levels[-1][0]
+        ]

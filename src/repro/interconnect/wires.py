@@ -1,0 +1,115 @@
+"""Electrical model of repeated global wires.
+
+The H-tree of a large cache is built from repeated global wires; their
+dynamic energy per transition is ``0.5 * C * V^2`` per unit length for
+the wire itself plus the repeater input/output capacitance, and their
+delay is linear in length thanks to the repeaters (Section 1 of the
+paper: repeaters "linearize wire delay" at significant energy cost).
+
+Default constants are representative of 22 nm global wires (CACTI-class
+values): ~0.25 pF/mm wire capacitance, repeaters adding ~60 % switched
+capacitance, ~150 ps/mm repeated-wire delay.  Absolute joules are not
+meant to match the authors' CACTI 6.5 runs — DESIGN.md §6 explains the
+calibration policy — but ratios between schemes depend only on flip
+counts and wire lengths, which this model carries faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+__all__ = ["WireModel"]
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Per-millimetre electrical figures for a repeated global wire.
+
+    Attributes:
+        capacitance_f_per_mm: Wire capacitance in farads per millimetre.
+        repeater_overhead: Multiplier on switched capacitance added by
+            the repeaters (1.6 means repeaters add 60 %).
+        voltage_v: Supply voltage of the drivers.
+        swing_v: Voltage swing on the wire.  Equal to ``voltage_v`` for
+            conventional full-swing repeated wires; *low-swing*
+            signaling (Zhang & Rabaey [7], Udipi et al. [2] in the
+            paper) drives a reduced swing — energy per transition is
+            ``C * V_swing * V_dd`` — at the price of receiver
+            amplifiers (``receiver_energy_j`` per transition) and a
+            somewhat slower wire.
+        delay_s_per_mm: Signal propagation delay of the repeated wire.
+        repeater_leakage_w_per_mm: Leakage of the repeater chain per
+            wire millimetre (device-type scaling is applied on top by
+            the cache model).
+        receiver_energy_j: Sense-amplifier energy per transition at the
+            receiving end (zero for full-swing wires).
+    """
+
+    capacitance_f_per_mm: float = 0.25e-12
+    repeater_overhead: float = 1.6
+    voltage_v: float = 0.83
+    swing_v: float | None = None
+    delay_s_per_mm: float = 150e-12
+    repeater_leakage_w_per_mm: float = 2.0e-6
+    receiver_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("capacitance_f_per_mm", self.capacitance_f_per_mm)
+        require_positive("repeater_overhead", self.repeater_overhead)
+        require_positive("voltage_v", self.voltage_v)
+        if self.swing_v is not None:
+            require_positive("swing_v", self.swing_v)
+            if self.swing_v > self.voltage_v:
+                raise ValueError(
+                    f"swing_v {self.swing_v} exceeds voltage_v {self.voltage_v}"
+                )
+        require_positive("delay_s_per_mm", self.delay_s_per_mm)
+        require_positive("repeater_leakage_w_per_mm", self.repeater_leakage_w_per_mm)
+        if self.receiver_energy_j < 0:
+            raise ValueError("receiver_energy_j must be non-negative")
+
+    @property
+    def effective_swing_v(self) -> float:
+        """Wire swing: ``swing_v`` if set, else the full supply."""
+        return self.swing_v if self.swing_v is not None else self.voltage_v
+
+    def energy_per_flip_j(self, length_mm: float) -> float:
+        """Dynamic energy of one transition over ``length_mm``."""
+        switched = self.capacitance_f_per_mm * self.repeater_overhead * length_mm
+        return 0.5 * switched * self.effective_swing_v * self.voltage_v + (
+            self.receiver_energy_j
+        )
+
+    def delay_s(self, length_mm: float) -> float:
+        """End-to-end propagation delay over ``length_mm``."""
+        return self.delay_s_per_mm * length_mm
+
+    def leakage_w(self, length_mm: float, num_wires: int) -> float:
+        """Repeater leakage of a bundle of ``num_wires`` over ``length_mm``."""
+        return self.repeater_leakage_w_per_mm * length_mm * num_wires
+
+    def scaled(self, voltage_v: float | None = None) -> "WireModel":
+        """A copy with a different supply voltage (technology scaling)."""
+        return WireModel(
+            capacitance_f_per_mm=self.capacitance_f_per_mm,
+            repeater_overhead=self.repeater_overhead,
+            voltage_v=voltage_v if voltage_v is not None else self.voltage_v,
+            swing_v=self.swing_v,
+            delay_s_per_mm=self.delay_s_per_mm,
+            repeater_leakage_w_per_mm=self.repeater_leakage_w_per_mm,
+            receiver_energy_j=self.receiver_energy_j,
+        )
+
+    @staticmethod
+    def low_swing(
+        voltage_v: float = 0.83, swing_v: float = 0.2
+    ) -> "WireModel":
+        """A low-swing variant (reduced swing + sense-amp energy, slower)."""
+        return WireModel(
+            voltage_v=voltage_v,
+            swing_v=swing_v,
+            delay_s_per_mm=220e-12,  # differential low-swing is slower
+            receiver_energy_j=8e-15,  # sense amplifier per transition
+        )

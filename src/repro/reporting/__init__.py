@@ -1,0 +1,10 @@
+"""Dependency-free result formatting: text, Markdown, and TSV tables."""
+
+from repro.reporting.tables import (
+    markdown_table,
+    series_to_rows,
+    text_table,
+    tsv_table,
+)
+
+__all__ = ["markdown_table", "series_to_rows", "text_table", "tsv_table"]

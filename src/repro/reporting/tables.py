@@ -1,0 +1,96 @@
+"""Plain-data table formatting: text, Markdown, TSV.
+
+The experiment modules return nested dicts; these helpers turn them
+into aligned text tables (for the CLI and benchmarks), Markdown (for
+EXPERIMENTS.md-style reports) and TSV (for external plotting), with no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["text_table", "markdown_table", "tsv_table", "series_to_rows"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _normalize(headers: Sequence[str], rows: Sequence[Sequence]) -> list[list[str]]:
+    width = len(headers)
+    normalized = []
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        if len(cells) != width:
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells; expected {width}"
+            )
+        normalized.append(cells)
+    return normalized
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width aligned table (first column left, rest right)."""
+    cells = _normalize(headers, rows)
+    columns = [list(col) for col in zip(*([list(headers)] + cells))] if cells else [
+        [h] for h in headers
+    ]
+    widths = [max(len(v) for v in col) for col in columns]
+    def fmt(row: Sequence[str]) -> str:
+        first = row[0].ljust(widths[0])
+        rest = [cell.rjust(width) for cell, width in zip(row[1:], widths[1:])]
+        return "  ".join([first, *rest]).rstrip()
+    lines = [fmt(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured Markdown table."""
+    cells = _normalize(headers, rows)
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    lines.extend("| " + " | ".join(row) + " |" for row in cells)
+    return "\n".join(lines)
+
+
+def tsv_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Tab-separated values, header first."""
+    cells = _normalize(headers, rows)
+    lines = ["\t".join(headers)]
+    lines.extend("\t".join(row) for row in cells)
+    return "\n".join(lines)
+
+
+def series_to_rows(
+    series: Mapping[str, object], key_header: str = "key"
+) -> tuple[list[str], list[list]]:
+    """Flatten an experiment series dict into (headers, rows).
+
+    Handles the two shapes the experiment modules produce:
+
+    * flat — ``{label: number}`` → two columns;
+    * nested — ``{label: {metric: number}}`` → one column per metric
+      (the union of metric names, in first-seen order).
+    """
+    if not series:
+        raise ValueError("cannot tabulate an empty series")
+    if all(isinstance(v, Mapping) for v in series.values()):
+        metrics: list[str] = []
+        for inner in series.values():
+            for metric in inner:
+                if metric not in metrics:
+                    metrics.append(metric)
+        headers = [key_header, *metrics]
+        rows = [
+            [label, *[inner.get(metric, "") for metric in metrics]]
+            for label, inner in series.items()
+        ]
+        return headers, rows
+    headers = [key_header, "value"]
+    rows = [[label, value] for label, value in series.items()]
+    return headers, rows

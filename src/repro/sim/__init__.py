@@ -1,0 +1,28 @@
+"""System simulation: configuration, metrics, and the simulate() driver."""
+
+from repro.sim.config import (
+    DEFAULT_SYSTEM,
+    SchemeConfig,
+    SystemConfig,
+    baseline_scheme,
+    desc_scheme,
+)
+from repro.sim.metrics import L2Energy, RunResult, TransferStats
+from repro.sim.sweeps import SweepPoint, sweep
+from repro.sim.system import clear_caches, simulate, transfer_stats
+
+__all__ = [
+    "DEFAULT_SYSTEM",
+    "L2Energy",
+    "RunResult",
+    "SchemeConfig",
+    "SweepPoint",
+    "SystemConfig",
+    "TransferStats",
+    "baseline_scheme",
+    "clear_caches",
+    "desc_scheme",
+    "simulate",
+    "sweep",
+    "transfer_stats",
+]

@@ -1,0 +1,109 @@
+"""Result containers for system simulations.
+
+:class:`RunResult` is what one (application, scheme, system) simulation
+produces; every figure harness consumes these.  All energies are in
+joules and all times in core clock cycles, but the figures only ever
+report ratios, per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.mcpat import ProcessorEnergyBreakdown
+
+__all__ = ["TransferStats", "L2Energy", "RunResult"]
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Mean per-block wire activity of the configured scheme.
+
+    Attributes:
+        data_flips: Data-wire transitions per block transfer.
+        overhead_flips: Overhead-wire transitions per block transfer.
+        sync_flips: Synchronization-strobe transitions (DESC only).
+        transfer_cycles: Bus occupancy per block transfer, cycles (for
+            DESC, the full time window).
+        latency_cycles: Critical-path delivery latency per block (for
+            DESC, the paper's average-value latency; equals
+            ``transfer_cycles`` for the fixed-beat schemes).
+        data_wires / overhead_wires: Wire counts of the scheme.
+    """
+
+    data_flips: float
+    overhead_flips: float
+    sync_flips: float
+    transfer_cycles: float
+    latency_cycles: float
+    data_wires: int
+    overhead_wires: int
+
+    @property
+    def total_flips(self) -> float:
+        """All wire transitions per block transfer."""
+        return self.data_flips + self.overhead_flips + self.sync_flips
+
+
+@dataclass(frozen=True)
+class L2Energy:
+    """L2 energy split (Figures 2 and 18).
+
+    Attributes:
+        static_j: Leakage over the run.
+        htree_dynamic_j: Data + overhead + address wire switching.
+        array_dynamic_j: SRAM array and decoder switching.
+    """
+
+    static_j: float
+    htree_dynamic_j: float
+    array_dynamic_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """All dynamic L2 energy."""
+        return self.htree_dynamic_j + self.array_dynamic_j
+
+    @property
+    def total_j(self) -> float:
+        """Total L2 energy."""
+        return self.static_j + self.dynamic_j
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one simulation reports.
+
+    Attributes:
+        app: Application name.
+        scheme: Scheme label.
+        cycles: Execution time in core cycles.
+        hit_latency: Mean end-to-end L2 hit latency, cycles.
+        miss_latency: Mean L2 miss latency, cycles.
+        bank_wait: Mean bank queueing delay, cycles.
+        transfers: Block transfers on the H-tree over the run.
+        transfer_stats: Mean per-block wire activity.
+        l2: L2 energy breakdown.
+        processor: Whole-processor energy breakdown.
+    """
+
+    app: str
+    scheme: str
+    cycles: float
+    hit_latency: float
+    miss_latency: float
+    bank_wait: float
+    transfers: float
+    transfer_stats: TransferStats
+    l2: L2Energy
+    processor: ProcessorEnergyBreakdown
+
+    @property
+    def l2_energy_j(self) -> float:
+        """Total L2 energy of the run."""
+        return self.l2.total_j
+
+    @property
+    def processor_energy_j(self) -> float:
+        """Total processor energy of the run."""
+        return self.processor.total_j

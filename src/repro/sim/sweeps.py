@@ -1,0 +1,91 @@
+"""Generic parameter sweeps over the system simulator.
+
+The per-figure experiments hard-code their sweeps; this module offers
+the same machinery to downstream users: take a base
+:class:`~repro.sim.config.SystemConfig`, a scheme, a set of
+applications, and any number of config fields with value lists, and get
+back one :class:`SweepPoint` per combination with suite-geomean
+metrics.
+
+Example::
+
+    from repro.sim import SystemConfig, desc_scheme
+    from repro.sim.sweeps import sweep
+
+    points = sweep(
+        desc_scheme("zero"),
+        base=SystemConfig(sample_blocks=2000),
+        num_banks=[2, 8, 32],
+        l2_size_bytes=[2**21, 2**23],
+    )
+    for p in points:
+        print(p.params, p.l2_energy_j, p.cycles)
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.util.stats import geomean
+from repro.sim.config import SchemeConfig, SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.profiles import AppProfile
+from repro.workloads.suites import PARALLEL_SUITE
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Suite-geomean metrics at one parameter combination.
+
+    Attributes:
+        params: The swept field values of this point.
+        cycles: Geomean execution time (cycles).
+        l2_energy_j: Geomean L2 energy.
+        processor_energy_j: Geomean processor energy.
+        hit_latency: Mean L2 hit latency across the suite.
+    """
+
+    params: dict[str, object]
+    cycles: float
+    l2_energy_j: float
+    processor_energy_j: float
+    hit_latency: float
+
+    @property
+    def edp(self) -> float:
+        """L2 energy-delay product (the paper's Figure 24/26 metric)."""
+        return self.l2_energy_j * self.cycles
+
+
+def sweep(
+    scheme: SchemeConfig,
+    base: SystemConfig | None = None,
+    apps: Sequence[AppProfile] = PARALLEL_SUITE,
+    **field_values: Sequence,
+) -> list[SweepPoint]:
+    """Simulate every combination of the given SystemConfig fields."""
+    if not field_values:
+        raise ValueError("provide at least one field to sweep")
+    base = base if base is not None else SystemConfig()
+    names = list(field_values)
+    points = []
+    for combo in itertools.product(*field_values.values()):
+        params = dict(zip(names, combo))
+        system = base.with_(**params)
+        results = [simulate(app, scheme, system) for app in apps]
+        points.append(
+            SweepPoint(
+                params=params,
+                cycles=geomean(r.cycles for r in results),
+                l2_energy_j=geomean(r.l2_energy_j for r in results),
+                processor_energy_j=geomean(
+                    r.processor_energy_j for r in results
+                ),
+                hit_latency=sum(r.hit_latency for r in results) / len(results),
+            )
+        )
+    return points

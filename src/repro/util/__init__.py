@@ -1,0 +1,43 @@
+"""Shared utilities: bit manipulation and argument validation."""
+
+from repro.util.bitops import (
+    bits_to_chunks,
+    bits_to_int,
+    chunks_to_bits,
+    chunks_to_int,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    int_to_chunks,
+    popcount_array,
+    random_bits,
+    random_block,
+)
+from repro.util.stats import geomean
+from repro.util.validation import (
+    require_in_range,
+    require_multiple,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "bits_to_chunks",
+    "bits_to_int",
+    "chunks_to_bits",
+    "chunks_to_int",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bits",
+    "int_to_chunks",
+    "popcount_array",
+    "random_bits",
+    "geomean",
+    "random_block",
+    "require_in_range",
+    "require_multiple",
+    "require_non_negative",
+    "require_positive",
+    "require_power_of_two",
+]

@@ -1,0 +1,138 @@
+"""Bit-level helpers shared by the encoding, ECC, and core packages.
+
+The simulator manipulates cache blocks in three interchangeable forms:
+
+* **int** — an arbitrary-precision Python integer (bit ``i`` is
+  ``(value >> i) & 1``).
+* **bit array** — a ``numpy`` ``uint8`` array of 0/1 values, index ``i``
+  holding bit ``i`` (little-endian bit order).
+* **chunk array** — a ``numpy`` ``int64`` array of fixed-width fields cut
+  from the bit string, chunk 0 holding the least-significant bits.
+
+All converters here round-trip exactly and are property-tested in
+``tests/util/test_bitops.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "int_to_chunks",
+    "chunks_to_int",
+    "bits_to_chunks",
+    "chunks_to_bits",
+    "hamming_distance",
+    "hamming_weight",
+    "popcount_array",
+    "random_bits",
+    "random_block",
+]
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Expand ``value`` into ``width`` little-endian bits.
+
+    Raises ``ValueError`` if the value does not fit or is negative.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    bits = np.empty(width, dtype=np.uint8)
+    for i in range(width):
+        bits[i] = (value >> i) & 1
+    return bits
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Collapse a little-endian 0/1 array back into an integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def int_to_chunks(value: int, chunk_bits: int, num_chunks: int) -> np.ndarray:
+    """Split ``value`` into ``num_chunks`` fields of ``chunk_bits`` each.
+
+    Chunk 0 receives the least-significant field, mirroring the paper's
+    partitioning of a cache block into contiguous chunks (Figure 4).
+    """
+    if chunk_bits <= 0:
+        raise ValueError(f"chunk_bits must be positive, got {chunk_bits}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> (chunk_bits * num_chunks):
+        raise ValueError(
+            f"value needs more than {num_chunks} chunks of {chunk_bits} bits"
+        )
+    mask = (1 << chunk_bits) - 1
+    chunks = np.empty(num_chunks, dtype=np.int64)
+    for i in range(num_chunks):
+        chunks[i] = (value >> (i * chunk_bits)) & mask
+    return chunks
+
+
+def chunks_to_int(chunks: np.ndarray, chunk_bits: int) -> int:
+    """Inverse of :func:`int_to_chunks`."""
+    value = 0
+    for i, chunk in enumerate(chunks):
+        chunk = int(chunk)
+        if chunk < 0 or chunk >> chunk_bits:
+            raise ValueError(
+                f"chunk {i} value {chunk} does not fit in {chunk_bits} bits"
+            )
+        value |= chunk << (i * chunk_bits)
+    return value
+
+
+def bits_to_chunks(bits: np.ndarray, chunk_bits: int) -> np.ndarray:
+    """Group a little-endian bit array into ``chunk_bits``-wide fields."""
+    if len(bits) % chunk_bits:
+        raise ValueError(
+            f"bit width {len(bits)} is not a multiple of chunk size {chunk_bits}"
+        )
+    weights = (1 << np.arange(chunk_bits, dtype=np.int64))
+    grouped = bits.astype(np.int64).reshape(-1, chunk_bits)
+    return grouped @ weights
+
+
+def chunks_to_bits(chunks: np.ndarray, chunk_bits: int) -> np.ndarray:
+    """Inverse of :func:`bits_to_chunks`."""
+    shifts = np.arange(chunk_bits, dtype=np.int64)
+    expanded = (chunks.astype(np.int64)[:, None] >> shifts) & 1
+    return expanded.reshape(-1).astype(np.uint8)
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions in which ``a`` and ``b`` differ."""
+    return (a ^ b).bit_count()
+
+
+def hamming_weight(a: int) -> int:
+    """Number of set bits in ``a``."""
+    return a.bit_count()
+
+
+def popcount_array(values: np.ndarray) -> np.ndarray:
+    """Per-element population count for a non-negative int64 array."""
+    values = values.astype(np.uint64)
+    counts = np.zeros(values.shape, dtype=np.int64)
+    while values.any():
+        counts += (values & np.uint64(1)).astype(np.int64)
+        values >>= np.uint64(1)
+    return counts
+
+
+def random_bits(width: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random little-endian bit array of the given width."""
+    return rng.integers(0, 2, size=width, dtype=np.uint8)
+
+
+def random_block(width: int, rng: np.random.Generator) -> int:
+    """Uniform random ``width``-bit integer."""
+    return bits_to_int(random_bits(width, rng))

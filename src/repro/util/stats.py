@@ -1,0 +1,16 @@
+"""Small statistics helpers (geometric mean, as the paper reports)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["geomean"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregate the paper uses across applications."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers used across the package.
+
+These keep constructor bodies flat: validate early, raise ``ValueError``
+with a message naming the offending parameter, then proceed knowing the
+invariant holds (see the guide's "return early on bad input" idiom).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_power_of_two",
+    "require_in_range",
+    "require_multiple",
+]
+
+
+def require_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def require_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+
+
+def require_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def require_multiple(name: str, value: int, factor: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a multiple of ``factor``."""
+    if value % factor:
+        raise ValueError(f"{name} must be a multiple of {factor}, got {value}")

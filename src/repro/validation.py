@@ -1,0 +1,129 @@
+"""Programmatic paper-vs-measured validation (the EXPERIMENTS.md table).
+
+Each :class:`Check` names a published quantity, measures it through the
+experiment modules, and judges it against an acceptance band.  The
+bands encode the *shape* expectations of DESIGN.md §6 — orderings and
+approximate magnitudes, not exact joules.  ``python -m repro validate``
+runs the whole list and prints a pass/fail table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.sim.config import SystemConfig
+
+__all__ = ["Check", "CheckResult", "build_checks", "run_validation"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One published quantity and its acceptance band.
+
+    Attributes:
+        name: Short identifier (figure + quantity).
+        paper: The value the paper reports.
+        low / high: Acceptance band for the measured value.
+        measure: Callable producing the measured value.
+    """
+
+    name: str
+    paper: float
+    low: float
+    high: float
+    measure: Callable[[], float]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one check."""
+
+    name: str
+    paper: float
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measured value falls inside the band."""
+        return self.low <= self.measured <= self.high
+
+
+def build_checks(sample_blocks: int = 2500) -> list[Check]:
+    """The validation suite over the paper's headline quantities."""
+    import repro.experiments as ex
+
+    system = SystemConfig(sample_blocks=sample_blocks)
+
+    def fig01() -> float:
+        return ex.fig01_l2_fraction.run(system)["l2_fraction"]["Geomean"]
+
+    def fig02() -> float:
+        return ex.fig02_l2_breakdown.run(system)["average"]["htree_dynamic"]
+
+    def fig12() -> float:
+        return ex.fig12_chunk_values.run(sample_blocks)["zero_fraction"]
+
+    def fig13() -> float:
+        return ex.fig13_last_value.run(sample_blocks)[
+            "last_value_fraction"]["Geomean"]
+
+    def fig16() -> float:
+        table = ex.fig16_l2_energy.run(system)["l2_energy_normalized"]
+        return 1.0 / table["Zero Skipped DESC"]["Geomean"]
+
+    def fig17_area() -> float:
+        return ex.fig17_synthesis.run()["pair_area_um2"]
+
+    def fig19() -> float:
+        return ex.fig19_processor_energy.run(system)[
+            "processor_energy_normalized"]["Geomean"]["total"]
+
+    def fig20() -> float:
+        return ex.fig20_exec_time.run(system)[
+            "execution_time_normalized"]["Zero Skipped DESC"]
+
+    def fig24() -> float:
+        return 1.0 / ex.fig24_snuca_energy.run(system)[
+            "l2_energy_normalized"]["Geomean"]
+
+    def fig26() -> float:
+        best = ex.fig26_chunk_size.run(system)["best_edp_point"]
+        return float(best["chunk_bits"] * 1000 + best["wires"])
+
+    def fig30() -> float:
+        return ex.fig30_single_thread.run(system)[
+            "execution_time_normalized"]["Geomean"]
+
+    return [
+        Check("fig01 L2 share of processor energy", 0.15, 0.10, 0.20, fig01),
+        Check("fig02 H-tree share of L2 energy", 0.80, 0.70, 0.92, fig02),
+        Check("fig12 zero-chunk fraction", 0.31, 0.27, 0.35, fig12),
+        Check("fig13 last-value fraction", 0.39, 0.33, 0.45, fig13),
+        Check("fig16 DESC+ZS L2 energy reduction (x)", 1.81, 1.60, 2.00, fig16),
+        Check("fig17 TX+RX pair area (um2)", 2120, 1900, 2400, fig17_area),
+        Check("fig19 processor energy w/ DESC", 0.93, 0.90, 0.97, fig19),
+        Check("fig20 DESC execution-time overhead", 1.02, 1.00, 1.04, fig20),
+        Check("fig24 S-NUCA-1 energy reduction (x)", 1.62, 1.40, 1.90, fig24),
+        Check("fig26 best (chunk*1000+wires)", 4128, 4128, 4128, fig26),
+        Check("fig30 OoO execution-time overhead", 1.06, 1.02, 1.10, fig30),
+    ]
+
+
+def run_validation(sample_blocks: int = 2500) -> list[CheckResult]:
+    """Run every check; returns the results in order."""
+    results = []
+    for check in build_checks(sample_blocks):
+        measured = float(check.measure())
+        results.append(
+            CheckResult(
+                name=check.name,
+                paper=check.paper,
+                measured=measured,
+                low=check.low,
+                high=check.high,
+            )
+        )
+    return results

@@ -1,0 +1,37 @@
+"""Synthetic workloads calibrated to the paper's published statistics."""
+
+from repro.workloads.generator import (
+    MemoryTrace,
+    block_stream,
+    chunk_statistics,
+    memory_trace,
+)
+from repro.workloads.profiles import (
+    PARALLEL_PROFILES,
+    SPEC_PROFILES,
+    AppProfile,
+    profile,
+)
+from repro.workloads.suites import (
+    PARALLEL_SUITE,
+    SPEC_SUITE,
+    parallel_names,
+    spec_names,
+    suite_table,
+)
+
+__all__ = [
+    "AppProfile",
+    "MemoryTrace",
+    "PARALLEL_PROFILES",
+    "PARALLEL_SUITE",
+    "SPEC_PROFILES",
+    "SPEC_SUITE",
+    "block_stream",
+    "chunk_statistics",
+    "memory_trace",
+    "parallel_names",
+    "profile",
+    "spec_names",
+    "suite_table",
+]

@@ -1,0 +1,207 @@
+"""Seeded synthetic generators: block-value streams and memory traces.
+
+Two generators, both deterministic given (application, seed):
+
+* :func:`block_stream` — the 512-bit data blocks an application moves
+  over the L2 H-tree, as ``(n, 128)`` matrices of 4-bit chunk values.
+  The generator layers the paper's three locality effects: *null
+  blocks* (whole-block zeros), *zero words* (32-bit zero clusters
+  inside a block), and *last-value repeats* at the same block offset
+  across consecutive transfers (Figures 12/13).
+* :func:`memory_trace` — a per-thread address/type trace for the
+  event-driven multicore substrate (`repro.cpu.multicore`): private
+  working sets with temporal locality plus a shared region, yielding
+  realistic hit/miss and sharing behaviour for the MESI L1s.
+
+Everything is vectorized; the repeat chain across blocks uses a
+forward-fill instead of a Python loop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.profiles import AppProfile
+
+__all__ = ["block_stream", "chunk_statistics", "MemoryTrace", "memory_trace"]
+
+_CHUNK_BITS = 4
+_CHUNKS_PER_BLOCK = 128
+_CHUNKS_PER_WORD = 8  # 32-bit words of a 512-bit block
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent per-application seed component.
+
+    ``hash(str)`` is randomized per interpreter (PYTHONHASHSEED), which
+    would make "deterministic" streams differ between runs; CRC32 is
+    stable everywhere.
+    """
+    return zlib.crc32(name.encode()) & 0x7FFFFFFF
+
+
+def block_stream(
+    app: AppProfile, num_blocks: int, seed: int = 0
+) -> np.ndarray:
+    """Generate ``num_blocks`` 512-bit blocks as 4-bit chunk values.
+
+    Three locality layers compose, mirroring real block contents:
+
+    * *spatial* — word ``j`` of a block copies word ``j-1`` with
+      probability ``p_word_repeat`` (arrays of similar elements), and
+      whole words are zero with probability ``p_zero_word``;
+    * *temporal* — chunk ``c`` of block ``i`` repeats chunk ``c`` of
+      block ``i-1`` with probability ``p_repeat_chunk``;
+    * *null blocks* — whole-block zeros with ``p_null_block``.
+
+    Fresh chunks outside those cases are zero with ``p_zero_chunk``
+    else uniform over 1..15 (Figure 12's near-uniform non-zero tail).
+    """
+    if num_blocks <= 0:
+        raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+    rng = np.random.default_rng(seed ^ _stable_hash(app.name))
+    shape = (num_blocks, _CHUNKS_PER_BLOCK)
+    words_per_block = _CHUNKS_PER_BLOCK // _CHUNKS_PER_WORD
+
+    null_block = rng.random(num_blocks) < app.p_null_block
+    zero_word = rng.random((num_blocks, words_per_block)) < app.p_zero_word
+    zero_word_chunks = np.repeat(zero_word, _CHUNKS_PER_WORD, axis=1)
+    zero_chunk = rng.random(shape) < app.p_zero_chunk
+
+    fresh = rng.integers(1, 1 << _CHUNK_BITS, size=shape, dtype=np.int64)
+    fresh[zero_chunk | zero_word_chunks | null_block[:, None]] = 0
+
+    # Spatial locality: word j copies word j-1 within the block.
+    word_copy = rng.random((num_blocks, words_per_block)) < app.p_word_repeat
+    word_view = fresh.reshape(num_blocks, words_per_block, _CHUNKS_PER_WORD)
+    for j in range(1, words_per_block):
+        rows = word_copy[:, j] & ~null_block
+        word_view[rows, j] = word_view[rows, j - 1]
+
+    repeat = rng.random(shape) < app.p_repeat_chunk
+    repeat[0] = False  # the first block has nothing to repeat
+    # Null blocks are architecturally all-zero regardless of history.
+    repeat[null_block] = False
+
+    # value[i, c] = fresh value at the last non-repeat index <= i.
+    index = np.arange(num_blocks, dtype=np.int64)[:, None]
+    source = np.where(repeat, np.int64(-1), index)
+    source = np.maximum.accumulate(source, axis=0)
+    return np.take_along_axis(fresh, source, axis=0)
+
+
+def chunk_statistics(blocks: np.ndarray) -> dict[str, float]:
+    """Measured value statistics of a block stream (Figures 12/13).
+
+    Returns ``zero_fraction``, ``last_value_fraction`` (chunk matches
+    the previous chunk at the same offset), ``null_block_fraction``,
+    and the full 16-bin ``value_histogram`` (as a list of fractions).
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    zero_fraction = float((blocks == 0).mean())
+    matches = blocks[1:] == blocks[:-1]
+    last_value_fraction = float(matches.mean()) if len(blocks) > 1 else 0.0
+    null_fraction = float((blocks == 0).all(axis=1).mean())
+    histogram = np.bincount(blocks.reshape(-1), minlength=16) / blocks.size
+    return {
+        "zero_fraction": zero_fraction,
+        "last_value_fraction": last_value_fraction,
+        "null_block_fraction": null_fraction,
+        "value_histogram": histogram.tolist(),
+    }
+
+
+@dataclass(frozen=True)
+class MemoryTrace:
+    """A per-thread memory reference trace.
+
+    Attributes:
+        addresses: ``(n,)`` block-aligned byte addresses.
+        is_write: ``(n,)`` booleans.
+        thread: ``(n,)`` issuing thread ids.
+        instructions_between: ``(n,)`` committed instructions between
+            consecutive references of the same thread.
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+    thread: np.ndarray
+    instructions_between: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+def memory_trace(
+    app: AppProfile,
+    num_references: int,
+    seed: int = 0,
+    block_bytes: int = 64,
+    private_blocks: int = 4096,
+    shared_blocks: int = 8192,
+    shared_fraction: float = 0.3,
+    stream_fraction: float = 0.2,
+) -> MemoryTrace:
+    """Generate an interleaved multi-thread reference trace.
+
+    Each thread mixes three access behaviours:
+
+    * a private region walked with a power-law reuse pattern (hot head,
+      long tail);
+    * a shared region (gives the MESI L1s realistic sharing and
+      invalidation traffic);
+    * per-thread *streams* — sequential block-by-block scans through a
+      dedicated region, the array-walk behaviour that gives DRAM its
+      row-buffer locality and the T0 address encoder its strides.
+    """
+    if num_references <= 0:
+        raise ValueError(f"num_references must be positive, got {num_references}")
+    rng = np.random.default_rng((seed + 0x9E37) ^ _stable_hash(app.name))
+    # Bursty thread interleaving: a thread issues a run of references
+    # (mean ~7) before another takes over — real traces are not i.i.d.
+    # per reference, and the bursts are what let streams reach the DRAM
+    # row buffers before another thread's accesses evict the open row.
+    switch = rng.random(num_references) > 0.85
+    switch[0] = True
+    fresh_threads = rng.integers(0, app.threads, size=num_references)
+    index = np.arange(num_references, dtype=np.int64)
+    last_switch = np.maximum.accumulate(np.where(switch, index, -1))
+    threads = fresh_threads[last_switch]
+
+    kind = rng.random(num_references)
+    streaming = kind < stream_fraction
+    shared = (kind >= stream_fraction) & (
+        kind < stream_fraction + shared_fraction * (1 - stream_fraction)
+    )
+    # Power-law block popularity: rank ~ pareto gives a hot working set.
+    rank = np.minimum(
+        (rng.pareto(1.2, size=num_references) * 32).astype(np.int64),
+        private_blocks - 1,
+    )
+    private_base = (1 + threads.astype(np.int64)) * private_blocks
+    block_index = np.where(shared, rank % shared_blocks, private_base + rank)
+
+    # Streams: each thread scans its own bounded region sequentially,
+    # wrapping so later passes find the data resident in the L2.
+    stream_blocks = max(private_blocks // 4, 64)
+    stream_region = private_blocks * (app.threads + 2)
+    stream_offset = dict.fromkeys(range(app.threads), 0)
+    for i in np.flatnonzero(streaming):
+        thread = int(threads[i])
+        base = stream_region + thread * stream_blocks
+        block_index[i] = base + (stream_offset[thread] % stream_blocks)
+        stream_offset[thread] += 1
+
+    addresses = block_index * block_bytes
+    is_write = rng.random(num_references) < app.write_fraction
+    per_ref_instructions = 1000.0 / app.l2_apki / max(app.threads, 1)
+    gaps = rng.poisson(max(per_ref_instructions, 1.0), size=num_references)
+    return MemoryTrace(
+        addresses=addresses.astype(np.int64),
+        is_write=is_write,
+        thread=threads.astype(np.int64),
+        instructions_between=np.maximum(gaps, 1).astype(np.int64),
+    )

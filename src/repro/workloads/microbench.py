@@ -1,0 +1,81 @@
+"""Synthetic stress streams: best/worst-case inputs for every scheme.
+
+The application profiles model realistic value statistics; these
+microbenchmarks probe the *corners* instead — the streams on which each
+scheme is at its best or worst.  They power the bounds-analysis
+benchmark (``benchmarks/test_bounds_analysis.py``), which demonstrates
+DESC's defining property: its transition count is **independent of the
+data**, where binary encoding swings by an order of magnitude between
+its best and worst inputs.
+
+Available streams (all return ``(num_blocks, 128)`` 4-bit chunk
+matrices, deterministic per seed):
+
+* ``zeros`` — null blocks only (binary's best case: the bus never moves).
+* ``uniform`` — i.i.d. uniform chunks, no locality of any kind.
+* ``alternating`` — successive 64-bit bus beats alternate between
+  0x5…5 and 0xA…A patterns, flipping every wire every beat: binary's
+  worst case.
+* ``walking-one`` — a single set bit walks through the block: extremely
+  sparse, DZC/zero-skipping heaven.
+* ``repeated`` — one random block repeated forever: last-value
+  skipping's best case.
+* ``ramp`` — chunk value = (block + chunk) mod 16: structured but
+  never repeating on a wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+__all__ = ["MICROBENCH_NAMES", "microbench_stream"]
+
+_CHUNKS = 128
+
+MICROBENCH_NAMES = (
+    "zeros",
+    "uniform",
+    "alternating",
+    "walking-one",
+    "repeated",
+    "ramp",
+)
+
+
+def microbench_stream(name: str, num_blocks: int, seed: int = 0) -> np.ndarray:
+    """Generate a named stress stream of 4-bit chunk blocks."""
+    require_positive("num_blocks", num_blocks)
+    rng = np.random.default_rng(seed)
+    if name == "zeros":
+        return np.zeros((num_blocks, _CHUNKS), dtype=np.int64)
+    if name == "uniform":
+        return rng.integers(0, 16, size=(num_blocks, _CHUNKS), dtype=np.int64)
+    if name == "alternating":
+        # A 64-bit bus beat spans 16 chunks; alternate the pattern per
+        # beat so every beat flips all 64 wires.
+        beat_chunks = 16
+        beat_index = np.arange(_CHUNKS) // beat_chunks
+        pattern = np.where(beat_index % 2 == 0, 0x5, 0xA)
+        # Blocks are identical; with an even beat count the last beat
+        # (0xA...) differs from the next block's first beat (0x5...),
+        # so every bus cycle flips all the wires.
+        return np.tile(pattern, (num_blocks, 1)).astype(np.int64)
+    if name == "walking-one":
+        blocks = np.zeros((num_blocks, _CHUNKS), dtype=np.int64)
+        positions = np.arange(num_blocks) % _CHUNKS
+        blocks[np.arange(num_blocks), positions] = 1 << (
+            np.arange(num_blocks) % 4
+        )
+        return blocks
+    if name == "repeated":
+        block = rng.integers(0, 16, size=_CHUNKS, dtype=np.int64)
+        return np.tile(block, (num_blocks, 1))
+    if name == "ramp":
+        block_index = np.arange(num_blocks, dtype=np.int64)[:, None]
+        chunk_index = np.arange(_CHUNKS, dtype=np.int64)[None, :]
+        return (block_index + chunk_index) % 16
+    raise ValueError(
+        f"unknown microbenchmark {name!r}; choose from {MICROBENCH_NAMES}"
+    )

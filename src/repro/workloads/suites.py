@@ -1,0 +1,49 @@
+"""Benchmark suite definitions (Table 2).
+
+Groups the application profiles into the two suites the evaluation
+uses: the sixteen memory-intensive parallel applications run to
+completion on the Niagara-like multicore (Sections 5.2–5.7), and the
+eight SPEC CPU2006 applications run as 200M-instruction SimPoint
+regions on the out-of-order core (Section 5.8).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import (
+    PARALLEL_PROFILES,
+    SPEC_PROFILES,
+    AppProfile,
+    profile,
+)
+
+__all__ = [
+    "PARALLEL_SUITE",
+    "SPEC_SUITE",
+    "parallel_names",
+    "spec_names",
+    "suite_table",
+]
+
+#: The multicore evaluation suite, in the paper's figure order.
+PARALLEL_SUITE: tuple[AppProfile, ...] = PARALLEL_PROFILES
+
+#: The latency-sensitivity suite (Figure 30).
+SPEC_SUITE: tuple[AppProfile, ...] = SPEC_PROFILES
+
+
+def parallel_names() -> tuple[str, ...]:
+    """Names of the sixteen parallel applications, figure order."""
+    return tuple(p.name for p in PARALLEL_SUITE)
+
+
+def spec_names() -> tuple[str, ...]:
+    """Names of the eight SPEC CPU2006 applications."""
+    return tuple(p.name for p in SPEC_SUITE)
+
+
+def suite_table() -> list[dict[str, str]]:
+    """Table 2 as data: application, suite, and input set."""
+    return [
+        {"benchmark": p.name, "suite": p.suite, "input": p.input_set}
+        for p in PARALLEL_SUITE + SPEC_SUITE
+    ]

@@ -1,0 +1,134 @@
+"""Tests for the full Figure 7 functional data path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.datapath import DescL2DataPath
+
+
+@pytest.fixture
+def path():
+    return DescL2DataPath(
+        num_banks=2, subbank_depth=2, block_bits=64, chunk_bits=4
+    )
+
+
+class TestRouting:
+    def test_banks_interleave_by_block(self, path):
+        assert path.route(0)[0] == 0
+        assert path.route(64)[0] == 1
+        assert path.route(128)[0] == 0
+
+    def test_subbanks_cycle_above_banks(self, path):
+        assert path.route(0)[1] == 0
+        assert path.route(2 * 64)[1] == 1
+
+
+class TestRoundTrip:
+    def test_across_banks_and_subbanks(self, path, rng):
+        blocks = {}
+        for i in range(16):
+            addr = i * 64
+            chunks = rng.integers(0, 16, size=16)
+            path.write_block(addr, chunks)
+            blocks[addr] = chunks
+        for addr, chunks in blocks.items():
+            data, _ = path.read_block(addr)
+            assert np.array_equal(data, chunks), hex(addr)
+
+    def test_shuffled_read_order(self, path, rng):
+        """Branch switching on the shared trees must be transparent —
+        the regenerators absorb level differences between subbanks."""
+        blocks = {i * 64: rng.integers(0, 16, size=16) for i in range(16)}
+        for addr, chunks in blocks.items():
+            path.write_block(addr, chunks)
+        order = list(blocks)
+        rng.shuffle(order)
+        for addr in order:
+            data, _ = path.read_block(addr)
+            assert np.array_equal(data, blocks[addr])
+
+    def test_overwrite(self, path, rng):
+        path.write_block(0, rng.integers(0, 16, size=16))
+        latest = rng.integers(0, 16, size=16)
+        path.write_block(0, latest)
+        data, _ = path.read_block(0)
+        assert np.array_equal(data, latest)
+
+    def test_read_missing_raises(self, path):
+        with pytest.raises(KeyError):
+            path.read_block(0x40)
+
+
+class TestFlipAccounting:
+    def test_upstream_read_flips_equal_unskipped_chunks(self, path, rng):
+        """No edge is lost or invented through the regenerator tree."""
+        for i in range(8):
+            addr = i * 64
+            chunks = rng.integers(0, 16, size=16)
+            chunks[rng.random(16) < 0.4] = 0
+            path.write_block(addr, chunks)
+            _, cost = path.read_block(addr)
+            assert cost.data_flips == int((chunks != 0).sum())
+
+    def test_write_flips_match_zero_skipping(self, path):
+        cost = path.write_block(0, np.zeros(16, dtype=np.int64))
+        assert cost.data_flips == 0
+        assert cost.overhead_flips == 2  # open + closing skip toggle
+
+    def test_costs_accumulate(self, path, rng):
+        chunks = rng.integers(1, 16, size=16)
+        path.write_block(0, chunks)
+        path.read_block(0)
+        total = path.total_cost
+        assert total.data_flips == 2 * 16  # no zeros: all chunks fire twice
+
+
+class TestConfiguration:
+    def test_full_size_system(self, rng):
+        big = DescL2DataPath(num_banks=8, subbank_depth=2)
+        chunks = rng.integers(0, 16, size=128)
+        big.write_block(0x1000, chunks)
+        data, _ = big.read_block(0x1000)
+        assert np.array_equal(data, chunks)
+
+    def test_last_value_rejected_on_shared_wires(self):
+        with pytest.raises(ValueError, match="stateless"):
+            DescL2DataPath(skip_policy="last-value")
+
+    def test_basic_desc_supported(self, rng):
+        path = DescL2DataPath(
+            num_banks=2, subbank_depth=1, block_bits=32,
+            chunk_bits=4, skip_policy="none",
+        )
+        chunks = rng.integers(0, 16, size=8)
+        path.write_block(0, chunks)
+        data, cost = path.read_block(0)
+        assert np.array_equal(data, chunks)
+        assert cost.data_flips == 8  # basic DESC: one per chunk
+
+
+class TestDatapathFuzz:
+    def test_random_operation_sequences(self, rng):
+        """Random interleavings of writes and reads across the whole
+        bank/subbank space must always round-trip."""
+        path = DescL2DataPath(
+            num_banks=2, subbank_depth=2, block_bits=32, chunk_bits=4
+        )
+        stored: dict[int, np.ndarray] = {}
+        for step in range(120):
+            addr = int(rng.integers(0, 32)) * 64
+            if stored and rng.random() < 0.4:
+                addr = int(rng.choice(list(stored)))
+                data, _ = path.read_block(addr)
+                assert np.array_equal(data, stored[addr]), hex(addr)
+            else:
+                chunks = rng.integers(0, 16, size=8)
+                path.write_block(addr, chunks)
+                stored[addr] = chunks
+        # Everything still readable at the end.
+        for addr, chunks in stored.items():
+            data, _ = path.read_block(addr)
+            assert np.array_equal(data, chunks)

@@ -1,0 +1,69 @@
+"""Tests for the banked L2 with bank-occupancy modelling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.l2 import BankedL2Cache
+
+
+def make_l2(banks=4, service=10):
+    return BankedL2Cache(
+        size_bytes=64 * 1024, block_bytes=64, associativity=4,
+        num_banks=banks, array_latency=3, service_cycles=service,
+    )
+
+
+class TestBankMapping:
+    def test_interleaving(self):
+        l2 = make_l2(banks=4)
+        assert l2.bank(0) == 0
+        assert l2.bank(64) == 1
+        assert l2.bank(64 * 4) == 0
+
+    def test_hit_miss_counters(self):
+        l2 = make_l2()
+        l2.access(0, False, 0)
+        l2.access(0, False, 100)
+        assert l2.hits == 1 and l2.misses == 1
+
+
+class TestBankOccupancy:
+    def test_back_to_back_same_bank_serializes(self):
+        l2 = make_l2(banks=4, service=10)
+        first = l2.access(0, False, now=0)
+        second = l2.access(64 * 4, False, now=1)  # same bank 0
+        assert first.ready_time == 3
+        assert second.ready_time == 10 + 3  # waits for the bank
+        assert l2.bank_conflicts == 1
+
+    def test_different_banks_parallel(self):
+        l2 = make_l2(banks=4, service=10)
+        l2.access(0, False, now=0)
+        second = l2.access(64, False, now=1)  # bank 1
+        assert second.ready_time == 1 + 3
+        assert l2.bank_conflicts == 0
+
+    def test_idle_bank_no_wait(self):
+        l2 = make_l2(service=10)
+        l2.access(0, False, now=0)
+        later = l2.access(64 * 4, False, now=100)
+        assert later.ready_time == 103
+        assert l2.bank_conflicts == 0
+
+
+class TestReplacement:
+    def test_victim_reported(self):
+        l2 = BankedL2Cache(
+            size_bytes=2 * 64, block_bytes=64, associativity=1,
+            num_banks=1, array_latency=1, service_cycles=2,
+        )
+        l2.access(0, True, 0)
+        # 2 sets, so address 128 maps back to set 0 and evicts block 0.
+        outcome = l2.access(128, False, 10)
+        assert outcome.victim_addr == 0
+        assert outcome.victim_dirty
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            make_l2(banks=3)

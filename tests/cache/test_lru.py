@@ -1,0 +1,46 @@
+"""Tests for the LRU replacement state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.lru import LruState
+
+
+class TestLru:
+    def test_untouched_ways_victimized_first(self):
+        lru = LruState(num_sets=1, num_ways=4)
+        lru.touch(0, 2)
+        assert lru.victim(0) == 0  # first untouched way
+
+    def test_least_recent_evicted_when_full(self):
+        lru = LruState(1, 3)
+        for way in (0, 1, 2):
+            lru.touch(0, way)
+        assert lru.victim(0) == 0
+        lru.touch(0, 0)
+        assert lru.victim(0) == 1
+
+    def test_touch_moves_to_front(self):
+        lru = LruState(1, 2)
+        lru.touch(0, 0)
+        lru.touch(0, 1)
+        lru.touch(0, 0)
+        assert lru.recency(0) == (0, 1)
+
+    def test_sets_independent(self):
+        lru = LruState(2, 2)
+        lru.touch(0, 0)
+        assert lru.recency(1) == ()
+
+    def test_forget(self):
+        lru = LruState(1, 2)
+        lru.touch(0, 0)
+        lru.touch(0, 1)
+        lru.forget(0, 1)
+        assert lru.recency(0) == (0,)
+        assert lru.victim(0) == 1  # freed way reused first
+
+    def test_way_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            LruState(1, 2).touch(0, 5)

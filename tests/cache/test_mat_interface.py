@@ -1,0 +1,70 @@
+"""Tests for the transaction-level mat interface (Figure 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.mat_interface import DescMatInterface
+from repro.core.chunking import ChunkLayout
+
+LAYOUT = ChunkLayout(block_bits=64, chunk_bits=4, num_wires=16)
+
+
+@pytest.fixture
+def interface():
+    return DescMatInterface(LAYOUT, skip_policy="zero", address_bits=10)
+
+
+class TestTransactions:
+    def test_write_read_roundtrip(self, interface, rng):
+        blocks = {a * 64: rng.integers(0, 16, size=16) for a in range(8)}
+        for addr, chunks in blocks.items():
+            interface.write(addr, chunks)
+        for addr, chunks in blocks.items():
+            txn = interface.read(addr)
+            assert np.array_equal(txn.data, chunks)
+
+    def test_write_returns_no_data(self, interface, rng):
+        txn = interface.write(0, rng.integers(0, 16, size=16))
+        assert txn.data is None
+
+    def test_duplex_links_independent(self, interface, rng):
+        """Writes ride the write link, reads the read link; their costs
+        accumulate separately (Figure 6's separate strobe sets)."""
+        interface.write(0, rng.integers(1, 16, size=16))
+        assert interface.write_link.cost_so_far().data_flips > 0
+        assert interface.read_link.cost_so_far().data_flips == 0
+        interface.read(0)
+        assert interface.read_link.cost_so_far().data_flips > 0
+
+    def test_address_flips_counted(self, interface, rng):
+        block_bytes = LAYOUT.block_bits // 8
+        first = interface.write(0, rng.integers(0, 16, size=16))
+        same = interface.write(0, rng.integers(0, 16, size=16))
+        # Index 1023 = all ten address lines high.
+        other = interface.write(1023 * block_bytes, rng.integers(0, 16, size=16))
+        assert first.address_flips == 0   # address 0 from idle lines
+        assert same.address_flips == 0    # lines already hold it
+        assert other.address_flips == 10  # all ten lines flip
+
+    def test_latency_includes_address_cycle(self, interface):
+        txn = interface.write(0, np.zeros(16, dtype=np.int64))
+        assert txn.latency_cycles == txn.data_cost.cycles + 1
+
+    def test_total_flips_combines_channels(self, interface, rng):
+        txn = interface.write(0x155 * 64, rng.integers(1, 16, size=16))
+        assert txn.total_flips == txn.data_cost.total_flips + txn.address_flips
+
+    def test_read_unknown_address(self, interface):
+        with pytest.raises(KeyError):
+            interface.read(0x40)
+
+    def test_wrong_shape_rejected(self, interface):
+        with pytest.raises(ValueError, match="chunks"):
+            interface.write(0, np.zeros(4, dtype=np.int64))
+
+    def test_transaction_counter(self, interface, rng):
+        interface.write(0, rng.integers(0, 16, size=16))
+        interface.read(0)
+        assert interface.transactions == 2

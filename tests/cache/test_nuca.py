@@ -1,0 +1,52 @@
+"""Tests for the S-NUCA-1 mapping (Section 5.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.nuca import SNuca1Mapping
+
+
+class TestMapping:
+    def test_paper_configuration(self):
+        nuca = SNuca1Mapping()
+        assert nuca.num_banks == 128
+        assert nuca.latency(0) == 3
+        assert nuca.latency(127) == 13
+
+    def test_latency_monotone_in_distance(self):
+        nuca = SNuca1Mapping()
+        latencies = [nuca.latency(b) for b in range(128)]
+        assert latencies == sorted(latencies)
+
+    def test_latency_spans_paper_range(self):
+        nuca = SNuca1Mapping()
+        latencies = {nuca.latency(b) for b in range(128)}
+        assert min(latencies) == 3 and max(latencies) == 13
+
+    def test_block_interleaving(self):
+        nuca = SNuca1Mapping()
+        assert nuca.bank(0) == 0
+        assert nuca.bank(64) == 1
+        assert nuca.bank(64 * 128) == 0
+
+    def test_access_latency_is_banks_latency(self):
+        nuca = SNuca1Mapping()
+        addr = 64 * 5
+        assert nuca.access_latency(addr) == nuca.latency(5)
+
+    def test_mean_latency_mid_range(self):
+        nuca = SNuca1Mapping()
+        assert 7.0 < nuca.mean_latency < 9.0
+
+    def test_single_bank(self):
+        nuca = SNuca1Mapping(num_banks=1)
+        assert nuca.latency(0) == 3
+
+    def test_bank_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SNuca1Mapping().latency(200)
+
+    def test_bad_latency_order(self):
+        with pytest.raises(ValueError, match="max_latency"):
+            SNuca1Mapping(min_latency=10, max_latency=5)

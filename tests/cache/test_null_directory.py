@@ -1,0 +1,79 @@
+"""Tests for the null-block directory substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.null_directory import NullBlockDirectory
+
+
+class TestDirectory:
+    def test_miss_then_hit(self):
+        directory = NullBlockDirectory()
+        assert not directory.lookup(0x40)
+        directory.record_null(0x40)
+        assert directory.lookup(0x40)
+
+    def test_data_write_clears_entry(self):
+        directory = NullBlockDirectory()
+        directory.record_null(0x40)
+        directory.record_data(0x40)
+        assert not directory.lookup(0x40)
+
+    def test_lru_capacity(self):
+        directory = NullBlockDirectory(capacity_blocks=2)
+        directory.record_null(0)
+        directory.record_null(64)
+        directory.record_null(128)  # evicts 0
+        assert not directory.lookup(0)
+        assert directory.lookup(64)
+        assert directory.lookup(128)
+
+    def test_touch_refreshes_lru(self):
+        directory = NullBlockDirectory(capacity_blocks=2)
+        directory.record_null(0)
+        directory.record_null(64)
+        directory.lookup(0)        # refresh 0
+        directory.record_null(128)  # should evict 64
+        assert directory.lookup(0)
+        assert not directory.lookup(64)
+
+    def test_hit_rate(self):
+        directory = NullBlockDirectory()
+        directory.record_null(0)
+        directory.lookup(0)
+        directory.lookup(64)
+        assert directory.hit_rate == pytest.approx(0.5)
+
+    def test_record_null_idempotent(self):
+        directory = NullBlockDirectory(capacity_blocks=2)
+        directory.record_null(0)
+        directory.record_null(0)
+        assert len(directory) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            NullBlockDirectory(capacity_blocks=0)
+
+
+class TestSystemIntegration:
+    def test_directory_helps_both_schemes_slightly(self):
+        from repro.sim import SystemConfig, baseline_scheme, desc_scheme, simulate
+
+        system = SystemConfig(sample_blocks=1500)
+        with_dir = system.with_(null_directory=True)
+        for scheme in (baseline_scheme("binary"), desc_scheme("zero")):
+            plain = simulate("Radix", scheme, system)
+            helped = simulate("Radix", scheme, with_dir)
+            assert helped.l2_energy_j <= plain.l2_energy_j
+            assert helped.cycles <= plain.cycles * 1.001
+
+    def test_directory_reduces_transfers(self):
+        from repro.sim import SystemConfig, baseline_scheme, simulate
+
+        system = SystemConfig(sample_blocks=1500)
+        plain = simulate("Radix", baseline_scheme("binary"), system)
+        helped = simulate(
+            "Radix", baseline_scheme("binary"), system.with_(null_directory=True)
+        )
+        assert helped.transfers < plain.transfers

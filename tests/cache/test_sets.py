@@ -1,0 +1,93 @@
+"""Tests for the set-associative cache structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.sets import SetAssociativeCache
+
+
+def make_cache(size=1024, block=64, ways=2):
+    return SetAssociativeCache(size, block, ways)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0x1000, False).hit
+        assert cache.access(0x1000, False).hit
+
+    def test_same_block_different_offset_hits(self):
+        cache = make_cache()
+        cache.access(0x1000, False)
+        assert cache.access(0x103F, False).hit
+
+    def test_set_mapping(self):
+        cache = make_cache(size=1024, block=64, ways=2)  # 8 sets
+        assert cache.num_sets == 8
+        assert cache.set_index(0x0) == 0
+        assert cache.set_index(64 * 8) == 0
+        assert cache.set_index(64 * 9) == 1
+
+    def test_eviction_after_ways_exhausted(self):
+        cache = make_cache(size=1024, block=64, ways=2)
+        set_stride = 64 * 8  # same set
+        cache.access(0 * set_stride, False)
+        cache.access(1 * set_stride, False)
+        outcome = cache.access(2 * set_stride, False)
+        assert not outcome.hit
+        assert outcome.victim_addr == 0
+
+    def test_lru_order_respected(self):
+        cache = make_cache(size=1024, block=64, ways=2)
+        stride = 64 * 8
+        cache.access(0 * stride, False)
+        cache.access(1 * stride, False)
+        cache.access(0 * stride, False)  # refresh block 0
+        outcome = cache.access(2 * stride, False)
+        assert outcome.victim_addr == stride  # block 1 was least recent
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        cache = make_cache(size=128, block=64, ways=1)
+        cache.access(0, True)
+        outcome = cache.access(64 * 2, False)
+        assert outcome.victim_dirty
+
+    def test_read_only_block_clean(self):
+        cache = make_cache(size=128, block=64, ways=1)
+        cache.access(0, False)
+        outcome = cache.access(64 * 2, False)
+        assert not outcome.victim_dirty
+
+    def test_mark_clean(self):
+        cache = make_cache(size=128, block=64, ways=1)
+        cache.access(0, True)
+        cache.mark_clean(0)
+        outcome = cache.access(64 * 2, False)
+        assert not outcome.victim_dirty
+
+
+class TestInvalidation:
+    def test_invalidate_removes(self):
+        cache = make_cache()
+        cache.access(0, False)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+
+    def test_invalidate_absent_is_false(self):
+        assert not make_cache().invalidate(0x5000)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(64, False)
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 60, 2)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import ChunkLayout
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def default_layout() -> ChunkLayout:
+    """The paper's default 512-bit / 4-bit / 128-wire layout."""
+    return ChunkLayout(block_bits=512, chunk_bits=4, num_wires=128)
+
+
+@pytest.fixture
+def small_layout() -> ChunkLayout:
+    """A small layout (32-bit blocks, 4 wires, 2 rounds) for cycle tests."""
+    return ChunkLayout(block_bits=32, chunk_bits=4, num_wires=4)

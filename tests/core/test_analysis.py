@@ -1,0 +1,110 @@
+"""Unit tests for the closed-form DESC cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import DescCostModel
+from repro.core.chunking import ChunkLayout
+
+
+class TestStreamCost:
+    def test_basic_flips_are_data_independent(self, default_layout, rng):
+        """Basic DESC's defining property: one flip per chunk no matter
+        the data (Section 3)."""
+        model = DescCostModel(default_layout, skip_policy="none")
+        blocks = rng.integers(0, 16, size=(50, 128))
+        stream = model.stream_cost(blocks)
+        assert (stream.data_flips == 128).all()
+        assert (stream.overhead_flips == 1).all()
+
+    def test_zero_skip_data_flips_count_nonzero(self, default_layout, rng):
+        model = DescCostModel(default_layout, skip_policy="zero")
+        blocks = rng.integers(0, 16, size=(20, 128))
+        stream = model.stream_cost(blocks)
+        expected = (blocks != 0).sum(axis=1)
+        assert np.array_equal(stream.data_flips, expected)
+
+    def test_last_value_skips_repeats(self, default_layout):
+        model = DescCostModel(default_layout, skip_policy="last-value")
+        block = np.arange(128) % 16
+        stream = model.stream_cost(np.stack([block, block, block]))
+        # First block: nothing matches the all-zero history except the
+        # zero-valued chunks; later blocks match entirely.
+        assert stream.data_flips[0] == int((block != 0).sum())
+        assert stream.data_flips[1] == 0
+        assert stream.data_flips[2] == 0
+
+    def test_stateful_equals_stream(self, default_layout, rng):
+        """Feeding block-by-block must equal one stream call."""
+        blocks = rng.integers(0, 16, size=(10, 128))
+        whole = DescCostModel(default_layout, "last-value").stream_cost(blocks)
+        stepped = DescCostModel(default_layout, "last-value")
+        for i in range(10):
+            cost = stepped.block_cost(blocks[i])
+            assert cost.data_flips == whole.data_flips[i]
+            assert cost.sync_flips == whole.sync_flips[i]
+            assert cost.cycles == whole.cycles[i]
+
+    def test_reset_clears_history(self, default_layout, rng):
+        blocks = rng.integers(0, 16, size=(5, 128))
+        model = DescCostModel(default_layout, "last-value")
+        first = model.stream_cost(blocks).data_flips.copy()
+        model.reset()
+        second = model.stream_cost(blocks).data_flips.copy()
+        assert np.array_equal(first, second)
+
+    def test_empty_stream(self, default_layout):
+        model = DescCostModel(default_layout)
+        stream = model.stream_cost(np.zeros((0, 128), dtype=np.int64))
+        assert stream.num_blocks == 0
+        assert stream.total().total_flips == 0
+
+    def test_wrong_shape_rejected(self, default_layout):
+        model = DescCostModel(default_layout)
+        with pytest.raises(ValueError, match="shape"):
+            model.stream_cost(np.zeros((5, 64), dtype=np.int64))
+
+    def test_unknown_policy_rejected(self, default_layout):
+        with pytest.raises(ValueError, match="unknown skip policy"):
+            DescCostModel(default_layout, skip_policy="sometimes")
+
+
+class TestLatencyModel:
+    def test_latency_at_most_window(self, default_layout, rng):
+        """The average-value delivery latency never exceeds the window."""
+        model = DescCostModel(default_layout, skip_policy="zero")
+        blocks = rng.integers(0, 16, size=(50, 128))
+        stream = model.stream_cost(blocks)
+        assert (stream.delivery_latency <= stream.cycles).all()
+
+    def test_null_block_minimal_latency(self, default_layout):
+        model = DescCostModel(default_layout, skip_policy="zero")
+        stream = model.stream_cost(np.zeros((1, 128), dtype=np.int64))
+        assert stream.cycles[0] == 2
+        assert stream.delivery_latency[0] == 2
+
+    def test_multi_round_latency_accumulates(self, rng):
+        narrow = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=64)
+        wide = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=128)
+        blocks = rng.integers(1, 16, size=(30, 128))
+        lat_narrow = DescCostModel(narrow, "zero").stream_cost(blocks)
+        lat_wide = DescCostModel(wide, "zero").stream_cost(blocks)
+        assert lat_narrow.delivery_latency.mean() > lat_wide.delivery_latency.mean()
+
+
+class TestAggregates:
+    def test_total_matches_sum(self, default_layout, rng):
+        model = DescCostModel(default_layout, "zero")
+        blocks = rng.integers(0, 16, size=(7, 128))
+        stream = model.stream_cost(blocks)
+        total = stream.total()
+        assert total.data_flips == stream.data_flips.sum()
+        assert total.cycles == stream.cycles.sum()
+
+    def test_block_indexing(self, default_layout, rng):
+        model = DescCostModel(default_layout, "zero")
+        stream = model.stream_cost(rng.integers(0, 16, size=(4, 128)))
+        cost = stream.block(2)
+        assert cost.data_flips == stream.data_flips[2]

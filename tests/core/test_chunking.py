@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.chunking (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chunking import ChunkLayout
+
+
+class TestLayoutGeometry:
+    def test_paper_default(self, default_layout):
+        assert default_layout.num_chunks == 128
+        assert default_layout.chunks_per_wire == 1
+        assert default_layout.num_rounds == 1
+        assert default_layout.max_chunk_value == 15
+
+    def test_narrow_bus_multiple_rounds(self):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=64)
+        assert layout.num_chunks == 128
+        assert layout.chunks_per_wire == 2
+        assert layout.num_rounds == 2
+
+    def test_figure4b_wire_assignment(self):
+        """Figure 4-b: with 64 wires, wire w carries chunks w and w+64."""
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=64)
+        wires = layout.wire_of_chunk
+        assert wires[0] == 0 and wires[64] == 0
+        assert wires[1] == 1 and wires[65] == 1
+        assert wires[63] == 63 and wires[127] == 63
+
+    def test_round_of_chunk(self):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=64)
+        assert layout.round_of_chunk[0] == 0
+        assert layout.round_of_chunk[64] == 1
+
+    def test_rejects_uneven_chunks_over_wires(self):
+        with pytest.raises(ValueError, match="spread evenly"):
+            ChunkLayout(block_bits=512, chunk_bits=4, num_wires=100)
+
+    def test_rejects_block_not_multiple_of_chunk(self):
+        with pytest.raises(ValueError, match="multiple"):
+            ChunkLayout(block_bits=510, chunk_bits=4, num_wires=2)
+
+    @pytest.mark.parametrize("chunk_bits", [1, 2, 4, 8])
+    def test_chunk_size_sweep_geometry(self, chunk_bits):
+        layout = ChunkLayout(block_bits=512, chunk_bits=chunk_bits,
+                             num_wires=512 // chunk_bits)
+        assert layout.num_rounds == 1
+        assert layout.max_chunk_value == 2**chunk_bits - 1
+
+
+class TestSplitJoin:
+    def test_split_known_value(self):
+        layout = ChunkLayout(block_bits=8, chunk_bits=4, num_wires=2)
+        assert layout.split(0x53).tolist() == [0x3, 0x5]
+
+    def test_join_inverse(self, default_layout, rng):
+        chunks = rng.integers(0, 16, size=128)
+        assert default_layout.split(default_layout.join(chunks)).tolist() == chunks.tolist()
+
+    @given(st.integers(min_value=0, max_value=2**512 - 1))
+    def test_split_join_roundtrip(self, block):
+        layout = ChunkLayout()
+        assert layout.join(layout.split(block)) == block
+
+    def test_split_bits_matches_split(self, default_layout, rng):
+        block = int(rng.integers(0, 2**63))
+        from repro.util import int_to_bits
+        bits = int_to_bits(block, 512)
+        assert np.array_equal(
+            default_layout.split_bits(bits), default_layout.split(block)
+        )
+
+    def test_join_wrong_length_raises(self, default_layout):
+        with pytest.raises(ValueError, match="expected 128"):
+            default_layout.join(np.zeros(64, dtype=np.int64))
+
+
+class TestSchedule:
+    def test_schedule_shape(self):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=32)
+        schedule = layout.schedule(np.arange(128))
+        assert schedule.shape == (4, 32)
+
+    def test_schedule_fifo_order(self):
+        """Chunks on one wire appear in FIFO (round) order."""
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=64)
+        schedule = layout.schedule(np.arange(128))
+        assert schedule[0, 0] == 0 and schedule[1, 0] == 64
+
+    def test_unschedule_inverse(self, rng):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=32)
+        chunks = rng.integers(0, 16, size=128)
+        assert np.array_equal(
+            layout.unschedule(layout.schedule(chunks)), chunks
+        )
+
+    def test_unschedule_wrong_shape_raises(self):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=32)
+        with pytest.raises(ValueError, match="shape"):
+            layout.unschedule(np.zeros((2, 32), dtype=np.int64))

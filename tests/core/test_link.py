@@ -1,0 +1,117 @@
+"""Unit tests for the complete DESC link (transmitter + wires + receiver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy", ["none", "zero", "last-value"])
+    def test_single_block(self, small_layout, policy, rng):
+        link = DescLink(small_layout, skip_policy=policy)
+        chunks = rng.integers(0, 16, size=8)
+        link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+
+    @pytest.mark.parametrize("policy", ["none", "zero", "last-value"])
+    def test_block_sequence(self, small_layout, policy, rng):
+        """Wire and policy state must stay coherent across blocks."""
+        link = DescLink(small_layout, skip_policy=policy)
+        for _ in range(15):
+            chunks = rng.integers(0, 16, size=8)
+            link.send_block(chunks)
+            assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+
+    @pytest.mark.parametrize("wire_delay", [0, 1, 3, 7])
+    def test_wire_delay_transparent(self, small_layout, wire_delay, rng):
+        """Equalized delay must not corrupt values (Section 3.2.2)."""
+        link = DescLink(small_layout, skip_policy="zero", wire_delay=wire_delay)
+        for _ in range(5):
+            chunks = rng.integers(0, 16, size=8)
+            link.send_block(chunks)
+            assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+
+    def test_all_zero_block_under_zero_skipping(self, small_layout):
+        link = DescLink(small_layout, skip_policy="zero")
+        link.send_block(np.zeros(8, dtype=np.int64))
+        assert np.array_equal(
+            link.receiver.received_blocks[-1], np.zeros(8)
+        )
+
+    def test_repeated_blocks_under_last_value(self):
+        """With one chunk per wire, a repeated block is entirely skipped."""
+        layout = ChunkLayout(block_bits=32, chunk_bits=4, num_wires=8)
+        link = DescLink(layout, skip_policy="last-value")
+        chunks = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        first = link.send_block(chunks)
+        second = link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+        assert second.data_flips == 0
+        assert first.data_flips > 0
+
+    def test_last_value_history_is_per_wire(self, small_layout):
+        """With two rounds per wire, the skip value is the *previous
+        chunk on the wire* — the prior round — so a repeated block with
+        distinct rounds skips nothing (Section 3.3's per-wire history)."""
+        link = DescLink(small_layout, skip_policy="last-value")
+        chunks = np.array([3, 1, 4, 1, 5, 9, 2, 6])  # rounds differ
+        link.send_block(chunks)
+        second = link.send_block(chunks)
+        assert second.data_flips == 8
+        # A block whose two rounds are identical skips its second round
+        # immediately, and repeats of it are fully silent.
+        same_rounds = np.array([7, 8, 9, 10, 7, 8, 9, 10])
+        first_same = link.send_block(same_rounds)
+        repeat = link.send_block(same_rounds)
+        assert first_same.data_flips == 4  # round 1 fires, round 2 skipped
+        assert repeat.data_flips == 0
+
+
+class TestCostAccounting:
+    def test_cycles_independent_of_wire_delay(self, small_layout, rng):
+        chunks = rng.integers(0, 16, size=8)
+        costs = []
+        for delay in (0, 4):
+            link = DescLink(small_layout, skip_policy="zero", wire_delay=delay)
+            costs.append(link.send_block(chunks.copy()))
+        assert costs[0].cycles == costs[1].cycles
+        assert costs[0].total_flips == costs[1].total_flips
+
+    def test_sync_strobe_half_rate(self, small_layout, rng):
+        link = DescLink(small_layout, skip_policy="none")
+        total = link.send_block(rng.integers(0, 16, size=8))
+        assert total.sync_flips == (total.cycles + 1) // 2
+
+    def test_negative_delay_rejected(self, small_layout):
+        with pytest.raises(ValueError, match="non-negative"):
+            DescLink(small_layout, wire_delay=-1)
+
+    def test_timeout_guard(self, small_layout):
+        link = DescLink(small_layout)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            link.send_block(np.zeros(8, dtype=np.int64), max_cycles=1)
+
+
+class TestWideLayouts:
+    @pytest.mark.parametrize("wires", [32, 64, 128])
+    @pytest.mark.parametrize("policy", ["none", "zero"])
+    def test_paper_widths(self, wires, policy, rng):
+        layout = ChunkLayout(block_bits=512, chunk_bits=4, num_wires=wires)
+        link = DescLink(layout, skip_policy=policy)
+        chunks = rng.integers(0, 16, size=128)
+        link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+
+    @pytest.mark.parametrize("chunk_bits", [1, 2, 8])
+    def test_chunk_size_sweep(self, chunk_bits, rng):
+        layout = ChunkLayout(
+            block_bits=64, chunk_bits=chunk_bits, num_wires=64 // chunk_bits
+        )
+        link = DescLink(layout, skip_policy="zero")
+        chunks = rng.integers(0, 2**chunk_bits, size=layout.num_chunks)
+        link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)

@@ -1,0 +1,89 @@
+"""Robustness tests for the DESC link under irregular operation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+
+
+class TestIdleGaps:
+    @pytest.mark.parametrize("policy", ["none", "zero", "last-value"])
+    def test_idle_cycles_between_blocks(self, small_layout, policy, rng):
+        """Idle bus cycles between transfers must not disturb decoding
+        or the endpoints' skip-policy synchronization."""
+        link = DescLink(small_layout, skip_policy=policy, wire_delay=1)
+        for gap in (0, 1, 5, 17):
+            chunks = rng.integers(0, 16, size=8)
+            link.send_block(chunks)
+            assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+            for _ in range(gap):
+                link.step()  # idle: no transitions, no spurious decodes
+
+    def test_idle_cycles_cost_nothing(self, small_layout):
+        link = DescLink(small_layout, skip_policy="zero")
+        link.send_block(np.arange(8) % 16)
+        before = link.cost_so_far()
+        for _ in range(50):
+            link.step()
+        after = link.cost_so_far()
+        assert after.total_flips == before.total_flips
+        assert after.cycles == before.cycles  # busy cycles, not wall clock
+
+    @settings(max_examples=20, deadline=None)
+    @given(gaps=st.lists(st.integers(0, 9), min_size=2, max_size=6),
+           seed=st.integers(0, 1000))
+    def test_random_gap_schedules(self, gaps, seed):
+        rng = np.random.default_rng(seed)
+        layout = ChunkLayout(block_bits=16, chunk_bits=4, num_wires=4)
+        link = DescLink(layout, skip_policy="last-value", wire_delay=2)
+        for gap in gaps:
+            chunks = rng.integers(0, 16, size=4)
+            link.send_block(chunks)
+            assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+            for _ in range(gap):
+                link.step()
+
+
+class TestExtremeBlocks:
+    @pytest.mark.parametrize("policy", ["none", "zero", "last-value"])
+    def test_all_max_values(self, small_layout, policy):
+        """Worst-case window: every chunk at the maximum value."""
+        link = DescLink(small_layout, skip_policy=policy)
+        chunks = np.full(8, 15, dtype=np.int64)
+        cost = link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+        assert cost.cycles <= 2 * (15 + 2)  # two rounds, bounded window
+
+    def test_alternating_extremes(self, small_layout):
+        link = DescLink(small_layout, skip_policy="last-value")
+        for i in range(10):
+            chunks = np.full(8, 15 if i % 2 else 0, dtype=np.int64)
+            link.send_block(chunks)
+            assert np.array_equal(link.receiver.received_blocks[-1], chunks)
+
+    def test_long_stream_no_drift(self, rng):
+        """200 blocks: policy state and wire levels must never drift
+        between the endpoints."""
+        layout = ChunkLayout(block_bits=32, chunk_bits=4, num_wires=8)
+        link = DescLink(layout, skip_policy="last-value", wire_delay=3)
+        blocks = rng.integers(0, 16, size=(200, 8))
+        blocks[rng.random(blocks.shape) < 0.4] = 0
+        for block in blocks:
+            link.send_block(block)
+        received = np.stack(link.receiver.received_blocks)
+        assert np.array_equal(received, blocks)
+
+
+class TestEccWidenedLayouts:
+    def test_137_wire_layout_roundtrip(self, rng):
+        """The (137,128) ECC configuration's odd wire count works on the
+        cycle-accurate link too."""
+        layout = ChunkLayout(block_bits=548, chunk_bits=4, num_wires=137)
+        link = DescLink(layout, skip_policy="zero")
+        chunks = rng.integers(0, 16, size=137)
+        link.send_block(chunks)
+        assert np.array_equal(link.receiver.received_blocks[-1], chunks)

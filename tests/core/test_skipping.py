@@ -1,0 +1,80 @@
+"""Unit tests for the Section 3.3 value-skipping policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.skipping import (
+    LastValueSkipping,
+    NoSkipping,
+    ZeroSkipping,
+    make_policy,
+)
+
+
+class TestNoSkipping:
+    def test_never_skips(self):
+        policy = NoSkipping()
+        assert policy.skip_value(0) is None
+        assert not policy.enables_skipping
+
+    def test_observe_is_noop(self):
+        policy = NoSkipping()
+        policy.observe(0, 7)
+        assert policy.skip_value(0) is None
+
+
+class TestZeroSkipping:
+    def test_skip_value_is_zero_everywhere(self):
+        policy = ZeroSkipping()
+        assert policy.skip_value(0) == 0
+        assert policy.skip_value(127) == 0
+
+    def test_history_independent(self):
+        policy = ZeroSkipping()
+        policy.observe(3, 9)
+        assert policy.skip_value(3) == 0
+
+
+class TestLastValueSkipping:
+    def test_initial_history_is_zero(self):
+        policy = LastValueSkipping(4)
+        assert all(policy.skip_value(w) == 0 for w in range(4))
+
+    def test_tracks_per_wire(self):
+        policy = LastValueSkipping(4)
+        policy.observe(1, 9)
+        policy.observe(2, 5)
+        assert policy.skip_value(0) == 0
+        assert policy.skip_value(1) == 9
+        assert policy.skip_value(2) == 5
+
+    def test_reset_clears_history(self):
+        policy = LastValueSkipping(2)
+        policy.observe(0, 7)
+        policy.reset()
+        assert policy.skip_value(0) == 0
+
+    def test_clone_fresh_history(self):
+        policy = LastValueSkipping(2)
+        policy.observe(0, 7)
+        clone = policy.clone()
+        assert clone.skip_value(0) == 0
+        assert policy.skip_value(0) == 7
+
+    def test_rejects_bad_wire_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            LastValueSkipping(0)
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoSkipping), ("zero", ZeroSkipping),
+        ("last-value", LastValueSkipping),
+    ])
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_policy(name, 8), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown skip policy"):
+            make_policy("bogus", 8)

@@ -1,0 +1,92 @@
+"""Unit tests for the Figure 8 toggle circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toggles import ToggleDetector, ToggleGenerator, ToggleRegenerator
+
+
+class TestToggleGenerator:
+    def test_starts_at_initial_level(self):
+        assert ToggleGenerator().level == 0
+        assert ToggleGenerator(initial_level=1).level == 1
+
+    def test_pulse_flips(self):
+        gen = ToggleGenerator()
+        assert gen.pulse() == 1
+        assert gen.pulse() == 0
+
+    def test_counts_transitions(self):
+        gen = ToggleGenerator()
+        for _ in range(5):
+            gen.pulse()
+        assert gen.transitions == 5
+
+    def test_bad_initial_level(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            ToggleGenerator(initial_level=2)
+
+
+class TestToggleDetector:
+    def test_no_edge_on_steady_level(self):
+        det = ToggleDetector()
+        assert not det.sample(0)
+        assert not det.sample(0)
+        assert det.edges == 0
+
+    def test_detects_both_edges(self):
+        det = ToggleDetector()
+        assert det.sample(1)  # rising
+        assert det.sample(0)  # falling
+        assert det.edges == 2
+
+    def test_generator_detector_pair(self):
+        """Every generator pulse is seen as exactly one edge."""
+        gen, det = ToggleGenerator(), ToggleDetector()
+        edges = 0
+        for i in range(20):
+            if i % 3 == 0:
+                gen.pulse()
+            edges += det.sample(gen.level)
+        assert edges == gen.transitions
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            ToggleDetector().sample(2)
+
+
+class TestToggleRegenerator:
+    def test_forwards_selected_branch_only(self):
+        regen = ToggleRegenerator()
+        # Toggle on branch 0 while branch 1 selected: nothing upstream.
+        assert not regen.sample(1, 0, select=1)
+        assert regen.upstream_transitions == 0
+        # Toggle on branch 1 while selected: forwarded.
+        assert regen.sample(1, 1, select=1)
+        assert regen.upstream_transitions == 1
+
+    def test_branch_switch_creates_no_spurious_edge(self):
+        """Switching the select between branches at different levels
+        must not toggle the upstream wire (the regenerator remembers
+        per-branch state, Figure 8-c)."""
+        regen = ToggleRegenerator()
+        regen.sample(1, 0, select=0)  # branch0 toggles, forwarded
+        assert regen.upstream_transitions == 1
+        # Now select branch 1, whose level is still 0: no edge.
+        assert not regen.sample(1, 0, select=1)
+        assert regen.upstream_transitions == 1
+
+    def test_inactive_branch_tracked(self):
+        """Edges on the inactive branch update its detector silently so
+        a later select does not replay them."""
+        regen = ToggleRegenerator()
+        regen.sample(0, 1, select=0)  # branch1 toggles unseen
+        assert regen.upstream_transitions == 0
+        # Select branch1 at its now-steady level: still no edge.
+        assert not regen.sample(0, 1, select=1)
+        assert regen.upstream_transitions == 0
+
+    def test_bad_select(self):
+        with pytest.raises(ValueError, match="select"):
+            ToggleRegenerator().sample(0, 0, select=2)

@@ -1,0 +1,98 @@
+"""Unit tests for the cycle-accurate DESC transmitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import ChunkLayout
+from repro.core.skipping import ZeroSkipping
+from repro.core.transmitter import DescTransmitter
+
+
+def drive(tx: DescTransmitter, cycles: int) -> list[np.ndarray]:
+    """Step the transmitter, collecting the wire levels per cycle."""
+    return [tx.step().copy() for _ in range(cycles)]
+
+
+class TestBasicTransmission:
+    def test_idle_holds_levels(self, small_layout):
+        tx = DescTransmitter(small_layout)
+        levels = drive(tx, 5)
+        assert all(np.array_equal(l, levels[0]) for l in levels)
+        assert tx.data_flips == 0 and tx.overhead_flips == 0
+
+    def test_busy_until_done(self, small_layout):
+        tx = DescTransmitter(small_layout)
+        tx.load_block(np.array([1, 2, 3, 4, 0, 0, 0, 0]))
+        assert tx.busy
+        drive(tx, 20)
+        assert not tx.busy
+
+    def test_load_while_busy_raises(self, small_layout):
+        tx = DescTransmitter(small_layout)
+        tx.load_block(np.zeros(8, dtype=np.int64))
+        with pytest.raises(RuntimeError, match="busy"):
+            tx.load_block(np.zeros(8, dtype=np.int64))
+
+    def test_one_flip_per_chunk_basic(self, small_layout, rng):
+        """Basic DESC: data flips == number of chunks (Section 3)."""
+        tx = DescTransmitter(small_layout)
+        chunks = rng.integers(0, 16, size=8)
+        tx.load_block(chunks)
+        drive(tx, 40)
+        assert tx.data_flips == 8
+        assert tx.overhead_flips == 2  # one reset per round, two rounds
+
+    def test_figure5_timing(self):
+        """Values 2 then 1 on one wire: toggles on cycles 2 and 2+1+1."""
+        layout = ChunkLayout(block_bits=8, chunk_bits=4, num_wires=1)
+        tx = DescTransmitter(layout)
+        tx.load_block(np.array([2, 1]))
+        levels = drive(tx, 8)
+        data = [int(l[1]) for l in levels]
+        # Round 1: reset cycle 0, data toggle on cycle 2 (3 cycles total).
+        assert data[:3] == [0, 0, 1]
+        # Round 2 starts cycle 3; value 1 toggles on its cycle 1 (= cycle 4).
+        assert data[3] == 1 and data[4] == 0
+
+    def test_value_zero_fires_with_reset(self):
+        layout = ChunkLayout(block_bits=4, chunk_bits=4, num_wires=1)
+        tx = DescTransmitter(layout)
+        tx.load_block(np.array([0]))
+        levels = drive(tx, 2)
+        assert levels[0][0] == 1  # reset toggled
+        assert levels[0][1] == 1  # data toggled same cycle
+        assert not tx.busy
+
+
+class TestSkippedTransmission:
+    def test_zero_chunks_silent(self, small_layout):
+        tx = DescTransmitter(small_layout, ZeroSkipping())
+        tx.load_block(np.array([0, 0, 5, 0, 0, 0, 0, 0]))
+        drive(tx, 20)
+        assert tx.data_flips == 1  # only the 5 fires
+
+    def test_figure10_flip_count(self):
+        """Figure 10-b: chunks (0, 0, 5, 0) move with 3 flips total —
+        two on the reset/skip wire, one data strobe."""
+        layout = ChunkLayout(block_bits=16, chunk_bits=4, num_wires=4)
+        tx = DescTransmitter(layout, ZeroSkipping())
+        tx.load_block(np.array([0, 0, 5, 0]))
+        drive(tx, 10)
+        assert tx.data_flips == 1
+        assert tx.overhead_flips == 2
+
+    def test_all_skipped_block(self, small_layout):
+        tx = DescTransmitter(small_layout, ZeroSkipping())
+        tx.load_block(np.zeros(8, dtype=np.int64))
+        drive(tx, 10)
+        assert tx.data_flips == 0
+        assert tx.overhead_flips == 4  # open + close per round, 2 rounds
+
+    def test_no_closing_toggle_when_nothing_skipped(self):
+        layout = ChunkLayout(block_bits=8, chunk_bits=4, num_wires=2)
+        tx = DescTransmitter(layout, ZeroSkipping())
+        tx.load_block(np.array([3, 7]))
+        drive(tx, 12)
+        assert tx.overhead_flips == 1

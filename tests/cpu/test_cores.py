@@ -1,0 +1,110 @@
+"""Tests for the SMT and OoO core timing models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.inorder import SmtCoreModel
+from repro.cpu.ooo import OooCoreModel
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture
+def app():
+    return profile("Ocean")
+
+
+@pytest.fixture
+def spec_app():
+    return profile("mcf")
+
+
+class TestSmtCoreModel:
+    def test_longer_hit_latency_slower(self, app):
+        core = SmtCoreModel()
+        fast = core.execution_cycles(app, hit_latency=20, miss_latency=160)
+        slow = core.execution_cycles(app, hit_latency=35, miss_latency=160)
+        assert slow > fast
+
+    def test_multithreading_hides_most_of_the_latency(self, app):
+        """The paper's latency-tolerance result: ~10 extra hit cycles
+        cost a 4-context SMT core only a few percent."""
+        core = SmtCoreModel()
+        base = core.execution_cycles(app, 22, 160)
+        slowed = core.execution_cycles(app, 32, 160)
+        assert 1.0 < slowed / base < 1.06
+
+    def test_single_thread_app_fully_exposed(self, app):
+        """With one resident context there is nothing to overlap with,
+        so the same latency increase hurts much more."""
+        single = dataclasses.replace(app, threads=1)
+        core = SmtCoreModel()
+        base = core.execution_cycles(single, 22, 160)
+        slowed = core.execution_cycles(single, 32, 160)
+        multi_ratio = (
+            core.execution_cycles(app, 32, 160)
+            / core.execution_cycles(app, 22, 160)
+        )
+        assert slowed / base > multi_ratio
+
+    def test_arrival_rate(self, app):
+        core = SmtCoreModel()
+        cycles = core.execution_cycles(app, 22, 160)
+        rate = core.l2_arrival_rate(app, cycles)
+        assert rate == pytest.approx(app.l2_accesses / cycles)
+
+    def test_rejects_zero_cycles(self, app):
+        with pytest.raises(ValueError):
+            SmtCoreModel().l2_arrival_rate(app, 0)
+
+
+class TestOooCoreModel:
+    def test_cpi_composition(self, spec_app):
+        core = OooCoreModel()
+        cpi = core.cpi(spec_app, hit_latency=25, miss_latency=160)
+        assert cpi > spec_app.cpi_base
+
+    def test_latency_sensitivity_higher_than_smt(self, spec_app):
+        """Figure 30's point: the OoO single thread suffers ~6% where
+        the SMT multicore suffers ~2%."""
+        ooo = OooCoreModel()
+        smt = SmtCoreModel()
+        ooo_ratio = (
+            ooo.execution_cycles(spec_app, 34, 160)
+            / ooo.execution_cycles(spec_app, 22, 160)
+        )
+        smt_app = dataclasses.replace(spec_app, threads=32)
+        smt_ratio = (
+            smt.execution_cycles(smt_app, 34, 160)
+            / smt.execution_cycles(smt_app, 22, 160)
+        )
+        assert ooo_ratio > smt_ratio
+
+    def test_exposure_bounds(self):
+        with pytest.raises(ValueError):
+            OooCoreModel(hit_exposure=1.5)
+
+    def test_execution_scales_with_instructions(self, spec_app):
+        core = OooCoreModel()
+        half = dataclasses.replace(spec_app, instructions=1e8)
+        assert core.execution_cycles(spec_app, 25, 160) == pytest.approx(
+            2 * core.execution_cycles(half, 25, 160)
+        )
+
+
+class TestDramModel:
+    def test_miss_latency_floor(self):
+        from repro.cpu.dram import DramModel
+
+        dram = DramModel()
+        assert dram.miss_latency(0.0) == pytest.approx(
+            dram.base_latency_cycles + dram.service_cycles
+        )
+
+    def test_queueing_grows_with_rate(self):
+        from repro.cpu.dram import DramModel
+
+        dram = DramModel()
+        assert dram.miss_latency(0.05) > dram.miss_latency(0.005)

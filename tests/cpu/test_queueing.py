@@ -1,0 +1,45 @@
+"""Tests for the M/D/1 queueing approximations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.queueing import md1_wait, utilization
+
+
+class TestUtilization:
+    def test_definition(self):
+        assert utilization(0.1, 5.0) == pytest.approx(0.5)
+
+    def test_servers_divide_load(self):
+        assert utilization(0.2, 5.0, servers=2) == pytest.approx(0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            utilization(-0.1, 1.0)
+
+
+class TestMd1Wait:
+    def test_no_arrivals_no_wait(self):
+        assert md1_wait(0.0, 10.0) == 0.0
+
+    def test_zero_service_no_wait(self):
+        assert md1_wait(0.5, 0.0) == 0.0
+
+    def test_pollaczek_khinchine_value(self):
+        # rho = 0.5, S = 10: W = 0.5 * 10 / (2 * 0.5) = 5.
+        assert md1_wait(0.05, 10.0) == pytest.approx(5.0)
+
+    def test_monotone_in_load(self):
+        waits = [md1_wait(lam, 10.0) for lam in (0.01, 0.04, 0.08)]
+        assert waits == sorted(waits)
+
+    def test_saturation_clamped_finite(self):
+        """Overload must return a large but finite wait so the fixed
+        point in the system model can recover."""
+        wait = md1_wait(10.0, 10.0)
+        assert wait > 100
+        assert wait < 1e6
+
+    def test_more_servers_less_wait(self):
+        assert md1_wait(0.08, 10.0, servers=4) < md1_wait(0.08, 10.0, servers=1)

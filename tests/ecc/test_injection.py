@@ -1,0 +1,48 @@
+"""Tests for the chunk-level fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.injection import inject_chunk_errors
+
+
+class TestInjection:
+    def test_changes_exactly_n_chunks(self, rng):
+        chunks = rng.integers(0, 16, size=137)
+        corrupted, positions = inject_chunk_errors(chunks, 3, rng)
+        changed = np.flatnonzero(corrupted != chunks)
+        assert len(changed) == 3
+        assert set(changed) == set(positions)
+
+    def test_corrupted_value_always_differs(self, rng):
+        chunks = np.zeros(64, dtype=np.int64)
+        for _ in range(50):
+            corrupted, positions = inject_chunk_errors(chunks, 1, rng)
+            pos = positions[0]
+            assert corrupted[pos] != 0
+            assert 0 <= corrupted[pos] <= 15
+
+    def test_zero_errors_is_identity(self, rng):
+        chunks = rng.integers(0, 16, size=10)
+        corrupted, positions = inject_chunk_errors(chunks, 0, rng)
+        assert np.array_equal(corrupted, chunks)
+        assert len(positions) == 0
+
+    def test_original_untouched(self, rng):
+        chunks = rng.integers(0, 16, size=10)
+        backup = chunks.copy()
+        inject_chunk_errors(chunks, 5, rng)
+        assert np.array_equal(chunks, backup)
+
+    def test_too_many_errors_rejected(self, rng):
+        with pytest.raises(ValueError, match="cannot corrupt"):
+            inject_chunk_errors(np.zeros(4, dtype=np.int64), 5, rng)
+
+    def test_wider_chunks(self, rng):
+        chunks = rng.integers(0, 256, size=64)
+        corrupted, positions = inject_chunk_errors(chunks, 2, rng, chunk_bits=8)
+        for pos in positions:
+            assert corrupted[pos] != chunks[pos]
+            assert 0 <= corrupted[pos] <= 255

@@ -1,0 +1,87 @@
+"""Tests for the address-bus encodings (Gray, T0)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.address import GrayCodeEncoder, T0Encoder, addresses_to_bits
+
+
+class TestAddressBits:
+    def test_roundtrip_values(self):
+        addrs = np.array([0, 1, 64, 0xDEAD])
+        bits = addresses_to_bits(addrs, 32)
+        weights = 1 << np.arange(32, dtype=np.int64)
+        assert np.array_equal(bits.astype(np.int64) @ weights, addrs)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="fit"):
+            addresses_to_bits(np.array([256]), 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            addresses_to_bits(np.array([-1]), 8)
+
+
+class TestGrayCode:
+    def test_sequential_addresses_one_flip_each(self):
+        """Gray's defining property: consecutive integers differ in one bit."""
+        addrs = np.arange(100)
+        cost = GrayCodeEncoder(32).stream_cost(addresses_to_bits(addrs, 32))
+        assert (cost.data_flips[1:] == 1).all()
+
+    def test_first_access_from_idle_bus(self):
+        cost = GrayCodeEncoder(8).stream_cost(addresses_to_bits(np.array([5]), 8))
+        # gray(5) = 7 = 0b111: three flips from the all-low bus.
+        assert cost.data_flips[0] == 3
+
+    def test_random_stream_comparable_to_binary(self, rng):
+        """On random (non-sequential) addresses Gray loses its edge."""
+        from repro.encoding.binary import BinaryEncoder
+
+        addrs = rng.integers(0, 2**20, size=500)
+        bits = addresses_to_bits(addrs, 32)
+        gray = GrayCodeEncoder(32).stream_cost(bits).total().total_flips
+        binary = BinaryEncoder(32, 32).stream_cost(bits).total().total_flips
+        assert 0.7 < gray / binary < 1.3
+
+
+class TestT0:
+    def test_strided_stream_is_nearly_free(self):
+        """A perfectly strided stream costs the first drive plus one
+        increment-wire rise."""
+        addrs = np.arange(0, 64 * 50, 64)
+        cost = T0Encoder(32, stride=64).stream_cost(addresses_to_bits(addrs, 32))
+        total = cost.total()
+        assert total.data_flips == 0  # first address is 0 = idle bus
+        assert total.overhead_flips == 1  # increment wire rises once
+
+    def test_stride_break_drives_bus(self):
+        addrs = np.array([0, 64, 128, 4096])
+        cost = T0Encoder(32, stride=64).stream_cost(addresses_to_bits(addrs, 32))
+        assert cost.data_flips[3] > 0  # the jump must be driven
+        assert cost.overhead_flips[3] == 1  # increment wire falls
+
+    def test_distance_measured_from_last_driven(self):
+        """During an increment run the bus holds the old value; the next
+        drive pays the distance from that held value."""
+        addrs = np.array([0x0F, 0x0F + 64, 0x0F + 128, 0x0F])
+        cost = T0Encoder(32, stride=64).stream_cost(addresses_to_bits(addrs, 32))
+        # Final access returns to the exact held value: zero data flips.
+        assert cost.data_flips[3] == 0
+
+    def test_one_overhead_wire(self):
+        assert T0Encoder(32).overhead_wires == 1
+
+    def test_first_access_not_strided(self):
+        """Address 63 with stride 64 must not match the idle bus."""
+        cost = T0Encoder(32, stride=64).stream_cost(
+            addresses_to_bits(np.array([63]), 32)
+        )
+        assert cost.data_flips[0] == 6  # 63 = 0b111111 driven plainly
+
+    def test_cycles_one_per_access(self):
+        addrs = np.arange(0, 640, 64)
+        cost = T0Encoder(32, stride=64).stream_cost(addresses_to_bits(addrs, 32))
+        assert (cost.cycles == 1).all()

@@ -1,0 +1,106 @@
+"""Unit and property tests for the binary and serial encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.binary import BinaryEncoder
+from repro.encoding.serial import SerialEncoder
+
+
+def reference_binary_flips(blocks_bits: np.ndarray, width: int) -> list[int]:
+    """Step-by-step reference: bus state chained across beats/blocks."""
+    state = np.zeros(width, dtype=np.uint8)
+    per_block = []
+    for block in blocks_bits:
+        flips = 0
+        for beat in block.reshape(-1, width):
+            flips += int((state != beat).sum())
+            state = beat.copy()
+        per_block.append(flips)
+    return per_block
+
+
+class TestBinaryEncoder:
+    def test_first_block_flips_equal_weight_changes(self, rng):
+        enc = BinaryEncoder(block_bits=64, data_wires=64)
+        bits = rng.integers(0, 2, size=(1, 64)).astype(np.uint8)
+        cost = enc.stream_cost(bits)
+        assert cost.data_flips[0] == bits.sum()  # bus starts all-zero
+
+    def test_identical_beats_cost_one_beat(self):
+        enc = BinaryEncoder(block_bits=64, data_wires=32)
+        word = np.ones(32, dtype=np.uint8)
+        bits = np.tile(word, 2)[None, :]
+        cost = enc.stream_cost(bits)
+        assert cost.data_flips[0] == 32  # only the first beat flips
+
+    def test_cycles_equal_beats(self):
+        enc = BinaryEncoder(block_bits=512, data_wires=64)
+        assert enc.beats == 8
+        cost = enc.stream_cost(np.zeros((3, 512), dtype=np.uint8))
+        assert (cost.cycles == 8).all()
+
+    def test_state_chains_across_blocks(self):
+        """The bus keeps its level between blocks: resending a block of
+        identical beats costs nothing."""
+        enc = BinaryEncoder(block_bits=64, data_wires=64)
+        word = np.ones((1, 64), dtype=np.uint8)
+        cost = enc.stream_cost(np.vstack([word, word]))
+        assert cost.data_flips.tolist() == [64, 0]
+
+    def test_no_overhead_wires(self):
+        assert BinaryEncoder(512, 64).overhead_wires == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 5), st.sampled_from([8, 16, 32]))
+    def test_matches_reference(self, n, width, ):
+        rng = np.random.default_rng(n * width)
+        bits = rng.integers(0, 2, size=(n, 64)).astype(np.uint8)
+        enc = BinaryEncoder(block_bits=64, data_wires=width)
+        cost = enc.stream_cost(bits)
+        assert cost.data_flips.tolist() == reference_binary_flips(bits, width)
+
+    def test_rejects_bad_bits(self):
+        enc = BinaryEncoder(block_bits=8, data_wires=8)
+        with pytest.raises(ValueError, match="0 or 1"):
+            enc.stream_cost(np.full((1, 8), 2, dtype=np.uint8))
+
+    def test_rejects_wrong_width(self):
+        enc = BinaryEncoder(block_bits=8, data_wires=8)
+        with pytest.raises(ValueError, match="shape"):
+            enc.stream_cost(np.zeros((1, 16), dtype=np.uint8))
+
+    def test_empty_stream(self):
+        enc = BinaryEncoder(block_bits=8, data_wires=8)
+        assert enc.stream_cost(np.zeros((0, 8), dtype=np.uint8)).num_blocks == 0
+
+
+class TestSerialEncoder:
+    def test_single_wire(self):
+        assert SerialEncoder(block_bits=8).data_wires == 1
+
+    def test_cycles_equal_block_bits(self):
+        cost = SerialEncoder(8).stream_cost(np.zeros((1, 8), dtype=np.uint8))
+        assert cost.cycles[0] == 8
+
+    def test_flips_count_transitions(self):
+        bits = np.array([[0, 1, 0, 1, 0, 0, 1, 1]], dtype=np.uint8)
+        cost = SerialEncoder(8).stream_cost(bits)
+        # Stream from the idle-low wire: 0,1,0,1,0,0,1,1 → 5 transitions.
+        assert cost.data_flips[0] == 5
+
+    def test_state_chains_across_blocks(self):
+        ones = np.ones((2, 4), dtype=np.uint8)
+        cost = SerialEncoder(4).stream_cost(ones)
+        assert cost.data_flips.tolist() == [1, 0]
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    def test_matches_pairwise_count(self, bits):
+        arr = np.array([bits], dtype=np.uint8)
+        cost = SerialEncoder(8).stream_cost(arr)
+        stream = [0] + bits
+        expected = sum(a != b for a, b in zip(stream, stream[1:]))
+        assert cost.data_flips[0] == expected

@@ -1,0 +1,146 @@
+"""Tests for bus-invert coding, including a step-by-step reference model.
+
+The vectorized encoder relies on the polarity-independence argument in
+its module docstring; the reference implementation here simulates the
+actual wire levels (data pattern, invert line, skip line) beat by beat
+and must agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.bus_invert import BusInvertEncoder
+
+
+def reference_bus_invert(
+    blocks_bits: np.ndarray, width: int, seg_bits: int, zero_skip: bool
+) -> tuple[list[int], list[int]]:
+    """Wire-level reference: returns (data flips, overhead flips) per block."""
+    nseg = width // seg_bits
+    pattern = np.zeros((nseg, seg_bits), dtype=np.uint8)  # physical levels
+    invert_level = np.zeros(nseg, dtype=np.uint8)
+    skip_level = np.zeros(nseg, dtype=np.uint8)
+    data_out, over_out = [], []
+    for block in blocks_bits:
+        data_flips = overhead_flips = 0
+        for beat in block.reshape(-1, width):
+            segs = beat.reshape(nseg, seg_bits)
+            for s in range(nseg):
+                word = segs[s]
+                if zero_skip and not word.any():
+                    overhead_flips += int(skip_level[s] != 1)
+                    skip_level[s] = 1
+                    continue
+                if zero_skip:
+                    overhead_flips += int(skip_level[s] != 0)
+                    skip_level[s] = 0
+                # Classic Stan-Burleson rule, straight from the text:
+                # "if the Hamming distance between the present value and
+                # the last value exceeds N/2, the inverted code is
+                # transmitted" — an absolute polarity decision against
+                # the physical bus state.
+                h_plain = int((pattern[s] != word).sum())
+                q = 1 if h_plain * 2 > seg_bits else 0
+                drive = word ^ q
+                data_flips += int((pattern[s] != drive).sum())
+                overhead_flips += int(invert_level[s] != q)
+                invert_level[s] = q
+                pattern[s] = drive
+        data_out.append(data_flips)
+        over_out.append(overhead_flips)
+    return data_out, over_out
+
+
+class TestBusInvertBasic:
+    def test_upper_bound_per_beat(self, rng):
+        """Classic BIC bound: at most s/2 data flips + 1 invert flip per
+        segment per beat (Stan & Burleson)."""
+        enc = BusInvertEncoder(block_bits=64, data_wires=64, segment_bits=16)
+        bits = rng.integers(0, 2, size=(50, 64)).astype(np.uint8)
+        cost = enc.stream_cost(bits)
+        max_per_block = enc.beats * enc.num_segments * (16 // 2 + 1)
+        assert (cost.data_flips + cost.overhead_flips <= max_per_block).all()
+
+    def test_alternating_pattern_capped(self):
+        """All-ones after all-zeros would flip 16 wires in binary; BIC
+        sends the inverted word for 1 flip on the invert line."""
+        enc = BusInvertEncoder(block_bits=32, data_wires=16, segment_bits=16)
+        block = np.concatenate([np.zeros(16), np.ones(16)]).astype(np.uint8)
+        cost = enc.stream_cost(block[None, :])
+        assert cost.data_flips[0] == 0
+        assert cost.overhead_flips[0] == 1
+
+    def test_overhead_wires_one_per_segment(self):
+        enc = BusInvertEncoder(512, 64, 16)
+        assert enc.overhead_wires == 4
+
+    def test_never_worse_than_binary_plus_invert_lines(self, rng):
+        from repro.encoding.binary import BinaryEncoder
+
+        bits = rng.integers(0, 2, size=(30, 128)).astype(np.uint8)
+        bic = BusInvertEncoder(128, 64, 32).stream_cost(bits)
+        binary = BinaryEncoder(128, 64).stream_cost(bits)
+        assert bic.total_flips_per_block.sum() <= binary.total_flips_per_block.sum() + 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([4, 8, 16]))
+    def test_matches_reference(self, seed, seg_bits):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(4, 64)).astype(np.uint8)
+        enc = BusInvertEncoder(block_bits=64, data_wires=32, segment_bits=seg_bits)
+        cost = enc.stream_cost(bits)
+        ref_data, ref_over = reference_bus_invert(bits, 32, seg_bits, False)
+        assert cost.data_flips.tolist() == ref_data
+        assert cost.overhead_flips.tolist() == ref_over
+
+
+class TestZeroSkippedBusInvert:
+    def test_zero_run_costs_one_skip_toggle(self):
+        enc = BusInvertEncoder(32, 16, 16, zero_skipping="sparse")
+        blocks = np.zeros((3, 32), dtype=np.uint8)
+        blocks[0, :16] = 1  # one nonzero beat, then all zeros
+        cost = enc.stream_cost(blocks)
+        # Beat 1: all-ones is 16 away from the all-zero bus → inverted
+        # (one invert-line flip, zero data flips).  Beats 2..6 are zero:
+        # the skip line rises once and stays up.
+        assert cost.overhead_flips.sum() == 2
+        assert cost.data_flips.sum() == 0
+
+    def test_sparse_overhead_wires(self):
+        enc = BusInvertEncoder(512, 64, 8, zero_skipping="sparse")
+        assert enc.overhead_wires == 16  # invert + skip per segment
+
+    def test_encoded_variant_fewer_wires(self):
+        sparse = BusInvertEncoder(512, 64, 8, zero_skipping="sparse")
+        encoded = BusInvertEncoder(512, 64, 8, zero_skipping="encoded")
+        assert encoded.overhead_wires < sparse.overhead_wires
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([8, 16]))
+    def test_sparse_matches_reference(self, seed, seg_bits):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(4, 64)).astype(np.uint8)
+        # Inject zero segments so skipping actually triggers.
+        bits[rng.random((4, 64)) < 0.4] = 0
+        enc = BusInvertEncoder(64, 32, seg_bits, zero_skipping="sparse")
+        cost = enc.stream_cost(bits)
+        ref_data, ref_over = reference_bus_invert(bits, 32, seg_bits, True)
+        assert cost.data_flips.tolist() == ref_data
+        assert cost.overhead_flips.tolist() == ref_over
+
+    def test_encoded_same_data_flips_as_sparse(self, rng):
+        bits = rng.integers(0, 2, size=(10, 64)).astype(np.uint8)
+        sparse = BusInvertEncoder(64, 32, 8, zero_skipping="sparse").stream_cost(bits)
+        encoded = BusInvertEncoder(64, 32, 8, zero_skipping="encoded").stream_cost(bits)
+        assert np.array_equal(sparse.data_flips, encoded.data_flips)
+
+    def test_too_many_segments_for_encoding_rejected(self):
+        with pytest.raises(ValueError, match="39 segments"):
+            BusInvertEncoder(512, 256, 4, zero_skipping="encoded")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="zero_skipping"):
+            BusInvertEncoder(64, 32, 8, zero_skipping="dense")

@@ -1,0 +1,47 @@
+"""Tests for DESC behind the BusEncoder interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.desc import DescEncoder
+
+
+class TestDescEncoder:
+    def test_bits_and_chunks_paths_agree(self, rng):
+        enc = DescEncoder(block_bits=512, data_wires=128, skip_policy="zero")
+        chunks = rng.integers(0, 16, size=(20, 128))
+        shifts = np.arange(4, dtype=np.int64)
+        bits = ((chunks[:, :, None] >> shifts) & 1).astype(np.uint8).reshape(20, 512)
+        via_bits = enc.stream_cost(bits)
+        via_chunks = enc.chunk_stream_cost(chunks)
+        assert np.array_equal(via_bits.data_flips, via_chunks.data_flips)
+        assert np.array_equal(via_bits.cycles, via_chunks.cycles)
+
+    def test_names_by_policy(self):
+        assert DescEncoder(skip_policy="none").name == "desc"
+        assert DescEncoder(skip_policy="zero").name == "desc+zero-skip"
+        assert DescEncoder(skip_policy="last-value").name == "desc+last-value-skip"
+
+    def test_two_overhead_wires(self):
+        """Reset/skip strobe + synchronization strobe."""
+        assert DescEncoder().overhead_wires == 2
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError, match="skip_policy"):
+            DescEncoder(skip_policy="never")
+
+    def test_zero_skip_never_more_flips_than_basic(self, rng):
+        chunks = rng.integers(0, 16, size=(30, 128))
+        chunks[rng.random(chunks.shape) < 0.3] = 0
+        basic = DescEncoder(skip_policy="none").chunk_stream_cost(chunks).total()
+        skipped = DescEncoder(skip_policy="zero").chunk_stream_cost(chunks).total()
+        assert skipped.data_flips <= basic.data_flips
+
+    def test_bits_to_chunk_matrix(self, rng):
+        enc = DescEncoder()
+        chunks = rng.integers(0, 16, size=(5, 128))
+        shifts = np.arange(4, dtype=np.int64)
+        bits = ((chunks[:, :, None] >> shifts) & 1).astype(np.uint8).reshape(5, 512)
+        assert np.array_equal(enc.bits_to_chunk_matrix(bits), chunks)

@@ -1,0 +1,44 @@
+"""Tests for the encoder registry (Figure 16's scheme set)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding import registry
+from repro.encoding.base import BusEncoder
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", registry.scheme_names())
+    def test_builds_every_scheme(self, name):
+        enc = registry.make_encoder(name)
+        assert isinstance(enc, BusEncoder)
+
+    @pytest.mark.parametrize("name", registry.scheme_names())
+    def test_every_scheme_computes_costs(self, name, rng):
+        enc = registry.make_encoder(name)
+        bits = rng.integers(0, 2, size=(3, 512)).astype(np.uint8)
+        cost = enc.stream_cost(bits)
+        assert cost.num_blocks == 3
+        assert (cost.total_flips_per_block >= 0).all()
+
+    def test_figure16_scheme_count(self):
+        assert len(registry.FIGURE16_SCHEMES) == 8
+
+    def test_best_segments_match_figure15_derivation(self):
+        assert registry.BEST_SEGMENT_BITS["zero-compression"] == 8
+        assert registry.BEST_SEGMENT_BITS["bus-invert"] == 4
+
+    def test_segment_override(self):
+        enc = registry.make_encoder("bus-invert", segment_bits=8)
+        assert enc.segment_bits == 8
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            registry.make_encoder("morse-code")
+
+    def test_desc_dimensions(self):
+        enc = registry.make_encoder("desc+zero-skip", desc_wires=64, chunk_bits=2)
+        assert enc.data_wires == 64
+        assert enc.chunk_bits == 2

@@ -1,0 +1,71 @@
+"""Tests for the shared segment machinery (forward-fill, transitions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding import segments
+
+
+class TestBeatView:
+    def test_shape(self):
+        bits = np.zeros((3, 64), dtype=np.uint8)
+        view = segments.beat_view(bits, data_wires=32, segment_bits=8)
+        assert view.shape == (6, 4, 8)
+
+    def test_time_order(self):
+        """Beat t of the view is bus cycle t: block 0's beats first."""
+        bits = np.arange(2 * 16, dtype=np.uint8).reshape(2, 16) % 2
+        view = segments.beat_view(bits, data_wires=8, segment_bits=8)
+        assert np.array_equal(view[0, 0], bits[0, :8])
+        assert np.array_equal(view[1, 0], bits[0, 8:])
+        assert np.array_equal(view[2, 0], bits[1, :8])
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            segments.beat_view(np.zeros((1, 60), dtype=np.uint8), 32, 8)
+
+
+class TestHeldPattern:
+    def test_first_beat_sees_zeros(self):
+        beats = np.ones((3, 1, 4), dtype=np.uint8)
+        held = segments.held_pattern(beats, np.ones((3, 1), dtype=bool))
+        assert held[0].sum() == 0
+
+    def test_forwards_last_driven(self):
+        beats = np.zeros((4, 1, 2), dtype=np.uint8)
+        beats[0, 0] = [1, 0]
+        beats[2, 0] = [0, 1]
+        driven = np.array([[True], [False], [False], [True]])
+        held = segments.held_pattern(beats, driven)
+        # Beat 1 and 2 still see beat 0's word; beat 3 sees it too since
+        # beats 1-2 were skipped.
+        assert held[1, 0].tolist() == [1, 0]
+        assert held[2, 0].tolist() == [1, 0]
+        assert held[3, 0].tolist() == [1, 0]
+
+    def test_per_segment_independence(self):
+        beats = np.zeros((2, 2, 1), dtype=np.uint8)
+        beats[0, 0] = 1
+        driven = np.array([[True, False], [True, True]])
+        held = segments.held_pattern(beats, driven)
+        assert held[1, 0] == 1  # segment 0 was driven at beat 0
+        assert held[1, 1] == 0  # segment 1 never driven
+
+
+class TestLevelTransitions:
+    def test_initially_low(self):
+        levels = np.array([[1], [1], [0]], dtype=np.uint8)
+        flips = segments.level_transitions(levels)
+        assert flips[:, 0].tolist() == [1, 0, 1]
+
+    def test_steady_zero_costs_nothing(self):
+        levels = np.zeros((5, 3), dtype=np.uint8)
+        assert segments.level_transitions(levels).sum() == 0
+
+
+class TestPerBlock:
+    def test_sums_by_block(self):
+        per_beat = np.arange(6, dtype=np.int64)
+        assert segments.per_block(per_beat, 2).tolist() == [3, 12]

@@ -1,0 +1,122 @@
+"""Tests for the CACTI-class cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.cacti import CacheEnergyModel, CacheGeometry
+
+
+class TestGeometry:
+    def test_table1_defaults(self):
+        g = CacheGeometry()
+        assert g.size_bytes == 8 * 1024 * 1024
+        assert g.associativity == 16
+        assert g.num_banks == 8
+        assert g.num_sets == 8192
+        assert g.block_bits == 512
+
+    def test_internal_leaves(self):
+        assert CacheGeometry().internal_leaves == 16  # 4 subbanks x 4 mats
+
+    def test_rejects_odd_banks(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(num_banks=5)
+
+
+class TestEnergyModel:
+    def test_area_plausible_for_8mb_at_22nm(self):
+        model = CacheEnergyModel()
+        assert 10 < model.area_mm2 < 60
+
+    def test_larger_cache_larger_area(self):
+        small = CacheEnergyModel(CacheGeometry(size_bytes=1024 * 1024))
+        big = CacheEnergyModel(CacheGeometry(size_bytes=64 * 1024 * 1024))
+        assert big.area_mm2 > 10 * small.area_mm2
+
+    def test_device_leakage_ordering(self):
+        hp = CacheEnergyModel(cell_device="HP", periph_device="HP")
+        lstp = CacheEnergyModel(cell_device="LSTP", periph_device="LSTP")
+        assert hp.leakage_w > 100 * lstp.leakage_w
+
+    def test_hp_leakage_is_watts_scale(self):
+        """An 8MB HP cache leaks watts — why the paper uses LSTP."""
+        hp = CacheEnergyModel(cell_device="HP", periph_device="HP")
+        assert 1.0 < hp.leakage_w < 100.0
+
+    def test_lstp_leakage_is_milliwatts_scale(self):
+        lstp = CacheEnergyModel()
+        assert 1e-4 < lstp.leakage_w < 0.1
+
+    def test_flip_energy_grows_with_cache_size(self):
+        small = CacheEnergyModel(CacheGeometry(size_bytes=512 * 1024))
+        big = CacheEnergyModel(CacheGeometry(size_bytes=64 * 1024 * 1024))
+        assert big.energy_per_flip_j > small.energy_per_flip_j
+
+    def test_wider_bus_adds_area(self):
+        narrow = CacheEnergyModel(CacheGeometry(data_wires=8))
+        wide = CacheEnergyModel(CacheGeometry(data_wires=512))
+        assert wide.area_mm2 > narrow.area_mm2
+
+    def test_more_banks_more_peripheral_leakage(self):
+        few = CacheEnergyModel(CacheGeometry(num_banks=2))
+        many = CacheEnergyModel(CacheGeometry(num_banks=64))
+        assert many.periph_leakage_w > few.periph_leakage_w
+
+    def test_lstp_access_slower_than_hp(self):
+        hp = CacheEnergyModel(cell_device="HP", periph_device="HP")
+        lstp = CacheEnergyModel()
+        assert lstp.array_delay_cycles > hp.array_delay_cycles
+
+    def test_base_hit_cycles_plausible(self):
+        """Table 1 lists a 19-cycle hit; the pre-transfer part must be
+        a plausible fraction of that."""
+        model = CacheEnergyModel()
+        assert 3 <= model.base_hit_cycles <= 15
+
+    def test_route_scale(self):
+        full = CacheEnergyModel()
+        short = CacheEnergyModel(route_scale=0.5)
+        assert short.energy_per_flip_j == pytest.approx(0.5 * full.energy_per_flip_j)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="devices"):
+            CacheEnergyModel(cell_device="ULP")
+
+
+class TestCalibratedShares:
+    """The Figure 2 / Figure 18 calibration anchors (DESIGN.md §6)."""
+
+    def test_htree_dominates_under_lstp(self):
+        """H-tree switching ≈ 80% of L2 energy at a memory-intensive
+        access rate (one access every ~12 cycles, ~210 flips/block)."""
+        model = CacheEnergyModel()
+        rate = 3.2e9 / 12
+        htree = rate * 210 * model.energy_per_flip_j
+        other = rate * (model.array_access_energy_j + model.address_energy_j)
+        static = model.leakage_w
+        total = htree + other + static
+        assert 0.70 < htree / total < 0.90
+        assert static / total < 0.25
+
+
+class TestCouplingPenalty:
+    def test_no_penalty_within_channel(self):
+        """Buses up to DESC's 128+strobes+address fit the channel."""
+        assert CacheEnergyModel(CacheGeometry(data_wires=64)).coupling_factor == 1.0
+        assert CacheEnergyModel(
+            CacheGeometry(data_wires=128, overhead_wires=2)
+        ).coupling_factor == 1.0
+
+    def test_penalty_grows_logarithmically(self):
+        wide = CacheEnergyModel(CacheGeometry(data_wires=512))
+        wider = CacheEnergyModel(CacheGeometry(data_wires=1024))
+        assert 1.0 < wide.coupling_factor < wider.coupling_factor
+
+    def test_penalty_applies_to_flip_energy(self):
+        narrow = CacheEnergyModel(CacheGeometry(data_wires=64))
+        wide = CacheEnergyModel(CacheGeometry(data_wires=512))
+        # Per-flip energy grows faster than geometry alone explains.
+        geometric = wide.htree.energy_per_flip_j / narrow.htree.energy_per_flip_j
+        actual = wide.energy_per_flip_j / narrow.energy_per_flip_j
+        assert actual > geometric * 1.2

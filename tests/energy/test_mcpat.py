@@ -1,0 +1,52 @@
+"""Tests for the McPAT-class processor power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.mcpat import ProcessorPowerModel
+
+
+class TestBreakdown:
+    def _breakdown(self, l2=1e-3):
+        model = ProcessorPowerModel()
+        return model.breakdown(
+            instructions=2e8, cycles=5e7, l1_accesses=2.6e8,
+            memory_accesses=1e6, l2_energy_j=l2,
+        )
+
+    def test_total_is_sum_of_parts(self):
+        b = self._breakdown()
+        parts = (
+            b.core_dynamic_j + b.core_static_j + b.l1_dynamic_j
+            + b.memory_interface_j + b.l2_j
+        )
+        assert b.total_j == pytest.approx(parts)
+
+    def test_l2_fraction(self):
+        b = self._breakdown()
+        assert b.l2_fraction == pytest.approx(b.l2_j / b.total_j)
+
+    def test_non_l2_complement(self):
+        b = self._breakdown()
+        assert b.non_l2_j == pytest.approx(b.total_j - b.l2_j)
+
+    def test_zero_l2(self):
+        b = self._breakdown(l2=0.0)
+        assert b.l2_fraction == 0.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ProcessorPowerModel().breakdown(-1, 1, 1, 1, 1)
+
+    def test_core_energy_scales_with_instructions(self):
+        model = ProcessorPowerModel()
+        a = model.breakdown(1e8, 1e7, 0, 0, 0)
+        b = model.breakdown(2e8, 1e7, 0, 0, 0)
+        assert b.core_dynamic_j == pytest.approx(2 * a.core_dynamic_j)
+
+    def test_static_scales_with_time(self):
+        model = ProcessorPowerModel()
+        a = model.breakdown(1, 1e7, 0, 0, 0)
+        b = model.breakdown(1, 2e7, 0, 0, 0)
+        assert b.core_static_j == pytest.approx(2 * a.core_static_j)

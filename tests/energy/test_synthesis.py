@@ -1,0 +1,59 @@
+"""Tests for the DESC synthesis model (Figure 17)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.synthesis import DescSynthesisModel
+from repro.energy.technology import NODE_45NM
+
+
+class TestFigure17Calibration:
+    def test_pair_area_near_published(self):
+        pair = DescSynthesisModel().interface_pair()
+        assert pair.area_um2 == pytest.approx(2120, rel=0.10)
+
+    def test_pair_peak_power_near_published(self):
+        pair = DescSynthesisModel().interface_pair()
+        assert pair.peak_power_w == pytest.approx(46e-3, rel=0.10)
+
+    def test_round_trip_delay_near_published(self):
+        model = DescSynthesisModel()
+        assert model.round_trip_delay_s() == pytest.approx(625e-12, rel=0.10)
+
+    def test_round_trip_cycles_at_3_2ghz(self):
+        assert DescSynthesisModel().round_trip_delay_cycles() == 2
+
+
+class TestScaling:
+    def test_transmitter_larger_than_receiver(self):
+        """The TX carries comparators and FIFO control the RX lacks."""
+        model = DescSynthesisModel()
+        assert model.transmitter().area_um2 > model.receiver().area_um2
+
+    def test_area_scales_with_chunks(self):
+        small = DescSynthesisModel(num_chunks=64).interface_pair()
+        large = DescSynthesisModel(num_chunks=128).interface_pair()
+        assert large.area_um2 > 1.5 * small.area_um2
+
+    def test_45nm_larger_and_slower(self):
+        new = DescSynthesisModel().interface_pair()
+        old = DescSynthesisModel(node=NODE_45NM).interface_pair()
+        assert old.area_um2 > 2 * new.area_um2
+        assert old.delay_s > new.delay_s
+
+    def test_wider_chunks_more_area(self):
+        narrow = DescSynthesisModel(chunk_bits=2).interface_pair()
+        wide = DescSynthesisModel(chunk_bits=8).interface_pair()
+        assert wide.area_um2 > narrow.area_um2
+
+    def test_result_addition(self):
+        m = DescSynthesisModel()
+        pair = m.interface_pair()
+        assert pair.gate_equivalents == pytest.approx(
+            m.transmitter().gate_equivalents + m.receiver().gate_equivalents
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DescSynthesisModel(num_chunks=0)

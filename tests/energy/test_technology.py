@@ -1,0 +1,47 @@
+"""Tests for the technology tables (Table 3, ITRS device types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.technology import DEVICE_TYPES, NODE_22NM, NODE_45NM, TechnologyNode
+
+
+class TestNodes:
+    def test_table3_values(self):
+        """The exact parameters of Table 3."""
+        assert NODE_45NM.voltage_v == 1.1
+        assert NODE_45NM.fo4_delay_s == pytest.approx(20.25e-12)
+        assert NODE_22NM.voltage_v == 0.83
+        assert NODE_22NM.fo4_delay_s == pytest.approx(11.75e-12)
+
+    def test_scaling_direction(self):
+        """22nm is smaller, lower-voltage, faster, lower-energy."""
+        assert NODE_22NM.sram_cell_area_um2 < NODE_45NM.sram_cell_area_um2
+        assert NODE_22NM.gate_area_um2 < NODE_45NM.gate_area_um2
+        assert NODE_22NM.gate_energy_j < NODE_45NM.gate_energy_j
+        assert NODE_22NM.fo4_delay_s < NODE_45NM.fo4_delay_s
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(
+                name="bad", feature_nm=-1, voltage_v=1, fo4_delay_s=1e-12,
+                sram_cell_area_um2=0.1, gate_area_um2=0.4,
+                gate_energy_j=1e-15, gate_leakage_w=1e-9,
+            )
+
+
+class TestDeviceTypes:
+    def test_all_three_flavours(self):
+        assert set(DEVICE_TYPES) == {"HP", "LOP", "LSTP"}
+
+    def test_leakage_ordering(self):
+        """HP leaks most, LSTP least (by orders of magnitude)."""
+        assert DEVICE_TYPES["HP"].leakage_factor > DEVICE_TYPES["LOP"].leakage_factor
+        assert DEVICE_TYPES["LOP"].leakage_factor > DEVICE_TYPES["LSTP"].leakage_factor
+        assert DEVICE_TYPES["HP"].leakage_factor / DEVICE_TYPES["LSTP"].leakage_factor > 100
+
+    def test_delay_ordering(self):
+        """LSTP devices are about 2x slower than HP (paper footnote 3)."""
+        assert DEVICE_TYPES["LSTP"].delay_factor == pytest.approx(2.0)
+        assert DEVICE_TYPES["HP"].delay_factor == 1.0

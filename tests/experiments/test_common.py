@@ -1,0 +1,50 @@
+"""Tests for the experiment helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SCHEMES, geomean, ratio_by_app, run_suite
+from repro.sim.config import SchemeConfig, SystemConfig
+from repro.workloads.profiles import profile
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariant_to_order(self):
+        assert geomean([2, 3, 5]) == pytest.approx(geomean([5, 2, 3]))
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geomean(values) < sum(values) / 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestSchemes:
+    def test_eight_figure16_schemes(self):
+        assert len(DEFAULT_SCHEMES) == 8
+        assert DEFAULT_SCHEMES[0][1].name == "binary"
+
+    def test_desc_variants_use_128_wires(self):
+        for label, scheme in DEFAULT_SCHEMES:
+            if scheme.is_desc:
+                assert scheme.data_wires == 128, label
+
+
+class TestSuiteHelpers:
+    def test_run_suite_and_ratio(self):
+        system = SystemConfig(sample_blocks=800)
+        apps = [profile("LU"), profile("FFT")]
+        base = run_suite(SchemeConfig(name="binary"), system, apps)
+        desc = run_suite(DEFAULT_SCHEMES[6][1], system, apps)
+        ratios = ratio_by_app(desc, base, lambda r: r.l2_energy_j)
+        assert set(ratios) == {"LU", "FFT", "Geomean"}
+        assert all(0 < v < 1 for v in ratios.values())

@@ -1,0 +1,50 @@
+"""Contract tests: every figure's run() output is JSON-serializable.
+
+The CLI (`python -m repro run figNN --json` and `all --json`) serializes
+experiment results directly; a figure returning numpy scalars or arrays
+would break it.  Fast figures run for real; the heavy sweeps are
+spot-checked through the suite's other tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments as ex
+from repro.sim.config import SystemConfig
+
+FAST = SystemConfig(sample_blocks=600)
+
+_FAST_FIGURES = [
+    ("fig01", lambda: ex.fig01_l2_fraction.run(FAST)),
+    ("fig02", lambda: ex.fig02_l2_breakdown.run(FAST)),
+    ("fig03", lambda: ex.fig03_illustrative.run()),
+    ("fig12", lambda: ex.fig12_chunk_values.run(400)),
+    ("fig13", lambda: ex.fig13_last_value.run(400)),
+    ("fig16", lambda: ex.fig16_l2_energy.run(FAST)),
+    ("fig17", lambda: ex.fig17_synthesis.run()),
+    ("fig18", lambda: ex.fig18_energy_split.run(FAST)),
+    ("fig19", lambda: ex.fig19_processor_energy.run(FAST)),
+    ("fig20", lambda: ex.fig20_exec_time.run(FAST)),
+    ("fig21", lambda: ex.fig21_hit_delay.run(FAST)),
+    ("fig23", lambda: ex.fig23_snuca_time.run(FAST)),
+    ("fig24", lambda: ex.fig24_snuca_energy.run(FAST)),
+    ("fig28", lambda: ex.fig28_ecc_time.run(FAST)),
+    ("fig29", lambda: ex.fig29_ecc_energy.run(FAST)),
+    ("fig30", lambda: ex.fig30_single_thread.run(FAST)),
+]
+
+
+@pytest.mark.parametrize("name,runner", _FAST_FIGURES, ids=[n for n, _ in _FAST_FIGURES])
+def test_run_output_is_json_serializable(name, runner):
+    result = runner()
+    assert isinstance(result, dict)
+    encoded = json.dumps(result)
+    assert json.loads(encoded) is not None
+
+
+@pytest.mark.parametrize("name,runner", _FAST_FIGURES, ids=[n for n, _ in _FAST_FIGURES])
+def test_run_is_deterministic(name, runner):
+    assert json.dumps(runner()) == json.dumps(runner())

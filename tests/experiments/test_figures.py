@@ -1,0 +1,162 @@
+"""Shape tests for every figure experiment (fast configurations).
+
+Each test runs the figure's ``run()`` on a reduced sample and asserts
+the qualitative result the paper reports — who wins, roughly by how
+much, and where the extremes sit.  EXPERIMENTS.md records the exact
+measured-vs-paper numbers from the full benchmark runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as ex
+from repro.sim.config import SystemConfig
+
+FAST = SystemConfig(sample_blocks=1200)
+
+
+class TestMotivationFigures:
+    def test_fig01_l2_share_near_15_percent(self):
+        result = ex.fig01_l2_fraction.run(FAST)
+        assert 0.10 < result["l2_fraction"]["Geomean"] < 0.20
+
+    def test_fig02_htree_dominates(self):
+        result = ex.fig02_l2_breakdown.run(FAST)
+        assert 0.70 < result["average"]["htree_dynamic"] < 0.92
+        assert result["average"]["static"] < 0.25
+
+    def test_fig03_exact_paper_counts(self):
+        result = ex.fig03_illustrative.run()
+        assert result["parallel"]["flips"] == 4
+        assert result["serial"]["flips"] == 5
+        assert result["desc"]["flips"] == 3
+
+
+class TestValueStatistics:
+    def test_fig12_zero_fraction(self):
+        result = ex.fig12_chunk_values.run(num_blocks=1500)
+        assert result["zero_fraction"] == pytest.approx(0.31, abs=0.04)
+
+    def test_fig12_nonzero_tail_flat(self):
+        hist = ex.fig12_chunk_values.run(num_blocks=1500)["value_histogram"]
+        tail = hist[1:]
+        assert max(tail) < 3 * min(tail)
+
+    def test_fig13_last_value_fraction(self):
+        result = ex.fig13_last_value.run(num_blocks=1500)
+        assert result["last_value_fraction"]["Geomean"] == pytest.approx(
+            0.39, abs=0.06
+        )
+
+
+class TestMainResults:
+    @pytest.fixture(scope="class")
+    def fig16(self):
+        return ex.fig16_l2_energy.run(FAST)["l2_energy_normalized"]
+
+    def test_fig16_desc_zero_skip_headline(self, fig16):
+        """The 1.81x headline: we require at least 1.6x."""
+        assert fig16["Zero Skipped DESC"]["Geomean"] < 1 / 1.6
+
+    def test_fig16_zero_beats_last_value(self, fig16):
+        assert (
+            fig16["Zero Skipped DESC"]["Geomean"]
+            < fig16["Last Value Skipped DESC"]["Geomean"]
+        )
+
+    def test_fig16_baseline_ordering(self, fig16):
+        """DZC < BIC < zero-skipped BIC in savings."""
+        assert fig16["Dynamic Zero Compression"]["Geomean"] > fig16["Bus Invert Coding"]["Geomean"]
+        assert (
+            fig16["Zero Skipped Bus Invert"]["Geomean"]
+            <= fig16["Bus Invert Coding"]["Geomean"] + 0.005
+        )
+
+    def test_fig16_every_scheme_saves(self, fig16):
+        for label, ratios in fig16.items():
+            assert ratios["Geomean"] <= 1.001, label
+
+    def test_fig17_synthesis_near_paper(self):
+        result = ex.fig17_synthesis.run()
+        paper = result["paper"]
+        assert result["pair_area_um2"] == pytest.approx(paper["pair_area_um2"], rel=0.12)
+        assert result["pair_peak_power_mw"] == pytest.approx(
+            paper["pair_peak_power_mw"], rel=0.12
+        )
+        assert result["round_trip_delay_ps"] == pytest.approx(
+            paper["round_trip_delay_ps"], rel=0.12
+        )
+        assert result["l2_area_overhead"] < 0.015
+
+    def test_fig18_desc_halves_dynamic(self):
+        split = ex.fig18_energy_split.run(FAST)["energy_split"]
+        assert (
+            split["Zero Skipped DESC"]["dynamic"]
+            < 0.62 * split["Conventional Binary"]["dynamic"]
+        )
+
+    def test_fig19_processor_savings(self):
+        result = ex.fig19_processor_energy.run(FAST)
+        total = result["processor_energy_normalized"]["Geomean"]["total"]
+        assert 0.90 < total < 0.97  # paper: 0.93
+
+    def test_fig20_slowdowns_bounded(self):
+        times = ex.fig20_exec_time.run(FAST)["execution_time_normalized"]
+        assert times["Zero Skipped DESC"] < 1.04
+        assert times["Conventional Binary"] == pytest.approx(1.0)
+
+    def test_fig21_hit_delay_ordering(self):
+        result = ex.fig21_hit_delay.run(FAST)
+        extra = result["desc_extra_delay"]
+        assert extra["64-wire"] > extra["128-wire"] > 0
+
+
+class TestNucaAndSensitivity:
+    def test_fig23_snuca_penalty_small(self):
+        result = ex.fig23_snuca_time.run(FAST)
+        assert result["execution_time_normalized"]["Geomean"] < 1.04
+
+    def test_fig24_snuca_savings(self):
+        result = ex.fig24_snuca_energy.run(FAST)
+        assert result["l2_energy_normalized"]["Geomean"] < 1 / 1.4
+
+    def test_fig25_banks_shape(self):
+        result = ex.fig25_banks.run(FAST)
+        time = result["execution_time_normalized"]
+        # One bank is much slower than two; beyond eight the gains stop.
+        assert time[1] > 1.15 * time[2]
+        energy = result["l2_energy_normalized"]
+        assert energy[64] > energy[8]
+
+    def test_fig26_best_point_is_paper_config(self):
+        result = ex.fig26_chunk_size.run(FAST)
+        assert result["best_edp_point"]["chunk_bits"] == 4
+        assert result["best_edp_point"]["wires"] == 128
+
+    def test_fig26_eight_bit_chunks_slow(self):
+        points = ex.fig26_chunk_size.run(FAST)["points"]
+        assert points["c8-w64"]["execution_time"] > points["c4-w128"]["execution_time"]
+
+    def test_fig27_improvement_narrows_with_size(self):
+        result = ex.fig27_cache_size.run(FAST)
+        imp = result["desc_improvement"]
+        assert imp["0.5MB"] > imp["64MB"] > 1.3
+
+    def test_fig28_ecc_time_penalty_small(self):
+        result = ex.fig28_ecc_time.run(FAST)
+        table = result["execution_time_normalized"]
+        assert table["128-128 DESC"] < 1.05
+
+    def test_fig29_wider_code_better(self):
+        result = ex.fig29_ecc_energy.run(FAST)
+        imp = result["desc_improvement"]
+        assert imp["(137,128)"] > imp["(72,64)"] > 1.4
+
+    def test_fig30_ooo_penalty_larger_than_smt(self):
+        fig30 = ex.fig30_single_thread.run(FAST)
+        fig20 = ex.fig20_exec_time.run(FAST)["execution_time_normalized"]
+        assert (
+            fig30["execution_time_normalized"]["Geomean"]
+            > fig20["Zero Skipped DESC"]
+        )

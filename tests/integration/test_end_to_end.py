@@ -1,0 +1,112 @@
+"""Cross-module integration tests.
+
+These chain the substrates together the way the real system would:
+ECC-protected blocks over the cycle-accurate DESC link with fault
+injection, the functional cache controller feeding application data,
+and the event-driven multicore cross-checked against the analytic
+timing model's trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.controller import DescCacheController
+from repro.core.chunking import ChunkLayout
+from repro.core.link import DescLink
+from repro.ecc.injection import inject_chunk_errors
+from repro.ecc.layout import DescEccLayout
+from repro.workloads.generator import block_stream, memory_trace
+from repro.workloads.profiles import profile
+
+
+class TestEccOverDescLink:
+    """The full Figure 9 story: encode, transmit over real wires with
+    value skipping, corrupt a chunk in flight, decode and correct."""
+
+    @pytest.mark.parametrize("segment_bits", [64, 128])
+    def test_corrupted_transfer_fully_recovered(self, segment_bits, rng):
+        ecc = DescEccLayout(512, segment_bits, 4)
+        layout = ChunkLayout(
+            block_bits=ecc.codeword_bits_total, chunk_bits=4,
+            num_wires=ecc.num_chunks,
+        )
+        link = DescLink(layout, skip_policy="zero")
+        for _ in range(5):
+            data = rng.integers(0, 2, size=512).astype(np.uint8)
+            chunks = ecc.encode_block(data)
+            link.send_block(chunks)
+            received = link.receiver.received_blocks[-1]
+            assert np.array_equal(received, chunks)
+            # A wire error corrupts one whole chunk in flight.
+            corrupted, _ = inject_chunk_errors(received, 1, rng)
+            result = ecc.decode_block(corrupted)
+            assert result.ok
+            assert np.array_equal(result.data_bits, data)
+
+
+class TestApplicationDataThroughController:
+    def test_workload_blocks_roundtrip(self, rng):
+        """Real application-like blocks through the functional data
+        path, under the paper's best skipping policy."""
+        app = profile("Radix")
+        blocks = block_stream(app, 32, seed=7)
+        ctrl = DescCacheController(skip_policy="zero")
+        for i, block in enumerate(blocks):
+            ctrl.write_block(i * 64, block)
+        for i, block in enumerate(blocks):
+            data, _ = ctrl.read_block(i * 64)
+            assert np.array_equal(data, block)
+
+    def test_zero_heavy_app_cheaper_than_random(self):
+        """Value statistics propagate to wire energy end to end."""
+        zero_heavy = block_stream(profile("Radix"), 32, seed=7)
+        low_zero = block_stream(profile("FFT"), 32, seed=7)
+        costs = []
+        for blocks in (zero_heavy, low_zero):
+            ctrl = DescCacheController(skip_policy="zero")
+            for i, block in enumerate(blocks):
+                ctrl.write_block(i * 64, block)
+            costs.append(ctrl.total_cost.data_flips)
+        assert costs[0] < costs[1]
+
+
+class TestAnalyticVsEventDriven:
+    """The two fidelity layers must agree on architectural *trends*."""
+
+    def test_bank_scaling_direction_agrees(self):
+        from repro.cpu.multicore import MulticoreConfig, MulticoreSimulator
+        from repro.sim.config import SystemConfig, desc_scheme
+        from repro.sim.system import simulate
+
+        app = profile("Ocean")
+        trace = memory_trace(app, 12000, seed=3)
+        # DESC-length transfer windows (17 cycles) make the banks the
+        # contended resource, matching the analytic DESC comparison.
+        event_ratio = (
+            MulticoreSimulator(
+                MulticoreConfig(l2_banks=1, l2_transfer_cycles=17)
+            ).run(trace).cycles
+            / MulticoreSimulator(
+                MulticoreConfig(l2_banks=8, l2_transfer_cycles=17)
+            ).run(memory_trace(app, 12000, seed=3)).cycles
+        )
+        system = SystemConfig(sample_blocks=1500)
+        analytic_ratio = (
+            simulate(app, desc_scheme("zero"), system.with_(num_banks=1)).cycles
+            / simulate(app, desc_scheme("zero"), system.with_(num_banks=8)).cycles
+        )
+        assert event_ratio > 1.05 and analytic_ratio > 1.05
+
+    def test_transfer_window_direction_agrees(self):
+        from repro.cpu.multicore import MulticoreConfig, MulticoreSimulator
+
+        app = profile("Ocean")
+        trace = memory_trace(app, 12000, seed=3)
+        short = MulticoreSimulator(MulticoreConfig(l2_transfer_cycles=8)).run(trace)
+        trace2 = memory_trace(app, 12000, seed=3)
+        long = MulticoreSimulator(MulticoreConfig(l2_transfer_cycles=17)).run(trace2)
+        # Longer windows slow execution, but multithreading bounds the
+        # damage — the paper's central latency-tolerance claim.
+        assert 1.0 < long.cycles / short.cycles < 1.5

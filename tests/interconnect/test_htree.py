@@ -1,0 +1,67 @@
+"""Unit tests for the H-tree geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.interconnect.htree import HTreeModel, htree_route_length_mm
+from repro.interconnect.wires import WireModel
+
+
+class TestRouteLength:
+    def test_depth_zero_is_zero(self):
+        assert htree_route_length_mm(4.0, 0) == 0.0
+
+    def test_first_level_is_quarter_side(self):
+        assert htree_route_length_mm(4.0, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_depth(self):
+        lengths = [htree_route_length_mm(4.0, d) for d in range(10)]
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_converges_to_side(self):
+        """Infinite depth approaches the centre-to-corner Manhattan
+        distance (= the side length)."""
+        assert htree_route_length_mm(4.0, 40) == pytest.approx(4.0, rel=1e-4)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            htree_route_length_mm(1.0, -1)
+
+
+class TestHTreeModel:
+    def _model(self, area=16.0, banks=8, leaves=16, wires=96):
+        return HTreeModel(
+            area_mm2=area, num_banks=banks, internal_leaves=leaves,
+            wires=WireModel(), num_wires=wires,
+        )
+
+    def test_route_is_main_plus_internal(self):
+        m = self._model()
+        assert m.route_mm == pytest.approx(m.main_route_mm + m.internal_route_mm)
+
+    def test_more_banks_longer_main_route(self):
+        assert self._model(banks=64).main_route_mm > self._model(banks=2).main_route_mm
+
+    def test_more_banks_shorter_internal_route(self):
+        assert (
+            self._model(banks=64).internal_route_mm
+            < self._model(banks=2).internal_route_mm
+        )
+
+    def test_larger_cache_longer_route(self):
+        assert self._model(area=64.0).route_mm > self._model(area=4.0).route_mm
+
+    def test_energy_positive_and_small(self):
+        m = self._model()
+        assert 0 < m.energy_per_flip_j < 1e-11
+
+    def test_bank_side_geometry(self):
+        m = self._model(area=16.0, banks=4)
+        assert m.bank_side_mm == pytest.approx(math.sqrt(4.0))
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ValueError, match="power of two"):
+            self._model(banks=6)

@@ -1,0 +1,76 @@
+"""Tests for the toggle-regenerator merge tree (Figures 7/8-c)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interconnect.regenerator_tree import RegeneratorTree
+
+
+def levels(tree: RegeneratorTree, **branch_levels) -> np.ndarray:
+    arr = np.zeros((tree.num_branches, tree.num_wires), dtype=np.uint8)
+    for key, value in branch_levels.items():
+        arr[int(key[1:])] = value
+    return arr
+
+
+class TestSingleLevel:
+    def test_forwards_active_branch_toggle(self):
+        tree = RegeneratorTree(num_wires=2, depth=1)
+        out = tree.sample(np.array([[1, 0], [0, 0]], dtype=np.uint8), select=0)
+        assert out[0] == 1 and out[1] == 0
+        assert tree.upstream_transitions() == 1
+
+    def test_ignores_inactive_branch_toggle(self):
+        tree = RegeneratorTree(num_wires=1, depth=1)
+        tree.sample(np.array([[0], [1]], dtype=np.uint8), select=0)
+        assert tree.upstream_transitions() == 0
+
+    def test_branch_switch_no_spurious_edge(self):
+        """The defining property: selecting a branch whose level differs
+        from the other's must not toggle the upstream wire."""
+        tree = RegeneratorTree(num_wires=1, depth=1)
+        tree.sample(np.array([[1], [0]], dtype=np.uint8), select=0)  # edge
+        assert tree.upstream_transitions() == 1
+        # Switch selection to branch 1, still at level 0: no edge.
+        tree.sample(np.array([[1], [0]], dtype=np.uint8), select=1)
+        assert tree.upstream_transitions() == 1
+
+
+class TestDeepTree:
+    def test_four_branches_route_correctly(self):
+        tree = RegeneratorTree(num_wires=1, depth=2)
+        state = np.zeros((4, 1), dtype=np.uint8)
+        for branch in (0, 3, 1, 2):
+            state[branch, 0] ^= 1  # this branch toggles
+            tree.sample(state, select=branch)
+        # Every toggle travelled upstream exactly once.
+        assert tree.upstream_transitions() == 4
+
+    def test_interleaved_branches_no_replay(self):
+        """Toggles on a branch while it is deselected never replay when
+        it is selected again (per-branch detector state)."""
+        tree = RegeneratorTree(num_wires=1, depth=2)
+        state = np.zeros((4, 1), dtype=np.uint8)
+        state[2, 0] = 1  # branch 2 toggles while branch 0 is selected
+        tree.sample(state, select=0)
+        assert tree.upstream_transitions() == 0
+        # Now select branch 2 at its steady level: still nothing.
+        tree.sample(state, select=2)
+        assert tree.upstream_transitions() == 0
+        # A real toggle on branch 2 while selected is forwarded.
+        state[2, 0] = 0
+        tree.sample(state, select=2)
+        assert tree.upstream_transitions() == 1
+
+    def test_rejects_bad_shapes(self):
+        tree = RegeneratorTree(num_wires=2, depth=1)
+        with pytest.raises(ValueError, match="shape"):
+            tree.sample(np.zeros((3, 2), dtype=np.uint8), select=0)
+        with pytest.raises(ValueError, match="out of range"):
+            tree.sample(np.zeros((2, 2), dtype=np.uint8), select=5)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            RegeneratorTree(num_wires=1, depth=0)

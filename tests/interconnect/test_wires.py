@@ -1,0 +1,64 @@
+"""Unit tests for the repeated-wire electrical model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect.wires import WireModel
+
+
+class TestWireModel:
+    def test_energy_scales_linearly_with_length(self):
+        wm = WireModel()
+        assert wm.energy_per_flip_j(2.0) == pytest.approx(2 * wm.energy_per_flip_j(1.0))
+
+    def test_energy_scales_with_voltage_squared(self):
+        low = WireModel(voltage_v=0.5)
+        high = WireModel(voltage_v=1.0)
+        assert high.energy_per_flip_j(1.0) == pytest.approx(4 * low.energy_per_flip_j(1.0))
+
+    def test_delay_linear(self):
+        wm = WireModel()
+        assert wm.delay_s(3.0) == pytest.approx(3 * wm.delay_s(1.0))
+
+    def test_leakage_scales_with_wires(self):
+        wm = WireModel()
+        assert wm.leakage_w(1.0, 64) == pytest.approx(64 * wm.leakage_w(1.0, 1))
+
+    def test_scaled_changes_voltage_only(self):
+        wm = WireModel()
+        scaled = wm.scaled(voltage_v=1.1)
+        assert scaled.voltage_v == 1.1
+        assert scaled.capacitance_f_per_mm == wm.capacitance_f_per_mm
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            WireModel(capacitance_f_per_mm=0.0)
+
+    def test_magnitude_is_sub_picojoule_per_mm(self):
+        """22nm global wires switch a fraction of a pJ per mm."""
+        energy = WireModel().energy_per_flip_j(1.0)
+        assert 1e-14 < energy < 1e-12
+
+
+class TestLowSwingWires:
+    def test_low_swing_cheaper_per_flip(self):
+        full = WireModel()
+        low = WireModel.low_swing()
+        assert low.energy_per_flip_j(3.0) < 0.5 * full.energy_per_flip_j(3.0)
+
+    def test_receiver_energy_floor(self):
+        """At very short lengths the sense-amp energy dominates."""
+        low = WireModel.low_swing()
+        assert low.energy_per_flip_j(0.01) >= low.receiver_energy_j
+
+    def test_low_swing_slower(self):
+        assert WireModel.low_swing().delay_s(1.0) > WireModel().delay_s(1.0)
+
+    def test_swing_cannot_exceed_supply(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            WireModel(voltage_v=0.8, swing_v=0.9)
+
+    def test_full_swing_default_unchanged(self):
+        wm = WireModel()
+        assert wm.effective_swing_v == wm.voltage_v

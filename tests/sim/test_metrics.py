@@ -1,0 +1,59 @@
+"""Tests for the result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import L2Energy, TransferStats
+
+
+class TestTransferStats:
+    def _stats(self):
+        return TransferStats(
+            data_flips=90.0, overhead_flips=2.5, sync_flips=8.0,
+            transfer_cycles=17.0, latency_cycles=9.5,
+            data_wires=128, overhead_wires=2,
+        )
+
+    def test_total_flips(self):
+        assert self._stats().total_flips == pytest.approx(100.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            self._stats().data_flips = 1.0
+
+
+class TestL2Energy:
+    def _energy(self):
+        return L2Energy(static_j=1.0, htree_dynamic_j=6.0, array_dynamic_j=1.0)
+
+    def test_dynamic_sum(self):
+        assert self._energy().dynamic_j == pytest.approx(7.0)
+
+    def test_total(self):
+        assert self._energy().total_j == pytest.approx(8.0)
+
+
+class TestRunResultProperties:
+    def test_simulation_result_consistency(self):
+        from repro.sim import SystemConfig, baseline_scheme, simulate
+
+        result = simulate("LU", baseline_scheme("binary"),
+                          SystemConfig(sample_blocks=1000))
+        assert result.l2_energy_j == pytest.approx(result.l2.total_j)
+        assert result.processor_energy_j == pytest.approx(
+            result.processor.total_j
+        )
+        assert result.processor.l2_j == pytest.approx(result.l2.total_j)
+        assert result.hit_latency >= result.bank_wait
+        assert result.app == "LU"
+        assert result.scheme == "binary"
+
+    def test_simulation_deterministic(self):
+        from repro.sim import SystemConfig, desc_scheme, simulate
+
+        system = SystemConfig(sample_blocks=1000)
+        a = simulate("LU", desc_scheme("zero"), system)
+        b = simulate("LU", desc_scheme("zero"), system)
+        assert a.cycles == b.cycles
+        assert a.l2_energy_j == b.l2_energy_j

@@ -1,0 +1,47 @@
+"""Tests for the generic sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig, desc_scheme
+from repro.sim.sweeps import sweep
+from repro.workloads.profiles import profile
+
+BASE = SystemConfig(sample_blocks=800)
+APPS = [profile("LU"), profile("Ocean")]
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        points = sweep(
+            desc_scheme("zero"), base=BASE, apps=APPS,
+            num_banks=[4, 8], l2_size_bytes=[2 * 2**20, 8 * 2**20],
+        )
+        assert len(points) == 4
+        combos = {(p.params["num_banks"], p.params["l2_size_bytes"])
+                  for p in points}
+        assert len(combos) == 4
+
+    def test_metrics_populated(self):
+        points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                       num_banks=[8])
+        point = points[0]
+        assert point.cycles > 0
+        assert point.l2_energy_j > 0
+        assert point.edp == pytest.approx(point.l2_energy_j * point.cycles)
+
+    def test_trend_through_sweep(self):
+        points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                       l2_size_bytes=[2**20, 2**26])
+        small, large = points
+        assert large.l2_energy_j > small.l2_energy_j
+
+    def test_requires_a_field(self):
+        with pytest.raises(ValueError, match="at least one field"):
+            sweep(desc_scheme("zero"), base=BASE, apps=APPS)
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(TypeError):
+            sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                  warp_factor=[1, 2])

@@ -1,0 +1,54 @@
+"""Tests for the figure-regeneration CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig01", "fig16", "fig19", "fig30"):
+            assert name in out
+
+    def test_lists_22_figures(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert sum(1 for line in out.splitlines() if line.strip().startswith("fig")) == 22
+
+
+class TestRun:
+    def test_run_pretty(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel" in out and "desc" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig03", "--json"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["parallel"]["flips"] == 4
+
+    def test_run_with_sample_size(self, capsys):
+        assert main(["run", "fig12", "--sample-blocks", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "zero_fraction" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig99"])
+        assert excinfo.value.code == 2
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_system_figure_runs(self, capsys):
+        assert main(["run", "fig17", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert 1800 < data["pair_area_um2"] < 2500

@@ -1,0 +1,59 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    public = getattr(module, "__all__", None)
+    if public is None:
+        return
+    undocumented = []
+    for name in public:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__doc__ is None or not obj.__doc__.strip():
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for member_name, member in inspect.getmembers(obj):
+                    if member_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(member) and member.__qualname__.startswith(
+                        obj.__name__
+                    ):
+                        if not _documented_in_mro(obj, member_name):
+                            undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+def _documented_in_mro(cls: type, member_name: str) -> bool:
+    """A method counts as documented if it or the interface it overrides
+    carries a docstring (the contract lives on the ABC)."""
+    for base in cls.__mro__:
+        member = base.__dict__.get(member_name)
+        if member is not None:
+            doc = getattr(member, "__doc__", None)
+            if doc and doc.strip():
+                return True
+    return False

@@ -1,0 +1,50 @@
+"""Tests for the programmatic validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation import Check, CheckResult, build_checks, run_validation
+
+
+class TestCheckResult:
+    def test_pass_inside_band(self):
+        result = CheckResult("x", paper=1.0, measured=1.05, low=0.9, high=1.1)
+        assert result.passed
+
+    def test_fail_outside_band(self):
+        result = CheckResult("x", paper=1.0, measured=1.2, low=0.9, high=1.1)
+        assert not result.passed
+
+    def test_band_edges_inclusive(self):
+        assert CheckResult("x", 1.0, 0.9, 0.9, 1.1).passed
+        assert CheckResult("x", 1.0, 1.1, 0.9, 1.1).passed
+
+
+class TestBuildChecks:
+    def test_covers_headline_figures(self):
+        names = [c.name for c in build_checks()]
+        for figure in ("fig01", "fig16", "fig19", "fig20", "fig30"):
+            assert any(figure in n for n in names), figure
+
+    def test_bands_contain_paper_value_or_state_deviation(self):
+        """Bands should be meaningful: either the paper value is inside
+        (full reproduction expected) or the documented deviation applies
+        (fig16's 1.81x sits above our band's centre)."""
+        for check in build_checks():
+            assert check.low <= check.high
+            assert check.low <= check.paper * 1.15
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_validation(sample_blocks=1200)
+
+    def test_all_checks_pass(self, results):
+        failing = [r.name for r in results if not r.passed]
+        assert not failing, f"failing checks: {failing}"
+
+    def test_results_carry_measurements(self, results):
+        for r in results:
+            assert r.measured > 0

@@ -1,0 +1,82 @@
+"""Tests for the table formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import markdown_table, series_to_rows, text_table, tsv_table
+
+HEADERS = ["scheme", "energy", "time"]
+ROWS = [["binary", 1.0, 1.0], ["desc", 0.5812, 1.0197]]
+
+
+class TestTextTable:
+    def test_contains_all_cells(self):
+        table = text_table(HEADERS, ROWS)
+        for token in ("scheme", "binary", "desc", "0.5812"):
+            assert token in table
+
+    def test_aligned_columns(self):
+        lines = text_table(HEADERS, ROWS).splitlines()
+        assert len({len(line) for line in lines if line}) <= 2  # header sep may differ
+
+    def test_header_only(self):
+        table = text_table(HEADERS, [])
+        assert "scheme" in table
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            text_table(HEADERS, [["binary", 1.0]])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = markdown_table(HEADERS, ROWS).splitlines()
+        assert md[0].startswith("| scheme")
+        assert set(md[1]) <= {"|", "-"}
+        assert md[2].startswith("| binary")
+
+    def test_cell_count(self):
+        md = markdown_table(HEADERS, ROWS).splitlines()
+        assert md[2].count("|") == len(HEADERS) + 1
+
+
+class TestTsvTable:
+    def test_tab_separated(self):
+        tsv = tsv_table(HEADERS, ROWS).splitlines()
+        assert tsv[0] == "scheme\tenergy\ttime"
+        assert tsv[1].split("\t")[0] == "binary"
+
+    def test_float_formatting(self):
+        tsv = tsv_table(["x"], [[0.123456789]])
+        assert "0.1235" in tsv
+
+
+class TestSeriesToRows:
+    def test_flat_series(self):
+        headers, rows = series_to_rows({"a": 1.0, "b": 2.0})
+        assert headers == ["key", "value"]
+        assert rows == [["a", 1.0], ["b", 2.0]]
+
+    def test_nested_series(self):
+        headers, rows = series_to_rows(
+            {"x": {"e": 1.0, "t": 2.0}, "y": {"e": 3.0, "t": 4.0}},
+            key_header="app",
+        )
+        assert headers == ["app", "e", "t"]
+        assert rows[0] == ["x", 1.0, 2.0]
+
+    def test_nested_union_of_metrics(self):
+        headers, rows = series_to_rows({"x": {"e": 1.0}, "y": {"t": 2.0}})
+        assert headers == ["key", "e", "t"]
+        assert rows[1] == ["y", "", 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_rows({})
+
+    def test_roundtrip_into_tables(self):
+        headers, rows = series_to_rows({"a": {"v": 1.5}})
+        assert "1.5" in text_table(headers, rows)
+        assert "1.5" in markdown_table(headers, rows)
+        assert "1.5" in tsv_table(headers, rows)

@@ -1,0 +1,128 @@
+"""Unit and property tests for repro.util.bitops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import bitops
+
+
+class TestIntBits:
+    def test_int_to_bits_little_endian(self):
+        bits = bitops.int_to_bits(0b1011, 4)
+        assert bits.tolist() == [1, 1, 0, 1]
+
+    def test_int_to_bits_zero(self):
+        assert bitops.int_to_bits(0, 8).tolist() == [0] * 8
+
+    def test_int_to_bits_full_width(self):
+        assert bitops.int_to_bits(255, 8).tolist() == [1] * 8
+
+    def test_int_to_bits_overflow_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            bitops.int_to_bits(256, 8)
+
+    def test_int_to_bits_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bitops.int_to_bits(-1, 8)
+
+    def test_bits_to_int_inverse(self):
+        assert bitops.bits_to_int(np.array([1, 0, 1], dtype=np.uint8)) == 5
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_64(self, value):
+        assert bitops.bits_to_int(bitops.int_to_bits(value, 64)) == value
+
+    @given(st.integers(min_value=0, max_value=2**512 - 1))
+    def test_roundtrip_512(self, value):
+        assert bitops.bits_to_int(bitops.int_to_bits(value, 512)) == value
+
+
+class TestChunks:
+    def test_int_to_chunks_lsb_first(self):
+        chunks = bitops.int_to_chunks(0xABCD, 4, 4)
+        assert chunks.tolist() == [0xD, 0xC, 0xB, 0xA]
+
+    def test_chunks_to_int_inverse(self):
+        chunks = np.array([0xD, 0xC, 0xB, 0xA])
+        assert bitops.chunks_to_int(chunks, 4) == 0xABCD
+
+    def test_int_to_chunks_overflow_raises(self):
+        with pytest.raises(ValueError, match="more than"):
+            bitops.int_to_chunks(1 << 16, 4, 4)
+
+    def test_chunks_to_int_bad_chunk_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            bitops.chunks_to_int(np.array([16]), 4)
+
+    def test_zero_chunk_bits_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            bitops.int_to_chunks(0, 0, 4)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_roundtrip_chunks(self, value, chunk_bits):
+        num = 128 // chunk_bits
+        chunks = bitops.int_to_chunks(value, chunk_bits, num)
+        assert bitops.chunks_to_int(chunks, chunk_bits) == value
+
+    def test_bits_to_chunks_matches_int_path(self):
+        value = 0xDEADBEEF
+        bits = bitops.int_to_bits(value, 32)
+        via_bits = bitops.bits_to_chunks(bits, 4)
+        via_int = bitops.int_to_chunks(value, 4, 8)
+        assert np.array_equal(via_bits, via_int)
+
+    def test_chunks_to_bits_inverse(self):
+        chunks = np.array([3, 7, 0, 15], dtype=np.int64)
+        bits = bitops.chunks_to_bits(chunks, 4)
+        assert np.array_equal(bitops.bits_to_chunks(bits, 4), chunks)
+
+    def test_bits_to_chunks_bad_width_raises(self):
+        with pytest.raises(ValueError, match="multiple"):
+            bitops.bits_to_chunks(np.zeros(10, dtype=np.uint8), 4)
+
+
+class TestHamming:
+    def test_hamming_distance(self):
+        assert bitops.hamming_distance(0b1010, 0b0110) == 2
+
+    def test_hamming_distance_self(self):
+        assert bitops.hamming_distance(12345, 12345) == 0
+
+    def test_hamming_weight(self):
+        assert bitops.hamming_weight(0b10110) == 3
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=2**64 - 1))
+    def test_distance_is_weight_of_xor(self, a, b):
+        assert bitops.hamming_distance(a, b) == bitops.hamming_weight(a ^ b)
+
+    def test_popcount_array(self):
+        values = np.array([0, 1, 3, 255, 2**40 - 1], dtype=np.int64)
+        assert bitops.popcount_array(values).tolist() == [0, 1, 2, 8, 40]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62 - 1),
+                    min_size=1, max_size=20))
+    def test_popcount_matches_python(self, values):
+        arr = np.array(values, dtype=np.int64)
+        expected = [v.bit_count() for v in values]
+        assert bitops.popcount_array(arr).tolist() == expected
+
+
+class TestRandom:
+    def test_random_bits_shape_and_values(self, rng):
+        bits = bitops.random_bits(100, rng)
+        assert bits.shape == (100,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_random_block_fits(self, rng):
+        for _ in range(20):
+            assert 0 <= bitops.random_block(64, rng) < 2**64
+
+    def test_deterministic_with_seed(self):
+        a = bitops.random_bits(64, np.random.default_rng(7))
+        b = bitops.random_bits(64, np.random.default_rng(7))
+        assert np.array_equal(a, b)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import validation as v
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        v.require_positive("x", 1)
+        v.require_positive("x", 0.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            v.require_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="got -3"):
+            v.require_positive("x", -3)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        v.require_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            v.require_non_negative("x", -0.1)
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, value):
+        v.require_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, 12, -4])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError, match="power of two"):
+            v.require_power_of_two("x", value)
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        v.require_in_range("x", 0.0, 0.0, 1.0)
+        v.require_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[0.0, 1.0\]"):
+            v.require_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestRequireMultiple:
+    def test_accepts_multiple(self):
+        v.require_multiple("x", 12, 4)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            v.require_multiple("x", 13, 4)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic block-stream and trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import block_stream, chunk_statistics, memory_trace
+from repro.workloads.profiles import PARALLEL_PROFILES, profile
+
+
+class TestBlockStream:
+    def test_shape_and_range(self):
+        blocks = block_stream(profile("FFT"), 100, seed=0)
+        assert blocks.shape == (100, 128)
+        assert blocks.min() >= 0 and blocks.max() <= 15
+
+    def test_deterministic_per_seed(self):
+        app = profile("CG")
+        a = block_stream(app, 50, seed=3)
+        b = block_stream(app, 50, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        app = profile("CG")
+        assert not np.array_equal(
+            block_stream(app, 50, seed=1), block_stream(app, 50, seed=2)
+        )
+
+    def test_different_apps_differ(self):
+        a = block_stream(profile("FFT"), 50, seed=1)
+        b = block_stream(profile("Radix"), 50, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="positive"):
+            block_stream(profile("FFT"), 0)
+
+    def test_null_blocks_present(self):
+        blocks = block_stream(profile("Radix"), 2000, seed=0)
+        null = (blocks == 0).all(axis=1).mean()
+        assert null > 0.02
+
+    def test_suite_zero_fraction_near_paper(self):
+        """Figure 12: ~31% zero chunks on average."""
+        fractions = [
+            chunk_statistics(block_stream(p, 2000, seed=1))["zero_fraction"]
+            for p in PARALLEL_PROFILES
+        ]
+        assert 0.27 < np.mean(fractions) < 0.35
+
+    def test_suite_last_value_fraction_near_paper(self):
+        """Figure 13: ~39% of chunks repeat the previous chunk."""
+        fractions = [
+            chunk_statistics(block_stream(p, 2000, seed=1))["last_value_fraction"]
+            for p in PARALLEL_PROFILES
+        ]
+        assert 0.34 < np.mean(fractions) < 0.44
+
+    def test_nonzero_values_roughly_uniform(self):
+        """Figure 12: the non-zero tail has no dominant value."""
+        stats = chunk_statistics(block_stream(profile("FFT"), 4000, seed=1))
+        tail = np.asarray(stats["value_histogram"][1:])
+        tail = tail / tail.sum()
+        assert tail.max() < 2.5 / 15
+
+    def test_statistics_fields(self):
+        stats = chunk_statistics(block_stream(profile("LU"), 200, seed=0))
+        assert set(stats) == {
+            "zero_fraction", "last_value_fraction",
+            "null_block_fraction", "value_histogram",
+        }
+        assert len(stats["value_histogram"]) == 16
+        assert sum(stats["value_histogram"]) == pytest.approx(1.0)
+
+
+class TestMemoryTrace:
+    def test_lengths_consistent(self):
+        trace = memory_trace(profile("Ocean"), 1000, seed=0)
+        assert len(trace) == 1000
+        assert len(trace.addresses) == len(trace.is_write) == len(trace.thread)
+
+    def test_block_aligned_addresses(self):
+        trace = memory_trace(profile("Ocean"), 500, seed=0)
+        assert (trace.addresses % 64 == 0).all()
+
+    def test_threads_within_app_limit(self):
+        app = profile("Ocean")
+        trace = memory_trace(app, 500, seed=0)
+        assert trace.thread.max() < app.threads
+
+    def test_write_fraction_tracks_profile(self):
+        app = profile("Ocean")
+        trace = memory_trace(app, 20000, seed=0)
+        assert trace.is_write.mean() == pytest.approx(app.write_fraction, abs=0.03)
+
+    def test_shared_and_private_regions(self):
+        trace = memory_trace(profile("Ocean"), 5000, seed=0)
+        blocks = trace.addresses // 64
+        # Shared region occupies block indices below private_blocks.
+        assert (blocks < 4096).any()
+        assert (blocks >= 4096).any()
+
+    def test_deterministic(self):
+        a = memory_trace(profile("LU"), 100, seed=9)
+        b = memory_trace(profile("LU"), 100, seed=9)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="positive"):
+            memory_trace(profile("LU"), 0)
+
+
+class TestSuites:
+    def test_table2_rows(self):
+        from repro.workloads.suites import suite_table
+
+        rows = suite_table()
+        assert len(rows) == 24
+        radix = next(r for r in rows if r["benchmark"] == "Radix")
+        assert radix["input"] == "2M integers"
+
+    def test_name_helpers(self):
+        from repro.workloads.suites import parallel_names, spec_names
+
+        assert len(parallel_names()) == 16
+        assert len(spec_names()) == 8

@@ -1,0 +1,55 @@
+"""Tests for the synthetic stress streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.microbench import MICROBENCH_NAMES, microbench_stream
+
+
+class TestStreams:
+    @pytest.mark.parametrize("name", MICROBENCH_NAMES)
+    def test_shape_and_range(self, name):
+        blocks = microbench_stream(name, 50)
+        assert blocks.shape == (50, 128)
+        assert blocks.min() >= 0 and blocks.max() <= 15
+
+    @pytest.mark.parametrize("name", MICROBENCH_NAMES)
+    def test_deterministic(self, name):
+        assert np.array_equal(
+            microbench_stream(name, 20, seed=5),
+            microbench_stream(name, 20, seed=5),
+        )
+
+    def test_zeros_is_all_zero(self):
+        assert microbench_stream("zeros", 10).sum() == 0
+
+    def test_alternating_flips_every_beat(self):
+        blocks = microbench_stream("alternating", 4)
+        beats = blocks.reshape(4, 8, 16)  # 8 beats of 16 chunks (64 bits)
+        for b in range(4):
+            for i in range(7):
+                assert (beats[b, i] != beats[b, i + 1]).all()
+        # Consecutive blocks also differ at the boundary.
+        assert (beats[0, -1] != beats[1, 0]).all()
+
+    def test_walking_one_single_nonzero(self):
+        blocks = microbench_stream("walking-one", 200)
+        assert ((blocks != 0).sum(axis=1) == 1).all()
+
+    def test_repeated_identical_blocks(self):
+        blocks = microbench_stream("repeated", 30, seed=2)
+        assert (blocks == blocks[0]).all()
+
+    def test_ramp_never_repeats_on_a_wire(self):
+        blocks = microbench_stream("ramp", 15)
+        assert (blocks[1:] != blocks[:-1]).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown microbenchmark"):
+            microbench_stream("fizzbuzz", 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            microbench_stream("zeros", 0)

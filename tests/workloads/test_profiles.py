@@ -1,0 +1,70 @@
+"""Tests for the application profiles (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.profiles import PARALLEL_PROFILES, SPEC_PROFILES, profile
+
+
+class TestSuiteComposition:
+    def test_sixteen_parallel_applications(self):
+        assert len(PARALLEL_PROFILES) == 16
+
+    def test_eight_spec_applications(self):
+        assert len(SPEC_PROFILES) == 8
+
+    def test_table2_names_present(self):
+        names = {p.name for p in PARALLEL_PROFILES}
+        for expected in ("Art", "Barnes", "CG", "Cholesky", "Equake", "FFT",
+                         "FT", "Linear", "LU", "MG", "Ocean", "Radix",
+                         "RayTrace", "Swim", "Water-NSquared", "Water-Spacial"):
+            assert expected in names
+
+    def test_spec_names(self):
+        names = {p.name for p in SPEC_PROFILES}
+        assert names == {"bzip2", "lbm", "mcf", "milc", "namd", "omnetpp",
+                         "sjeng", "soplex"}
+
+    def test_parallel_apps_use_32_threads(self):
+        assert all(p.threads == 32 for p in PARALLEL_PROFILES)
+
+    def test_spec_apps_single_threaded(self):
+        assert all(p.threads == 1 for p in SPEC_PROFILES)
+
+    def test_suites_recorded(self):
+        assert profile("CG").suite == "NAS OpenMP"
+        assert profile("Radix").suite == "SPLASH-2"
+        assert profile("Linear").suite == "Phoenix"
+        assert profile("mcf").suite == "SPEC CPU2006"
+
+
+class TestProfileLookup:
+    def test_lookup_by_name(self):
+        assert profile("FFT").name == "FFT"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            profile("doom")
+
+
+class TestParameterSanity:
+    def test_probabilities_in_range(self):
+        for p in PARALLEL_PROFILES + SPEC_PROFILES:
+            for attr in ("p_null_block", "p_zero_word", "p_zero_chunk",
+                         "p_repeat_chunk", "p_word_repeat", "l2_miss_rate",
+                         "write_fraction"):
+                assert 0.0 <= getattr(p, attr) <= 1.0, (p.name, attr)
+
+    def test_l2_accesses_derived(self):
+        p = profile("Art")
+        assert p.l2_accesses == pytest.approx(p.instructions * p.l2_apki / 1000)
+
+    def test_few_bit_flip_apps_have_high_locality(self):
+        """Section 5.2 singles out CG, Cholesky, Equake, Radix and
+        Water-NSquared as low-activity: their repeat locality must be
+        above the suite median."""
+        repeats = sorted(p.p_repeat_chunk for p in PARALLEL_PROFILES)
+        median = repeats[len(repeats) // 2]
+        for name in ("CG", "Cholesky", "Equake", "Water-NSquared"):
+            assert profile(name).p_repeat_chunk >= median, name
