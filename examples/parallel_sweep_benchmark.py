@@ -1,0 +1,83 @@
+"""Benchmark the batch simulation API on the Figure 25 bank sweep.
+
+Runs the same suite-level sweep (7 bank counts x 16 parallel apps =
+112 jobs) three ways and verifies every ``RunResult`` is bit-for-bit
+identical:
+
+1. serial         -- ``simulate_many(jobs, max_workers=1)``
+2. parallel       -- ``simulate_many(jobs, max_workers=N)`` (cold store)
+3. warm store     -- the same call again against the merged parent store
+
+Usage::
+
+    PYTHONPATH=src python examples/parallel_sweep_benchmark.py [workers] [blocks]
+
+The numbers feed docs/parallel_sweep.md.  On a single-core host the
+cold parallel pass pays process-pool overhead and cannot beat serial;
+the point of running it anyway is the equivalence check plus the
+warm-store timing, which is where sweeps spend their time in practice.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import asdict
+
+from repro.experiments.common import PARALLEL_SUITE
+from repro.sim import SimJob, SystemConfig, desc_scheme, simulate_many
+from repro.sim.store import ResultStore
+
+
+def build_jobs(sample_blocks: int) -> list[SimJob]:
+    """One job per (bank count, app) of the Figure 25 sweep."""
+    from repro.experiments.fig25_banks import BANK_COUNTS
+
+    base = SystemConfig(sample_blocks=sample_blocks)
+    scheme = desc_scheme("zero")
+    return [
+        SimJob.of(app.name, scheme, base.with_(num_banks=banks))
+        for banks in BANK_COUNTS
+        for app in PARALLEL_SUITE
+    ]
+
+
+def timed(jobs: list[SimJob], max_workers: int, store: ResultStore):
+    """Run the batch and return (seconds, results)."""
+    start = time.perf_counter()
+    results = simulate_many(jobs, max_workers=max_workers, store=store)
+    return time.perf_counter() - start, results
+
+
+def main(argv: list[str]) -> int:
+    workers = int(argv[1]) if len(argv) > 1 else 4
+    blocks = int(argv[2]) if len(argv) > 2 else 3000
+    jobs = build_jobs(blocks)
+    print(f"{len(jobs)} jobs (Figure 25 sweep), sample_blocks={blocks}, "
+          f"host CPUs={os.cpu_count()}")
+
+    serial_s, serial = timed(jobs, 1, ResultStore())
+    print(f"serial   (max_workers=1):        {serial_s:7.2f} s")
+
+    store = ResultStore()
+    cold_s, parallel = timed(jobs, workers, store)
+    print(f"parallel (max_workers={workers}, cold):   {cold_s:7.2f} s")
+
+    warm_s, warm = timed(jobs, workers, store)
+    print(f"parallel (max_workers={workers}, warm):   {warm_s:7.2f} s  "
+          f"({store.hits} store hits)")
+
+    for label, other in (("parallel", parallel), ("warm", warm)):
+        mismatches = sum(
+            asdict(a) != asdict(b) for a, b in zip(serial, other)
+        )
+        print(f"{label} vs serial: {mismatches}/{len(jobs)} mismatching results")
+        if mismatches:
+            return 1
+    print("all results bit-for-bit identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

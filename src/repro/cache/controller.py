@@ -39,8 +39,18 @@ class DescCacheController:
         self.downstream = DescLink(self.layout, skip_policy, wire_delay)
         self.upstream = DescLink(self.layout, skip_policy, wire_delay)
         self._store: dict[int, np.ndarray] = {}
-        self.write_cost = TransferCost(0, 0, 0, 0)
-        self.read_cost = TransferCost(0, 0, 0, 0)
+        self.write_cost = TransferCost.zero()
+        self.read_cost = TransferCost.zero()
+
+    def reset_costs(self) -> None:
+        """Zero the accumulated read/write cost counters.
+
+        Stored blocks and link wire state are untouched — this only
+        restarts the accounting, so a test (or a phased experiment) can
+        attribute costs to one batch of traffic at a time.
+        """
+        self.write_cost = TransferCost.zero()
+        self.read_cost = TransferCost.zero()
 
     def write_block(self, addr: int, chunks: np.ndarray) -> TransferCost:
         """Send a block to the mat over the downstream link and store it."""

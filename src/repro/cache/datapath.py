@@ -101,8 +101,13 @@ class DescL2DataPath:
             _Bank(self.layout, subbank_depth, skip_policy)
             for _ in range(num_banks)
         ]
-        self.read_cost = TransferCost(0, 0, 0, 0)
-        self.write_cost = TransferCost(0, 0, 0, 0)
+        self.read_cost = TransferCost.zero()
+        self.write_cost = TransferCost.zero()
+
+    def reset_costs(self) -> None:
+        """Zero the accumulated read/write cost counters (data stays)."""
+        self.read_cost = TransferCost.zero()
+        self.write_cost = TransferCost.zero()
 
     # ------------------------------------------------------------------
     # Address mapping

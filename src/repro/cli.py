@@ -6,16 +6,23 @@ Usage::
     python -m repro run fig16                # pretty-print one figure
     python -m repro run fig19 --json         # machine-readable output
     python -m repro run fig25 --sample-blocks 1500
+    python -m repro run fig25 --workers 4    # parallel suite sweeps
     python -m repro all --json results.json  # run everything, save JSON
+    python -m repro cache-stats              # result-store hit/miss/size
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
-dispatches and formats.
+dispatches and formats.  ``--workers N`` fans suite runs out over a
+process pool (results are identical to serial).  Set the
+``REPRO_RESULT_STORE`` environment variable to a file path to persist
+the stage result store across invocations; ``cache-stats`` then reports
+the accumulated statistics.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 from collections.abc import Callable
 
@@ -130,6 +137,28 @@ def _scalar(value) -> str:
     return str(value)
 
 
+def _cache_stats(store_path: str | None) -> int:
+    from repro.sim.store import RESULT_STORE, ResultStore
+
+    store = ResultStore(store_path) if store_path else RESULT_STORE
+    stats = store.stats()
+    where = store.path if store.path else "in-process"
+    print(f"result store ({where})")
+    print(f"  entries: {stats.size}")
+    print(f"  hits:    {stats.hits}")
+    print(f"  misses:  {stats.misses}")
+    print(f"  hit rate: {stats.hit_rate:.1%}")
+    return 0
+
+
+def _save_store() -> None:
+    """Persist the global store when REPRO_RESULT_STORE names a file."""
+    from repro.sim.store import RESULT_STORE
+
+    if RESULT_STORE.path is not None:
+        RESULT_STORE.save()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -146,11 +175,26 @@ def main(argv: list[str] | None = None) -> int:
                             help="value-sample size per application")
     run_parser.add_argument("--json", action="store_true",
                             help="emit JSON instead of pretty text")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="process-pool width for suite runs "
+                                 "(1 = serial; results are identical)")
 
     all_parser = sub.add_parser("all", help="run every figure experiment")
     all_parser.add_argument("--sample-blocks", type=int, default=3000)
     all_parser.add_argument("--json", metavar="PATH", default=None,
                             help="write all results to a JSON file")
+    all_parser.add_argument("--workers", type=int, default=1,
+                            help="process-pool width for suite runs")
+
+    stats_parser = sub.add_parser(
+        "cache-stats",
+        help="show result-store hit/miss/size statistics",
+    )
+    stats_parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persisted store to inspect (default: the in-process store, "
+             "or $REPRO_RESULT_STORE when set)",
+    )
 
     validate_parser = sub.add_parser(
         "validate", help="check headline results against the paper"
@@ -158,6 +202,20 @@ def main(argv: list[str] | None = None) -> int:
     validate_parser.add_argument("--sample-blocks", type=int, default=2500)
 
     args = parser.parse_args(argv)
+
+    if args.command == "cache-stats":
+        try:
+            return _cache_stats(args.store)
+        except (pickle.UnpicklingError, ValueError, EOFError) as exc:
+            parser.error(f"cannot read store {args.store!r}: {exc}")
+
+    if getattr(args, "workers", 1) != 1:
+        from repro.sim.engine import set_default_max_workers
+
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        set_default_max_workers(args.workers)
+
     figures = _figures()
 
     if args.command == "list":
@@ -172,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         description, runner = figures[args.figure]
         result = runner(args)
+        _save_store()
         if args.json:
             json.dump(result, sys.stdout, indent=2, default=str)
             print()
@@ -199,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, (description, runner) in figures.items():
         print(f"running {name}: {description} ...", file=sys.stderr)
         results[name] = runner(args)
+    _save_store()
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2, default=str)

@@ -109,6 +109,16 @@ class TransferCost:
     sync_flips: int
     cycles: int
 
+    @classmethod
+    def zero(cls) -> "TransferCost":
+        """The additive identity: no flips, no cycles.
+
+        The canonical starting value for cost accumulators (cache
+        controllers, data paths) — use this instead of spelling out
+        ``TransferCost(0, 0, 0, 0)``.
+        """
+        return cls(data_flips=0, overhead_flips=0, sync_flips=0, cycles=0)
+
     @property
     def total_flips(self) -> int:
         """All wire transitions charged to the transfer."""

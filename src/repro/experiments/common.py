@@ -11,8 +11,8 @@ from collections.abc import Sequence
 
 from repro.sim.config import SchemeConfig, SystemConfig
 from repro.util.stats import geomean
+from repro.sim.engine import SimJob, simulate_many
 from repro.sim.metrics import RunResult
-from repro.sim.system import simulate
 from repro.workloads.profiles import AppProfile
 from repro.workloads.suites import PARALLEL_SUITE
 
@@ -49,9 +49,17 @@ def run_suite(
     scheme: SchemeConfig,
     system: SystemConfig | None = None,
     apps: Sequence[AppProfile] = PARALLEL_SUITE,
+    max_workers: int | None = None,
 ) -> list[RunResult]:
-    """Simulate one scheme over a whole application suite."""
-    return [simulate(app, scheme, system) for app in apps]
+    """Simulate one scheme over a whole application suite.
+
+    Runs through the staged engine's batch API, so ``max_workers`` (or
+    the engine default set via ``repro.sim.set_default_max_workers`` /
+    the CLI's ``--workers``) fans the suite out over a process pool
+    with results identical to the serial path.
+    """
+    jobs = [SimJob.of(app, scheme, system) for app in apps]
+    return simulate_many(jobs, max_workers=max_workers)
 
 
 def ratio_by_app(

@@ -1,0 +1,287 @@
+"""The staged simulation engine and the batch/parallel front-end.
+
+:class:`StagedEngine` wires the pure stages of :mod:`repro.sim.stages`
+together, memoizing every stage in a unified
+:class:`~repro.sim.store.ResultStore` under the stage's declared key.
+:func:`repro.sim.system.simulate` is a thin wrapper over
+:meth:`StagedEngine.run`; :func:`simulate_many` fans a batch of
+:class:`SimJob` configurations out over a ``ProcessPoolExecutor``.
+
+Scheme dispatch happens once per run through
+:func:`repro.encoding.registry.make_transfer_model` — the engine never
+branches on what kind of scheme (DESC, baseline, ECC-wrapped) it is
+driving.
+
+Parallel determinism: every stage is pure and every job is simulated
+independently, so ``simulate_many`` returns bit-for-bit identical
+results for any worker count, in the order the jobs were given.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.encoding.registry import make_transfer_model
+from repro.sim import stages
+from repro.sim.config import SchemeConfig, SystemConfig
+from repro.sim.metrics import RunResult, TransferStats
+from repro.sim.stages import CacheDesign, WorkloadSample
+from repro.sim.store import RESULT_STORE, ResultStore
+from repro.workloads.profiles import AppProfile, profile
+
+__all__ = [
+    "SimJob",
+    "StagedEngine",
+    "simulate_many",
+    "set_default_max_workers",
+    "get_default_max_workers",
+]
+
+#: Worker count ``simulate_many`` uses when none is given; 1 = serial.
+_default_max_workers = 1
+
+
+def set_default_max_workers(count: int) -> None:
+    """Set the process-pool width batch APIs default to (1 = serial)."""
+    global _default_max_workers
+    if count < 1:
+        raise ValueError(f"max_workers must be >= 1, got {count}")
+    _default_max_workers = count
+
+
+def get_default_max_workers() -> int:
+    """The current default process-pool width."""
+    return _default_max_workers
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (application, scheme, system) configuration to simulate.
+
+    Frozen and picklable, so batches of jobs ship to pool workers
+    unchanged.
+    """
+
+    app: AppProfile
+    scheme: SchemeConfig
+    system: SystemConfig
+
+    @classmethod
+    def of(
+        cls,
+        app: AppProfile | str,
+        scheme: SchemeConfig,
+        system: SystemConfig | None = None,
+    ) -> "SimJob":
+        """Normalise name/None conveniences into a concrete job."""
+        if isinstance(app, str):
+            app = profile(app)
+        return cls(app=app, scheme=scheme,
+                   system=system if system is not None else SystemConfig())
+
+
+class StagedEngine:
+    """Runs the five-stage pipeline, memoizing stages in one store."""
+
+    def __init__(self, store: ResultStore | None = None) -> None:
+        self.store = store if store is not None else RESULT_STORE
+
+    # -- individual stages, store-backed -------------------------------
+
+    def workload(
+        self, app: AppProfile, num_blocks: int, seed: int
+    ) -> WorkloadSample:
+        """Stage 1: the application's cached block-value sample."""
+        return self.store.get_or_compute(
+            stages.workload_key(app, num_blocks, seed),
+            lambda: stages.sample_workload(app, num_blocks, seed),
+        )
+
+    def transfer_stats(
+        self,
+        scheme: SchemeConfig,
+        app: AppProfile,
+        num_blocks: int,
+        seed: int,
+        exclude_null: bool = False,
+    ) -> TransferStats:
+        """Stage 2: a scheme's mean per-block wire activity."""
+
+        def compute() -> TransferStats:
+            model = make_transfer_model(scheme)
+            sample = self.workload(app, num_blocks, seed)
+            return model.transfer_stats(sample, exclude_null)
+
+        return self.store.get_or_compute(
+            stages.transfer_key(scheme, app, num_blocks, seed, exclude_null),
+            compute,
+        )
+
+    def cache_design(
+        self, system: SystemConfig, data_wires: int, overhead_wires: int
+    ) -> CacheDesign:
+        """Stage 3: the CACTI-class design scalars for a geometry."""
+        return self.store.get_or_compute(
+            stages.cache_design_key(system, data_wires, overhead_wires),
+            lambda: stages.design_cache(system, data_wires, overhead_wires),
+        )
+
+    # -- the full pipeline ---------------------------------------------
+
+    def run(
+        self,
+        app: AppProfile | str,
+        scheme: SchemeConfig,
+        system: SystemConfig | None = None,
+    ) -> RunResult:
+        """Run one (application, scheme, system) simulation."""
+        if isinstance(app, str):
+            app = profile(app)
+        if system is None:
+            system = SystemConfig()
+        return self.store.get_or_compute(
+            stages.run_key(app, scheme, system),
+            lambda: self._run_uncached(app, scheme, system),
+        )
+
+    def _run_uncached(
+        self, app: AppProfile, scheme: SchemeConfig, system: SystemConfig
+    ) -> RunResult:
+        model = make_transfer_model(scheme)
+        stats = self.transfer_stats(
+            scheme, app, system.sample_blocks, system.seed,
+            exclude_null=system.null_directory,
+        )
+        design = self.cache_design(
+            system, stats.data_wires, stats.overhead_wires
+        )
+        # Null-block directory (see repro.cache.null_directory): all-zero
+        # blocks are served at the controller.  The analytic path assumes a
+        # directory large enough to capture them (an optimistic bound; the
+        # event-driven substrate models finite capacity).
+        null_fraction = (
+            self.workload(app, system.sample_blocks, system.seed).null_fraction
+            if system.null_directory
+            else 0.0
+        )
+        timing = stages.solve_timing(
+            app, system, stats, design,
+            scheme_delay=model.scheme_delay_cycles(stats, system),
+            null_fraction=null_fraction,
+        )
+        l2, processor = stages.account_energy(
+            app, system, stats, design, timing,
+            controller_write_flips=model.controller_write_flips(system),
+            null_fraction=null_fraction,
+        )
+        return RunResult(
+            app=app.name,
+            scheme=scheme.label(),
+            cycles=timing.cycles,
+            hit_latency=timing.hit_latency,
+            miss_latency=timing.miss_latency,
+            bank_wait=timing.bank_wait,
+            transfers=app.l2_accesses * timing.transfers_per_access,
+            transfer_stats=stats,
+            l2=l2,
+            processor=processor,
+        )
+
+    def run_many(
+        self,
+        jobs: Iterable[SimJob],
+        max_workers: int | None = None,
+        chunksize: int | None = None,
+    ) -> list[RunResult]:
+        """Simulate a batch of jobs, optionally across processes.
+
+        Args:
+            jobs: Configurations to run, in output order.
+            max_workers: Process count; ``None`` uses the module default
+                (see :func:`set_default_max_workers`), 1 runs serially
+                in-process.
+            chunksize: Jobs handed to a worker at a time; defaults to a
+                round-robin split that keeps workers busy while letting
+                each worker's store reuse samples across its jobs.
+
+        Results are identical for any ``max_workers`` — only wall-clock
+        changes.  Worker results are merged back into this engine's
+        store, so later serial calls hit.
+        """
+        jobs = list(jobs)
+        if max_workers is None:
+            max_workers = _default_max_workers
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers == 1 or len(jobs) <= 1:
+            return [self.run(job.app, job.scheme, job.system) for job in jobs]
+        # Serve whatever is already stored; only ship the misses.
+        results: list[RunResult | None] = []
+        pending: list[tuple[int, SimJob]] = []
+        for index, job in enumerate(jobs):
+            key = stages.run_key(job.app, job.scheme, job.system)
+            if key in self.store:
+                results.append(self.store.get(key))
+            else:
+                results.append(None)
+                pending.append((index, job))
+        if pending:
+            # Workload affinity: group jobs that share a block-value
+            # sample (the most expensive stage) so each worker draws a
+            # sample once and amortizes it across its whole chunk,
+            # instead of every worker re-sampling every application.
+            pending.sort(
+                key=lambda item: (
+                    item[1].app.name,
+                    item[1].system.sample_blocks,
+                    item[1].system.seed,
+                )
+            )
+            if chunksize is None:
+                # Two chunks per worker: near-maximal sample reuse (a
+                # sample is re-drawn only where a chunk boundary splits
+                # an app's group) with some slack for load balancing.
+                chunksize = max(1, -(-len(pending) // (2 * max_workers)))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                computed = pool.map(
+                    _run_job, [job for _, job in pending], chunksize=chunksize
+                )
+                for (index, job), result in zip(pending, computed):
+                    self.store.put(
+                        stages.run_key(job.app, job.scheme, job.system), result
+                    )
+                    results[index] = result
+        return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _run_job(job: SimJob) -> RunResult:
+    """Pool-worker entry point: run one job against the worker's store."""
+    return StagedEngine().run(job.app, job.scheme, job.system)
+
+
+def simulate_many(
+    jobs: Iterable[SimJob | tuple],
+    max_workers: int | None = None,
+    store: ResultStore | None = None,
+) -> list[RunResult]:
+    """Simulate many (application, scheme, system) configurations.
+
+    The batch front-end of the staged engine: accepts :class:`SimJob`
+    instances or plain ``(app, scheme[, system])`` tuples, fans them out
+    over a process pool when ``max_workers`` (or the module default)
+    exceeds 1, and returns results in job order — bit-for-bit identical
+    to the serial path.
+
+    Example::
+
+        from repro.sim import SimJob, simulate_many, desc_scheme
+
+        jobs = [SimJob.of(app, desc_scheme("zero")) for app in suite]
+        results = simulate_many(jobs, max_workers=4)
+    """
+    normalised = [
+        job if isinstance(job, SimJob) else SimJob.of(*job) for job in jobs
+    ]
+    return StagedEngine(store).run_many(normalised, max_workers=max_workers)

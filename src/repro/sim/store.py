@@ -1,0 +1,184 @@
+"""Keyed result store shared by every simulation stage.
+
+The staged engine (:mod:`repro.sim.engine`) memoizes each stage —
+workload samples, transfer statistics, cache designs — in one
+:class:`ResultStore` instead of scattered per-function ``lru_cache``s.
+Centralizing the cache buys three things the function caches could not
+provide:
+
+* **observability** — hit/miss/size counters, surfaced by
+  ``python -m repro cache-stats``;
+* **control** — one ``clear()`` drops every stage's entries (wired into
+  :func:`repro.sim.system.clear_caches`);
+* **persistence** — an optional pickle file lets separate processes
+  (CLI invocations, pool workers) share expensive stage outputs.
+
+Keys are plain tuples of hashables, built by each stage's ``*_key``
+function in :mod:`repro.sim.stages`; the leading element names the
+stage so one store can hold every stage's results without collisions.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["ResultStore", "StoreStats", "RESULT_STORE", "default_store"]
+
+#: Environment variable naming a pickle file the global store persists to.
+STORE_PATH_ENV = "REPRO_RESULT_STORE"
+
+StoreKey = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters describing a :class:`ResultStore`'s effectiveness.
+
+    Attributes:
+        hits: Lookups served from the store since construction/load.
+        misses: Lookups that had to compute their value.
+        size: Entries currently resident.
+    """
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultStore:
+    """A keyed cache with hit/miss counters and optional persistence.
+
+    Args:
+        path: When given, the store loads any existing pickle at that
+            path on construction and :meth:`save` writes back to it.
+            Counters persist alongside the entries, so a sequence of CLI
+            invocations accumulates meaningful statistics.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._entries: dict[StoreKey, Any] = {}
+        self._hits = 0
+        self._misses = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get_or_compute(self, key: StoreKey, compute: Callable[[], Any]) -> Any:
+        """Return the stored value for ``key``, computing it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            value = compute()
+            self._entries[key] = value
+            return value
+        self._hits += 1
+        return value
+
+    def get(self, key: StoreKey, default: Any = None) -> Any:
+        """Peek at a key without counting a miss on absence."""
+        if key in self._entries:
+            self._hits += 1
+            return self._entries[key]
+        return default
+
+    def put(self, key: StoreKey, value: Any) -> None:
+        """Insert (or overwrite) an entry."""
+        self._entries[key] = value
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoreKey]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Statistics and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the store."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that computed a fresh value."""
+        return self._misses
+
+    def stats(self) -> StoreStats:
+        """A snapshot of the store's counters."""
+        return StoreStats(hits=self._hits, misses=self._misses, size=len(self))
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Pickle the entries and counters to ``path`` (or ``self.path``).
+
+        The write is atomic (temp file + rename) so a crashed run never
+        leaves a truncated store behind.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and the store has no default path")
+        payload = {
+            "entries": self._entries,
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return target
+
+    def load(self, path: str | Path) -> None:
+        """Replace the store's contents with a previously saved pickle."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        self._entries = payload["entries"]
+        self._hits = payload["hits"]
+        self._misses = payload["misses"]
+
+
+def default_store() -> ResultStore:
+    """Build the process-wide store, honouring ``REPRO_RESULT_STORE``."""
+    return ResultStore(path=os.environ.get(STORE_PATH_ENV))
+
+
+#: The process-wide store every stage uses unless handed another one.
+RESULT_STORE = default_store()

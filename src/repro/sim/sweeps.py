@@ -20,6 +20,10 @@ Example::
     )
     for p in points:
         print(p.params, p.l2_energy_j, p.cycles)
+
+Sweeps run through :func:`repro.sim.engine.simulate_many`, so passing
+``max_workers=4`` fans the (combination × application) grid out over a
+process pool with bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from dataclasses import dataclass
 
 from repro.util.stats import geomean
 from repro.sim.config import SchemeConfig, SystemConfig
-from repro.sim.system import simulate
+from repro.sim.engine import SimJob, simulate_many
 from repro.workloads.profiles import AppProfile
 from repro.workloads.suites import PARALLEL_SUITE
 
@@ -65,27 +69,41 @@ def sweep(
     scheme: SchemeConfig,
     base: SystemConfig | None = None,
     apps: Sequence[AppProfile] = PARALLEL_SUITE,
+    max_workers: int | None = None,
     **field_values: Sequence,
 ) -> list[SweepPoint]:
-    """Simulate every combination of the given SystemConfig fields."""
+    """Simulate every combination of the given SystemConfig fields.
+
+    ``max_workers`` > 1 distributes the whole grid over a process pool
+    (``None`` keeps the engine's default); the returned points are
+    identical to a serial run.
+    """
     if not field_values:
         raise ValueError("provide at least one field to sweep")
     base = base if base is not None else SystemConfig()
     names = list(field_values)
+    combos = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*field_values.values())
+    ]
+    jobs = [
+        SimJob.of(app, scheme, base.with_(**params))
+        for params in combos
+        for app in apps
+    ]
+    results = simulate_many(jobs, max_workers=max_workers)
     points = []
-    for combo in itertools.product(*field_values.values()):
-        params = dict(zip(names, combo))
-        system = base.with_(**params)
-        results = [simulate(app, scheme, system) for app in apps]
+    for index, params in enumerate(combos):
+        group = results[index * len(apps):(index + 1) * len(apps)]
         points.append(
             SweepPoint(
                 params=params,
-                cycles=geomean(r.cycles for r in results),
-                l2_energy_j=geomean(r.l2_energy_j for r in results),
+                cycles=geomean(r.cycles for r in group),
+                l2_energy_j=geomean(r.l2_energy_j for r in group),
                 processor_energy_j=geomean(
-                    r.processor_energy_j for r in results
+                    r.processor_energy_j for r in group
                 ),
-                hit_latency=sum(r.hit_latency for r in results) / len(results),
+                hit_latency=sum(r.hit_latency for r in group) / len(group),
             )
         )
     return points

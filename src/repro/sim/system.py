@@ -1,115 +1,44 @@
 """The system simulator: workload + scheme + architecture → RunResult.
 
-This is the pipeline every figure harness drives (DESIGN.md §4):
+This module is the stable front door of the pipeline every figure
+harness drives (DESIGN.md §4); the machinery lives one layer down:
 
-1. generate (and cache) the application's block-value sample;
-2. run the configured transfer scheme's cost model over it —
-   the closed-form DESC model or a baseline encoder, optionally wrapped
-   in SECDED ECC — yielding mean flips and transfer cycles per block;
-3. build the CACTI-class cache model for the configured geometry and
-   devices, and assemble the end-to-end hit/miss latencies;
-4. solve the execution-time fixed point: bank and DRAM queueing depend
-   on the access rate, which depends on execution time;
-5. account L2 energy (leakage × time, H-tree flips, array accesses)
-   and wrap it in the McPAT-class processor breakdown.
+* :mod:`repro.sim.stages` — the five pure pipeline stages (workload
+  sampling, transfer-cost modeling, cache-geometry/energy construction,
+  the execution-time fixed point, energy accounting);
+* :mod:`repro.sim.transfer` + :mod:`repro.encoding.registry` — the
+  :class:`~repro.encoding.registry.TransferModel` dispatch that gives
+  DESC, every baseline encoder, and the ECC-wrapped variants one
+  interface;
+* :mod:`repro.sim.engine` — the :class:`~repro.sim.engine.StagedEngine`
+  orchestrator and the ``simulate_many`` batch/parallel front-end;
+* :mod:`repro.sim.store` — the unified result store that memoizes each
+  stage, so sweeping schemes or cache geometries re-uses the expensive
+  parts.
 
-All block-sample and transfer-cost computations are memoized, so
-sweeping schemes or cache geometries re-uses the expensive parts.
+:func:`simulate` and :func:`transfer_stats` here are thin wrappers over
+a process-wide :class:`~repro.sim.engine.StagedEngine`.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-import numpy as np
-
-from repro.core.analysis import DescCostModel
-from repro.core.chunking import ChunkLayout
-from repro.cpu.dram import DramModel
-from repro.cpu.inorder import SmtCoreModel
-from repro.cpu.ooo import OooCoreModel
-from repro.cpu.queueing import md1_wait
-from repro.ecc.layout import DescEccLayout, secded_extend_stream
-from repro.encoding.registry import make_encoder
-from repro.energy.cacti import CacheEnergyModel, CacheGeometry
-from repro.interconnect.wires import WireModel
-from repro.energy.mcpat import ProcessorPowerModel
-from repro.energy.synthesis import DescSynthesisModel
 from repro.sim.config import SchemeConfig, SystemConfig
-from repro.sim.metrics import L2Energy, RunResult, TransferStats
-from repro.workloads.generator import block_stream
+from repro.sim.engine import StagedEngine
+from repro.sim.metrics import RunResult, TransferStats
+from repro.sim.store import StoreStats
 from repro.workloads.profiles import AppProfile, profile
 
-__all__ = ["simulate", "transfer_stats", "clear_caches"]
+__all__ = ["simulate", "transfer_stats", "clear_caches", "cache_stats"]
 
-# Mean extra L1 accesses per instruction (I-cache + D-cache), used for
-# the McPAT L1 term.
-_L1_ACCESSES_PER_INSTRUCTION = 1.3
-# S-NUCA-1 bank access latencies range over 3..13 core cycles
-# (Section 5.5); statically routed ports replace the shared H-tree.
-_NUCA_MEAN_BANK_LATENCY = 8.0
-_FIXED_POINT_ITERATIONS = 30
-# Effective switching activity of the write-data broadcast that
-# last-value tracking requires at the cache controller (Section 5.2).
-_LAST_VALUE_BROADCAST_ACTIVITY = 0.16
-# S-NUCA-1 routes each bank's 128-bit port statically instead of over
-# the recursive H-tree; the average electrical route is shorter.
-_NUCA_ROUTE_SCALE = 0.40
+#: The process-wide engine the convenience wrappers drive.
+ENGINE = StagedEngine()
 
 
-@lru_cache(maxsize=256)
-def _chunk_blocks(app: AppProfile, num_blocks: int, seed: int) -> np.ndarray:
-    """Cached 4-bit chunk sample for an application profile.
-
-    Keyed by the (frozen, hashable) profile itself, so custom profiles
-    — not just the registered Table 2 applications — get their own
-    value streams.
-    """
-    return block_stream(app, num_blocks, seed)
-
-
-@lru_cache(maxsize=256)
-def _bit_blocks(app: AppProfile, num_blocks: int, seed: int) -> np.ndarray:
-    """Cached bit-matrix view of the same sample."""
-    chunks = _chunk_blocks(app, num_blocks, seed)
-    shifts = np.arange(4, dtype=np.int64)
-    bits = ((chunks[:, :, None] >> shifts) & 1).astype(np.uint8)
-    return bits.reshape(chunks.shape[0], -1)
-
-
-def clear_caches() -> None:
-    """Drop all memoized workload samples and transfer statistics."""
-    _chunk_blocks.cache_clear()
-    _bit_blocks.cache_clear()
-    _transfer_stats_cached.cache_clear()
-
-
-def _rechunk(bits: np.ndarray, chunk_bits: int) -> np.ndarray:
-    """Bit matrix → chunk matrix at an arbitrary chunk width."""
-    n, width = bits.shape
-    shifts = np.arange(chunk_bits, dtype=np.int64)
-    grouped = bits.astype(np.int64).reshape(n, width // chunk_bits, chunk_bits)
-    return grouped @ (1 << shifts)
-
-
-@lru_cache(maxsize=256)
-def _null_fraction(app: AppProfile, num_blocks: int, seed: int) -> float:
-    """Fraction of transferred blocks that are entirely zero."""
-    chunks = _chunk_blocks(app, num_blocks, seed)
-    return float((chunks == 0).all(axis=1).mean())
-
-
-@lru_cache(maxsize=1024)
-def _transfer_stats_cached(
-    scheme: SchemeConfig,
-    app: AppProfile,
-    num_blocks: int,
-    seed: int,
-    exclude_null: bool = False,
-) -> TransferStats:
-    if scheme.is_desc:
-        return _desc_stats(scheme, app, num_blocks, seed, exclude_null)
-    return _baseline_stats(scheme, app, num_blocks, seed, exclude_null)
+def simulate(
+    app: AppProfile | str, scheme: SchemeConfig, system: SystemConfig | None = None
+) -> RunResult:
+    """Run one (application, scheme, system) simulation."""
+    return ENGINE.run(app, scheme, system)
 
 
 def transfer_stats(
@@ -127,290 +56,15 @@ def transfer_stats(
     """
     if isinstance(app, str):
         app = profile(app)
-    return _transfer_stats_cached(scheme, app, num_blocks, seed, exclude_null)
+    return ENGINE.transfer_stats(scheme, app, num_blocks, seed, exclude_null)
 
 
-def _drop_null_rows(blocks: np.ndarray) -> np.ndarray:
-    """Remove all-zero rows (blocks served by the null directory)."""
-    keep = blocks.any(axis=1)
-    filtered = blocks[keep]
-    if len(filtered) == 0:
-        # Degenerate stream of pure null blocks: keep one so the
-        # downstream statistics stay well-defined.
-        return blocks[:1]
-    return filtered
+def clear_caches() -> None:
+    """Drop every memoized stage result (and the run cache) from the
+    unified result store."""
+    ENGINE.store.clear()
 
 
-def _desc_stats(
-    scheme: SchemeConfig,
-    app: AppProfile,
-    num_blocks: int,
-    seed: int,
-    exclude_null: bool = False,
-) -> TransferStats:
-    if scheme.ecc_segment_bits:
-        bits = _bit_blocks(app, num_blocks, seed)
-        if exclude_null:
-            bits = _drop_null_rows(bits)
-        ecc = DescEccLayout(
-            block_bits=bits.shape[1],
-            segment_bits=scheme.ecc_segment_bits,
-            chunk_bits=scheme.chunk_bits,
-        )
-        chunks = ecc.encode_stream(bits)
-        layout = ChunkLayout(
-            block_bits=ecc.codeword_bits_total,
-            chunk_bits=scheme.chunk_bits,
-            num_wires=ecc.num_chunks,
-        )
-    elif scheme.chunk_bits == 4 and scheme.data_wires in (128, 64, 32):
-        chunks = _chunk_blocks(app, num_blocks, seed)
-        if exclude_null:
-            chunks = _drop_null_rows(chunks)
-        layout = ChunkLayout(
-            block_bits=512, chunk_bits=4, num_wires=scheme.data_wires
-        )
-    else:
-        bits = _bit_blocks(app, num_blocks, seed)
-        if exclude_null:
-            bits = _drop_null_rows(bits)
-        chunks = _rechunk(bits, scheme.chunk_bits)
-        layout = ChunkLayout(
-            block_bits=bits.shape[1],
-            chunk_bits=scheme.chunk_bits,
-            num_wires=scheme.data_wires,
-        )
-    model = DescCostModel(layout, skip_policy=scheme.skip_policy)
-    stream = model.stream_cost(chunks)
-    n = stream.num_blocks
-    return TransferStats(
-        data_flips=float(stream.data_flips.sum()) / n,
-        overhead_flips=float(stream.overhead_flips.sum()) / n,
-        sync_flips=float(stream.sync_flips.sum()) / n,
-        transfer_cycles=float(stream.cycles.sum()) / n,
-        latency_cycles=float(stream.delivery_latency.sum()) / n,
-        data_wires=layout.num_wires,
-        overhead_wires=2,
-    )
-
-
-def _baseline_stats(
-    scheme: SchemeConfig,
-    app: AppProfile,
-    num_blocks: int,
-    seed: int,
-    exclude_null: bool = False,
-) -> TransferStats:
-    bits = _bit_blocks(app, num_blocks, seed)
-    if exclude_null:
-        bits = _drop_null_rows(bits)
-    if scheme.ecc_segment_bits:
-        if scheme.ecc_segment_bits != scheme.data_wires:
-            raise ValueError(
-                "binary-style ECC configurations require the Hamming "
-                "segment to equal the bus width (the paper's W-S configs "
-                f"have W == S); got {scheme.data_wires}-{scheme.ecc_segment_bits}"
-            )
-        beats = bits.shape[1] // scheme.data_wires  # before extension: 512/W
-        bits = secded_extend_stream(bits, scheme.ecc_segment_bits)
-        # Each beat now carries one segment codeword: W data + p parity.
-        widened_bus = bits.shape[1] // beats
-        encoder = make_encoder(
-            scheme.name,
-            block_bits=bits.shape[1],
-            data_wires=widened_bus,
-            segment_bits=scheme.segment_bits,
-        )
-    else:
-        encoder = make_encoder(
-            scheme.name,
-            block_bits=bits.shape[1],
-            data_wires=scheme.data_wires,
-            segment_bits=scheme.segment_bits,
-        )
-    stream = encoder.stream_cost(bits)
-    n = stream.num_blocks
-    return TransferStats(
-        data_flips=float(stream.data_flips.sum()) / n,
-        overhead_flips=float(stream.overhead_flips.sum()) / n,
-        sync_flips=0.0,
-        transfer_cycles=float(stream.cycles.sum()) / n,
-        latency_cycles=float(stream.cycles.sum()) / n,
-        data_wires=encoder.data_wires,
-        overhead_wires=encoder.overhead_wires,
-    )
-
-
-def _cache_model(
-    scheme: SchemeConfig, system: SystemConfig, stats: TransferStats
-) -> CacheEnergyModel:
-    geometry = CacheGeometry(
-        size_bytes=system.l2_size_bytes,
-        block_bytes=system.block_bytes,
-        associativity=system.l2_associativity,
-        num_banks=128 if system.nuca else system.num_banks,
-        subbanks_per_bank=system.subbanks_per_bank,
-        mats_per_subbank=system.mats_per_subbank,
-        data_wires=stats.data_wires,
-        overhead_wires=stats.overhead_wires,
-    )
-    return CacheEnergyModel(
-        geometry=geometry,
-        cell_device=system.cell_device,
-        periph_device=system.periph_device,
-        clock_hz=system.clock_hz,
-        wire_model=WireModel.low_swing() if system.low_swing else None,
-        route_scale=_NUCA_ROUTE_SCALE if system.nuca else 1.0,
-    )
-
-
-def simulate(
-    app: AppProfile | str, scheme: SchemeConfig, system: SystemConfig | None = None
-) -> RunResult:
-    """Run one (application, scheme, system) simulation."""
-    if isinstance(app, str):
-        app = profile(app)
-    if system is None:
-        system = SystemConfig()
-    stats = transfer_stats(
-        scheme, app, system.sample_blocks, system.seed,
-        exclude_null=system.null_directory,
-    )
-    cache = _cache_model(scheme, system, stats)
-    # Null-block directory (see repro.cache.null_directory): all-zero
-    # blocks are served at the controller.  The analytic path assumes a
-    # directory large enough to capture them (an optimistic bound; the
-    # event-driven substrate models finite capacity).
-    null_fraction = (
-        _null_fraction(app, system.sample_blocks, system.seed)
-        if system.null_directory
-        else 0.0
-    )
-
-    # --- latency assembly -------------------------------------------------
-    if system.nuca:
-        access_path = system.controller_overhead_cycles + _NUCA_MEAN_BANK_LATENCY
-        access_path += cache.array_delay_cycles
-    else:
-        access_path = system.controller_overhead_cycles + cache.base_hit_cycles
-    if scheme.is_desc:
-        # Synthesized TX/RX logic delay on the round trip (Figure 17).
-        synthesis = DescSynthesisModel(
-            num_chunks=stats.data_wires,
-            chunk_bits=scheme.chunk_bits,
-            clock_hz=system.clock_hz,
-        )
-        scheme_delay = synthesis.round_trip_delay_cycles()
-    elif stats.overhead_wires:
-        scheme_delay = 1  # encode/decode pipeline stage of the baselines
-    else:
-        scheme_delay = 0
-    # Delivery latency: the SMT multicore sees the average-value
-    # latency (critical chunks stream in; Section 5.3), while the
-    # latency-sensitive OoO core waits for the full window — DESC
-    # delivers chunks in value order, so there is no critical-word-first
-    # forwarding for a blocked dependent load (Section 5.8).
-    if system.core == "ooo":
-        delivery = stats.transfer_cycles
-    else:
-        delivery = stats.latency_cycles
-    hit_no_wait = access_path + scheme_delay + delivery
-    if null_fraction:
-        # Directory hits skip the array and the transfer entirely.
-        null_hit_latency = system.controller_overhead_cycles + 1.0
-        hit_no_wait = (
-            (1.0 - null_fraction) * hit_no_wait
-            + null_fraction * null_hit_latency
-        )
-
-    dram = DramModel()
-    # The miss penalty is independent of the data scheme (Section 5.3):
-    # the address travels in binary and the line returns from DRAM.
-    miss_base = (
-        system.controller_overhead_cycles + cache.htree_delay_cycles
-        + dram.base_latency_cycles + dram.service_cycles
-    )
-
-    smt = SmtCoreModel()
-    ooo = OooCoreModel()
-    core = smt if system.core == "smt" else ooo
-
-    # Each L2 access occupies a bank for the array access plus the
-    # transfer window; misses additionally move the fill (and dirty
-    # victims) over the H-tree.
-    bank_service = cache.array_delay_cycles + stats.transfer_cycles
-    transfers_per_access = (1.0 - null_fraction) * (
-        1.0 + app.l2_miss_rate * (1.0 + app.write_fraction)
-    )
-    num_banks = 128 if system.nuca else system.num_banks
-
-    # --- execution-time fixed point ---------------------------------------
-    cycles = core.execution_cycles(app, hit_no_wait, miss_base)
-    bank_wait = 0.0
-    miss_latency = miss_base
-    for _ in range(_FIXED_POINT_ITERATIONS):
-        rate = app.l2_accesses * transfers_per_access / cycles
-        bank_wait = md1_wait(rate, bank_service, num_banks)
-        miss_rate_per_cycle = app.l2_accesses * app.l2_miss_rate / cycles
-        miss_latency = miss_base + md1_wait(
-            miss_rate_per_cycle, dram.service_cycles, dram.channels
-        )
-        hit_latency = hit_no_wait + bank_wait
-        new_cycles = core.execution_cycles(app, hit_latency, miss_latency + bank_wait)
-        cycles = 0.5 * (cycles + new_cycles)
-
-    hit_latency = hit_no_wait + bank_wait
-    seconds = cycles / system.clock_hz
-
-    # --- energy accounting -------------------------------------------------
-    transfers = app.l2_accesses * transfers_per_access
-    htree_dynamic = (
-        transfers * stats.total_flips * cache.energy_per_flip_j
-        + app.l2_accesses * cache.address_energy_j
-    )
-    if null_fraction:
-        # Null hits still flag the requester: one control-wire toggle.
-        htree_dynamic += (
-            app.l2_accesses * null_fraction * cache.energy_per_flip_j
-        )
-    if scheme.is_desc and scheme.skip_policy == "last-value":
-        # Last-value skipping makes the cache controller track the last
-        # value exchanged with every mat and broadcast write data across
-        # the subbank H-trees (Section 5.2) — extra switching on top of
-        # the strobe traffic, charged per written block.
-        broadcast_flips = (
-            _LAST_VALUE_BROADCAST_ACTIVITY * system.block_bytes * 8
-        )
-        htree_dynamic += (
-            app.l2_accesses * app.write_fraction
-            * broadcast_flips * cache.energy_per_flip_j
-        )
-    array_dynamic = transfers * cache.array_access_energy_j
-    l2 = L2Energy(
-        static_j=cache.leakage_w * seconds,
-        htree_dynamic_j=htree_dynamic,
-        array_dynamic_j=array_dynamic,
-    )
-
-    power_model = ProcessorPowerModel(
-        num_cores=8 if system.core == "smt" else 1, clock_hz=system.clock_hz
-    )
-    processor = power_model.breakdown(
-        instructions=app.instructions,
-        cycles=cycles,
-        l1_accesses=app.instructions * _L1_ACCESSES_PER_INSTRUCTION,
-        memory_accesses=app.l2_accesses * app.l2_miss_rate,
-        l2_energy_j=l2.total_j,
-    )
-    return RunResult(
-        app=app.name,
-        scheme=scheme.label(),
-        cycles=cycles,
-        hit_latency=hit_latency,
-        miss_latency=miss_latency,
-        bank_wait=bank_wait,
-        transfers=transfers,
-        transfer_stats=stats,
-        l2=l2,
-        processor=processor,
-    )
+def cache_stats() -> StoreStats:
+    """Hit/miss/size statistics of the unified result store."""
+    return ENGINE.store.stats()

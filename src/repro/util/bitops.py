@@ -24,6 +24,8 @@ __all__ = [
     "chunks_to_int",
     "bits_to_chunks",
     "chunks_to_bits",
+    "bit_matrix_to_chunks",
+    "chunk_matrix_to_bits",
     "hamming_distance",
     "hamming_weight",
     "popcount_array",
@@ -92,20 +94,48 @@ def chunks_to_int(chunks: np.ndarray, chunk_bits: int) -> int:
 
 def bits_to_chunks(bits: np.ndarray, chunk_bits: int) -> np.ndarray:
     """Group a little-endian bit array into ``chunk_bits``-wide fields."""
-    if len(bits) % chunk_bits:
-        raise ValueError(
-            f"bit width {len(bits)} is not a multiple of chunk size {chunk_bits}"
-        )
-    weights = (1 << np.arange(chunk_bits, dtype=np.int64))
-    grouped = bits.astype(np.int64).reshape(-1, chunk_bits)
-    return grouped @ weights
+    return bit_matrix_to_chunks(np.asarray(bits)[None, :], chunk_bits)[0]
 
 
 def chunks_to_bits(chunks: np.ndarray, chunk_bits: int) -> np.ndarray:
     """Inverse of :func:`bits_to_chunks`."""
+    return chunk_matrix_to_bits(np.asarray(chunks)[None, :], chunk_bits)[0]
+
+
+def bit_matrix_to_chunks(bits: np.ndarray, chunk_bits: int) -> np.ndarray:
+    """Regroup a ``(n, width)`` bit matrix into ``chunk_bits``-wide fields.
+
+    The vectorized batch form of :func:`bits_to_chunks`: row ``i`` of the
+    result holds the chunk values of block ``i``, chunk 0 taking the
+    least-significant bits.  This is the one bit→chunk implementation in
+    the codebase; the simulation stages and the single-block helpers all
+    delegate here.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    n, width = bits.shape
+    if width % chunk_bits:
+        raise ValueError(
+            f"bit width {width} is not a multiple of chunk size {chunk_bits}"
+        )
+    weights = (1 << np.arange(chunk_bits, dtype=np.int64))
+    grouped = bits.astype(np.int64).reshape(n, width // chunk_bits, chunk_bits)
+    return grouped @ weights
+
+
+def chunk_matrix_to_bits(chunks: np.ndarray, chunk_bits: int) -> np.ndarray:
+    """Inverse of :func:`bit_matrix_to_chunks` (little-endian bit order)."""
+    chunks = np.asarray(chunks)
+    if chunks.ndim != 2:
+        raise ValueError(
+            f"expected a 2-D chunk matrix, got shape {chunks.shape}"
+        )
     shifts = np.arange(chunk_bits, dtype=np.int64)
-    expanded = (chunks.astype(np.int64)[:, None] >> shifts) & 1
-    return expanded.reshape(-1).astype(np.uint8)
+    expanded = ((chunks.astype(np.int64)[:, :, None] >> shifts) & 1).astype(
+        np.uint8
+    )
+    return expanded.reshape(chunks.shape[0], -1)
 
 
 def hamming_distance(a: int, b: int) -> int:

@@ -1,0 +1,192 @@
+"""The staged engine: seed equivalence, dispatch, and parallelism.
+
+``golden_runs.json`` was captured from the pre-refactor monolithic
+``repro.sim.system.simulate`` (the seed implementation) for all 8
+``DEFAULT_SCHEMES`` across three application profiles.  The staged
+engine must reproduce every ``RunResult`` field bit-for-bit — the
+refactor moved code, not numerics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.encoding.registry import (
+    TransferModel,
+    make_transfer_model,
+    transfer_model_names,
+)
+from repro.experiments.common import DEFAULT_SCHEMES
+from repro.sim.config import SchemeConfig, SystemConfig, desc_scheme
+from repro.sim.engine import (
+    SimJob,
+    StagedEngine,
+    set_default_max_workers,
+    simulate_many,
+)
+from repro.sim.store import ResultStore
+from repro.sim.system import ENGINE, simulate
+
+GOLDEN_PATH = Path(__file__).parent / "golden_runs.json"
+
+
+def _golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _result_dict(result):
+    return {
+        "app": result.app,
+        "scheme": result.scheme,
+        "cycles": result.cycles,
+        "hit_latency": result.hit_latency,
+        "miss_latency": result.miss_latency,
+        "bank_wait": result.bank_wait,
+        "transfers": result.transfers,
+        "transfer_stats": asdict(result.transfer_stats),
+        "l2": asdict(result.l2),
+        "processor": asdict(result.processor),
+    }
+
+
+GOLDEN = _golden()
+
+
+class TestSeedEquivalence:
+    """The staged engine is numerically identical to the seed monolith."""
+
+    @pytest.mark.parametrize(
+        "entry",
+        GOLDEN["runs"],
+        ids=[f"{e['app']}-{e['scheme_config']['name']}" for e in GOLDEN["runs"]],
+    )
+    def test_exact_run_result(self, entry):
+        system = SystemConfig(sample_blocks=GOLDEN["system"]["sample_blocks"])
+        scheme = SchemeConfig(**entry["scheme_config"])
+        result = simulate(entry["app"], scheme, system)
+        assert _result_dict(result) == entry["result"]
+
+    def test_covers_all_default_schemes_and_three_apps(self):
+        covered = {
+            (e["app"], tuple(sorted(e["scheme_config"].items())))
+            for e in GOLDEN["runs"]
+        }
+        apps = {app for app, _ in covered}
+        assert len(apps) == 3
+        for _, scheme in DEFAULT_SCHEMES:
+            for app in apps:
+                assert (app, tuple(sorted(asdict(scheme).items()))) in covered
+
+
+class TestDispatch:
+    def test_no_is_desc_in_engine_or_stages(self):
+        """Scheme dispatch lives in the registry, not the run loop."""
+        import repro.sim.engine as engine_mod
+        import repro.sim.stages as stages_mod
+        import inspect
+
+        for module in (engine_mod, stages_mod):
+            assert "is_desc" not in inspect.getsource(module)
+
+    def test_every_figure16_scheme_has_a_model(self):
+        from repro.encoding.registry import FIGURE16_SCHEMES
+
+        names = transfer_model_names()
+        for name in FIGURE16_SCHEMES:
+            assert name in names
+
+    def test_models_satisfy_protocol(self):
+        for name in ("binary", "desc+zero-skip"):
+            model = make_transfer_model(SchemeConfig(name=name))
+            assert isinstance(model, TransferModel)
+
+    def test_unknown_scheme_rejected(self):
+        bogus = SchemeConfig(name="carrier-pigeon")
+        with pytest.raises(ValueError, match="no transfer model"):
+            make_transfer_model(bogus)
+
+
+class TestStoreIntegration:
+    def test_repeated_run_hits_store(self):
+        engine = StagedEngine(ResultStore())
+        engine.run("Ocean", desc_scheme("zero"))
+        misses = engine.store.misses
+        engine.run("Ocean", desc_scheme("zero"))
+        assert engine.store.misses == misses  # second run: pure hits
+        assert engine.store.hits > 0
+
+    def test_schemes_share_workload_sample(self):
+        engine = StagedEngine(ResultStore())
+        engine.run("Ocean", desc_scheme("zero"))
+        engine.run("Ocean", desc_scheme("none"))
+        samples = [key for key in engine.store if key[0] == "workload"]
+        assert len(samples) == 1
+
+    def test_clear_caches_clears_the_unified_store(self):
+        from repro.sim.system import clear_caches
+
+        simulate("Ocean", desc_scheme("zero"))
+        assert len(ENGINE.store) > 0
+        clear_caches()
+        assert len(ENGINE.store) == 0
+        assert ENGINE.store.stats().hits == 0
+
+
+class TestSimulateMany:
+    SYSTEM = SystemConfig(sample_blocks=600)
+
+    def _jobs(self):
+        return [
+            SimJob.of(app, scheme, self.SYSTEM)
+            for app in ("Ocean", "Radix")
+            for _, scheme in DEFAULT_SCHEMES[:4]
+        ]
+
+    def test_matches_individual_simulate_calls(self):
+        results = simulate_many(self._jobs(), max_workers=1)
+        for job, result in zip(self._jobs(), results):
+            assert result == simulate(job.app, job.scheme, job.system)
+
+    def test_accepts_plain_tuples(self):
+        [result] = simulate_many(
+            [("Ocean", desc_scheme("zero"), self.SYSTEM)], max_workers=1
+        )
+        assert result == simulate("Ocean", desc_scheme("zero"), self.SYSTEM)
+
+    def test_parallel_agrees_with_serial_bit_for_bit(self):
+        """The property the batch API guarantees: worker count never
+        changes a single bit of any result field."""
+        jobs = self._jobs()
+        serial = simulate_many(jobs, max_workers=1, store=ResultStore())
+        parallel = simulate_many(jobs, max_workers=4, store=ResultStore())
+        assert [_result_dict(r) for r in serial] == [
+            _result_dict(r) for r in parallel
+        ]
+
+    def test_parallel_results_merge_into_parent_store(self):
+        store = ResultStore()
+        jobs = self._jobs()
+        simulate_many(jobs, max_workers=2, store=store)
+        runs = [key for key in store if key[0] == "run"]
+        assert len(runs) == len(jobs)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            simulate_many(self._jobs(), max_workers=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            set_default_max_workers(0)
+
+    def test_default_worker_count_round_trip(self):
+        from repro.sim.engine import get_default_max_workers
+
+        before = get_default_max_workers()
+        try:
+            set_default_max_workers(3)
+            assert get_default_max_workers() == 3
+        finally:
+            set_default_max_workers(before)

@@ -1,0 +1,92 @@
+"""Tests for the unified result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.store import ResultStore, StoreStats
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        calls = []
+        value = store.get_or_compute(("k", 1), lambda: calls.append(1) or 42)
+        assert value == 42
+        assert store.get_or_compute(("k", 1), lambda: calls.append(1) or 42) == 42
+        assert calls == [1]  # computed exactly once
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_distinct_keys_distinct_entries(self):
+        store = ResultStore()
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        assert store.get(("a",)) == 1
+        assert store.get(("b",)) == 2
+        assert len(store) == 2
+
+    def test_get_default_on_absent(self):
+        store = ResultStore()
+        assert store.get(("missing",)) is None
+        assert store.get(("missing",), default=7) == 7
+        assert store.misses == 0  # peeking does not count a miss
+
+    def test_contains_and_iter(self):
+        store = ResultStore()
+        store.put(("x",), 1)
+        assert ("x",) in store
+        assert ("y",) not in store
+        assert list(store) == [("x",)]
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        store = ResultStore()
+        store.get_or_compute(("k",), lambda: 1)
+        store.get_or_compute(("k",), lambda: 1)
+        store.get_or_compute(("k",), lambda: 1)
+        stats = store.stats()
+        assert stats == StoreStats(hits=2, misses=1, size=1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_idle_hit_rate_zero(self):
+        assert ResultStore().stats().hit_rate == 0.0
+
+    def test_clear_resets_everything(self):
+        store = ResultStore()
+        store.get_or_compute(("k",), lambda: 1)
+        store.get_or_compute(("k",), lambda: 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.stats() == StoreStats(hits=0, misses=0, size=0)
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        store = ResultStore()
+        store.get_or_compute(("k", 1), lambda: {"deep": [1, 2, 3]})
+        store.get_or_compute(("k", 1), lambda: None)
+        store.save(path)
+
+        fresh = ResultStore(path)
+        assert fresh.get(("k", 1)) == {"deep": [1, 2, 3]}
+        # Counters persist so multi-invocation statistics accumulate.
+        assert fresh.misses == 1
+        assert fresh.hits >= 1
+
+    def test_default_path_used_by_save(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        store = ResultStore(path)
+        store.put(("k",), 1)
+        assert store.save() == path
+        assert path.exists()
+
+    def test_save_without_path_rejected(self):
+        with pytest.raises(ValueError, match="no path"):
+            ResultStore().save()
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.pkl")
+        assert len(store) == 0

@@ -52,3 +52,49 @@ class TestRun:
         assert main(["run", "fig17", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert 1800 < data["pair_area_um2"] < 2500
+
+
+class TestCacheStats:
+    def test_reports_in_process_store(self, capsys):
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out
+        assert "hit rate:" in out
+
+    def test_reports_persisted_store(self, capsys, tmp_path):
+        from repro.sim.store import ResultStore
+
+        path = tmp_path / "store.pkl"
+        store = ResultStore(path)
+        store.get_or_compute(("k",), lambda: 1)
+        store.get_or_compute(("k",), lambda: 1)
+        store.save()
+
+        assert main(["cache-stats", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "hits:    1" in out
+        assert "misses:  1" in out
+
+    def test_stats_reflect_a_run(self, capsys):
+        from repro.sim.system import ENGINE, clear_caches
+
+        clear_caches()
+        main(["run", "fig01", "--sample-blocks", "400"])
+        capsys.readouterr()
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" not in out
+        assert ENGINE.store.stats().size > 0
+
+
+class TestWorkersFlag:
+    def test_workers_flag_sets_engine_default(self):
+        from repro.sim.engine import get_default_max_workers, set_default_max_workers
+
+        before = get_default_max_workers()
+        try:
+            main(["run", "fig03", "--workers", "2"])
+            assert get_default_max_workers() == 2
+        finally:
+            set_default_max_workers(before)

@@ -126,3 +126,44 @@ class TestRandom:
         a = bitops.random_bits(64, np.random.default_rng(7))
         b = bitops.random_bits(64, np.random.default_rng(7))
         assert np.array_equal(a, b)
+
+
+class TestMatrixConverters:
+    def test_bit_matrix_to_chunks_matches_rowwise(self, rng):
+        bits = rng.integers(0, 2, size=(10, 64), dtype=np.uint8)
+        chunks = bitops.bit_matrix_to_chunks(bits, 4)
+        for row_bits, row_chunks in zip(bits, chunks):
+            assert np.array_equal(
+                bitops.bits_to_chunks(row_bits, 4), row_chunks
+            )
+
+    def test_chunk_matrix_to_bits_matches_rowwise(self, rng):
+        chunks = rng.integers(0, 16, size=(10, 16), dtype=np.int64)
+        bits = bitops.chunk_matrix_to_bits(chunks, 4)
+        for row_chunks, row_bits in zip(chunks, bits):
+            assert np.array_equal(
+                bitops.chunks_to_bits(row_chunks, 4), row_bits
+            )
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2**31))
+    def test_matrix_roundtrip(self, chunk_bits, num_chunks, seed):
+        rng = np.random.default_rng(seed)
+        chunks = rng.integers(0, 2**chunk_bits, size=(5, num_chunks),
+                              dtype=np.int64)
+        bits = bitops.chunk_matrix_to_bits(chunks, chunk_bits)
+        assert bits.shape == (5, num_chunks * chunk_bits)
+        assert np.array_equal(
+            bitops.bit_matrix_to_chunks(bits, chunk_bits), chunks
+        )
+
+    def test_width_not_multiple_rejected(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            bitops.bit_matrix_to_chunks(np.zeros((2, 10), dtype=np.uint8), 4)
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            bitops.bit_matrix_to_chunks(np.zeros(8, dtype=np.uint8), 4)
+        with pytest.raises(ValueError, match="2-D"):
+            bitops.chunk_matrix_to_bits(np.zeros(8, dtype=np.int64), 4)
