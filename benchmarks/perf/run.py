@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Standalone entry point for the tracked performance benchmarks.
+
+Equivalent to ``python -m repro bench``; exists so the suite can be run
+from a checkout without installing the package or setting PYTHONPATH::
+
+    python benchmarks/perf/run.py --quick --out bench.json
+
+See docs/performance.md for what each tier measures and how the
+BENCH_<rev>.json snapshots are tracked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller inputs, single repeat (CI smoke mode)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="output JSON path (default BENCH_<rev>.json)")
+    args = parser.parse_args(argv)
+
+    from repro.bench import run_benchmarks, write_report
+
+    report = run_benchmarks(quick=args.quick)
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    multicore = report["multicore"]["engines"]
+    for engine, row in multicore.items():
+        print(f"  {engine:11s} {row['seconds']:8.3f}s "
+              f"{row['speedup_vs_reference']:6.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

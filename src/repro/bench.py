@@ -1,0 +1,216 @@
+"""Tracked performance benchmarks: hot kernels and end-to-end runs.
+
+``python -m repro bench`` measures the performance-critical paths and
+writes a ``BENCH_<rev>.json`` snapshot so kernel regressions show up in
+review diffs rather than in users' wall clocks.  Three tiers:
+
+* **kernels** — throughput of the shared batched primitives
+  (:mod:`repro.kernels.batched`) and trace generation.
+* **multicore** — the trace-execution engines on the *parallel16*
+  workload: every parallel-suite application's memory trace at the
+  default :class:`~repro.cpu.multicore.MulticoreConfig`, one fixed
+  reference count and seed per profile.  Reported per engine with
+  speedups relative to the reference event loop.
+* **end_to_end** — the fig20 execution-time experiment against a cold
+  result store.
+
+Timings are best-of-N wall clock (N=1 with ``--quick``, the CI smoke
+mode).  The report is plain JSON, stable-keyed for diffing.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.generator import memory_trace
+from repro.workloads.profiles import PARALLEL_PROFILES, profile
+
+__all__ = ["run_benchmarks", "write_report", "parallel16_traces"]
+
+#: References simulated per parallel-suite profile in the multicore tier.
+PARALLEL16_REFERENCES = 40_000
+#: Seed used for every parallel16 trace.
+PARALLEL16_SEED = 0
+
+
+def _best_of(repeats: int, fn) -> float:
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# -- tier 1: kernel micro-benchmarks -----------------------------------
+
+
+def _bench_kernels(quick: bool) -> dict:
+    from repro.kernels import batched
+
+    n = 100_000 if quick else 2_000_000
+    repeats = 1 if quick else 5
+    rng = np.random.default_rng(0)
+    words = rng.integers(0, 2**62, size=n, dtype=np.int64)
+    cycles = np.sort(rng.integers(0, 4 * n, size=n))
+    levels = rng.integers(0, 16, size=n)
+
+    results = {}
+
+    def throughput(name: str, fn) -> None:
+        seconds = _best_of(repeats, lambda: _timed(fn))
+        results[name] = {
+            "elements": n,
+            "seconds": round(seconds, 6),
+            "elements_per_sec": round(n / seconds),
+        }
+
+    throughput("popcount", lambda: batched.popcount(words))
+    throughput("level_transitions", lambda: batched.level_transitions(levels))
+    throughput("strobe_flips", lambda: batched.strobe_flips(cycles, 0))
+    throughput("group_rank", lambda: batched.group_rank(levels))
+
+    gen_n = 20_000 if quick else 200_000
+    app = profile("Ocean")
+    gen_seconds = _best_of(
+        repeats, lambda: _timed(lambda: memory_trace(app, gen_n, seed=1))
+    )
+    results["memory_trace"] = {
+        "elements": gen_n,
+        "seconds": round(gen_seconds, 6),
+        "elements_per_sec": round(gen_n / gen_seconds),
+    }
+    return results
+
+
+# -- tier 2: multicore engines on parallel16 ---------------------------
+
+
+def parallel16_traces(num_references: int | None = None) -> list:
+    """The benchmark workload: one trace per parallel-suite profile."""
+    n = PARALLEL16_REFERENCES if num_references is None else num_references
+    return [
+        memory_trace(app, n, seed=PARALLEL16_SEED)
+        for app in PARALLEL_PROFILES
+    ]
+
+
+def _bench_multicore(quick: bool) -> dict:
+    from repro.cpu.multicore import MulticoreSimulator
+    from repro.kernels.native import native_available
+
+    n = 4_000 if quick else PARALLEL16_REFERENCES
+    apps = PARALLEL_PROFILES[:4] if quick else PARALLEL_PROFILES
+    traces = [memory_trace(app, n, seed=PARALLEL16_SEED) for app in apps]
+    repeats = 1 if quick else 3
+    engines = ["reference", "vectorized"]
+    if native_available():
+        engines.append("native")
+
+    def run_all(engine: str) -> float:
+        def once() -> float:
+            start = time.perf_counter()
+            for trace in traces:
+                MulticoreSimulator(engine=engine).run(trace)
+            return time.perf_counter() - start
+
+        return _best_of(repeats, once)
+
+    timings = {engine: run_all(engine) for engine in engines}
+    total_refs = n * len(traces)
+    ref_seconds = timings["reference"]
+    engine_rows = {}
+    for engine, seconds in timings.items():
+        engine_rows[engine] = {
+            "seconds": round(seconds, 4),
+            "references_per_sec": round(total_refs / seconds),
+            "speedup_vs_reference": round(ref_seconds / seconds, 2),
+        }
+    return {
+        "workload": "parallel16" if not quick else "parallel16-quick",
+        "profiles": [app.name for app in apps],
+        "references_per_profile": n,
+        "seed": PARALLEL16_SEED,
+        "best_of": repeats,
+        "engines": engine_rows,
+    }
+
+
+# -- tier 3: end-to-end figure runtime ---------------------------------
+
+
+def _bench_end_to_end(quick: bool) -> dict:
+    from repro.experiments import fig20_exec_time
+    from repro.sim.config import SystemConfig
+    from repro.sim.store import RESULT_STORE
+
+    sample_blocks = 300 if quick else 1500
+    system = SystemConfig(sample_blocks=sample_blocks)
+
+    def once() -> float:
+        RESULT_STORE.clear()  # cold store: measure real work, not hits
+        return _timed(lambda: fig20_exec_time.run(system))
+
+    seconds = _best_of(1, once)
+    RESULT_STORE.clear()
+    return {
+        "experiment": "fig20",
+        "sample_blocks": sample_blocks,
+        "seconds": round(seconds, 4),
+    }
+
+
+# -- report assembly ---------------------------------------------------
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run all benchmark tiers; returns the JSON-ready report."""
+    from repro.kernels.native import load_native_kernel, native_available
+
+    load_native_kernel()  # compile outside the timed regions
+    report = {
+        "schema": 1,
+        "revision": _git_revision(),
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_kernel": native_available(),
+        "kernels": _bench_kernels(quick),
+        "multicore": _bench_multicore(quick),
+        "end_to_end": _bench_end_to_end(quick),
+    }
+    return report
+
+
+def write_report(report: dict, out: str | None = None) -> Path:
+    """Write the report to ``out`` or ``BENCH_<revision>.json``."""
+    path = Path(out) if out else Path(f"BENCH_{report['revision']}.json")
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

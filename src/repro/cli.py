@@ -7,8 +7,10 @@ Usage::
     python -m repro run fig19 --json         # machine-readable output
     python -m repro run fig25 --sample-blocks 1500
     python -m repro run fig25 --workers 4    # parallel suite sweeps
+    python -m repro run fig20 --profile      # per-stage wall-clock table
     python -m repro all --json results.json  # run everything, save JSON
     python -m repro cache-stats              # result-store hit/miss/size
+    python -m repro bench --quick            # tracked kernel benchmarks
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
 dispatches and formats.  ``--workers N`` fans suite runs out over a
@@ -151,6 +153,15 @@ def _cache_stats(store_path: str | None) -> int:
     return 0
 
 
+def _print_profile(args: argparse.Namespace) -> None:
+    """Print the per-stage timing table when ``--profile`` was given."""
+    if not getattr(args, "profile", False):
+        return
+    from repro.util.profiling import PROFILER
+
+    print(PROFILER.format_report(), file=sys.stderr)
+
+
 def _save_store() -> None:
     """Persist the global store when REPRO_RESULT_STORE names a file."""
     from repro.sim.store import RESULT_STORE
@@ -178,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--workers", type=int, default=1,
                             help="process-pool width for suite runs "
                                  "(1 = serial; results are identical)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print per-stage wall-clock timings "
+                                 "to stderr after the run")
 
     all_parser = sub.add_parser("all", help="run every figure experiment")
     all_parser.add_argument("--sample-blocks", type=int, default=3000)
@@ -185,6 +199,22 @@ def main(argv: list[str] | None = None) -> int:
                             help="write all results to a JSON file")
     all_parser.add_argument("--workers", type=int, default=1,
                             help="process-pool width for suite runs")
+    all_parser.add_argument("--profile", action="store_true",
+                            help="print per-stage wall-clock timings "
+                                 "to stderr after the run")
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the tracked performance benchmarks",
+        description="Benchmark the hot kernels and the end-to-end "
+                    "pipeline; writes BENCH_<rev>.json for tracking.",
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller traces and a single timing "
+                                   "repeat (CI smoke mode)")
+    bench_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="output JSON path (default "
+                                   "BENCH_<git-rev>.json in the cwd)")
 
     stats_parser = sub.add_parser(
         "cache-stats",
@@ -209,12 +239,28 @@ def main(argv: list[str] | None = None) -> int:
         except (pickle.UnpicklingError, ValueError, EOFError) as exc:
             parser.error(f"cannot read store {args.store!r}: {exc}")
 
+    if args.command == "bench":
+        from repro.bench import run_benchmarks, write_report
+
+        report = run_benchmarks(quick=args.quick)
+        path = write_report(report, args.out)
+        print(f"wrote {path}", file=sys.stderr)
+        return 0
+
     if getattr(args, "workers", 1) != 1:
-        from repro.sim.engine import set_default_max_workers
+        from repro.sim.engine import fork_available, set_default_max_workers
 
         if args.workers < 1:
             parser.error(f"--workers must be >= 1, got {args.workers}")
+        if not fork_available():
+            print("note: platform cannot fork; running serially",
+                  file=sys.stderr)
         set_default_max_workers(args.workers)
+
+    if getattr(args, "profile", False):
+        from repro.util.profiling import PROFILER
+
+        PROFILER.enable()
 
     figures = _figures()
 
@@ -231,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         description, runner = figures[args.figure]
         result = runner(args)
         _save_store()
+        _print_profile(args)
         if args.json:
             json.dump(result, sys.stdout, indent=2, default=str)
             print()
@@ -259,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"running {name}: {description} ...", file=sys.stderr)
         results[name] = runner(args)
     _save_store()
+    _print_profile(args)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2, default=str)

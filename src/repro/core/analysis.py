@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.chunking import ChunkLayout
 from repro.core.protocol import TransferCost
+from repro.kernels.batched import shifted_prev, strobe_flips
 
 __all__ = ["StreamCost", "DescCostModel"]
 
@@ -174,10 +175,7 @@ class DescCostModel:
 
         # Sync strobe: one flip per two busy cycles, with parity carried
         # across blocks (and across calls) exactly as the link does.
-        cum = self._busy_cycles + np.cumsum(cycles)
-        prev = np.concatenate(([self._busy_cycles], cum[:-1]))
-        sync_flips = (cum + 1) // 2 - (prev + 1) // 2
-        self._busy_cycles = int(cum[-1])
+        sync_flips, self._busy_cycles = strobe_flips(cycles, self._busy_cycles)
 
         # Wire history after the stream: the last round's delivered values.
         self._last = values[-1].copy()
@@ -200,9 +198,7 @@ class DescCostModel:
         # Last-value skipping: the skip value of wire w in round t is the
         # value delivered on w in round t-1 (the policy observes skipped
         # chunks too, and they deliver the skip value itself).
-        prev = np.empty_like(values)
-        prev[0] = self._last
-        prev[1:] = values[:-1]
+        prev = shifted_prev(values, self._last)
         skipped = values == prev
         fire = values + (values < prev).astype(np.int64)
         return skipped, fire

@@ -28,6 +28,7 @@ from repro.cache.l2 import BankedL2Cache
 from repro.cache.mesi import MesiDirectory
 from repro.cache.nuca import SNuca1Mapping
 from repro.cache.sets import SetAssociativeCache
+from repro.util.profiling import timed
 from repro.util.validation import require_positive
 from repro.workloads.generator import MemoryTrace
 
@@ -158,10 +159,43 @@ class MulticoreStats:
 
 
 class MulticoreSimulator:
-    """Runs a :class:`~repro.workloads.generator.MemoryTrace` to completion."""
+    """Runs a :class:`~repro.workloads.generator.MemoryTrace` to completion.
 
-    def __init__(self, config: MulticoreConfig | None = None) -> None:
+    Three interchangeable execution engines produce identical
+    statistics (asserted by the property tests and the golden-run
+    suite):
+
+    * ``"native"`` — the compiled scalar kernel in
+      :mod:`repro.kernels.native` (built on demand with the system C
+      compiler).  Raises at construction if no compiler is available.
+    * ``"vectorized"`` — the epoch-batched array engine in
+      :mod:`repro.kernels.multicore`: NumPy precomputation of every
+      per-access quantity, bulk-committed L1 hit runs, and a lean
+      scalar path that serializes misses and coherence in exact global
+      order.
+    * ``"reference"`` — the original per-access event loop over the
+      object-model caches (``SetAssociativeCache``, ``MesiDirectory``),
+      retained as the executable specification.
+
+    The default, ``"auto"``, picks the native kernel when it can be
+    built and the vectorized engine otherwise.  The fast engines
+    require block-aligned addresses (generated traces always are); for
+    other traces ``run`` silently falls back to the reference loop, so
+    results are identical either way.
+    """
+
+    def __init__(
+        self,
+        config: MulticoreConfig | None = None,
+        engine: str = "auto",
+    ) -> None:
+        if engine not in ("auto", "native", "vectorized", "reference"):
+            raise ValueError(
+                "engine must be 'auto', 'native', 'vectorized' or "
+                f"'reference', got {engine!r}"
+            )
         self.config = config if config is not None else MulticoreConfig()
+        self.engine = engine
         cfg = self.config
         self.l1s = [
             SetAssociativeCache(cfg.l1_size_bytes, cfg.block_bytes, cfg.l1_associativity)
@@ -194,6 +228,19 @@ class MulticoreSimulator:
         ]
         self._window_index = 0
         self.stats = MulticoreStats()
+        self.native = None
+        self.vectorized = None
+        if engine in ("auto", "native"):
+            from repro.kernels.native import NativeMulticoreEngine, native_available
+
+            if native_available():
+                self.native = NativeMulticoreEngine(cfg)
+            elif engine == "native":
+                NativeMulticoreEngine(cfg)  # raises with the build error
+        if self.native is None and engine in ("auto", "vectorized"):
+            from repro.kernels.multicore import VectorizedMulticoreEngine
+
+            self.vectorized = VectorizedMulticoreEngine(cfg)
 
     def _next_window(self) -> int:
         """Transfer window of the next L2 block move."""
@@ -236,6 +283,24 @@ class MulticoreSimulator:
 
     def run(self, trace: MemoryTrace) -> MulticoreStats:
         """Process the whole trace; returns the accumulated statistics.
+
+        Dispatches to the configured engine; see the class docstring.
+        """
+        if self.native is not None:
+            if self.native.supports(trace, self.config):
+                with timed("kernel.multicore.native"):
+                    return self.native.run(trace, self.stats)
+        elif self.vectorized is not None:
+            from repro.kernels.multicore import VectorizedMulticoreEngine
+
+            if VectorizedMulticoreEngine.supports(trace, self.config):
+                with timed("kernel.multicore.vectorized"):
+                    return self.vectorized.run(trace, self.stats)
+        with timed("kernel.multicore.reference"):
+            return self._run_reference(trace)
+
+    def _run_reference(self, trace: MemoryTrace) -> MulticoreStats:
+        """The original per-access event loop (executable specification).
 
         Event-driven scheduling: references stay in program order within
         each thread, but across threads the simulator always advances

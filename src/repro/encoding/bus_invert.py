@@ -46,7 +46,7 @@ import numpy as np
 from repro.core.analysis import StreamCost
 from repro.encoding import segments
 from repro.encoding.base import BusEncoder, as_bit_matrix
-from repro.util.bitops import popcount_array
+from repro.kernels.batched import popcount, shifted_prev
 from repro.util.validation import require_multiple, require_positive
 
 __all__ = ["BusInvertEncoder"]
@@ -162,10 +162,7 @@ class BusInvertEncoder(BusEncoder):
         )
         base = np.take_along_axis(padded, last_tie + 1, axis=0)
         polarity_after = (toggles_cum - base) & 1
-        before = np.empty_like(polarity_after)
-        before[0] = 0  # invert lines start low
-        before[1:] = polarity_after[:-1]
-        return before
+        return shifted_prev(polarity_after, 0)  # invert lines start low
 
     def _overhead_flips(
         self,
@@ -206,7 +203,5 @@ class BusInvertEncoder(BusEncoder):
         digits = np.where(skipped, 2, polarity_after).astype(np.int64)
         weights = 3 ** np.arange(self.num_segments, dtype=np.int64)
         words = digits @ weights
-        previous = np.empty_like(words)
-        previous[0] = 0  # mode wires start low
-        previous[1:] = words[:-1]
-        return popcount_array(words ^ previous)
+        previous = shifted_prev(words, 0)  # mode wires start low
+        return popcount(words ^ previous)

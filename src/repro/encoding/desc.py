@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.analysis import DescCostModel, StreamCost
 from repro.core.chunking import ChunkLayout
 from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.util.bitops import bit_matrix_to_chunks
 
 __all__ = ["DescEncoder"]
 
@@ -46,6 +47,11 @@ class DescEncoder(BusEncoder):
         )
         self.skip_policy = skip_policy
         self.name = _VARIANT_NAMES[skip_policy]
+        # One model per encoder, reset before each stream: every
+        # ``stream_cost`` call still models a freshly reset bus (the
+        # BusEncoder contract) without re-building the model's wire
+        # history arrays on every call.
+        self._model = DescCostModel(self.layout, skip_policy=skip_policy)
 
     @property
     def chunk_bits(self) -> int:
@@ -64,19 +70,13 @@ class DescEncoder(BusEncoder):
     def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
         blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
         chunks = self.bits_to_chunk_matrix(blocks_bits)
-        model = DescCostModel(self.layout, skip_policy=self.skip_policy)
-        return model.stream_cost(chunks)
+        return self.chunk_stream_cost(chunks)
 
     def chunk_stream_cost(self, chunk_blocks: np.ndarray) -> StreamCost:
         """Costs for blocks already given as chunk values (fast path)."""
-        model = DescCostModel(self.layout, skip_policy=self.skip_policy)
-        return model.stream_cost(chunk_blocks)
+        self._model.reset()
+        return self._model.stream_cost(chunk_blocks)
 
     def bits_to_chunk_matrix(self, blocks_bits: np.ndarray) -> np.ndarray:
         """Vectorized bit-matrix → chunk-matrix conversion."""
-        num_blocks = blocks_bits.shape[0]
-        weights = 1 << np.arange(self.layout.chunk_bits, dtype=np.int64)
-        grouped = blocks_bits.astype(np.int64).reshape(
-            num_blocks, self.layout.num_chunks, self.layout.chunk_bits
-        )
-        return grouped @ weights
+        return bit_matrix_to_chunks(blocks_bits, self.layout.chunk_bits)

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import batched as kernels
+
 __all__ = ["beat_view", "held_pattern", "level_transitions", "per_block"]
 
 
@@ -68,9 +70,7 @@ def held_pattern(beats: np.ndarray, driven: np.ndarray) -> np.ndarray:
     drive_index = np.where(driven, time_index, np.int64(-1))
     last_drive = np.maximum.accumulate(drive_index, axis=0)
     # Pattern *before* beat t = last drive strictly earlier than t.
-    before = np.empty_like(last_drive)
-    before[0] = -1
-    before[1:] = last_drive[:-1]
+    before = kernels.shifted_prev(last_drive, np.int64(-1))
     padded = np.concatenate(
         [np.zeros((1, nseg, beats.shape[2]), dtype=beats.dtype), beats], axis=0
     )
@@ -84,11 +84,7 @@ def level_transitions(levels: np.ndarray) -> np.ndarray:
     assumed low before the first beat.  Returns a ``(T, nseg)`` int64
     array with a 1 wherever the level changed.
     """
-    levels = levels.astype(np.int64)
-    flips = np.empty_like(levels)
-    flips[0] = levels[0]  # wires start low
-    flips[1:] = np.abs(levels[1:] - levels[:-1])
-    return flips
+    return kernels.level_transitions(levels)
 
 
 def per_block(per_beat: np.ndarray, num_blocks: int) -> np.ndarray:

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.analysis import StreamCost
 from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.kernels.batched import level_transitions
 
 __all__ = ["SerialEncoder"]
 
@@ -33,11 +34,9 @@ class SerialEncoder(BusEncoder):
         if num_blocks == 0:
             empty = np.zeros(0, dtype=np.int64)
             return StreamCost(empty, empty, empty, empty)
-        stream = blocks_bits.reshape(-1).astype(np.int64)
-        previous = np.empty_like(stream)
-        previous[0] = 0  # the wire starts low
-        previous[1:] = stream[:-1]
-        flips = np.abs(stream - previous)
+        # The serialized bit stream *is* a level-signalled wire: flips
+        # are its level transitions (wire starts low).
+        flips = level_transitions(blocks_bits.reshape(-1))
         data_flips = flips.reshape(num_blocks, -1).sum(axis=1)
         zeros = np.zeros(num_blocks, dtype=np.int64)
         cycles = np.full(num_blocks, self.block_bits, dtype=np.int64)

@@ -1,0 +1,33 @@
+"""Vectorized execution kernels for the hot paths (DESIGN.md §4).
+
+Two layers:
+
+* :mod:`repro.kernels.batched` — shared batched array primitives
+  (popcount, history shifts, forward fills, level transitions, strobe
+  parity, group ranking) that the encoders, the closed-form DESC model,
+  and the workload generator build on.
+* :mod:`repro.kernels.multicore` — the epoch-batched trace-execution
+  engine behind :class:`repro.cpu.multicore.MulticoreSimulator`,
+  cycle-exact against the retained per-access reference loop.
+
+``repro bench`` (see ``docs/performance.md``) tracks the throughput of
+everything exported here.
+"""
+
+from repro.kernels.batched import (
+    forward_fill_take,
+    group_rank,
+    level_transitions,
+    popcount,
+    shifted_prev,
+    strobe_flips,
+)
+
+__all__ = [
+    "forward_fill_take",
+    "group_rank",
+    "level_transitions",
+    "popcount",
+    "shifted_prev",
+    "strobe_flips",
+]

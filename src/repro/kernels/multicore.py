@@ -1,0 +1,616 @@
+"""Epoch-batched trace execution for the multicore substrate.
+
+This is the vectorized counterpart of the reference event loop in
+:mod:`repro.cpu.multicore` — cycle-exact by construction, not by
+approximation.  The equivalence argument rests on three facts about the
+reference simulator:
+
+1. **Global order is a pure function of pop keys.**  The reference heap
+   pops ``(clock, thread)`` tuples; ties break on the thread id.  With
+   ``T`` threads the scalar *stamp* ``key * T + thread`` reproduces that
+   total order exactly, and per-thread keys strictly increase, so stamps
+   are unique.
+
+2. **L1 hits commute.**  A hit touches only the owning core's L1 state
+   and the thread's clock: LRU recency (here an int64 stamp per way),
+   the dirty bit (encoded as MESI ``M``), and the silent ``E → M``
+   upgrade.  Within one core all commits are applied in stamp order, so
+   plain writes suffice; across cores hits share no state at all.
+   Therefore a run of hits may be committed in bulk — and, for blocks
+   that no other core ever touches (*non-conflict blocks*, precomputed
+   from the whole trace), even ahead of other cores' pending accesses.
+
+3. **Misses serialize.**  A miss touches shared state whose effect
+   depends on arrival order: bank occupancy, the DRAM channel queues,
+   the transfer-window sequence, and cross-core coherence.  The engine
+   therefore processes every miss inline, in exact global stamp order,
+   through a flat mirror of the reference structures (residency dicts +
+   struct-of-array tag/state/stamp, list-based L2, per-channel row
+   deques).
+
+The run loop pops the earliest thread and executes its references
+inline while its key stays below the heap top (the reference would pop
+the same thread back immediately, so this is the identical schedule
+with the heap churn elided).  When a thread is in a long hit streak the
+engine switches to the *epoch-batched* path: it classifies a whole
+window of upcoming references against the frozen L1 arrays in NumPy,
+bounds the window by the first miss, the earliest same-core sibling
+stamp, and — for conflict blocks — the earliest other-core stamp, and
+commits the surviving hit prefix with array scatters.
+
+The LRU mirror: a way's stamp is ``-1`` while never touched (or after a
+coherence invalidation) and the victim is ``row.index(min(row))`` —
+``min`` lands on the first ``-1`` when one exists (the reference's
+untouched-way-first rule) and otherwise on the unique least-recent
+stamp.
+
+Exactness requires block-aligned addresses: the reference keys its
+coherence directory by the *raw* address while the L1 arrays use block
+tags, and the two only agree when every address is block-aligned (all
+generated traces are).  :meth:`VectorizedMulticoreEngine.supports`
+reports this; the simulator falls back to the reference loop otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.cpu.multicore import MulticoreConfig, MulticoreStats
+    from repro.workloads.generator import MemoryTrace
+
+__all__ = ["VectorizedMulticoreEngine"]
+
+# MESI codes, ordered so that "has write permission" is ``state >= _E``
+# and every in-place transition the hit path performs is monotone.
+_I, _S, _E, _M = 0, 1, 2, 3
+
+#: Consecutive hits on one thread before the batched path is attempted.
+_BATCH_STREAK = 24
+#: Smallest remaining run worth a batched classification.
+_BATCH_MIN = 32
+#: References classified per batched attempt.
+_BATCH_CAP = 512
+
+#: Heap-head sentinel when no other thread is pending.
+_INF = float("inf")
+
+
+class VectorizedMulticoreEngine:
+    """Array-state trace executor, cycle-exact vs the reference loop."""
+
+    def __init__(self, config: MulticoreConfig) -> None:
+        cfg = config
+        self.config = cfg
+        l1_blocks = cfg.l1_size_bytes // cfg.block_bytes
+        self.l1_sets = l1_blocks // cfg.l1_associativity
+        self.l1_ways = cfg.l1_associativity
+        self.num_banks = 128 if cfg.nuca else cfg.l2_banks
+        l2_blocks = cfg.l2_size_bytes // cfg.block_bytes
+        self.l2_sets = l2_blocks // cfg.l2_associativity
+        self.l2_ways = cfg.l2_associativity
+
+        cores = cfg.num_cores
+        n1 = self.l1_sets * self.l1_ways
+        #: block id -> flat way index, one dict per core (fast residency).
+        self.resident: list[dict[int, int]] = [{} for _ in range(cores)]
+        # Tags, MESI state and LRU stamps as plain lists: the scalar
+        # path touches them per access, where list indexing is ~2x
+        # cheaper than ndarray scalar indexing.  The batched classifier
+        # materializes a tag array on demand (amortized over the run of
+        # hits that triggered it).
+        self.tags: list[list[int]] = [[-1] * n1 for _ in range(cores)]
+        self.state: list[list[int]] = [[_I] * n1 for _ in range(cores)]
+        self.stamp: list[list[int]] = [[-1] * n1 for _ in range(cores)]
+
+        n2 = self.l2_sets * self.l2_ways
+        self.l2_resident: dict[int, int] = {}
+        self.l2_tags: list[int] = [-1] * n2
+        self.l2_dirty: list[bool] = [False] * n2
+        self.l2_stamp: list[int] = [-1] * n2
+
+        self.bank_free: list[int] = [0] * self.num_banks
+        self.bank_conflicts = 0
+        self.channel_free: list[int] = [0] * cfg.dram_channels
+        # Open-row mirror: a plain deque (manual eviction) plus a row ->
+        # count dict so membership is one hash lookup instead of a
+        # linear scan of the reorder window.
+        self.recent_rows = [deque() for _ in range(cfg.dram_channels)]
+        self.recent_counts: list[dict[int, int]] = [
+            {} for _ in range(cfg.dram_channels)
+        ]
+        self.window_index = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def supports(trace: MemoryTrace, config: MulticoreConfig) -> bool:
+        """Whether this engine reproduces the reference exactly.
+
+        Requires block-aligned addresses (see module docstring).
+        """
+        if len(trace) == 0:
+            return True
+        addrs = np.asarray(trace.addresses)
+        return bool((addrs % config.block_bytes == 0).all())
+
+    # ------------------------------------------------------------------
+    def _nuca_latency(self, block_ids: np.ndarray) -> np.ndarray:
+        """Vectorized S-NUCA-1 latency (mirrors ``SNuca1Mapping``)."""
+        banks = block_ids % 128
+        span = 13 - 3
+        return 3 + (banks * span) // (128 - 1)
+
+    def run(self, trace: MemoryTrace, stats: MulticoreStats) -> MulticoreStats:
+        """Execute the trace, accumulating into ``stats``."""
+        cfg = self.config
+        n = len(trace)
+        if n == 0:
+            return stats
+
+        # ---- vectorized precompute: everything derivable per access ----
+        addr = trace.addresses.astype(np.int64)
+        thr = trace.thread.astype(np.int64)
+        gap = trace.instructions_between.astype(np.int64)
+        write = trace.is_write.astype(bool)
+        cores_n = cfg.num_cores
+        num_threads = int(thr.max()) + 1
+
+        block = addr // cfg.block_bytes
+        set_base = (block % self.l1_sets) * self.l1_ways
+        l2_base = (block % self.l2_sets) * self.l2_ways
+        bank = block % self.num_banks
+        if cfg.nuca:
+            nuca_lat = self._nuca_latency(block)
+        else:
+            nuca_lat = np.zeros(n, dtype=np.int64)
+        row = addr // cfg.dram_row_bytes
+        channel = row % cfg.dram_channels
+
+        # Conflict blocks: touched by threads on >= 2 distinct cores
+        # anywhere in the trace *or its history*.  Only these can see
+        # cross-core coherence, so only these constrain hit run-ahead.
+        # Blocks still resident from a previous run count as touched by
+        # their holder, and S-state residues force conflict outright
+        # (the non-conflict paths assume resident implies E/M).
+        pairs = block * cores_n + (thr % cores_n)
+        hist: list[int] = []
+        for hc, res in enumerate(self.resident):
+            st_h = self.state[hc]
+            for hb, hw in res.items():
+                hist.append(hb * cores_n + hc)
+                if st_h[hw] == _S:
+                    hist.append(hb * cores_n + (hc + 1) % cores_n)
+        if hist:
+            pairs = np.concatenate([pairs, np.array(hist, dtype=np.int64)])
+        pair = np.unique(pairs)
+        pair_block = pair // cores_n
+        multi = pair_block[:-1][pair_block[1:] == pair_block[:-1]]
+        conflict = np.isin(block, multi)
+        # Sharer map for conflict blocks: block -> {core: flat way}.
+        # Replaces the all-cores residency scan on every coherence
+        # action with a walk over the actual holders (usually 0-2).
+        holders_map: dict[int, dict[int, int]] = {}
+        if hist:
+            multi_set = set(multi.tolist())
+            for hc, res in enumerate(self.resident):
+                for hb, hw in res.items():
+                    if hb in multi_set:
+                        holders_map.setdefault(hb, {})[hc] = hw
+
+        hit_latency = cfg.l1_hit_latency
+        # One stacked int64 matrix, stable-sorted by thread, converted
+        # to nested lists in a single C pass: the scalar path does one
+        # list index + unpack per reference instead of ten array reads.
+        cols = np.stack(
+            (
+                block,
+                set_base,
+                write.astype(np.int64),
+                gap,
+                l2_base,
+                bank,
+                nuca_lat,
+                row,
+                channel,
+                conflict.astype(np.int64),
+            ),
+            axis=1,
+        )
+        order = np.argsort(thr, kind="stable")
+        cols = cols[order]
+        bounds = np.concatenate(
+            ([0], np.cumsum(np.bincount(thr, minlength=num_threads)))
+        )
+        acc_by_thread: list[list[list[int]]] = []
+        # Batch-path form: per-thread column views + hit-key prefix
+        # bases (cumulative gap + hit latency).
+        blk_np: list[np.ndarray] = []
+        sb_np: list[np.ndarray] = []
+        wr_np: list[np.ndarray] = []
+        cf_np: list[np.ndarray] = []
+        base_np: list[np.ndarray] = []
+        for t in range(num_threads):
+            sub = cols[bounds[t] : bounds[t + 1]]
+            acc_by_thread.append(sub.tolist())
+            blk_np.append(sub[:, 0])
+            sb_np.append(sub[:, 1])
+            wr_np.append(sub[:, 2] != 0)
+            cf_np.append(sub[:, 9] != 0)
+            base_np.append(
+                np.concatenate(([0], np.cumsum(sub[:, 3] + hit_latency)))
+            )
+
+        # ---- local bindings for the hot loop ----
+        resident = self.resident
+        tags = self.tags
+        state = self.state
+        stamp = self.stamp
+        l2_resident = self.l2_resident
+        l2_tags = self.l2_tags
+        l2_dirty = self.l2_dirty
+        l2_stamp = self.l2_stamp
+        bank_free = self.bank_free
+        channel_free = self.channel_free
+        recent_rows = self.recent_rows
+        recent_counts = self.recent_counts
+        reorder_window = cfg.dram_reorder_window
+        l2_ways = self.l2_ways
+        l1_ways = self.l1_ways
+        array_latency = cfg.l2_array_latency
+        win_seq = cfg.transfer_windows
+        win_len = len(win_seq) if win_seq is not None else 0
+        base_window = cfg.l2_transfer_cycles
+        dram_latency = cfg.dram_latency
+        dram_service = cfg.dram_service
+        row_hit_cycles = cfg.dram_row_hit
+        row_miss_cycles = cfg.dram_row_miss
+        heappushpop = heapq.heappushpop
+        heappop = heapq.heappop
+        way_offsets = np.arange(l1_ways, dtype=np.int64)
+
+        # Stats as plain locals; only events the loop cannot derive are
+        # counted inline (hits, l2/dram misses and per-miss transfers
+        # fall out of totals at flush time).
+        misses = l2_hits = invalidations = coh_writebacks = 0
+        extra_transfers = dram_hits = bank_conf = 0
+        window_index = self.window_index
+
+        clocks = [0] * num_threads
+        pos = [0] * num_threads
+        streak = [0] * num_threads
+        lengths = [len(a) for a in acc_by_thread]
+        ready = [(0, t) for t in range(num_threads) if lengths[t]]
+        heapq.heapify(ready)
+        T = num_threads
+
+        def batch_hits(t: int, c: int, p: int, key: int) -> tuple[int, int]:
+            """Classify a window of thread ``t`` and commit its hit prefix.
+
+            Returns the new (position, key).  Only commits references
+            that the reference loop would process before every other
+            pending heap entry it could interact with: all commits stay
+            below the earliest same-core sibling stamp, and conflict
+            blocks additionally below the earliest other-core stamp.
+            """
+            sib = oth = None
+            for entry in ready:
+                if entry[1] % cores_n == c:
+                    if sib is None or entry < sib:
+                        sib = entry
+                elif oth is None or entry < oth:
+                    oth = entry
+            size = min(_BATCH_CAP, lengths[t] - p)
+            bases = base_np[t]
+            keys = key + (bases[p : p + size] - bases[p])
+            stamps = keys * T + t
+            blk_w = blk_np[t][p : p + size]
+            sb_w = sb_np[t][p : p + size]
+            wr_w = wr_np[t][p : p + size]
+            cf_w = cf_np[t][p : p + size]
+            tag_arr = np.asarray(tags[c], dtype=np.int64)
+            tag_rows = tag_arr[sb_w[:, None] + way_offsets]
+            match = tag_rows == blk_w[:, None]
+            found = match.any(axis=1)
+            flat_way = sb_w + match.argmax(axis=1)
+            # A resident non-conflict block is always E or M (no other
+            # core ever reads it into S), so a tag match alone decides
+            # write hits; conflict-block writes stop the batch and go
+            # through the exact scalar path instead.
+            ok = found & (~wr_w | ~cf_w)
+            if sib is not None:
+                ok &= stamps < sib[0] * T + sib[1]
+            if oth is not None:
+                ok &= ~cf_w | (stamps < oth[0] * T + oth[1])
+            blocked = ~ok
+            take = int(blocked.argmax()) if blocked.any() else size
+            if take:
+                st_c = state[c]
+                stamp_c = stamp[c]
+                # In-order scatter: duplicate ways keep the last (= max)
+                # stamp, since same-core commits are stamp-ordered.
+                for fw, sv in zip(
+                    flat_way[:take].tolist(), stamps[:take].tolist()
+                ):
+                    stamp_c[fw] = sv
+                wr_take = wr_w[:take]
+                if wr_take.any():
+                    for fw in flat_way[:take][wr_take].tolist():
+                        st_c[fw] = _M
+                # Pop key after the last committed hit: the prefix-sum
+                # base carries gap + hit latency per reference.
+                key = int(key + (bases[p + take] - bases[p]))
+                p += take
+            return p, key, take
+
+        key, t = heappop(ready)
+        while True:
+            c = t % cores_n
+            acc = acc_by_thread[t]
+            length = lengths[t]
+            p = pos[t]
+            res_c = resident[c]
+            st_c = state[c]
+            stamp_c = stamp[c]
+            tags_c = tags[c]
+            run_streak = streak[t]
+            # The heap is static during this thread's run (nothing is
+            # pushed until it yields), so the head can be cached and
+            # compared as scalars instead of building a tuple per
+            # reference.
+            if ready:
+                head_key, head_t = ready[0]
+            else:
+                head_key = _INF
+                head_t = -1
+            swap = False
+
+            while True:
+                if head_key < key or (head_key == key and head_t < t):
+                    swap = True
+                    break
+                if run_streak >= _BATCH_STREAK and length - p >= _BATCH_MIN:
+                    p, key, took = batch_hits(t, c, p, key)
+                    run_streak = took if took == _BATCH_CAP else 0
+                    if p >= length:
+                        break
+                    continue
+
+                (
+                    blk,
+                    sb,
+                    wr,
+                    acc_gap,
+                    l2_sb,
+                    acc_bank,
+                    acc_nuca,
+                    acc_row,
+                    acc_chan,
+                    conf,
+                ) = acc[p]
+                now = key + acc_gap
+                way = res_c.get(blk)
+                if way is not None and (not wr or st_c[way] >= _E):
+                    # ---- L1 hit: touch recency, silent E->M on writes.
+                    stamp_c[way] = key * T + t
+                    if wr:
+                        st_c[way] = _M
+                    key = now + hit_latency
+                    run_streak += 1
+                    p += 1
+                    if p >= length:
+                        break
+                    continue
+
+                # ---- L1 miss (or S->M upgrade): exact global order here.
+                misses += 1
+                run_streak = 0
+                stamp_v = key * T + t
+                if conf:
+                    entry = holders_map.get(blk)
+                    if wr:
+                        granted = _M
+                        if entry:
+                            writeback = False
+                            inv = 0
+                            for oc, ow in entry.items():
+                                if oc == c:
+                                    continue
+                                del resident[oc][blk]
+                                if state[oc][ow] == _M:
+                                    writeback = True
+                                tags[oc][ow] = -1
+                                state[oc][ow] = _I
+                                stamp[oc][ow] = -1
+                                inv += 1
+                            invalidations += inv
+                            if writeback:
+                                coh_writebacks += 1
+                            if way is not None:
+                                holders_map[blk] = {c: way}
+                            else:
+                                del holders_map[blk]
+                    else:
+                        # A read miss means this core holds nothing, so
+                        # every entry is a remote sharer to downgrade.
+                        if entry:
+                            writeback = False
+                            for oc, ow in entry.items():
+                                so = state[oc][ow]
+                                if so == _M:
+                                    writeback = True
+                                    state[oc][ow] = _S
+                                elif so == _E:
+                                    state[oc][ow] = _S
+                            if writeback:
+                                coh_writebacks += 1
+                            granted = _S
+                        else:
+                            granted = _E
+                else:
+                    # No other core ever touches this block: coherence
+                    # is a no-op and the grant is exclusive.
+                    granted = _M if wr else _E
+
+                if win_seq is None:
+                    window = base_window
+                else:
+                    window = win_seq[window_index % win_len]
+                    window_index += 1
+
+                free_at = bank_free[acc_bank]
+                start = free_at if free_at > now else now
+                if start > now:
+                    bank_conf += 1
+                bank_free[acc_bank] = start + array_latency + window
+                ready_time = start + array_latency
+
+                l2_way = l2_resident.get(blk)
+                if l2_way is not None:
+                    l2_hits += 1
+                    l2_stamp[l2_way] = stamp_v
+                    if wr:
+                        l2_dirty[l2_way] = True
+                    done = ready_time + acc_nuca + window
+                else:
+                    cnt = recent_counts[acc_chan]
+                    if acc_row in cnt:
+                        dram_hits += 1
+                        service = row_hit_cycles
+                    else:
+                        service = row_miss_cycles
+                    recent = recent_rows[acc_chan]
+                    recent.append(acc_row)
+                    cnt[acc_row] = cnt.get(acc_row, 0) + 1
+                    if len(recent) > reorder_window:
+                        old = recent.popleft()
+                        left = cnt[old] - 1
+                        if left:
+                            cnt[old] = left
+                        else:
+                            del cnt[old]
+                    free_at = channel_free[acc_chan]
+                    start2 = free_at if free_at > ready_time else ready_time
+                    channel_free[acc_chan] = start2 + service
+                    done = start2 + dram_latency - dram_service + service
+                    # L2 allocation: untouched-first then LRU victim.
+                    srow = l2_stamp[l2_sb : l2_sb + l2_ways]
+                    v_way = l2_sb + srow.index(min(srow))
+                    v_tag = l2_tags[v_way]
+                    if v_tag != -1:
+                        del l2_resident[v_tag]
+                        if l2_dirty[v_way]:
+                            extra_transfers += 1  # victim writeback
+                    l2_tags[v_way] = blk
+                    l2_dirty[v_way] = wr
+                    l2_stamp[v_way] = stamp_v
+                    l2_resident[blk] = v_way
+
+                if way is not None:
+                    # Write upgrade: the block stays in place.
+                    stamp_c[way] = stamp_v
+                    st_c[way] = _M
+                else:
+                    srow1 = stamp_c[sb : sb + l1_ways]
+                    v_way = sb + srow1.index(min(srow1))
+                    v_tag = tags_c[v_way]
+                    if v_tag != -1:
+                        del res_c[v_tag]
+                        entry = holders_map.get(v_tag)
+                        if entry is not None:
+                            del entry[c]
+                            if not entry:
+                                del holders_map[v_tag]
+                        if st_c[v_way] == _M:
+                            coh_writebacks += 1
+                            extra_transfers += 1
+                    tags_c[v_way] = blk
+                    st_c[v_way] = granted
+                    stamp_c[v_way] = stamp_v
+                    res_c[blk] = v_way
+                    if conf:
+                        entry = holders_map.get(blk)
+                        if entry is None:
+                            holders_map[blk] = {c: v_way}
+                        else:
+                            entry[c] = v_way
+                key = done
+                p += 1
+                if p >= length:
+                    break
+
+            pos[t] = p
+            clocks[t] = key
+            streak[t] = run_streak
+            if swap:
+                key, t = heappushpop(ready, (key, t))
+            elif ready:
+                key, t = heappop(ready)
+            else:
+                break
+
+        # ---- flush (same per-run semantics as the reference loop:
+        # counters accumulate, cycles and bank_conflicts are set).
+        # Totals the loop did not count inline are derived here: every
+        # access is processed exactly once, every L1 miss makes exactly
+        # one L2 access and one L2 transfer, and every L2 miss makes
+        # exactly one DRAM access.
+        self.window_index = window_index
+        self.bank_conflicts += bank_conf
+        l2_misses = misses - l2_hits
+        stats.cycles = max(clocks) if clocks else 0
+        stats.references += n
+        stats.l1_hits += n - misses
+        stats.l1_misses += misses
+        stats.l2_hits += l2_hits
+        stats.l2_misses += l2_misses
+        stats.invalidations += invalidations
+        stats.coherence_writebacks += coh_writebacks
+        stats.bank_conflicts = bank_conf
+        stats.l2_transfers += misses + extra_transfers
+        stats.dram_row_hits += dram_hits
+        stats.dram_row_misses += l2_misses - dram_hits
+        return stats
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any state-consistency violation.
+
+        Mirrors ``MesiDirectory.check_invariants`` plus the dict/array
+        residency coupling the batched path relies on.
+        """
+        holders: dict[int, list[tuple[int, int]]] = {}
+        for core, res in enumerate(self.resident):
+            for blk, way in res.items():
+                assert self.tags[core][way] == blk, (
+                    f"core {core} way {way}: dict says block {blk}, "
+                    f"array says {self.tags[core][way]}"
+                )
+                assert self.state[core][way] != _I, (
+                    f"core {core} block {blk:#x} resident but INVALID"
+                )
+                assert self.stamp[core][way] >= 0, (
+                    f"core {core} block {blk:#x} resident but untouched"
+                )
+                holders.setdefault(blk, []).append(
+                    (core, int(self.state[core][way]))
+                )
+        for core in range(self.config.num_cores):
+            valid = np.asarray(self.tags[core]) != -1
+            assert valid.sum() == len(self.resident[core]), (
+                f"core {core}: tag array and residency dict disagree"
+            )
+            for way in np.flatnonzero(~valid):
+                assert self.state[core][way] == _I
+                assert self.stamp[core][way] == -1
+        for blk, entry in holders.items():
+            owners = [c for c, s in entry if s >= _E]
+            assert len(owners) <= 1, f"block {blk:#x} has owners {owners}"
+            if owners:
+                assert len(entry) == 1, (
+                    f"block {blk:#x} owned by core {owners[0]} "
+                    f"but shared by {len(entry)} cores"
+                )

@@ -1,0 +1,348 @@
+/* Native scalar kernel for the multicore trace engine.
+ *
+ * A direct transliteration of the reference event loop in
+ * repro/cpu/multicore.py onto flat int64 arrays: a binary heap of
+ * stamp-encoded thread clocks (stamp = clock * num_threads + thread
+ * reproduces the (clock, thread) tuple order), tag-scan L1 sets with
+ * MESI state, a banked L2 with LRU stamps, and per-channel open-row
+ * ring buffers.  Unlike the Python engines it needs no conflict-block
+ * precomputation or residency dicts: full coherence scans are cheap at
+ * native speed, so every access takes the exact reference path.
+ *
+ * Compiled on demand by repro.kernels.native with the system C
+ * compiler; the Python wrapper owns all memory (NumPy arrays) and this
+ * file is freestanding apart from stdint.
+ *
+ * All stamps use -1 as "never touched"; the LRU victim is the first
+ * way with the minimum stamp, which lands on the first untouched way
+ * when one exists (the reference's untouched-first rule) and otherwise
+ * on the unique least-recently-used way.
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+
+/* MESI codes; "has write permission" is state >= E. */
+enum { ST_I = 0, ST_S = 1, ST_E = 2, ST_M = 3 };
+
+/* Indices into the cfg[] scalar block. */
+enum {
+    CFG_L1_SETS = 0,
+    CFG_L1_WAYS,
+    CFG_L2_SETS,
+    CFG_L2_WAYS,
+    CFG_NUM_CORES,
+    CFG_HIT_LATENCY,
+    CFG_ARRAY_LATENCY,
+    CFG_BASE_WINDOW,
+    CFG_DRAM_LATENCY,
+    CFG_DRAM_SERVICE,
+    CFG_ROW_HIT,
+    CFG_ROW_MISS,
+    CFG_REORDER_WINDOW,
+    CFG_NUM_FIELDS
+};
+
+/* Indices into the stats_out[] block. */
+enum {
+    S_REFS = 0,
+    S_L1_HITS,
+    S_L1_MISSES,
+    S_L2_HITS,
+    S_L2_MISSES,
+    S_INVALIDATIONS,
+    S_COH_WRITEBACKS,
+    S_BANK_CONFLICTS,
+    S_L2_TRANSFERS,
+    S_DRAM_HITS,
+    S_DRAM_MISSES,
+    S_NUM_FIELDS
+};
+
+static void heap_push(i64 *heap, i64 *size, i64 value) {
+    i64 i = (*size)++;
+    heap[i] = value;
+    while (i > 0) {
+        i64 parent = (i - 1) / 2;
+        if (heap[parent] <= heap[i])
+            break;
+        i64 tmp = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = tmp;
+        i = parent;
+    }
+}
+
+static i64 heap_pop(i64 *heap, i64 *size) {
+    i64 top = heap[0];
+    i64 n = --(*size);
+    heap[0] = heap[n];
+    i64 i = 0;
+    for (;;) {
+        i64 left = 2 * i + 1;
+        if (left >= n)
+            break;
+        i64 child = left;
+        if (left + 1 < n && heap[left + 1] < heap[left])
+            child = left + 1;
+        if (heap[i] <= heap[child])
+            break;
+        i64 tmp = heap[i];
+        heap[i] = heap[child];
+        heap[child] = tmp;
+        i = child;
+    }
+    return top;
+}
+
+/* Execute a thread-sorted access trace.  Returns 0 on success.
+ *
+ * Per-access columns (all length n, sorted by thread; bounds[t] ..
+ * bounds[t+1] is thread t's slice): blk, sb (L1 set base), wr, gap,
+ * l2sb (L2 set base), bank, nuca (extra NUCA latency, 0 when off),
+ * row (DRAM row id), chan (DRAM channel).
+ *
+ * Mutable engine state (persists across calls): l1_tags/l1_state/
+ * l1_stamp are cores * l1_sets * l1_ways; l2_tags/l2_dirty/l2_stamp
+ * are l2_sets * l2_ways; bank_free is per bank; chan_free, ring
+ * (channels * reorder_window), ring_pos and ring_len are per channel.
+ * misc[0] is the transfer-window rotation index (in/out).
+ *
+ * Outputs: clocks (per-thread final completion time, caller-zeroed)
+ * and stats_out (S_NUM_FIELDS counters for this call).
+ */
+i64 desc_mc_run(
+    const i64 *cfg,
+    i64 n, i64 num_threads,
+    const i64 *bounds,
+    const i64 *blk, const i64 *sb, const i64 *wr, const i64 *gap,
+    const i64 *l2sb, const i64 *bank, const i64 *nuca,
+    const i64 *row, const i64 *chan,
+    i64 *l1_tags, i64 *l1_state, i64 *l1_stamp,
+    i64 *l2_tags, i64 *l2_dirty, i64 *l2_stamp,
+    i64 *bank_free, i64 *chan_free,
+    i64 *ring, i64 *ring_pos, i64 *ring_len,
+    const i64 *win_seq, i64 win_len, i64 *misc,
+    i64 *heap, i64 *pos,
+    i64 *clocks, i64 *stats_out)
+{
+    const i64 l1_sets = cfg[CFG_L1_SETS];
+    const i64 l1_ways = cfg[CFG_L1_WAYS];
+    const i64 l2_ways = cfg[CFG_L2_WAYS];
+    const i64 cores = cfg[CFG_NUM_CORES];
+    const i64 hit_latency = cfg[CFG_HIT_LATENCY];
+    const i64 array_latency = cfg[CFG_ARRAY_LATENCY];
+    const i64 base_window = cfg[CFG_BASE_WINDOW];
+    const i64 dram_latency = cfg[CFG_DRAM_LATENCY];
+    const i64 dram_service = cfg[CFG_DRAM_SERVICE];
+    const i64 row_hit = cfg[CFG_ROW_HIT];
+    const i64 row_miss = cfg[CFG_ROW_MISS];
+    const i64 reorder = cfg[CFG_REORDER_WINDOW];
+    const i64 core_l1 = l1_sets * l1_ways;
+    const i64 T = num_threads;
+
+    i64 window_index = misc[0];
+    i64 heap_size = 0;
+    for (i64 t = 0; t < T; t++) {
+        pos[t] = bounds[t];
+        if (bounds[t + 1] > bounds[t])
+            heap_push(heap, &heap_size, t); /* stamp = 0 * T + t */
+    }
+
+    i64 refs = 0, hits = 0, misses = 0, l2_hits = 0, l2_misses = 0;
+    i64 invalidations = 0, coh_writebacks = 0, bank_conflicts = 0;
+    i64 l2_transfers = 0, dram_hits_n = 0, dram_misses_n = 0;
+
+    while (heap_size > 0) {
+        const i64 stamp = heap_pop(heap, &heap_size);
+        const i64 t = stamp % T;
+        const i64 key = stamp / T;
+        const i64 p = pos[t];
+        const i64 c = t % cores;
+        const i64 b = blk[p];
+        const i64 is_wr = wr[p];
+        const i64 now = key + gap[p];
+
+        i64 *tags_c = l1_tags + c * core_l1;
+        i64 *state_c = l1_state + c * core_l1;
+        i64 *stamp_c = l1_stamp + c * core_l1;
+        const i64 set = sb[p];
+
+        /* L1 lookup: tag scan over the set's ways. */
+        i64 way = -1;
+        for (i64 w = set; w < set + l1_ways; w++) {
+            if (tags_c[w] == b) {
+                way = w;
+                break;
+            }
+        }
+
+        refs++;
+        i64 done;
+        if (way >= 0 && (!is_wr || state_c[way] >= ST_E)) {
+            /* Hit: touch recency, silent E->M on writes. */
+            hits++;
+            stamp_c[way] = stamp;
+            if (is_wr)
+                state_c[way] = ST_M;
+            done = now + hit_latency;
+        } else {
+            /* Miss (or S->M upgrade): full coherence + L2 + DRAM. */
+            misses++;
+
+            i64 granted;
+            if (is_wr) {
+                i64 writeback = 0;
+                for (i64 oc = 0; oc < cores; oc++) {
+                    if (oc == c)
+                        continue;
+                    i64 *otags = l1_tags + oc * core_l1;
+                    for (i64 w = set; w < set + l1_ways; w++) {
+                        if (otags[w] == b) {
+                            i64 *ost = l1_state + oc * core_l1;
+                            if (ost[w] == ST_M)
+                                writeback = 1;
+                            otags[w] = -1;
+                            ost[w] = ST_I;
+                            (l1_stamp + oc * core_l1)[w] = -1;
+                            invalidations++;
+                            break;
+                        }
+                    }
+                }
+                coh_writebacks += writeback;
+                granted = ST_M;
+            } else {
+                i64 writeback = 0, shared = 0;
+                for (i64 oc = 0; oc < cores; oc++) {
+                    if (oc == c)
+                        continue;
+                    i64 *otags = l1_tags + oc * core_l1;
+                    for (i64 w = set; w < set + l1_ways; w++) {
+                        if (otags[w] == b) {
+                            i64 *ost = l1_state + oc * core_l1;
+                            shared = 1;
+                            if (ost[w] == ST_M) {
+                                writeback = 1;
+                                ost[w] = ST_S;
+                            } else if (ost[w] == ST_E) {
+                                ost[w] = ST_S;
+                            }
+                            break;
+                        }
+                    }
+                }
+                coh_writebacks += writeback;
+                granted = shared ? ST_S : ST_E;
+            }
+
+            i64 window = base_window;
+            if (win_len > 0) {
+                window = win_seq[window_index % win_len];
+                window_index++;
+            }
+
+            const i64 bk = bank[p];
+            i64 start = bank_free[bk] > now ? bank_free[bk] : now;
+            if (start > now)
+                bank_conflicts++;
+            bank_free[bk] = start + array_latency + window;
+            const i64 ready = start + array_latency;
+            l2_transfers++;
+
+            /* L2 lookup: tag scan over the L2 set. */
+            const i64 l2set = l2sb[p];
+            i64 l2way = -1;
+            for (i64 w = l2set; w < l2set + l2_ways; w++) {
+                if (l2_tags[w] == b) {
+                    l2way = w;
+                    break;
+                }
+            }
+            if (l2way >= 0) {
+                l2_hits++;
+                l2_stamp[l2way] = stamp;
+                if (is_wr)
+                    l2_dirty[l2way] = 1;
+                done = ready + nuca[p] + window;
+            } else {
+                l2_misses++;
+                const i64 ch = chan[p];
+                const i64 r = row[p];
+                i64 service = row_miss;
+                i64 *ring_ch = ring + ch * reorder;
+                const i64 len = ring_len[ch];
+                for (i64 i = 0; i < len; i++) {
+                    if (ring_ch[i] == r) {
+                        service = row_hit;
+                        break;
+                    }
+                }
+                if (service == row_hit)
+                    dram_hits_n++;
+                else
+                    dram_misses_n++;
+                if (reorder > 0) {
+                    ring_ch[ring_pos[ch]] = r;
+                    ring_pos[ch] = (ring_pos[ch] + 1) % reorder;
+                    if (len < reorder)
+                        ring_len[ch] = len + 1;
+                }
+                i64 start2 = chan_free[ch] > ready ? chan_free[ch] : ready;
+                chan_free[ch] = start2 + service;
+                done = start2 + dram_latency - dram_service + service;
+
+                /* L2 allocation: untouched-first then LRU victim. */
+                i64 vic = l2set;
+                for (i64 w = l2set + 1; w < l2set + l2_ways; w++) {
+                    if (l2_stamp[w] < l2_stamp[vic])
+                        vic = w;
+                }
+                if (l2_tags[vic] != -1 && l2_dirty[vic])
+                    l2_transfers++; /* victim writeback */
+                l2_tags[vic] = b;
+                l2_dirty[vic] = is_wr;
+                l2_stamp[vic] = stamp;
+            }
+
+            if (way >= 0) {
+                /* Write upgrade: the block stays in place. */
+                stamp_c[way] = stamp;
+                state_c[way] = ST_M;
+            } else {
+                i64 vic = set;
+                for (i64 w = set + 1; w < set + l1_ways; w++) {
+                    if (stamp_c[w] < stamp_c[vic])
+                        vic = w;
+                }
+                if (tags_c[vic] != -1 && state_c[vic] == ST_M) {
+                    coh_writebacks++;
+                    l2_transfers++;
+                }
+                tags_c[vic] = b;
+                state_c[vic] = granted;
+                stamp_c[vic] = stamp;
+            }
+        }
+
+        clocks[t] = done;
+        pos[t] = p + 1;
+        if (p + 1 < bounds[t + 1])
+            heap_push(heap, &heap_size, done * T + t);
+    }
+
+    misc[0] = window_index;
+    stats_out[S_REFS] = refs;
+    stats_out[S_L1_HITS] = hits;
+    stats_out[S_L1_MISSES] = misses;
+    stats_out[S_L2_HITS] = l2_hits;
+    stats_out[S_L2_MISSES] = l2_misses;
+    stats_out[S_INVALIDATIONS] = invalidations;
+    stats_out[S_COH_WRITEBACKS] = coh_writebacks;
+    stats_out[S_BANK_CONFLICTS] = bank_conflicts;
+    stats_out[S_L2_TRANSFERS] = l2_transfers;
+    stats_out[S_DRAM_HITS] = dram_hits_n;
+    stats_out[S_DRAM_MISSES] = dram_misses_n;
+    return 0;
+}

@@ -29,6 +29,7 @@ from repro.sim.config import SchemeConfig, SystemConfig
 from repro.sim.metrics import RunResult, TransferStats
 from repro.sim.stages import CacheDesign, WorkloadSample
 from repro.sim.store import RESULT_STORE, ResultStore
+from repro.util.profiling import timed
 from repro.workloads.profiles import AppProfile, profile
 
 __all__ = [
@@ -37,10 +38,23 @@ __all__ = [
     "simulate_many",
     "set_default_max_workers",
     "get_default_max_workers",
+    "fork_available",
 ]
 
 #: Worker count ``simulate_many`` uses when none is given; 1 = serial.
 _default_max_workers = 1
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork pool workers.
+
+    Without ``fork`` (Windows, some sandboxes) spawn-based workers
+    re-import the package cold, which forfeits the store-affinity wins
+    the pool exists for — the batch APIs then run serially instead.
+    """
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def set_default_max_workers(count: int) -> None:
@@ -94,9 +108,13 @@ class StagedEngine:
         self, app: AppProfile, num_blocks: int, seed: int
     ) -> WorkloadSample:
         """Stage 1: the application's cached block-value sample."""
+
+        def compute() -> WorkloadSample:
+            with timed("stage.workload"):
+                return stages.sample_workload(app, num_blocks, seed)
+
         return self.store.get_or_compute(
-            stages.workload_key(app, num_blocks, seed),
-            lambda: stages.sample_workload(app, num_blocks, seed),
+            stages.workload_key(app, num_blocks, seed), compute
         )
 
     def transfer_stats(
@@ -112,7 +130,8 @@ class StagedEngine:
         def compute() -> TransferStats:
             model = make_transfer_model(scheme)
             sample = self.workload(app, num_blocks, seed)
-            return model.transfer_stats(sample, exclude_null)
+            with timed("stage.transfer"):
+                return model.transfer_stats(sample, exclude_null)
 
         return self.store.get_or_compute(
             stages.transfer_key(scheme, app, num_blocks, seed, exclude_null),
@@ -123,9 +142,14 @@ class StagedEngine:
         self, system: SystemConfig, data_wires: int, overhead_wires: int
     ) -> CacheDesign:
         """Stage 3: the CACTI-class design scalars for a geometry."""
+
+        def compute() -> CacheDesign:
+            with timed("stage.cache_design"):
+                return stages.design_cache(system, data_wires, overhead_wires)
+
         return self.store.get_or_compute(
             stages.cache_design_key(system, data_wires, overhead_wires),
-            lambda: stages.design_cache(system, data_wires, overhead_wires),
+            compute,
         )
 
     # -- the full pipeline ---------------------------------------------
@@ -166,16 +190,18 @@ class StagedEngine:
             if system.null_directory
             else 0.0
         )
-        timing = stages.solve_timing(
-            app, system, stats, design,
-            scheme_delay=model.scheme_delay_cycles(stats, system),
-            null_fraction=null_fraction,
-        )
-        l2, processor = stages.account_energy(
-            app, system, stats, design, timing,
-            controller_write_flips=model.controller_write_flips(system),
-            null_fraction=null_fraction,
-        )
+        with timed("stage.timing"):
+            timing = stages.solve_timing(
+                app, system, stats, design,
+                scheme_delay=model.scheme_delay_cycles(stats, system),
+                null_fraction=null_fraction,
+            )
+        with timed("stage.energy"):
+            l2, processor = stages.account_energy(
+                app, system, stats, design, timing,
+                controller_write_flips=model.controller_write_flips(system),
+                null_fraction=null_fraction,
+            )
         return RunResult(
             app=app.name,
             scheme=scheme.label(),
@@ -215,6 +241,8 @@ class StagedEngine:
             max_workers = _default_max_workers
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers > 1 and not fork_available():
+            max_workers = 1  # clean serial fallback (see fork_available)
         if max_workers == 1 or len(jobs) <= 1:
             return [self.run(job.app, job.scheme, job.system) for job in jobs]
         # Serve whatever is already stored; only ship the misses.
@@ -244,15 +272,21 @@ class StagedEngine:
                 # sample is re-drawn only where a chunk boundary splits
                 # an app's group) with some slack for load balancing.
                 chunksize = max(1, -(-len(pending) // (2 * max_workers)))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                computed = pool.map(
-                    _run_job, [job for _, job in pending], chunksize=chunksize
+            try:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    computed = list(pool.map(
+                        _run_job, [job for _, job in pending],
+                        chunksize=chunksize,
+                    ))
+            except (OSError, PermissionError):
+                # Sandboxes can advertise fork yet refuse new processes;
+                # results are pool-independent, so just run in-process.
+                computed = [_run_job(job) for _, job in pending]
+            for (index, job), result in zip(pending, computed):
+                self.store.put(
+                    stages.run_key(job.app, job.scheme, job.system), result
                 )
-                for (index, job), result in zip(pending, computed):
-                    self.store.put(
-                        stages.run_key(job.app, job.scheme, job.system), result
-                    )
-                    results[index] = result
+                results[index] = result
         return results  # type: ignore[return-value]  # every slot is filled
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.batched import popcount
+
 __all__ = [
     "int_to_bits",
     "bits_to_int",
@@ -43,19 +45,20 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
         raise ValueError(f"value must be non-negative, got {value}")
     if value >> width:
         raise ValueError(f"value {value:#x} does not fit in {width} bits")
-    bits = np.empty(width, dtype=np.uint8)
-    for i in range(width):
-        bits[i] = (value >> i) & 1
-    return bits
+    if width == 0:
+        return np.empty(0, dtype=np.uint8)
+    raw = value.to_bytes((width + 7) // 8, "little")
+    unpacked = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return unpacked[:width]
 
 
 def bits_to_int(bits: np.ndarray) -> int:
     """Collapse a little-endian 0/1 array back into an integer."""
-    value = 0
-    for i, bit in enumerate(bits):
-        if bit:
-            value |= 1 << i
-    return value
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size == 0:
+        return 0
+    packed = np.packbits(bits, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
 
 
 def int_to_chunks(value: int, chunk_bits: int, num_chunks: int) -> np.ndarray:
@@ -149,13 +152,12 @@ def hamming_weight(a: int) -> int:
 
 
 def popcount_array(values: np.ndarray) -> np.ndarray:
-    """Per-element population count for a non-negative int64 array."""
-    values = values.astype(np.uint64)
-    counts = np.zeros(values.shape, dtype=np.int64)
-    while values.any():
-        counts += (values & np.uint64(1)).astype(np.int64)
-        values >>= np.uint64(1)
-    return counts
+    """Per-element population count for a non-negative int64 array.
+
+    Delegates to the batched kernel (:func:`repro.kernels.popcount`):
+    one hardware ``popcnt`` pass instead of a shift-and-mask loop.
+    """
+    return popcount(values)
 
 
 def random_bits(width: int, rng: np.random.Generator) -> np.ndarray:

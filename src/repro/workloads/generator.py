@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.batched import forward_fill_take, group_rank
 from repro.workloads.profiles import AppProfile
 
 __all__ = ["block_stream", "chunk_statistics", "MemoryTrace", "memory_trace"]
@@ -74,12 +75,15 @@ def block_stream(
     fresh = rng.integers(1, 1 << _CHUNK_BITS, size=shape, dtype=np.int64)
     fresh[zero_chunk | zero_word_chunks | null_block[:, None]] = 0
 
-    # Spatial locality: word j copies word j-1 within the block.
+    # Spatial locality: word j copies word j-1 within the block — a
+    # copy chain, so the value that propagates is the last *non-copied*
+    # word at or before j (kernels.forward_fill_take along the word
+    # axis; word 0 never copies, null blocks are all-zero anyway).
     word_copy = rng.random((num_blocks, words_per_block)) < app.p_word_repeat
+    word_copy[:, 0] = False
+    word_copy &= ~null_block[:, None]
     word_view = fresh.reshape(num_blocks, words_per_block, _CHUNKS_PER_WORD)
-    for j in range(1, words_per_block):
-        rows = word_copy[:, j] & ~null_block
-        word_view[rows, j] = word_view[rows, j - 1]
+    fresh = forward_fill_take(word_view, ~word_copy, axis=1).reshape(shape)
 
     repeat = rng.random(shape) < app.p_repeat_chunk
     repeat[0] = False  # the first block has nothing to repeat
@@ -87,10 +91,7 @@ def block_stream(
     repeat[null_block] = False
 
     # value[i, c] = fresh value at the last non-repeat index <= i.
-    index = np.arange(num_blocks, dtype=np.int64)[:, None]
-    source = np.where(repeat, np.int64(-1), index)
-    source = np.maximum.accumulate(source, axis=0)
-    return np.take_along_axis(fresh, source, axis=0)
+    return forward_fill_take(fresh, ~repeat, axis=0)
 
 
 def chunk_statistics(blocks: np.ndarray) -> dict[str, float]:
@@ -185,15 +186,18 @@ def memory_trace(
     block_index = np.where(shared, rank % shared_blocks, private_base + rank)
 
     # Streams: each thread scans its own bounded region sequentially,
-    # wrapping so later passes find the data resident in the L2.
+    # wrapping so later passes find the data resident in the L2.  Each
+    # streaming reference's offset is its rank among the thread's
+    # streaming references so far (kernels.group_rank).
     stream_blocks = max(private_blocks // 4, 64)
     stream_region = private_blocks * (app.threads + 2)
-    stream_offset = dict.fromkeys(range(app.threads), 0)
-    for i in np.flatnonzero(streaming):
-        thread = int(threads[i])
-        base = stream_region + thread * stream_blocks
-        block_index[i] = base + (stream_offset[thread] % stream_blocks)
-        stream_offset[thread] += 1
+    stream_refs = np.flatnonzero(streaming)
+    if len(stream_refs):
+        stream_threads = threads[stream_refs].astype(np.int64)
+        offsets = group_rank(stream_threads) % stream_blocks
+        block_index[stream_refs] = (
+            stream_region + stream_threads * stream_blocks + offsets
+        )
 
     addresses = block_index * block_bytes
     is_write = rng.random(num_references) < app.write_fraction

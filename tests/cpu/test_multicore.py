@@ -26,7 +26,10 @@ class TestSimulation:
         assert stats.l2_hits + stats.l2_misses == stats.l1_misses
 
     def test_mesi_invariants_hold_after_run(self, trace):
-        sim = MulticoreSimulator()
+        # The reference engine drives the object-model directory; the
+        # fast engines carry their own mirrored state (checked in
+        # tests/kernels/test_multicore_engines.py).
+        sim = MulticoreSimulator(engine="reference")
         sim.run(trace)
         sim.directory.check_invariants()
 

@@ -1,0 +1,136 @@
+"""Property tests pinning the batched kernels to their scalar forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.batched import (
+    forward_fill_take,
+    group_rank,
+    level_transitions,
+    popcount,
+    shifted_prev,
+    strobe_flips,
+)
+
+
+class TestPopcount:
+    @given(st.lists(st.integers(0, 2**63 - 1), max_size=50))
+    def test_matches_python_bit_count(self, values):
+        arr = np.array(values, dtype=np.int64)
+        expected = np.array([v.bit_count() for v in values], dtype=np.int64)
+        assert np.array_equal(popcount(arr), expected)
+
+    def test_preserves_shape(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert popcount(arr).shape == (3, 4)
+
+    def test_matches_shift_loop_reference(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**62, size=1000, dtype=np.int64)
+        reference = np.zeros(values.shape, dtype=np.int64)
+        work = values.astype(np.uint64)
+        while work.any():
+            reference += (work & np.uint64(1)).astype(np.int64)
+            work >>= np.uint64(1)
+        assert np.array_equal(popcount(values), reference)
+
+
+class TestShiftedPrev:
+    def test_scalar_initial(self):
+        out = shifted_prev(np.array([3, 1, 4]), 9)
+        assert out.tolist() == [9, 3, 1]
+
+    def test_array_initial(self):
+        values = np.arange(6).reshape(3, 2)
+        out = shifted_prev(values, np.array([7, 8]))
+        assert out.tolist() == [[7, 8], [0, 1], [2, 3]]
+
+
+class TestForwardFill:
+    @given(
+        st.lists(st.tuples(st.integers(0, 9), st.booleans()), min_size=1, max_size=60)
+    )
+    def test_matches_sequential_loop(self, rows):
+        values = np.array([v for v, _ in rows], dtype=np.int64)
+        keep = np.array([k for _, k in rows], dtype=bool)
+        expected = values.copy()
+        for i in range(1, len(expected)):
+            if not keep[i]:
+                expected[i] = expected[i - 1]
+        # Entries before the first kept index keep their own value.
+        assert np.array_equal(forward_fill_take(values, keep), expected) or not keep[
+            0
+        ]
+
+    def test_leading_unkept_keeps_own_value(self):
+        values = np.array([5, 6, 7])
+        keep = np.array([False, False, True])
+        assert forward_fill_take(values, keep).tolist() == [5, 6, 7]
+
+    def test_axis1_with_trailing_dims(self):
+        values = np.arange(24).reshape(2, 3, 4)
+        keep = np.array([[True, False, True], [True, True, False]])
+        out = forward_fill_take(values, keep, axis=1)
+        assert out[0, 1].tolist() == values[0, 0].tolist()
+        assert out[0, 2].tolist() == values[0, 2].tolist()
+        assert out[1, 2].tolist() == values[1, 1].tolist()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="prefix"):
+            forward_fill_take(np.zeros((3, 2)), np.array([True, False]))
+
+
+class TestLevelTransitions:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=80))
+    def test_matches_edge_count(self, levels):
+        arr = np.array(levels, dtype=np.int64)
+        out = level_transitions(arr)
+        last = 0
+        for i, level in enumerate(levels):
+            assert out[i] == int(level != last)
+            last = level
+
+    def test_carried_initial_level(self):
+        out = level_transitions(np.array([1, 1, 0]), initial=1)
+        assert out.tolist() == [0, 0, 1]
+
+
+class TestStrobeFlips:
+    @given(
+        st.lists(st.integers(1, 40), min_size=0, max_size=40),
+        st.integers(0, 7),
+    )
+    def test_matches_parity_walk(self, cycles, busy_before):
+        flips, after = strobe_flips(np.array(cycles, dtype=np.int64), busy_before)
+        busy = busy_before
+        for i, c in enumerate(cycles):
+            expected = (busy + c + 1) // 2 - (busy + 1) // 2
+            assert flips[i] == expected
+            busy += c
+        assert after == busy
+
+    def test_empty_stream(self):
+        flips, after = strobe_flips(np.zeros(0, dtype=np.int64), 3)
+        assert len(flips) == 0
+        assert after == 3
+
+
+class TestGroupRank:
+    @given(st.lists(st.integers(0, 5), max_size=100))
+    @settings(max_examples=50)
+    def test_matches_running_counter(self, groups):
+        arr = np.array(groups, dtype=np.int64)
+        counters: dict[int, int] = {}
+        expected = []
+        for g in groups:
+            expected.append(counters.get(g, 0))
+            counters[g] = counters.get(g, 0) + 1
+        assert group_rank(arr).tolist() == expected
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            group_rank(np.zeros((2, 2), dtype=np.int64))

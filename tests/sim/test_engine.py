@@ -190,3 +190,34 @@ class TestSimulateMany:
             assert get_default_max_workers() == 3
         finally:
             set_default_max_workers(before)
+
+    def test_forkless_platform_runs_serially_with_same_results(
+        self, monkeypatch
+    ):
+        """Satellite guarantee: no fork → clean serial fallback, results
+        bit-for-bit identical to the pooled path."""
+        import repro.sim.engine as engine_mod
+
+        jobs = self._jobs()
+        pooled = simulate_many(jobs, max_workers=4, store=ResultStore())
+        monkeypatch.setattr(engine_mod, "fork_available", lambda: False)
+        serial = simulate_many(jobs, max_workers=4, store=ResultStore())
+        assert [_result_dict(r) for r in serial] == [
+            _result_dict(r) for r in pooled
+        ]
+
+    def test_pool_launch_failure_falls_back_in_process(self, monkeypatch):
+        """Sandboxes can advertise fork yet refuse to spawn: the batch
+        API must complete in-process rather than raise."""
+        import repro.sim.engine as engine_mod
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("process creation refused")
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", ExplodingPool)
+        jobs = self._jobs()
+        results = simulate_many(jobs, max_workers=2, store=ResultStore())
+        assert len(results) == len(jobs)
+        for job, result in zip(jobs, results):
+            assert result == simulate(job.app, job.scheme, job.system)

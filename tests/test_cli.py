@@ -98,3 +98,58 @@ class TestWorkersFlag:
             assert get_default_max_workers() == 2
         finally:
             set_default_max_workers(before)
+
+    def test_forkless_platform_notes_serial_fallback(self, capsys, monkeypatch):
+        import repro.cli  # noqa: F401 - ensure module import order
+        import repro.sim.engine as engine_mod
+        from repro.sim.engine import get_default_max_workers, set_default_max_workers
+
+        monkeypatch.setattr(engine_mod, "fork_available", lambda: False)
+        before = get_default_max_workers()
+        try:
+            assert main(["run", "fig03", "--workers", "4"]) == 0
+            assert "running serially" in capsys.readouterr().err
+        finally:
+            set_default_max_workers(before)
+
+
+class TestProfileFlag:
+    def test_profile_prints_stage_table(self, capsys):
+        from repro.util.profiling import PROFILER
+
+        PROFILER.reset()
+        try:
+            from repro.sim.system import clear_caches
+
+            clear_caches()  # force stage recomputation so timers fire
+            assert main(["run", "fig01", "--sample-blocks", "400",
+                         "--profile"]) == 0
+            err = capsys.readouterr().err
+            assert "stage.workload" in err
+            assert "stage.timing" in err
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+
+    def test_without_flag_profiler_stays_disabled(self, capsys):
+        from repro.util.profiling import PROFILER
+
+        PROFILER.reset()
+        assert main(["run", "fig03"]) == 0
+        assert not PROFILER.enabled
+        assert PROFILER.report() == {}
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["quick"] is True
+        assert "popcount" in report["kernels"]
+        engines = report["multicore"]["engines"]
+        assert "reference" in engines and "vectorized" in engines
+        for row in engines.values():
+            assert row["seconds"] > 0
+            assert row["speedup_vs_reference"] > 0
+        assert report["end_to_end"]["seconds"] > 0

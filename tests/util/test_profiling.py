@@ -1,0 +1,92 @@
+"""Tests for the named-timer registry."""
+
+from __future__ import annotations
+
+from repro.util.profiling import PROFILER, TimerRegistry, timed
+
+
+class TestTimerRegistry:
+    def test_disabled_registry_collects_nothing(self):
+        reg = TimerRegistry()
+        with reg.section("a"):
+            pass
+        assert reg.report() == {}
+
+    def test_enabled_registry_accumulates(self):
+        reg = TimerRegistry()
+        reg.enable()
+        for _ in range(3):
+            with reg.section("a"):
+                pass
+        stat = reg.report()["a"]
+        assert stat.calls == 3
+        assert stat.seconds >= 0
+        assert stat.mean_seconds == stat.seconds / 3
+
+    def test_record_folds_external_spans(self):
+        reg = TimerRegistry()
+        reg.enable()
+        reg.record("bench", 1.5)
+        reg.record("bench", 0.5)
+        stat = reg.report()["bench"]
+        assert stat.calls == 2
+        assert stat.seconds == 2.0
+
+    def test_record_ignored_while_disabled(self):
+        reg = TimerRegistry()
+        reg.record("bench", 1.0)
+        assert reg.report() == {}
+
+    def test_report_sorted_slowest_first(self):
+        reg = TimerRegistry()
+        reg.enable()
+        reg.record("fast", 0.1)
+        reg.record("slow", 9.0)
+        assert list(reg.report()) == ["slow", "fast"]
+
+    def test_timers_survive_exceptions(self):
+        reg = TimerRegistry()
+        reg.enable()
+        try:
+            with reg.section("a"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert reg.report()["a"].calls == 1
+
+    def test_reset_clears(self):
+        reg = TimerRegistry()
+        reg.enable()
+        reg.record("a", 1.0)
+        reg.reset()
+        assert reg.report() == {}
+
+    def test_format_report_empty(self):
+        assert "no profiling data" in TimerRegistry().format_report()
+
+    def test_format_report_table(self):
+        reg = TimerRegistry()
+        reg.enable()
+        reg.record("stage.workload", 0.25)
+        text = reg.format_report()
+        assert "stage.workload" in text
+        assert "calls" in text and "total" in text
+
+
+class TestGlobalTimed:
+    def test_timed_uses_global_registry(self):
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            with timed("x"):
+                pass
+            assert PROFILER.report()["x"].calls == 1
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+
+    def test_timed_noop_when_disabled(self):
+        PROFILER.reset()
+        with timed("x"):
+            pass
+        assert PROFILER.report() == {}
