@@ -11,6 +11,9 @@ Usage::
     python -m repro all --json results.json  # run everything, save JSON
     python -m repro cache-stats              # result-store hit/miss/size
     python -m repro bench --quick            # tracked kernel benchmarks
+    python -m repro faults --quick           # fault-injection sweep
+    python -m repro faults --quick --check   # CI smoke assertions
+    python -m repro sweep --scheme desc-zero --field num_banks=2,8,32
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
 dispatches and formats.  ``--workers N`` fans suite runs out over a
@@ -170,6 +173,126 @@ def _save_store() -> None:
         RESULT_STORE.save()
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    """The ``faults`` subcommand: sweep and/or smoke-check."""
+    from repro.experiments import fault_sweep
+
+    if args.check:
+        problems = fault_sweep.smoke_check(seed=args.seed)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("fault-injection smoke checks passed", file=sys.stderr)
+        return 0
+    result = fault_sweep.run(quick=args.quick, seed=args.seed)
+    _save_store()
+    if args.json:
+        json.dump(result, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    geometry = result["geometry"]
+    print(
+        f"=== fault sweep: {geometry['num_blocks']} x "
+        f"{geometry['block_bits']}-bit blocks, seed {result['seed']} ==="
+    )
+    header = (f"{'drop':>8s} {'resync':>7s} {'ecc':>4s} {'lost':>5s} "
+              f"{'clean':>6s} {'corr':>5s} {'det':>4s} {'silent':>6s} "
+              f"{'chunk-err':>10s} {'resid-ber':>10s} {'rec-lat':>8s} "
+              f"{'e-ovh':>7s}")
+    print(header)
+    for row in result["rows"]:
+        interval = row["resync_interval"]
+        if "failed" in row:
+            print(f"{row['drop_rate']:>8g} {str(interval):>7s} "
+                  f"{'on' if row['ecc'] else 'off':>4s}  "
+                  f"FAILED ({row['failed']})")
+            continue
+        print(
+            f"{row['drop_rate']:>8g} {str(interval):>7s} "
+            f"{'on' if row['ecc'] else 'off':>4s} {row['blocks_lost']:>5d} "
+            f"{row['clean']:>6d} {row['corrected']:>5d} {row['detected']:>4d} "
+            f"{row['silent']:>6d} {row['chunk_error_rate']:>10.2e} "
+            f"{row['residual_bit_error_rate']:>10.2e} "
+            f"{row['mean_recovery_latency']:>8.1f} "
+            f"{row['resync_energy_overhead']:>7.4f}"
+        )
+    if result["failed"]:
+        print(f"{result['failed']} campaign(s) failed", file=sys.stderr)
+    return 0
+
+
+def _parse_sweep_value(text: str):
+    """A swept value: int, float, bool, or None, falling back to str."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``sweep`` subcommand: grid sweeps over SystemConfig fields."""
+    from repro.sim.config import SystemConfig, baseline_scheme, desc_scheme
+    from repro.sim.sweeps import sweep
+
+    schemes = {
+        "desc": lambda: desc_scheme("none"),
+        "desc-zero": lambda: desc_scheme("zero"),
+        "desc-last-value": lambda: desc_scheme("last-value"),
+        "binary": baseline_scheme,
+    }
+    if args.scheme not in schemes:
+        parser.error(
+            f"unknown scheme {args.scheme!r}; choose from {sorted(schemes)}"
+        )
+    if not args.fields:
+        parser.error("provide at least one --field NAME=V1,V2,...")
+    field_values: dict[str, list] = {}
+    for spec in args.fields:
+        name, _, values = spec.partition("=")
+        if not values:
+            parser.error(f"malformed --field {spec!r}; expected NAME=V1,V2,...")
+        field_values[name] = [
+            _parse_sweep_value(v) for v in values.split(",")
+        ]
+    base = SystemConfig(sample_blocks=args.sample_blocks)
+    try:
+        points = sweep(schemes[args.scheme](), base=base, **field_values)
+    except TypeError as exc:  # unknown config field name
+        parser.error(str(exc))
+    _save_store()
+    if args.json:
+        payload = [
+            {
+                "params": p.params,
+                "cycles": p.cycles,
+                "l2_energy_j": p.l2_energy_j,
+                "processor_energy_j": p.processor_energy_j,
+                "hit_latency": p.hit_latency,
+                "edp": p.edp,
+            }
+            for p in points
+        ]
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    print(f"=== sweep: {args.scheme} over {', '.join(field_values)} ===")
+    for p in points:
+        params = ", ".join(f"{k}={v}" for k, v in p.params.items())
+        print(
+            f"{params}: cycles={p.cycles:.4g} l2={p.l2_energy_j:.4g} J "
+            f"proc={p.processor_energy_j:.4g} J hit={p.hit_latency:.4g}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -231,6 +354,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     validate_parser.add_argument("--sample-blocks", type=int, default=2500)
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="sweep link-level fault injection (rate x resync x ECC)",
+        description="Drive seeded wire faults through the cycle-accurate "
+                    "DESC link and report residual error rates, "
+                    "detected-vs-silent corruption, recovery latency, and "
+                    "the energy overhead of the resync protocol.",
+    )
+    faults_parser.add_argument("--quick", action="store_true",
+                               help="small geometry and grid (CI smoke mode)")
+    faults_parser.add_argument("--check", action="store_true",
+                               help="run the fixed-seed smoke assertions "
+                                    "(zero silent corruption with ECC on, "
+                                    "corruption visible with ECC off); "
+                                    "exit 1 on violation")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="base seed of the fault and data streams")
+    faults_parser.add_argument("--json", action="store_true",
+                               help="emit JSON instead of pretty text")
+    faults_parser.add_argument("--workers", type=int, default=1,
+                               help="process-pool width for the campaign grid")
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="sweep SystemConfig fields over the simulator",
+        description="Simulate every combination of the given config "
+                    "fields and report suite-geomean metrics per point. "
+                    "Failed jobs degrade their point with a warning "
+                    "instead of aborting the sweep.",
+    )
+    sweep_parser.add_argument("--scheme", default="desc-zero",
+                              help="transfer scheme: desc, desc-zero, "
+                                   "desc-last-value, or binary")
+    sweep_parser.add_argument("--field", action="append", default=[],
+                              metavar="NAME=V1,V2,...", dest="fields",
+                              help="config field and its values (repeatable), "
+                                   "e.g. --field num_banks=2,8,32")
+    sweep_parser.add_argument("--sample-blocks", type=int, default=2000,
+                              help="value-sample size per application")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="process-pool width for the grid")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit JSON instead of pretty text")
+
     args = parser.parse_args(argv)
 
     if args.command == "cache-stats":
@@ -261,6 +428,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.util.profiling import PROFILER
 
         PROFILER.enable()
+
+    if args.command == "faults":
+        return _run_faults(args)
+
+    if args.command == "sweep":
+        return _run_sweep(args, parser)
 
     figures = _figures()
 

@@ -17,9 +17,9 @@ Public surface for the paper's primary contribution (Section 3):
 from repro.core.adaptive import AdaptiveDescCostModel, AdaptiveSkipping
 from repro.core.analysis import DescCostModel, StreamCost
 from repro.core.chunking import ChunkLayout
-from repro.core.link import DescLink
+from repro.core.link import DescLink, LinkFaultReport
 from repro.core.protocol import TransferCost, decode_cycle, fire_cycle, round_duration
-from repro.core.receiver import DescReceiver
+from repro.core.receiver import CORRUPT_CHUNK, DescReceiver, ReceiverFaultEvents
 from repro.core.skipping import (
     LastValueSkipping,
     NoSkipping,
@@ -33,12 +33,15 @@ from repro.core.transmitter import DescTransmitter
 __all__ = [
     "AdaptiveDescCostModel",
     "AdaptiveSkipping",
+    "CORRUPT_CHUNK",
     "ChunkLayout",
     "DescCostModel",
     "DescLink",
     "DescReceiver",
     "DescTransmitter",
     "LastValueSkipping",
+    "LinkFaultReport",
+    "ReceiverFaultEvents",
     "NoSkipping",
     "SkipPolicy",
     "StreamCost",

@@ -10,9 +10,32 @@ A toggle on the shared reset/skip wire is interpreted as the paper
 specifies: a counter reset (start of a round) when no chunk is pending,
 or a skip command (assign the skip value to all silent wires) when some
 chunk receivers are still waiting.
+
+Fault tolerance
+---------------
+In the default **strict** mode any protocol violation raises — the
+right behavior for a fault-free link, where a violation is a bug.  A
+link carrying a fault injector constructs the receiver with
+``strict=False``, which turns violations into *detected corruption
+events* instead:
+
+* an unexpected data toggle (no round open, or the chunk already
+  latched) is counted and ignored;
+* a data toggle that decodes outside the chunk-value range (a drifted
+  counter) marks the chunk corrupt;
+* a **round-boundary watchdog** abandons any round that runs past the
+  longest legal window, commits sentinel values for the still-pending
+  chunks (keeping block framing intact), and flags the receiver as
+  *desynchronized* until the link drives a resync strobe.
+
+Sentinel value: a chunk the receiver knows it lost is committed as
+``-1``, so downstream consumers can separate detected losses from
+silently wrong values.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,15 +44,49 @@ from repro.core.protocol import decode_cycle
 from repro.core.skipping import NoSkipping, SkipPolicy
 from repro.core.toggles import ToggleDetector
 
-__all__ = ["DescReceiver"]
+__all__ = ["DescReceiver", "ReceiverFaultEvents", "CORRUPT_CHUNK"]
+
+#: Sentinel chunk value for a detected (not silent) loss.
+CORRUPT_CHUNK = -1
+
+
+@dataclass
+class ReceiverFaultEvents:
+    """Counters of the anomalies a non-strict receiver has absorbed.
+
+    Attributes:
+        spurious_toggles: Data toggles with no chunk pending.
+        out_of_range_decodes: Toggles decoding past the chunk range.
+        watchdog_aborts: Rounds abandoned by the round-boundary watchdog.
+        resyncs: Resync strobes consumed.
+    """
+
+    spurious_toggles: int = 0
+    out_of_range_decodes: int = 0
+    watchdog_aborts: int = 0
+    resyncs: int = 0
+
+    @property
+    def detected(self) -> int:
+        """All anomalies the receiver itself noticed."""
+        return (
+            self.spurious_toggles + self.out_of_range_decodes
+            + self.watchdog_aborts
+        )
 
 
 class DescReceiver:
     """Recovers blocks from DESC wire activity, one round at a time."""
 
-    def __init__(self, layout: ChunkLayout, policy: SkipPolicy | None = None) -> None:
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        policy: SkipPolicy | None = None,
+        strict: bool = True,
+    ) -> None:
         self._layout = layout
         self._policy = policy if policy is not None else NoSkipping()
+        self._strict = strict
         self._reset_detector = ToggleDetector()
         self._data_detectors = [ToggleDetector() for _ in range(layout.num_wires)]
         self._in_round = False
@@ -37,6 +94,13 @@ class DescReceiver:
         self._pending: np.ndarray = np.zeros(layout.num_wires, dtype=bool)
         self._round_values = np.zeros(layout.num_wires, dtype=np.int64)
         self._completed_rounds: list[np.ndarray] = []
+        self._desynced = False
+        # A legal round's last event is the closing toggle one cycle
+        # after a fire on max_chunk_value + 1 (skipping shifts fires up
+        # by one); anything longer means the counters disagree.
+        self._watchdog_limit = layout.max_chunk_value + 2
+        #: Anomaly counters (only advance when ``strict=False``).
+        self.fault_events = ReceiverFaultEvents()
         #: Blocks fully received, in arrival order (chunk-value arrays).
         self.received_blocks: list[np.ndarray] = []
 
@@ -55,13 +119,45 @@ class DescReceiver:
         """Whether a round is currently being decoded."""
         return self._in_round
 
-    def resync(self, levels: np.ndarray) -> None:
+    @property
+    def strict(self) -> bool:
+        """Whether protocol violations raise (fault-free link) or count."""
+        return self._strict
+
+    @property
+    def desynced(self) -> bool:
+        """Whether the watchdog has declared the counters out of sync.
+
+        Set by a watchdog abort; cleared by :meth:`resync` with
+        ``abandon_partial=True`` (the link's recovery strobe).
+        """
+        return self._desynced
+
+    def perturb_counter(self, delta: int) -> None:
+        """Mislatch the round counter by ``delta`` (fault injection only).
+
+        Models a single-event upset in the receiver's synchronized
+        counter: every later toggle in the round decodes shifted.
+        Outside a round the upset is harmless — the next reset toggle
+        reloads the counter.
+        """
+        if self._in_round:
+            self._cycle_in_round += delta
+
+    def resync(self, levels: np.ndarray, abandon_partial: bool = False) -> None:
         """Re-arm all toggle detectors on the current wire levels.
 
         Used when a clock-gated receiver (an unselected subbank,
         Figure 7) is re-enabled: transitions that happened while it was
         gated must not surface as edges (Figure 8-b's delayed-input
         detector guarantees this in hardware).
+
+        With ``abandon_partial=True`` this is the receiving half of the
+        link's **recovery strobe**: in addition to re-arming the
+        detectors, any partially decoded round *and* any completed
+        rounds of a partially received block are discarded, and the
+        desynchronized flag is cleared — the endpoints restart from a
+        known-clean state.
         """
         if len(levels) != 1 + self._layout.num_wires:
             raise ValueError(
@@ -71,6 +167,13 @@ class DescReceiver:
         self._reset_detector.resync(int(levels[0]))
         for wire, detector in enumerate(self._data_detectors):
             detector.resync(int(levels[1 + wire]))
+        if abandon_partial:
+            self._in_round = False
+            self._cycle_in_round = -1
+            self._pending[:] = False
+            self._completed_rounds.clear()
+            self._desynced = False
+            self.fault_events.resyncs += 1
 
     def step(self, levels: np.ndarray) -> None:
         """Consume one cycle of wire levels (reset/skip first, then data)."""
@@ -81,6 +184,8 @@ class DescReceiver:
             )
         if self._in_round:
             self._cycle_in_round += 1
+            if not self._strict and self._cycle_in_round > self._watchdog_limit:
+                self._watchdog_abort()
 
         reset_edge = self._reset_detector.sample(int(levels[0]))
         if reset_edge:
@@ -94,15 +199,49 @@ class DescReceiver:
             if not edge:
                 continue
             if not self._in_round or not self._pending[wire]:
-                raise RuntimeError(
-                    f"unexpected data toggle on wire {wire}: no chunk pending"
-                )
+                if self._strict:
+                    raise RuntimeError(
+                        f"unexpected data toggle on wire {wire}: no chunk pending"
+                    )
+                self.fault_events.spurious_toggles += 1
+                continue
             skip = self._policy.skip_value(wire)
-            self._round_values[wire] = decode_cycle(self._cycle_in_round, skip)
+            value = self._decode(wire, skip)
+            self._round_values[wire] = value
             self._pending[wire] = False
 
         if self._in_round and not self._pending.any():
             self._finish_round()
+
+    def _decode(self, wire: int, skip: int | None) -> int:
+        """Decode one data toggle, absorbing fault-mode violations."""
+        if self._strict:
+            return decode_cycle(self._cycle_in_round, skip)
+        try:
+            value = decode_cycle(self._cycle_in_round, skip)
+        except ValueError:
+            # A toggle on cycle 0 of a skipping round: physically a
+            # spurious edge racing the reset toggle.
+            self.fault_events.spurious_toggles += 1
+            return CORRUPT_CHUNK
+        if value > self._layout.max_chunk_value or value < 0:
+            # A drifted counter latched an impossible count.
+            self.fault_events.out_of_range_decodes += 1
+            return CORRUPT_CHUNK
+        return value
+
+    def _watchdog_abort(self) -> None:
+        """The round overran every legal window: the counters disagree.
+
+        Commits the round with sentinel values for the pending chunks —
+        keeping the rounds-per-block framing intact — and marks the
+        receiver desynchronized until the link resyncs it.
+        """
+        self.fault_events.watchdog_aborts += 1
+        self._desynced = True
+        self._round_values[self._pending] = CORRUPT_CHUNK
+        self._pending[:] = False
+        self._finish_round()
 
     def _begin_round(self) -> None:
         """Reset toggle with nothing pending: a new round starts this cycle."""
@@ -116,9 +255,14 @@ class DescReceiver:
         for wire in np.flatnonzero(self._pending):
             skip = self._policy.skip_value(int(wire))
             if skip is None:
-                raise RuntimeError(
-                    "skip command received but the policy does not skip"
-                )
+                if self._strict:
+                    raise RuntimeError(
+                        "skip command received but the policy does not skip"
+                    )
+                # A glitched strobe closed a basic-DESC round early: the
+                # still-pending chunks are lost, but we saw it happen.
+                self.fault_events.spurious_toggles += 1
+                skip = CORRUPT_CHUNK
             self._round_values[wire] = skip
         self._pending[:] = False
         # _finish_round runs from step() since pending is now empty — but
@@ -131,7 +275,8 @@ class DescReceiver:
         if not self._in_round:
             return
         for wire, value in enumerate(self._round_values):
-            self._policy.observe(wire, int(value))
+            if value != CORRUPT_CHUNK:
+                self._policy.observe(wire, int(value))
         self._completed_rounds.append(self._round_values.copy())
         self._in_round = False
         self._cycle_in_round = -1

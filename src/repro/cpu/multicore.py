@@ -20,6 +20,7 @@ full out-of-order pipeline model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +39,11 @@ __all__ = [
     "MulticoreSimulator",
     "desc_transfer_windows",
 ]
+
+#: The native → vectorized → reference fallback chain logs its
+#: decisions here, so a run that silently lands on a slower tier leaves
+#: an explanation in the logs instead of just a different wall-clock.
+_kernel_log = logging.getLogger("repro.kernels")
 
 
 def desc_transfer_windows(
@@ -230,13 +236,26 @@ class MulticoreSimulator:
         self.stats = MulticoreStats()
         self.native = None
         self.vectorized = None
+        #: Why the last engine selection (construction or dispatch)
+        #: settled below the best tier; ``None`` while on the best tier.
+        self.fallback_reason: str | None = None
         if engine in ("auto", "native"):
-            from repro.kernels.native import NativeMulticoreEngine, native_available
+            from repro.kernels.native import (
+                NativeMulticoreEngine,
+                native_available,
+                native_error,
+            )
 
             if native_available():
                 self.native = NativeMulticoreEngine(cfg)
             elif engine == "native":
                 NativeMulticoreEngine(cfg)  # raises with the build error
+            else:
+                self.fallback_reason = (
+                    f"native kernel unavailable ({native_error()}); "
+                    "using the vectorized engine"
+                )
+                _kernel_log.warning("%s", self.fallback_reason)
         if self.native is None and engine in ("auto", "vectorized"):
             from repro.kernels.multicore import VectorizedMulticoreEngine
 
@@ -290,12 +309,22 @@ class MulticoreSimulator:
             if self.native.supports(trace, self.config):
                 with timed("kernel.multicore.native"):
                     return self.native.run(trace, self.stats)
+            self.fallback_reason = (
+                "trace addresses are not block-aligned; the native kernel "
+                "cannot run it — using the reference loop"
+            )
+            _kernel_log.warning("%s", self.fallback_reason)
         elif self.vectorized is not None:
             from repro.kernels.multicore import VectorizedMulticoreEngine
 
             if VectorizedMulticoreEngine.supports(trace, self.config):
                 with timed("kernel.multicore.vectorized"):
                     return self.vectorized.run(trace, self.stats)
+            self.fallback_reason = (
+                "trace addresses are not block-aligned; the vectorized "
+                "engine cannot run it — using the reference loop"
+            )
+            _kernel_log.warning("%s", self.fallback_reason)
         with timed("kernel.multicore.reference"):
             return self._run_reference(trace)
 

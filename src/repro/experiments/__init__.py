@@ -6,6 +6,7 @@ the ``benchmarks/`` tree regenerates every figure through them.
 
 from repro.experiments import (
     ecc_error_rate,
+    fault_sweep,
     fig01_l2_fraction,
     fig02_l2_breakdown,
     fig03_illustrative,
@@ -36,6 +37,7 @@ __all__ = [
     "geomean",
     "run_suite",
     "ecc_error_rate",
+    "fault_sweep",
     "fig01_l2_fraction",
     "fig02_l2_breakdown",
     "fig03_illustrative",

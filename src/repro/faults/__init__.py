@@ -1,0 +1,58 @@
+"""Link-level fault injection and recovery for DESC (PAPER.md §ECC).
+
+DESC's one-transition-per-chunk signaling makes the link uniquely
+sensitive to transient faults: a glitched or dropped toggle mislatches a
+whole chunk, and because the endpoints communicate through wire *levels*
+a single masked transition inverts the parity of every later toggle on
+that wire — the counters stay desynchronized until an explicit
+resynchronization.  This package models exactly that failure mode and
+the recovery machinery around it:
+
+* :class:`FaultConfig` — a frozen description of the fault environment
+  (per-wire drop/glitch rates, strobe glitches, stuck-at wires, counter
+  desync events, optional Gilbert–Elliott burstiness), seeded for
+  reproducibility.
+* :class:`BernoulliProcess` / :class:`GilbertElliottProcess` — the
+  per-wire stochastic processes driving fault events.
+* :class:`LinkFaultInjector` — perturbs delivered wire levels inside
+  :meth:`repro.core.link.DescLink.step` via an XOR fault mask, so drops
+  and glitches have the paper's level-persistent consequences.
+* :func:`run_campaign` — sends a seeded block stream through a faulty
+  link (optionally ECC-protected by the Figure 9 interleaved layout)
+  next to a fault-free reference, and reports residual error rates,
+  detected-vs-silent corruption, recovery latency, and the energy
+  overhead of the resync protocol as a
+  :class:`~repro.sim.metrics.FaultStats`.
+
+The recovery protocol itself (round-boundary watchdog, periodic resync
+strobes) lives with the endpoints in :mod:`repro.core.receiver` and
+:mod:`repro.core.link`; this package supplies the fault environment and
+the measurement harness.
+"""
+
+from repro.faults.campaign import (
+    FaultCampaignConfig,
+    FaultCampaignResult,
+    run_campaign,
+    sweep_grid,
+)
+from repro.faults.injector import InjectorStats, LinkFaultInjector
+from repro.faults.processes import (
+    BernoulliProcess,
+    FaultConfig,
+    GilbertElliottProcess,
+    make_process,
+)
+
+__all__ = [
+    "BernoulliProcess",
+    "FaultCampaignConfig",
+    "FaultCampaignResult",
+    "FaultConfig",
+    "GilbertElliottProcess",
+    "InjectorStats",
+    "LinkFaultInjector",
+    "make_process",
+    "run_campaign",
+    "sweep_grid",
+]

@@ -1,0 +1,187 @@
+"""Seeded per-wire fault processes (Bernoulli and Gilbert–Elliott).
+
+Each process answers one question every cycle: *which wires suffer a
+fault event right now?*  The memoryless :class:`BernoulliProcess` models
+independent transient upsets; the two-state :class:`GilbertElliottProcess`
+models bursty channels (crosstalk windows, supply droop) where errors
+cluster — the regime the skip-based encoding literature studies for
+error-resilient transfer (see PAPERS.md).
+
+All randomness flows from one :class:`numpy.random.Generator` owned by
+the injector, so a campaign seeded once is reproducible event-for-event
+regardless of host or worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultConfig",
+    "BernoulliProcess",
+    "GilbertElliottProcess",
+    "make_process",
+]
+
+
+def _require_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """A frozen, hashable description of the link's fault environment.
+
+    Rates are per wire per cycle.  The default instance injects nothing,
+    so ``FaultConfig()`` doubles as the explicit "no faults" value.
+
+    Attributes:
+        drop_rate: Probability that a wire transition is masked (the
+            delivered level holds).  A drop inverts the parity of every
+            later toggle on that wire until a resync re-arms the
+            receiver — the paper's counter-desynchronization hazard.
+        glitch_rate: Probability of a spurious transition on a data
+            wire (delivered level inverts from this cycle on).
+        strobe_glitch_rate: Probability of a spurious transition on the
+            shared reset/skip wire — mis-framing a whole round.
+        desync_rate: Probability per cycle of a receiver counter upset
+            (the count mislatches by ±1 mid-round).
+        stuck_wires: Data-wire indices pinned to ``stuck_level``
+            (hard faults).
+        stuck_level: The level stuck wires are pinned to.
+        burst: Drive drop/glitch events through a per-wire
+            Gilbert–Elliott chain instead of memoryless Bernoulli draws.
+        burst_on_rate: Good→bad state transition probability per cycle.
+        burst_off_rate: Bad→good state transition probability per cycle.
+        burst_gain: Multiplier applied to the base event rate while a
+            wire is in the bad state (clipped to 1).
+        seed: Seed of the injector's generator; every fault event is a
+            pure function of this seed and the driven levels.
+    """
+
+    drop_rate: float = 0.0
+    glitch_rate: float = 0.0
+    strobe_glitch_rate: float = 0.0
+    desync_rate: float = 0.0
+    stuck_wires: tuple[int, ...] = ()
+    stuck_level: int = 0
+    burst: bool = False
+    burst_on_rate: float = 0.02
+    burst_off_rate: float = 0.25
+    burst_gain: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "glitch_rate", "strobe_glitch_rate",
+                     "desync_rate", "burst_on_rate", "burst_off_rate"):
+            _require_rate(name, getattr(self, name))
+        if self.stuck_level not in (0, 1):
+            raise ValueError(
+                f"stuck_level must be 0 or 1, got {self.stuck_level}"
+            )
+        if self.burst_gain <= 0:
+            raise ValueError(
+                f"burst_gain must be positive, got {self.burst_gain}"
+            )
+        if not isinstance(self.stuck_wires, tuple):
+            # Accept lists for convenience while keeping hashability.
+            object.__setattr__(self, "stuck_wires", tuple(self.stuck_wires))
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this configuration can perturb the link at all."""
+        return bool(
+            self.drop_rate or self.glitch_rate or self.strobe_glitch_rate
+            or self.desync_rate or self.stuck_wires
+        )
+
+
+class BernoulliProcess:
+    """Memoryless per-wire fault events at a fixed rate."""
+
+    def __init__(
+        self, rate: float, num_wires: int, rng: np.random.Generator
+    ) -> None:
+        _require_rate("rate", rate)
+        if num_wires <= 0:
+            raise ValueError(f"num_wires must be positive, got {num_wires}")
+        self.rate = rate
+        self.num_wires = num_wires
+        self._rng = rng
+
+    def sample(self) -> np.ndarray:
+        """Boolean event vector for this cycle, one entry per wire."""
+        if self.rate == 0.0:
+            return np.zeros(self.num_wires, dtype=bool)
+        return self._rng.random(self.num_wires) < self.rate
+
+
+class GilbertElliottProcess:
+    """Bursty per-wire fault events from a two-state Markov chain.
+
+    Each wire is independently in a *good* state (events at
+    ``base_rate``) or a *bad* state (events at ``base_rate * gain``,
+    clipped to 1).  Transitions happen per cycle with the configured
+    probabilities, so the stationary bad-state occupancy is
+    ``on_rate / (on_rate + off_rate)``.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        num_wires: int,
+        rng: np.random.Generator,
+        on_rate: float = 0.02,
+        off_rate: float = 0.25,
+        gain: float = 20.0,
+    ) -> None:
+        _require_rate("base_rate", base_rate)
+        if num_wires <= 0:
+            raise ValueError(f"num_wires must be positive, got {num_wires}")
+        self.base_rate = base_rate
+        self.bad_rate = min(1.0, base_rate * gain)
+        self.num_wires = num_wires
+        self.on_rate = on_rate
+        self.off_rate = off_rate
+        self._rng = rng
+        self._bad = np.zeros(num_wires, dtype=bool)
+
+    @property
+    def bad_states(self) -> np.ndarray:
+        """Current per-wire state (True = bad/bursty)."""
+        return self._bad.copy()
+
+    def sample(self) -> np.ndarray:
+        """Advance the chains one cycle; return this cycle's events."""
+        if self.base_rate == 0.0:
+            return np.zeros(self.num_wires, dtype=bool)
+        draws = self._rng.random(self.num_wires)
+        flips = self._rng.random(self.num_wires)
+        rates = np.where(self._bad, self.bad_rate, self.base_rate)
+        events = draws < rates
+        enter_bad = ~self._bad & (flips < self.on_rate)
+        leave_bad = self._bad & (flips < self.off_rate)
+        self._bad = (self._bad | enter_bad) & ~leave_bad
+        return events
+
+
+def make_process(
+    rate: float,
+    num_wires: int,
+    config: FaultConfig,
+    rng: np.random.Generator,
+):
+    """The configured process type for one fault class at ``rate``."""
+    if config.burst:
+        return GilbertElliottProcess(
+            rate,
+            num_wires,
+            rng,
+            on_rate=config.burst_on_rate,
+            off_rate=config.burst_off_rate,
+            gain=config.burst_gain,
+        )
+    return BernoulliProcess(rate, num_wires, rng)

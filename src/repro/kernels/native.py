@@ -32,7 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from repro.cpu.multicore import MulticoreConfig, MulticoreStats
     from repro.workloads.generator import MemoryTrace
 
-__all__ = ["NativeMulticoreEngine", "load_native_kernel", "native_available"]
+__all__ = [
+    "NativeMulticoreEngine",
+    "load_native_kernel",
+    "native_available",
+    "native_error",
+    "reset_native_kernel_cache",
+]
 
 _SOURCE = Path(__file__).with_name("multicore_native.c")
 
@@ -107,6 +113,29 @@ def load_native_kernel():
 def native_available() -> bool:
     """Whether the native kernel can be (or has been) loaded."""
     return load_native_kernel() is not None
+
+
+def native_error() -> str | None:
+    """Why the native kernel is unavailable, or ``None`` if it loaded.
+
+    Triggers a load attempt if none happened yet, so callers always get
+    the definitive answer (the engine-selection fallback chain logs
+    this reason).
+    """
+    load_native_kernel()
+    return _kernel_error
+
+
+def reset_native_kernel_cache() -> None:
+    """Forget the cached load outcome (library or error).
+
+    The next :func:`load_native_kernel` call re-attempts the build.
+    Exists for tests that force load failures and for long-lived
+    processes whose environment (compiler, ``REPRO_NATIVE``) changed.
+    """
+    global _kernel, _kernel_error
+    _kernel = None
+    _kernel_error = None
 
 
 class NativeMulticoreEngine:

@@ -20,19 +20,22 @@ from repro.sim.config import (
     desc_scheme,
 )
 from repro.sim.engine import (
+    FailedJob,
     SimJob,
     StagedEngine,
     get_default_max_workers,
     set_default_max_workers,
     simulate_many,
 )
-from repro.sim.metrics import L2Energy, RunResult, TransferStats
+from repro.sim.metrics import FaultStats, L2Energy, RunResult, TransferStats
 from repro.sim.store import RESULT_STORE, ResultStore, StoreStats
 from repro.sim.sweeps import SweepPoint, sweep
 from repro.sim.system import cache_stats, clear_caches, simulate, transfer_stats
 
 __all__ = [
     "DEFAULT_SYSTEM",
+    "FailedJob",
+    "FaultStats",
     "L2Energy",
     "RESULT_STORE",
     "ResultStore",

@@ -5,7 +5,9 @@ together, memoizing every stage in a unified
 :class:`~repro.sim.store.ResultStore` under the stage's declared key.
 :func:`repro.sim.system.simulate` is a thin wrapper over
 :meth:`StagedEngine.run`; :func:`simulate_many` fans a batch of
-:class:`SimJob` configurations out over a ``ProcessPoolExecutor``.
+:class:`SimJob` configurations out over a ``ProcessPoolExecutor``, and
+:meth:`StagedEngine.fault_campaigns` does the same for link-level
+fault-injection campaigns (:mod:`repro.faults`).
 
 Scheme dispatch happens once per run through
 :func:`repro.encoding.registry.make_transfer_model` — the engine never
@@ -15,24 +17,37 @@ driving.
 Parallel determinism: every stage is pure and every job is simulated
 independently, so ``simulate_many`` returns bit-for-bit identical
 results for any worker count, in the order the jobs were given.
+
+Failure isolation: a job that raises — in a pool worker or in the
+serial path — produces a :class:`FailedJob` in its output slot instead
+of aborting the batch.  Jobs are retried with exponential backoff
+before giving up, a per-job timeout turns a stuck worker into a typed
+failure, and a worker killed hard (``BrokenProcessPool``) triggers a
+serial recompute of the affected jobs.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import logging
+import time
+import traceback
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro.encoding.registry import make_transfer_model
 from repro.sim import stages
 from repro.sim.config import SchemeConfig, SystemConfig
 from repro.sim.metrics import RunResult, TransferStats
 from repro.sim.stages import CacheDesign, WorkloadSample
-from repro.sim.store import RESULT_STORE, ResultStore
+from repro.sim.store import RESULT_STORE, ResultStore, StoreKey
 from repro.util.profiling import timed
 from repro.workloads.profiles import AppProfile, profile
 
 __all__ = [
+    "FailedJob",
     "SimJob",
     "StagedEngine",
     "simulate_many",
@@ -41,8 +56,34 @@ __all__ = [
     "fork_available",
 ]
 
+_log = logging.getLogger("repro.sim.engine")
+
 #: Worker count ``simulate_many`` uses when none is given; 1 = serial.
 _default_max_workers = 1
+
+#: First retry delay; doubles per attempt.  Deliberately tiny — the
+#: backoff exists to ride out transient resource pressure, not to wait
+#: for an operator.
+_RETRY_BASE_DELAY_S = 0.05
+
+
+@dataclass(frozen=True)
+class FailedJob:
+    """A job that could not produce a result; holds its slot in a batch.
+
+    Attributes:
+        job: The failed configuration (a :class:`SimJob`, a fault
+            campaign config, …).
+        reason: ``"error"`` (the job raised on every attempt) or
+            ``"timeout"`` (the per-job deadline elapsed).
+        error: Traceback text of the final attempt (empty for timeouts).
+        attempts: How many times the job was tried.
+    """
+
+    job: object
+    reason: str
+    error: str = field(default="", repr=False)
+    attempts: int = 1
 
 
 def fork_available() -> bool:
@@ -220,7 +261,9 @@ class StagedEngine:
         jobs: Iterable[SimJob],
         max_workers: int | None = None,
         chunksize: int | None = None,
-    ) -> list[RunResult]:
+        job_timeout: float | None = None,
+        retries: int = 1,
+    ) -> list[RunResult | FailedJob]:
         """Simulate a batch of jobs, optionally across processes.
 
         Args:
@@ -231,75 +274,234 @@ class StagedEngine:
             chunksize: Jobs handed to a worker at a time; defaults to a
                 round-robin split that keeps workers busy while letting
                 each worker's store reuse samples across its jobs.
+            job_timeout: Seconds each job may take before its slot is
+                declared a :class:`FailedJob` (pool runs only; the
+                serial path cannot preempt a job).
+            retries: Extra attempts per job, with exponential backoff,
+                before the job fails.
 
         Results are identical for any ``max_workers`` — only wall-clock
         changes.  Worker results are merged back into this engine's
-        store, so later serial calls hit.
+        store, so later serial calls hit.  A job that fails every
+        attempt yields a :class:`FailedJob` in its slot; the rest of
+        the batch is unaffected.
         """
         jobs = list(jobs)
+        return self._batch(
+            jobs,
+            keys=[stages.run_key(j.app, j.scheme, j.system) for j in jobs],
+            worker=_run_job_safe,
+            local=lambda job: self.run(job.app, job.scheme, job.system),
+            max_workers=max_workers,
+            chunksize=chunksize,
+            job_timeout=job_timeout,
+            retries=retries,
+            affinity=lambda job: (
+                job.app.name, job.system.sample_blocks, job.system.seed
+            ),
+        )
+
+    def fault_campaign(self, config: object) -> object:
+        """Run one fault-injection campaign, memoized in the store."""
+        from repro.faults.campaign import run_campaign
+
+        return self.store.get_or_compute(
+            ("fault-campaign", config.key()), lambda: run_campaign(config)
+        )
+
+    def fault_campaigns(
+        self,
+        configs: Iterable[object],
+        max_workers: int | None = None,
+        job_timeout: float | None = None,
+        retries: int = 1,
+    ) -> list[object]:
+        """Run a batch of fault campaigns with the same machinery as
+        :meth:`run_many`: store hits served first, misses fanned out
+        over the pool, failures isolated as :class:`FailedJob` slots.
+
+        Campaigns are pure functions of their config (all randomness is
+        seeded), so serial and parallel execution return identical
+        results.
+        """
+        configs = list(configs)
+        return self._batch(
+            configs,
+            keys=[("fault-campaign", c.key()) for c in configs],
+            worker=_run_campaign_safe,
+            local=self.fault_campaign,
+            max_workers=max_workers,
+            chunksize=None,
+            job_timeout=job_timeout,
+            retries=retries,
+            affinity=None,
+        )
+
+    # -- shared batch machinery ----------------------------------------
+
+    def _batch(
+        self,
+        jobs: Sequence[object],
+        keys: Sequence[StoreKey],
+        worker: Callable[[tuple[object, int]], tuple],
+        local: Callable[[object], object],
+        max_workers: int | None,
+        chunksize: int | None,
+        job_timeout: float | None,
+        retries: int,
+        affinity: Callable[[object], tuple] | None,
+    ) -> list[object]:
+        """Store-aware, failure-isolating fan-out shared by the batch APIs.
+
+        ``worker`` is the picklable pool entry point; ``local`` computes
+        one job in-process against *this* engine's store — used for the
+        serial path and as the recompute route when the pool itself
+        fails, so custom stores see their stage entries either way.
+        """
         if max_workers is None:
             max_workers = _default_max_workers
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         if max_workers > 1 and not fork_available():
             max_workers = 1  # clean serial fallback (see fork_available)
-        if max_workers == 1 or len(jobs) <= 1:
-            return [self.run(job.app, job.scheme, job.system) for job in jobs]
         # Serve whatever is already stored; only ship the misses.
-        results: list[RunResult | None] = []
-        pending: list[tuple[int, SimJob]] = []
-        for index, job in enumerate(jobs):
-            key = stages.run_key(job.app, job.scheme, job.system)
+        results: list[object | None] = []
+        pending: list[tuple[int, object]] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
             if key in self.store:
                 results.append(self.store.get(key))
             else:
                 results.append(None)
                 pending.append((index, job))
-        if pending:
+        if not pending:
+            return results
+        if affinity is not None:
             # Workload affinity: group jobs that share a block-value
             # sample (the most expensive stage) so each worker draws a
             # sample once and amortizes it across its whole chunk,
             # instead of every worker re-sampling every application.
-            pending.sort(
-                key=lambda item: (
-                    item[1].app.name,
-                    item[1].system.sample_blocks,
-                    item[1].system.seed,
-                )
-            )
+            pending.sort(key=lambda item: affinity(item[1]))
+        payloads = [(job, retries) for _, job in pending]
+
+        def run_local(payload: tuple[object, int]) -> tuple:
+            job, attempts = payload
+            return _attempt(lambda: local(job), attempts)
+
+        if max_workers == 1 or len(pending) <= 1:
+            outcomes = [run_local(payload) for payload in payloads]
+        else:
             if chunksize is None:
                 # Two chunks per worker: near-maximal sample reuse (a
                 # sample is re-drawn only where a chunk boundary splits
                 # an app's group) with some slack for load balancing.
                 chunksize = max(1, -(-len(pending) // (2 * max_workers)))
-            try:
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    computed = list(pool.map(
-                        _run_job, [job for _, job in pending],
-                        chunksize=chunksize,
-                    ))
-            except (OSError, PermissionError):
-                # Sandboxes can advertise fork yet refuse new processes;
-                # results are pool-independent, so just run in-process.
-                computed = [_run_job(job) for _, job in pending]
-            for (index, job), result in zip(pending, computed):
-                self.store.put(
-                    stages.run_key(job.app, job.scheme, job.system), result
+            outcomes = _pool_outcomes(
+                worker, run_local, payloads, max_workers, chunksize, job_timeout
+            )
+        for (index, job), outcome in zip(pending, outcomes):
+            if outcome[0] == "ok":
+                self.store.put(keys[index], outcome[1])
+                results[index] = outcome[1]
+            else:
+                _, reason, error, attempts = outcome
+                _log.warning(
+                    "job %r failed (%s) after %d attempt(s)",
+                    job, reason, attempts,
                 )
-                results[index] = result
-        return results  # type: ignore[return-value]  # every slot is filled
+                results[index] = FailedJob(
+                    job=job, reason=reason, error=error, attempts=attempts
+                )
+        return results
 
 
-def _run_job(job: SimJob) -> RunResult:
-    """Pool-worker entry point: run one job against the worker's store."""
-    return StagedEngine().run(job.app, job.scheme, job.system)
+def _pool_outcomes(
+    worker: Callable[[tuple[object, int]], tuple],
+    run_local: Callable[[tuple[object, int]], tuple],
+    payloads: Sequence[tuple[object, int]],
+    max_workers: int,
+    chunksize: int,
+    job_timeout: float | None,
+) -> list[tuple]:
+    """Run payloads through a process pool, absorbing pool-level failures.
+
+    ``worker`` never raises (it returns tagged outcomes), so anything
+    escaping the pool is infrastructure: a refused fork (sandboxes), a
+    worker killed hard enough to break the pool, or a per-job timeout.
+    The first two degrade to an in-process recompute of the affected
+    payloads; a timeout fails only its own slot.  Note a timed-out
+    worker is not killed — it occupies its pool slot until it finishes,
+    which bounds how useful very short timeouts can be.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            if job_timeout is None:
+                return list(pool.map(worker, payloads, chunksize=chunksize))
+            outcomes: list[tuple] = []
+            futures = [pool.submit(worker, payload) for payload in payloads]
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=job_timeout))
+                except FutureTimeoutError:
+                    future.cancel()
+                    outcomes.append(("err", "timeout", "", 1))
+                except BrokenProcessPool:
+                    raise
+                except Exception:
+                    # Unpicklable result or similar transport failure.
+                    outcomes.append(("err", "error", traceback.format_exc(), 1))
+            return outcomes
+    except BrokenProcessPool:
+        _log.warning(
+            "process pool broke (worker died); recomputing %d job(s) serially",
+            len(payloads),
+        )
+        return [run_local(payload) for payload in payloads]
+    except (OSError, PermissionError):
+        # Sandboxes can advertise fork yet refuse new processes;
+        # results are pool-independent, so just run in-process.
+        return [run_local(payload) for payload in payloads]
+
+
+def _attempt(compute: Callable[[], object], retries: int) -> tuple:
+    """Try a computation ``retries + 1`` times with exponential backoff."""
+    delay = _RETRY_BASE_DELAY_S
+    error = ""
+    for attempt in range(retries + 1):
+        try:
+            return ("ok", compute())
+        except Exception:
+            error = traceback.format_exc()
+            if attempt < retries:
+                time.sleep(delay)
+                delay *= 2
+    return ("err", "error", error, retries + 1)
+
+
+def _run_job_safe(payload: tuple[SimJob, int]) -> tuple:
+    """Pool-worker entry point: run one sim job against the worker's store."""
+    job, retries = payload
+    return _attempt(
+        lambda: StagedEngine().run(job.app, job.scheme, job.system), retries
+    )
+
+
+def _run_campaign_safe(payload: tuple[object, int]) -> tuple:
+    """Pool-worker entry point: run one fault campaign."""
+    from repro.faults.campaign import run_campaign
+
+    config, retries = payload
+    return _attempt(lambda: run_campaign(config), retries)
 
 
 def simulate_many(
     jobs: Iterable[SimJob | tuple],
     max_workers: int | None = None,
     store: ResultStore | None = None,
-) -> list[RunResult]:
+    job_timeout: float | None = None,
+    retries: int = 1,
+) -> list[RunResult | FailedJob]:
     """Simulate many (application, scheme, system) configurations.
 
     The batch front-end of the staged engine: accepts :class:`SimJob`
@@ -307,6 +509,10 @@ def simulate_many(
     over a process pool when ``max_workers`` (or the module default)
     exceeds 1, and returns results in job order — bit-for-bit identical
     to the serial path.
+
+    A job that raises (after ``retries`` backed-off re-attempts) or
+    overruns ``job_timeout`` yields a :class:`FailedJob` in its slot
+    instead of aborting the batch.
 
     Example::
 
@@ -318,4 +524,9 @@ def simulate_many(
     normalised = [
         job if isinstance(job, SimJob) else SimJob.of(*job) for job in jobs
     ]
-    return StagedEngine(store).run_many(normalised, max_workers=max_workers)
+    return StagedEngine(store).run_many(
+        normalised,
+        max_workers=max_workers,
+        job_timeout=job_timeout,
+        retries=retries,
+    )

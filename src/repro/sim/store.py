@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Hashable, Iterator
@@ -31,6 +32,12 @@ __all__ = ["ResultStore", "StoreStats", "RESULT_STORE", "default_store"]
 
 #: Environment variable naming a pickle file the global store persists to.
 STORE_PATH_ENV = "REPRO_RESULT_STORE"
+
+#: Format of the persisted payload.  Bumped whenever the pickle layout
+#: (or the meaning of stored entries) changes incompatibly; a store
+#: written under any other version is discarded with a warning instead
+#: of being misread.
+STORE_FORMAT_VERSION = 2
 
 StoreKey = tuple[Hashable, ...]
 
@@ -148,6 +155,7 @@ class ResultStore:
         if target is None:
             raise ValueError("no path given and the store has no default path")
         payload = {
+            "version": STORE_FORMAT_VERSION,
             "entries": self._entries,
             "hits": self._hits,
             "misses": self._misses,
@@ -167,12 +175,66 @@ class ResultStore:
         return target
 
     def load(self, path: str | Path) -> None:
-        """Replace the store's contents with a previously saved pickle."""
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        self._entries = payload["entries"]
-        self._hits = payload["hits"]
-        self._misses = payload["misses"]
+        """Replace the store's contents with a previously saved pickle.
+
+        A persisted store is a cache, never the only copy of anything —
+        so nothing that goes wrong here is fatal.  A missing file or a
+        stale format version empties the store with a warning; a
+        corrupt or truncated pickle is additionally **quarantined**
+        (renamed to ``<name>.corrupt``) so the broken bytes survive for
+        inspection while the next :meth:`save` starts clean.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict):
+                raise TypeError(f"payload is {type(payload).__name__}, not dict")
+            entries = payload["entries"]
+            hits = payload["hits"]
+            misses = payload["misses"]
+        except FileNotFoundError:
+            warnings.warn(
+                f"result store {path} does not exist; starting empty",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.clear()
+            return
+        except Exception as exc:  # truncated/garbled pickle, wrong shape
+            quarantine = self._quarantine(path)
+            where = f" (quarantined as {quarantine})" if quarantine else ""
+            warnings.warn(
+                f"result store {path} is corrupt ({exc!r}); "
+                f"starting empty{where}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.clear()
+            return
+        version = payload.get("version")
+        if version != STORE_FORMAT_VERSION:
+            warnings.warn(
+                f"result store {path} has format version {version!r}, "
+                f"expected {STORE_FORMAT_VERSION}; discarding it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.clear()
+            return
+        self._entries = entries
+        self._hits = hits
+        self._misses = misses
+
+    @staticmethod
+    def _quarantine(path: Path) -> Path | None:
+        """Move a corrupt store aside; best effort, never raises."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
 
 
 def default_store() -> ResultStore:

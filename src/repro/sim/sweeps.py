@@ -29,12 +29,14 @@ process pool with bit-for-bit identical results.
 from __future__ import annotations
 
 import itertools
+import math
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.util.stats import geomean
 from repro.sim.config import SchemeConfig, SystemConfig
-from repro.sim.engine import SimJob, simulate_many
+from repro.sim.engine import FailedJob, SimJob, simulate_many
 from repro.workloads.profiles import AppProfile
 from repro.workloads.suites import PARALLEL_SUITE
 
@@ -95,15 +97,39 @@ def sweep(
     points = []
     for index, params in enumerate(combos):
         group = results[index * len(apps):(index + 1) * len(apps)]
+        failed = [r for r in group if isinstance(r, FailedJob)]
+        if failed:
+            # A failed job degrades its point instead of sinking the
+            # sweep: warn, aggregate over the survivors, and emit NaNs
+            # when no application of the combination completed.
+            warnings.warn(
+                f"{len(failed)} of {len(group)} simulations failed at "
+                f"{params} ({failed[0].reason}); point computed from the "
+                f"remaining {len(group) - len(failed)}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        ok = [r for r in group if not isinstance(r, FailedJob)]
+        if not ok:
+            points.append(
+                SweepPoint(
+                    params=params,
+                    cycles=math.nan,
+                    l2_energy_j=math.nan,
+                    processor_energy_j=math.nan,
+                    hit_latency=math.nan,
+                )
+            )
+            continue
         points.append(
             SweepPoint(
                 params=params,
-                cycles=geomean(r.cycles for r in group),
-                l2_energy_j=geomean(r.l2_energy_j for r in group),
+                cycles=geomean(r.cycles for r in ok),
+                l2_energy_j=geomean(r.l2_energy_j for r in ok),
                 processor_energy_j=geomean(
-                    r.processor_energy_j for r in group
+                    r.processor_energy_j for r in ok
                 ),
-                hit_latency=sum(r.hit_latency for r in group) / len(group),
+                hit_latency=sum(r.hit_latency for r in ok) / len(ok),
             )
         )
     return points

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ecc.injection import inject_chunk_errors
 
@@ -46,3 +47,58 @@ class TestInjection:
         for pos in positions:
             assert corrupted[pos] != chunks[pos]
             assert 0 <= corrupted[pos] <= 255
+
+
+class TestEdgeCases:
+    def test_corrupting_every_chunk(self, rng):
+        """num_errors == len(chunks) is legal: every chunk changes."""
+        chunks = rng.integers(0, 16, size=12)
+        corrupted, positions = inject_chunk_errors(chunks, 12, rng)
+        assert (corrupted != chunks).all()
+        assert sorted(positions) == list(range(12))
+
+    def test_single_bit_chunks(self, rng):
+        """chunk_bits=1 leaves exactly one wrong value: the inverse."""
+        chunks = rng.integers(0, 2, size=32)
+        corrupted, positions = inject_chunk_errors(
+            chunks, 8, rng, chunk_bits=1
+        )
+        for pos in positions:
+            assert corrupted[pos] == 1 - chunks[pos]
+
+    def test_negative_error_count_rejected(self, rng):
+        with pytest.raises(ValueError, match="num_errors"):
+            inject_chunk_errors(np.zeros(4, dtype=np.int64), -1, rng)
+
+    def test_fixed_seed_reproducibility(self):
+        chunks = np.arange(64) % 16
+        a = inject_chunk_errors(chunks, 5, np.random.default_rng(77))
+        b = inject_chunk_errors(chunks, 5, np.random.default_rng(77))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+
+class TestInjectionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size=st.integers(1, 64),
+        fraction=st.floats(0.0, 1.0),
+        chunk_bits=st.sampled_from([1, 2, 4, 8]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_every_selected_chunk_differs_in_range(
+        self, size, fraction, chunk_bits, seed
+    ):
+        """For any geometry: exactly the selected chunks change, each to
+        a different in-range value, and nothing else moves."""
+        rng = np.random.default_rng(seed)
+        chunks = rng.integers(0, 1 << chunk_bits, size=size)
+        num_errors = int(fraction * size)
+        corrupted, positions = inject_chunk_errors(
+            chunks, num_errors, rng, chunk_bits=chunk_bits
+        )
+        assert len(positions) == num_errors
+        changed = np.flatnonzero(corrupted != chunks)
+        assert set(changed) == set(positions)
+        assert (corrupted >= 0).all()
+        assert (corrupted < (1 << chunk_bits)).all()

@@ -1,0 +1,172 @@
+"""Recovery-protocol tests: desync detection, resync, watchdogs.
+
+The acceptance property: an injected desynchronization is fully
+recovered by the next resync strobe — after it, the faulty link agrees
+with a fault-free reference link block-for-block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.link import DescLink, RESYNC_STROBE_FLIPS
+from repro.core.receiver import CORRUPT_CHUNK
+from repro.faults.injector import LinkFaultInjector
+from repro.faults.processes import FaultConfig
+
+
+def _transparent_injector(num_wires: int) -> LinkFaultInjector:
+    """An injector that never faults: puts the receiver in non-strict
+    mode without perturbing a single level."""
+    return LinkFaultInjector(FaultConfig(), num_wires)
+
+
+class TestMidRoundDesyncRecovery:
+    def test_counter_upset_detected_then_fully_recovered(
+        self, small_layout, rng
+    ):
+        """A mid-round counter upset corrupts the current block in a
+        *detected* way; after one resync strobe the link agrees with a
+        fault-free reference on every subsequent block."""
+        link = DescLink(
+            small_layout, injector=_transparent_injector(4)
+        )
+        chunks = rng.integers(0, 16, size=8)
+        link.transmitter.load_block(chunks)
+        for _ in range(2):
+            link.step()
+        assert link.receiver.in_round
+        # Upset the synchronized counter far past every legal decode
+        # window, as a particle strike on the counter register would.
+        link.receiver.perturb_counter(20)
+        while link.transmitter.busy:
+            link.step()
+        for _ in range(small_layout.max_chunk_value + 4):
+            link.step()
+
+        assert link.receiver.desynced
+        assert link.receiver.fault_events.watchdog_aborts >= 1
+        [received] = link.receiver.received_blocks
+        assert (received == CORRUPT_CHUNK).any()  # detected, not silent
+
+        link.resync()
+        assert not link.receiver.desynced
+        report = link.fault_report()
+        assert report.resyncs == 1
+        assert len(report.recovery_latencies) == 1
+        assert report.recovery_latencies[0] >= 0
+
+        reference = DescLink(small_layout)
+        followups = rng.integers(0, 16, size=(10, 8))
+        for block in followups:
+            link.send_block(block)
+            reference.send_block(block)
+            assert np.array_equal(
+                link.receiver.received_blocks[-1],
+                reference.receiver.received_blocks[-1],
+            )
+            assert np.array_equal(link.receiver.received_blocks[-1], block)
+
+    @pytest.mark.parametrize("policy", ["zero", "last-value"])
+    def test_recovery_restores_skip_policy_agreement(self, policy, rng):
+        """The resync strobe resets both endpoints' skip-policy history,
+        so value agreement survives a desync even for stateful policies."""
+        from repro.core.chunking import ChunkLayout
+
+        layout = ChunkLayout(block_bits=16, chunk_bits=4, num_wires=4)
+        link = DescLink(
+            layout, skip_policy=policy, injector=_transparent_injector(4)
+        )
+        link.send_block(rng.integers(0, 16, size=4))
+        link.transmitter.load_block(rng.integers(0, 16, size=4))
+        link.step()
+        link.step()
+        link.receiver.perturb_counter(20)
+        while link.transmitter.busy:
+            link.step()
+        for _ in range(layout.max_chunk_value + 4):
+            link.step()
+        link.resync()
+
+        reference = DescLink(layout, skip_policy=policy)
+        for block in rng.integers(0, 16, size=(20, 4)):
+            link.send_block(block)
+            reference.send_block(block)
+            assert np.array_equal(link.receiver.received_blocks[-1], block)
+        # Deliveries agree from the resync on: policy state matches.
+        for got, want in zip(
+            link.receiver.received_blocks[-20:],
+            reference.receiver.received_blocks[-20:],
+        ):
+            assert np.array_equal(got, want)
+
+
+class TestBlockWatchdog:
+    def test_lost_block_is_detected_and_link_survives(self, small_layout):
+        """drop_rate=1 starves the receiver completely: the block
+        watchdog declares the block lost and forces a resync instead of
+        raising (the fault-free link's behavior)."""
+        injector = LinkFaultInjector(FaultConfig(drop_rate=1.0), 4)
+        link = DescLink(small_layout, injector=injector)
+        cost = link.send_block(np.arange(8) % 16)
+        report = link.fault_report()
+        assert report.blocks_sent == 1
+        assert report.blocks_delivered == 0
+        assert report.blocks_lost == 1
+        assert report.resyncs == 1  # the forced recovery strobe
+        assert len(report.recovery_latencies) == 1
+        assert cost.cycles > 0
+
+    def test_fault_free_link_still_raises_on_stall(self, small_layout):
+        """Without an injector the watchdog keeps its seed semantics:
+        an undeliverable block is a bug, not an event."""
+        link = DescLink(small_layout)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            link.send_block(np.arange(8) % 16, max_cycles=2)
+
+    def test_resync_refused_mid_transfer(self, small_layout):
+        link = DescLink(small_layout)
+        link.transmitter.load_block(np.arange(8) % 16)
+        link.step()
+        with pytest.raises(RuntimeError, match="in flight"):
+            link.resync()
+
+
+class TestPeriodicResync:
+    def test_interval_drives_and_charges_strobes(self, small_layout, rng):
+        link = DescLink(small_layout, skip_policy="last-value",
+                        wire_delay=2, resync_interval=2)
+        blocks = rng.integers(0, 16, size=(6, 8))
+        for block in blocks:
+            link.send_block(block)
+            assert np.array_equal(link.receiver.received_blocks[-1], block)
+        # Strobes fire before blocks 3 and 5 (after counts 2 and 4).
+        assert link.resyncs == 2
+        report = link.fault_report()
+        assert report.resync_flips == 2 * RESYNC_STROBE_FLIPS
+        assert report.resync_cycles == 2 * (2 + 2)  # wire_delay + pulse
+        cost = link.cost_so_far()
+        assert cost.sync_flips >= report.resync_flips
+
+    def test_invalid_interval_rejected(self, small_layout):
+        with pytest.raises(ValueError, match="resync_interval"):
+            DescLink(small_layout, resync_interval=0)
+
+
+class TestZeroOverheadGuarantee:
+    def test_injectorless_link_reports_nothing(self, small_layout, rng):
+        """No injector, no interval: the hardened link is the seed link —
+        strict receiver, all fault accounting pinned at zero."""
+        link = DescLink(small_layout, skip_policy="zero")
+        assert link.receiver.strict
+        for block in rng.integers(0, 16, size=(5, 8)):
+            link.send_block(block)
+        report = link.fault_report()
+        assert report.blocks_lost == 0
+        assert report.resyncs == 0
+        assert report.resync_flips == 0
+        assert report.resync_cycles == 0
+        assert report.recovery_latencies == ()
+        assert report.receiver_events.detected == 0
+        assert report.blocks_delivered == report.blocks_sent == 5

@@ -221,3 +221,170 @@ class TestSimulateMany:
         assert len(results) == len(jobs)
         for job, result in zip(jobs, results):
             assert result == simulate(job.app, job.scheme, job.system)
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation: module-level helpers must be picklable for the pool.
+# ---------------------------------------------------------------------------
+
+from dataclasses import dataclass as _dataclass, field as _field  # noqa: E402
+
+from repro.faults.campaign import FaultCampaignConfig  # noqa: E402
+from repro.sim.engine import FailedJob  # noqa: E402
+
+GOOD_CAMPAIGN = FaultCampaignConfig(
+    num_blocks=4, block_bits=64, segment_bits=16, data_seed=2
+)
+
+
+@_dataclass(frozen=True)
+class _ExplodingCampaign:
+    """Duck-typed campaign config whose execution always raises."""
+
+    ident: int = 0
+
+    def key(self) -> str:
+        return f"exploding/{self.ident}"
+
+    @property
+    def data_seed(self) -> int:  # first field run_campaign touches
+        raise RuntimeError("boom: this campaign always fails")
+
+
+@_dataclass(frozen=True)
+class _SleepyCampaign:
+    """Campaign config that hangs long enough to trip a job timeout."""
+
+    seconds: float = 1.5
+    ident: int = 0
+
+    def key(self) -> str:
+        return f"sleepy/{self.ident}"
+
+    @property
+    def data_seed(self) -> int:
+        import time
+
+        time.sleep(self.seconds)
+        raise RuntimeError("woke up before being reaped")
+
+
+@_dataclass(frozen=True)
+class _WorkerKillerCampaign:
+    """Valid campaign in the parent; SIGKILLs any pool worker touching
+    it — the hard-crash case that used to abort the whole batch."""
+
+    parent_pid: int
+    inner: FaultCampaignConfig = _field(default_factory=lambda: GOOD_CAMPAIGN)
+
+    def key(self) -> str:
+        return f"killer/{self.inner.key()}"
+
+    @property
+    def data_seed(self) -> int:
+        import os
+        import signal
+
+        if os.getpid() != self.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.data_seed
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "inner"), name)
+
+
+class TestFailureIsolation:
+    """Satellite guarantee: one bad job costs one slot, never the batch."""
+
+    def test_raising_job_fails_only_its_slot_serially(self):
+        engine = StagedEngine(ResultStore())
+        results = engine.fault_campaigns(
+            [GOOD_CAMPAIGN, _ExplodingCampaign()], max_workers=1
+        )
+        good, bad = results
+        assert good.stats.blocks_sent == 4
+        assert isinstance(bad, FailedJob)
+        assert bad.reason == "error"
+        assert "boom" in bad.error
+        # The healthy result still landed in the store.
+        assert ("fault-campaign", GOOD_CAMPAIGN.key()) in engine.store
+
+    def test_raising_job_fails_only_its_slot_in_pool(self):
+        engine = StagedEngine(ResultStore())
+        results = engine.fault_campaigns(
+            [_ExplodingCampaign(1), GOOD_CAMPAIGN, _ExplodingCampaign(2)],
+            max_workers=2,
+        )
+        assert isinstance(results[0], FailedJob)
+        assert results[1].stats.blocks_sent == 4
+        assert isinstance(results[2], FailedJob)
+
+    def test_failure_logged_with_reason(self, caplog):
+        engine = StagedEngine(ResultStore())
+        with caplog.at_level("WARNING", logger="repro.sim.engine"):
+            engine.fault_campaigns([_ExplodingCampaign()], max_workers=1)
+        assert any("failed" in rec.message for rec in caplog.records)
+
+    def test_retries_count_every_attempt(self):
+        engine = StagedEngine(ResultStore())
+        [failed] = engine.fault_campaigns(
+            [_ExplodingCampaign()], max_workers=1, retries=2
+        )
+        assert isinstance(failed, FailedJob)
+        assert failed.attempts == 3
+
+    def test_zero_retries_attempts_once(self):
+        engine = StagedEngine(ResultStore())
+        [failed] = engine.fault_campaigns(
+            [_ExplodingCampaign()], max_workers=1, retries=0
+        )
+        assert failed.attempts == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            StagedEngine(ResultStore()).fault_campaigns(
+                [GOOD_CAMPAIGN], retries=-1
+            )
+
+    def test_job_timeout_fails_only_the_slow_slot(self):
+        from repro.sim.engine import fork_available
+
+        if not fork_available():
+            pytest.skip("timeout enforcement needs pool workers")
+        engine = StagedEngine(ResultStore())
+        results = engine.fault_campaigns(
+            [_SleepyCampaign(), GOOD_CAMPAIGN],
+            max_workers=2,
+            job_timeout=0.25,
+        )
+        slow, good = results
+        assert isinstance(slow, FailedJob)
+        assert slow.reason == "timeout"
+        assert good.stats.blocks_sent == 4
+
+    def test_killed_worker_recovers_serially(self, caplog):
+        """A SIGKILLed worker breaks the whole pool; the batch API must
+        recompute in-process and still return every result."""
+        from repro.sim.engine import fork_available
+
+        if not fork_available():
+            pytest.skip("worker-kill test needs pool workers")
+        import os
+
+        engine = StagedEngine(ResultStore())
+        killer = _WorkerKillerCampaign(parent_pid=os.getpid())
+        with caplog.at_level("WARNING", logger="repro.sim.engine"):
+            results = engine.fault_campaigns(
+                [killer, GOOD_CAMPAIGN], max_workers=2
+            )
+        assert not any(isinstance(r, FailedJob) for r in results)
+        assert results[0].stats == results[1].stats  # same inner campaign
+        assert any("pool broke" in rec.message for rec in caplog.records)
+
+    def test_failed_slots_never_poison_the_store(self):
+        engine = StagedEngine(ResultStore())
+        engine.fault_campaigns([_ExplodingCampaign()], max_workers=1)
+        assert ("fault-campaign", "exploding/0") not in engine.store
+        # A later healthy batch is unaffected.
+        [result] = engine.fault_campaigns([GOOD_CAMPAIGN], max_workers=1)
+        assert result.stats.clean_blocks == 4

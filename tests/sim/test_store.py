@@ -90,3 +90,100 @@ class TestPersistence:
     def test_missing_file_starts_empty(self, tmp_path):
         store = ResultStore(tmp_path / "absent.pkl")
         assert len(store) == 0
+
+    def test_save_writes_format_version(self, tmp_path):
+        import pickle
+
+        from repro.sim.store import STORE_FORMAT_VERSION
+
+        path = tmp_path / "store.pkl"
+        store = ResultStore(path)
+        store.put(("k",), 1)
+        store.save()
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["version"] == STORE_FORMAT_VERSION
+
+
+class TestGracefulLoad:
+    """Satellite guarantee: a broken persisted store warns and starts
+    empty — it never crashes a run or silently feeds bad entries."""
+
+    def test_corrupt_pickle_quarantined(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        path.write_bytes(b"not a pickle at all")
+        store = ResultStore()
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            store.load(path)
+        assert len(store) == 0
+        assert not path.exists()
+        quarantined = tmp_path / "store.pkl.corrupt"
+        assert quarantined.read_bytes() == b"not a pickle at all"
+
+    def test_truncated_pickle_quarantined(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        good = ResultStore(path)
+        good.put(("k",), list(range(1000)))
+        good.save()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            store = ResultStore(path)
+        assert len(store) == 0
+        assert (tmp_path / "store.pkl.corrupt").exists()
+
+    def test_wrong_shape_payload_quarantined(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "store.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump(["unexpected", "payload"], handle)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            store = ResultStore(path)
+        assert len(store) == 0
+
+    def test_version_mismatch_discarded_not_quarantined(self, tmp_path):
+        """An old-format store is valid data, just stale: discard it
+        with a warning, but don't treat it as corruption."""
+        import pickle
+
+        path = tmp_path / "store.pkl"
+        payload = {"version": 1, "entries": {("k",): 1},
+                   "hits": 3, "misses": 2}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.warns(RuntimeWarning, match="format version"):
+            store = ResultStore(path)
+        assert len(store) == 0
+        assert path.exists()  # left in place for inspection
+        assert not (tmp_path / "store.pkl.corrupt").exists()
+
+    def test_versionless_legacy_store_discarded(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "store.pkl"
+        payload = {"entries": {("k",): 1}, "hits": 0, "misses": 1}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.warns(RuntimeWarning, match="format version"):
+            store = ResultStore(path)
+        assert len(store) == 0
+
+    def test_explicit_load_of_missing_file_warns(self, tmp_path):
+        store = ResultStore()
+        store.put(("stale",), 1)
+        with pytest.warns(RuntimeWarning, match="does not exist"):
+            store.load(tmp_path / "absent.pkl")
+        assert len(store) == 0
+
+    def test_save_after_quarantine_round_trips(self, tmp_path):
+        """The recovery path end-to-end: corrupt load, fresh compute,
+        clean save, clean reload."""
+        path = tmp_path / "store.pkl"
+        path.write_bytes(b"\x80garbage")
+        with pytest.warns(RuntimeWarning):
+            store = ResultStore(path)
+        store.get_or_compute(("k",), lambda: 7)
+        store.save()
+        fresh = ResultStore(path)
+        assert fresh.get(("k",)) == 7

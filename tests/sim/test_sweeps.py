@@ -45,3 +45,55 @@ class TestSweep:
         with pytest.raises(TypeError):
             sweep(desc_scheme("zero"), base=BASE, apps=APPS,
                   warp_factor=[1, 2])
+
+
+class TestFailureDegradation:
+    """A failed simulation degrades its point; it never sinks the sweep."""
+
+    def _flaky(self, fail_when):
+        """A simulate_many wrapper that fails selected jobs."""
+        from repro.sim.engine import FailedJob, simulate_many
+
+        def run(jobs, max_workers=None):
+            results = simulate_many(jobs, max_workers=max_workers)
+            return [
+                FailedJob(job=job, reason="error", error="injected")
+                if fail_when(job) else result
+                for job, result in zip(jobs, results)
+            ]
+
+        return run
+
+    def test_partial_failure_warns_and_uses_survivors(self, monkeypatch):
+        import repro.sim.sweeps as sweeps_mod
+
+        monkeypatch.setattr(
+            sweeps_mod, "simulate_many",
+            self._flaky(lambda job: job.system.num_banks == 4
+                        and job.app.name == "LU"),
+        )
+        with pytest.warns(RuntimeWarning, match="simulations failed"):
+            points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                           num_banks=[4, 8])
+        degraded, healthy = points
+        # The degraded point still carries real numbers (from Ocean).
+        assert degraded.cycles > 0
+        assert healthy.cycles > 0
+
+    def test_total_failure_emits_nan_point(self, monkeypatch):
+        import math
+
+        import repro.sim.sweeps as sweeps_mod
+
+        monkeypatch.setattr(
+            sweeps_mod, "simulate_many",
+            self._flaky(lambda job: job.system.num_banks == 4),
+        )
+        with pytest.warns(RuntimeWarning, match="simulations failed"):
+            points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                           num_banks=[4, 8])
+        dead, healthy = points
+        assert math.isnan(dead.cycles)
+        assert math.isnan(dead.l2_energy_j)
+        assert dead.params == {"num_banks": 4}
+        assert healthy.cycles > 0

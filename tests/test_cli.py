@@ -140,6 +140,104 @@ class TestProfileFlag:
         assert PROFILER.report() == {}
 
 
+class TestFaultsCommand:
+    def test_quick_sweep_pretty(self, capsys):
+        assert main(["faults", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fault sweep" in out
+        assert "resid-ber" in out
+
+    def test_quick_sweep_json(self, capsys):
+        assert main(["faults", "--quick", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["points"] == 8  # 2 drop rates x 2 intervals x 2 ecc
+        assert data["failed"] == 0
+        for row in data["rows"]:
+            if row["drop_rate"] == 0.0 and row["ecc"]:
+                assert row["silent"] == 0
+                assert row["residual_bit_error_rate"] == 0.0
+
+    def test_check_passes_on_fixed_seed(self, capsys):
+        assert main(["faults", "--quick", "--check"]) == 0
+        assert "passed" in capsys.readouterr().err
+
+    def test_seed_changes_the_table(self, capsys):
+        main(["faults", "--quick", "--json", "--seed", "1"])
+        one = json.loads(capsys.readouterr().out)
+        main(["faults", "--quick", "--json", "--seed", "1"])
+        again = json.loads(capsys.readouterr().out)
+        assert one == again  # deterministic in the seed
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--scheme", "desc-zero", "--sample-blocks", "400"]
+
+    def test_sweep_pretty(self, capsys):
+        assert main(self.ARGS + ["--field", "num_banks=2,8"]) == 0
+        out = capsys.readouterr().out
+        assert "num_banks=2" in out and "num_banks=8" in out
+        assert "cycles=" in out
+
+    def test_sweep_json(self, capsys):
+        assert main(self.ARGS + ["--field", "num_banks=8", "--json"]) == 0
+        [point] = json.loads(capsys.readouterr().out)
+        assert point["params"] == {"num_banks": 8}
+        assert point["cycles"] > 0
+        assert point["edp"] == pytest.approx(
+            point["cycles"] * point["l2_energy_j"]
+        )
+
+    def test_field_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS)
+        assert excinfo.value.code == 2
+
+    def test_malformed_field_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--field", "num_banks"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_field_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--field", "warp_factor=1,2"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_scheme_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--scheme", "morse-code",
+                  "--field", "num_banks=8"])
+        assert excinfo.value.code == 2
+
+    def test_corrupt_persisted_store_warns_and_completes(self, tmp_path):
+        """Acceptance: a corrupted store pickle leaves ``repro sweep``
+        finishing with a warning, never a crash."""
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        store = tmp_path / "store.pkl"
+        store.write_bytes(b"definitely not a pickle")
+        env = dict(
+            os.environ,
+            REPRO_RESULT_STORE=str(store),
+            PYTHONPATH=str(root / "src"),
+        )
+        proc = subprocess.run(
+            [_sys.executable, "-m", "repro", "sweep",
+             "--scheme", "desc-zero", "--field", "num_banks=8",
+             "--sample-blocks", "300"],
+            env=env, capture_output=True, text=True, cwd=root,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "num_banks=8" in proc.stdout
+        assert "corrupt" in proc.stderr
+        assert (tmp_path / "store.pkl.corrupt").exists()
+        assert store.exists()  # the run saved a fresh, valid store
+
+
 class TestBenchCommand:
     def test_quick_bench_writes_report(self, capsys, tmp_path):
         out = tmp_path / "bench.json"
