@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from conftest import BENCH_SYSTEM
 
-import repro.sim.system as system_module
+import repro.sim.transfer as transfer_module
 from repro.experiments.common import geomean, run_suite
 from repro.sim.config import desc_scheme
 from repro.sim.system import clear_caches, transfer_stats
@@ -33,18 +33,18 @@ def test_ablation_last_value_broadcast(run_once):
             flips[skip] = geomean(per_app)
 
         energies = {}
-        original = system_module._LAST_VALUE_BROADCAST_ACTIVITY
+        original = transfer_module._LAST_VALUE_BROADCAST_ACTIVITY
         try:
             for activity in (0.0, 0.08, 0.16, 0.32):
-                system_module._LAST_VALUE_BROADCAST_ACTIVITY = activity
+                transfer_module._LAST_VALUE_BROADCAST_ACTIVITY = activity
                 clear_caches()
                 zero = run_suite(desc_scheme("zero"), BENCH_SYSTEM)
                 last = run_suite(desc_scheme("last-value"), BENCH_SYSTEM)
                 energies[activity] = geomean(
-                    l.l2_energy_j / z.l2_energy_j for l, z in zip(last, zero)
+                    l.l2_energy_j / z.l2_energy_j for l, z in zip(last, zero, strict=True)
                 )
         finally:
-            system_module._LAST_VALUE_BROADCAST_ACTIVITY = original
+            transfer_module._LAST_VALUE_BROADCAST_ACTIVITY = original
             clear_caches()
         return flips, energies
 

@@ -24,16 +24,16 @@ def test_seed_stability(run_once):
             binary = run_suite(baseline_scheme("binary"), system)
             desc = run_suite(desc_scheme("zero"), system)
             energy_ratios.append(geomean(
-                d.l2_energy_j / b.l2_energy_j for d, b in zip(desc, binary)
+                d.l2_energy_j / b.l2_energy_j for d, b in zip(desc, binary, strict=True)
             ))
             time_ratios.append(geomean(
-                d.cycles / b.cycles for d, b in zip(desc, binary)
+                d.cycles / b.cycles for d, b in zip(desc, binary, strict=True)
             ))
         return energy_ratios, time_ratios
 
     energy_ratios, time_ratios = run_once(sweep)
     print("\n=== Seed stability of the headline comparison ===")
-    for seed, e, t in zip(_SEEDS, energy_ratios, time_ratios):
+    for seed, e, t in zip(_SEEDS, energy_ratios, time_ratios, strict=True):
         print(f"  seed {seed}: L2 energy {e:.4f}  time {t:.4f}")
     e_spread = max(energy_ratios) - min(energy_ratios)
     t_spread = max(time_ratios) - min(time_ratios)

@@ -35,18 +35,18 @@ def main() -> None:
     for label, scheme in DEFAULT_SCHEMES:
         results = [simulate(p, scheme, system) for p in profiles]
         energy = geomean(
-            r.l2_energy_j / b.l2_energy_j for r, b in zip(results, baseline)
+            r.l2_energy_j / b.l2_energy_j for r, b in zip(results, baseline, strict=True)
         )
-        time = geomean(r.cycles / b.cycles for r, b in zip(results, baseline))
+        time = geomean(r.cycles / b.cycles for r, b in zip(results, baseline, strict=True))
         proc = geomean(
             r.processor_energy_j / b.processor_energy_j
-            for r, b in zip(results, baseline)
+            for r, b in zip(results, baseline, strict=True)
         )
         print(f"{label:34s} {energy:10.3f} {time:10.3f} {proc:12.3f}")
 
     best = [simulate(p, DEFAULT_SCHEMES[6][1], system) for p in profiles]
     reduction = geomean(
-        b.l2_energy_j / r.l2_energy_j for r, b in zip(best, baseline)
+        b.l2_energy_j / r.l2_energy_j for r, b in zip(best, baseline, strict=True)
     )
     print(f"\nZero-skipped DESC cuts L2 energy {reduction:.2f}x on this app "
           f"selection (paper, full suite: 1.81x).")

@@ -70,7 +70,7 @@ def main(argv: list[str]) -> int:
 
     for label, other in (("parallel", parallel), ("warm", warm)):
         mismatches = sum(
-            asdict(a) != asdict(b) for a, b in zip(serial, other)
+            asdict(a) != asdict(b) for a, b in zip(serial, other, strict=True)
         )
         print(f"{label} vs serial: {mismatches}/{len(jobs)} mismatching results")
         if mismatches:

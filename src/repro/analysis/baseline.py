@@ -1,0 +1,85 @@
+"""The committed debt ledger: known findings that do not fail CI.
+
+A baseline entry is a finding's line-independent fingerprint plus the
+human-readable fields, so the committed file doubles as documentation
+of *what* was accepted and why new violations still fail.  The format
+is stable-keyed, sorted JSON — diffs show exactly which debt an update
+added or retired.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_findings
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint."""
+
+    entries: dict[str, dict]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls.empty()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {version!r}, "
+                f"expected {BASELINE_VERSION}; regenerate it with "
+                "'repro lint --update-baseline'"
+            )
+        entries = {}
+        for item in payload.get("findings", []):
+            finding = Finding.from_dict(item)
+            entries[finding.fingerprint] = item
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries={f.fingerprint: f.to_dict() for f in sort_findings(findings)}
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the sorted, stable-keyed JSON representation."""
+        items = [self.entries[key] for key in sorted(self.entries)]
+        payload = {"version": BASELINE_VERSION, "findings": items}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (new, baselined)."""
+        new = [f for f in findings if f not in self]
+        old = [f for f in findings if f in self]
+        return new, old
+
+    def stale(self, findings: list[Finding]) -> list[str]:
+        """Baseline fingerprints no current finding matches.
+
+        Stale entries mean debt was paid down — worth retiring with
+        ``--update-baseline``, but never a failure.
+        """
+        current = {f.fingerprint for f in findings}
+        return [key for key in sorted(self.entries) if key not in current]

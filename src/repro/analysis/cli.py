@@ -1,0 +1,167 @@
+"""The ``repro lint`` front-end: argument wiring, output, exit codes.
+
+Kept separate from :mod:`repro.cli` so the analyzer stays importable
+and testable without the figure registry.  Exit codes: ``0`` clean
+(every finding baselined or none), ``1`` new findings, ``2`` usage or
+environment errors (not inside a checkout, unknown rule, unreadable
+baseline) — always as a clear message, never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import find_repo_root, load_config
+from repro.analysis.findings import Finding
+from repro.analysis.framework import run_analysis
+from repro.analysis.rules import default_rules
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+_KNOWN_RULES = ("R000", "R001", "R002", "R003", "R004", "R005")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="trees to analyze (default: the configured paths)",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="checkout root (default: walk up from the current directory)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=[], metavar="RXXX", dest="rules",
+        help="run only the given rule (repeatable), e.g. --rule R001",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file (default: the configured one)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: quiet on success, exit 1 on any non-baselined finding",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the findings report as JSON on stdout",
+    )
+
+
+def _fail(message: str) -> int:
+    print(f"repro lint: error: {message}", file=sys.stderr)
+    return 2
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    root = Path(args.root).resolve() if args.root else find_repo_root()
+    if root is None or not (root / "src" / "repro").is_dir():
+        where = args.root or Path.cwd()
+        return _fail(
+            f"not inside a repro checkout (no pyproject.toml with a "
+            f"src/repro tree above {where}); run from the repository or "
+            "pass --root DIR"
+        )
+    try:
+        config = load_config(root)
+    except ValueError as exc:
+        return _fail(str(exc))
+    for rule_id in args.rules:
+        if rule_id not in _KNOWN_RULES:
+            return _fail(
+                f"unknown rule {rule_id!r}; known rules: "
+                + ", ".join(_KNOWN_RULES)
+            )
+    if args.paths:
+        for entry in args.paths:
+            if not (root / entry).exists():
+                return _fail(f"path {entry!r} does not exist under {root}")
+        from dataclasses import replace
+
+        config = replace(config, paths=tuple(args.paths))
+
+    rule_filter = args.rules or None
+    findings = run_analysis(root, config, default_rules(), rule_filter)
+
+    baseline_path = root / (args.baseline or config.baseline)
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to "
+            f"{baseline_path.relative_to(root)}",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        return _fail(f"cannot read baseline {baseline_path}: {exc}")
+    new, baselined = baseline.split(findings)
+    stale = baseline.stale(findings)
+
+    if args.json:
+        _emit_json(root, new, baselined, stale, rule_filter)
+    else:
+        _emit_human(new, baselined, stale, check=args.check)
+    return 1 if new else 0
+
+
+def _emit_json(
+    root: Path,
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[str],
+    rule_filter: list[str] | None,
+) -> None:
+    payload = {
+        "version": 1,
+        "root": str(root),
+        "rules": list(rule_filter) if rule_filter else list(_KNOWN_RULES),
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "stale_baseline_entries": stale,
+        "new_count": len(new),
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+
+
+def _emit_human(
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[str],
+    check: bool,
+) -> None:
+    for finding in new:
+        print(finding.format())
+    if stale:
+        print(
+            f"note: {len(stale)} baseline entr"
+            f"{'y is' if len(stale) == 1 else 'ies are'} stale (debt paid "
+            "down); retire with --update-baseline",
+            file=sys.stderr,
+        )
+    if new:
+        rules = sorted({f.rule for f in new})
+        print(
+            f"{len(new)} new finding(s) across {', '.join(rules)}"
+            + (f"; {len(baselined)} baselined" if baselined else ""),
+            file=sys.stderr,
+        )
+    elif not check:
+        print(
+            "clean"
+            + (f" ({len(baselined)} baselined finding(s))" if baselined else ""),
+            file=sys.stderr,
+        )

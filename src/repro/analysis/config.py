@@ -1,0 +1,128 @@
+"""Analysis configuration: built-in defaults + ``[tool.repro.analysis]``.
+
+The defaults below describe *this* repository (scopes, charge sites,
+engine tiers), so the analyzer works out of the box on a checkout even
+when no TOML parser is available.  A ``[tool.repro.analysis]`` block in
+``pyproject.toml`` overrides any field — the committed block mirrors
+the defaults to keep the policy reviewable next to the other tool
+configuration; test fixtures override freely to point rules at small
+synthetic trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    try:
+        import tomli as _toml  # type: ignore[import-not-found,no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+__all__ = ["AnalysisConfig", "find_repo_root", "load_config"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Every knob of the analysis pass, with this repo's defaults.
+
+    All paths are repo-root-relative POSIX strings; scope entries are
+    path *prefixes* (a directory covers everything beneath it).
+
+    Attributes:
+        paths: Trees the analyzer walks.
+        baseline: Baseline file recording accepted pre-existing debt.
+        seed_scope: Where R001 (seed hygiene) applies.
+        cost_scope: Where R002 (cost accounting) applies.
+        cost_charge_sites: Files allowed to write TransferCost fields —
+            the protocol's whitelisted charge sites.
+        float_scope: Where R004 (float equality) applies.
+        iteration_scope: Where R005 (unordered iteration) applies.
+        tier_classes: ``path:Class`` engine tiers whose public
+            signatures must match exactly (R003).
+        tier_methods: The methods compared across tiers.
+        dispatch_class: ``path:Class`` of the engine-dispatch facade
+            (the reference event loop's home).
+        dispatch_methods: Methods the facade must define, each taking
+            the same leading argument as the tiers' ``run``.
+        check_transfer_models: Verify every registered scheme name has
+            a transfer model (imports the registry; fixture trees turn
+            this off).
+        registry_file: Where transfer-model coverage findings anchor.
+    """
+
+    paths: tuple[str, ...] = ("src",)
+    baseline: str = "lint_baseline.json"
+    seed_scope: tuple[str, ...] = ("src/repro",)
+    cost_scope: tuple[str, ...] = ("src/repro",)
+    cost_charge_sites: tuple[str, ...] = (
+        "src/repro/core/link.py",
+        "src/repro/core/receiver.py",
+        "src/repro/cache/datapath.py",
+    )
+    float_scope: tuple[str, ...] = (
+        "src/repro/sim",
+        "src/repro/energy",
+        "src/repro/reporting",
+    )
+    iteration_scope: tuple[str, ...] = ("src/repro",)
+    tier_classes: tuple[str, ...] = (
+        "src/repro/kernels/multicore.py:VectorizedMulticoreEngine",
+        "src/repro/kernels/native.py:NativeMulticoreEngine",
+    )
+    tier_methods: tuple[str, ...] = ("__init__", "run", "supports")
+    dispatch_class: str = "src/repro/cpu/multicore.py:MulticoreSimulator"
+    dispatch_methods: tuple[str, ...] = ("run", "_run_reference")
+    check_transfer_models: bool = True
+    registry_file: str = "src/repro/encoding/registry.py"
+
+
+def find_repo_root(start: Path | None = None) -> Path | None:
+    """Locate the checkout root by walking up from ``start`` (or cwd).
+
+    The root is the first ancestor holding a ``pyproject.toml`` next to
+    a ``src/repro`` package.  Returns ``None`` when no ancestor
+    qualifies — callers turn that into a clear "not inside a repro
+    checkout" error instead of a traceback.
+    """
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file() and (
+            candidate / "src" / "repro"
+        ).is_dir():
+            return candidate
+    return None
+
+
+def load_config(root: Path) -> AnalysisConfig:
+    """The effective configuration for a checkout.
+
+    Reads ``[tool.repro.analysis]`` from ``root/pyproject.toml`` when a
+    TOML parser is available; unknown keys raise (a typo in the policy
+    block should not silently disable a rule).
+    """
+    config = AnalysisConfig()
+    pyproject = root / "pyproject.toml"
+    if _toml is None or not pyproject.is_file():
+        return config
+    with pyproject.open("rb") as handle:
+        payload = _toml.load(handle)
+    section = payload.get("tool", {}).get("repro", {}).get("analysis", {})
+    if not section:
+        return config
+    known = {f.name: f.type for f in fields(AnalysisConfig)}
+    updates: dict = {}
+    for key, value in section.items():
+        name = key.replace("-", "_")
+        if name not in known:
+            raise ValueError(
+                f"unknown [tool.repro.analysis] key {key!r}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        if isinstance(value, list):
+            value = tuple(value)
+        updates[name] = value
+    return replace(config, **updates)

@@ -1,0 +1,83 @@
+"""The unit of analysis output: one finding, with a stable identity.
+
+A :class:`Finding` pins a rule violation to ``file:line:col``.  Its
+*fingerprint* deliberately excludes the line number: baselined debt
+must not churn every time unrelated edits shift a file, so identity is
+``(rule, path, message)`` — messages name the offending construct, not
+its position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "SEVERITIES", "sort_findings"]
+
+#: Recognized severities, most severe first.  Severity is display
+#: metadata: ``repro lint --check`` fails on any non-baselined finding
+#: regardless (a warning you can ignore forever is not an invariant).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        rule: Rule identifier, e.g. ``"R001"``.
+        severity: ``"error"`` or ``"warning"`` (display metadata).
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: What is wrong and how to fix or suppress it.  Names
+            the construct (not the position) so it doubles as the
+            baseline identity.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` for human output (col shown 1-based)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            rule=payload["rule"],
+            severity=payload["severity"],
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            message=payload["message"],
+        )
+
+    def format(self) -> str:
+        """One human-readable report line."""
+        return f"{self.location}: {self.rule} {self.severity}: {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,40 @@
+"""The rule registry: every repo-specific invariant the pass enforces.
+
+========  ========  ==============================================
+id        severity  invariant
+========  ========  ==============================================
+R001      error     all randomness is explicitly seeded; no
+                    wall-clock values in deterministic scope
+R002      error     TransferCost fields are written only at the
+                    whitelisted charge sites
+R003      error     engine tiers expose matching public signatures;
+                    every scheme has a registered transfer model
+R004      warning   no ``==``/``!=`` on energy/cost floats
+R005      warning   no iteration over unordered sets feeding
+                    ordered outputs
+========  ========  ==============================================
+
+``R000`` (syntax error) is emitted by the framework itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.cost import CostAccountingRule
+from repro.analysis.rules.determinism import SeedHygieneRule, UnorderedIterationRule
+from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.parity import TierParityRule
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    rules: list[Rule] = [
+        SeedHygieneRule(),
+        CostAccountingRule(),
+        TierParityRule(),
+        FloatEqualityRule(),
+        UnorderedIterationRule(),
+    ]
+    return sorted(rules, key=lambda r: r.id)

@@ -1,0 +1,127 @@
+"""R002: TransferCost fields are written only at whitelisted charge sites.
+
+Every wire flip in the reproduction must be charged through
+:class:`~repro.core.protocol.TransferCost` exactly once.  The class is
+frozen, so honest code *accumulates* whole cost values (``cost = cost +
+delta``, ``TransferCost.zero()``); what drifts is code that reaches
+into the counters — ``cost.data_flips += 1``, ``object.__setattr__``
+on a frozen instance, or a parallel tally that shadows the real one.
+PR 3's resync-energy accounting showed how easily an extra charge path
+slips in; this rule pins the set of files allowed to originate
+charges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, SourceFile, in_scope
+
+__all__ = ["CostAccountingRule"]
+
+#: Field names unique enough to identify a TransferCost write.
+_COST_FIELDS = ("data_flips", "overhead_flips", "sync_flips")
+#: ``cycles`` is a common name; only treat it as a cost field when the
+#: object it is written through is visibly cost-like.
+_AMBIGUOUS_FIELDS = ("cycles",)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _cost_like(node: ast.AST) -> bool:
+    """Whether an expression plainly denotes a cost object."""
+    name = _dotted(node).lower()
+    return "cost" in name
+
+
+class CostAccountingRule(Rule):
+    """R002: no TransferCost field writes outside the charge sites."""
+
+    id = "R002"
+    severity = "error"
+    title = "cost-accounting discipline"
+
+    def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return tuple(config.cost_scope)
+
+    def check_file(
+        self, file: SourceFile, config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        if in_scope(file.rel, tuple(config.cost_charge_sites)):
+            return
+        tree = file.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_target(file, target, "assignment")
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                kind = (
+                    "augmented assignment"
+                    if isinstance(node, ast.AugAssign)
+                    else "assignment"
+                )
+                yield from self._check_target(file, node.target, kind)
+            elif isinstance(node, ast.Call):
+                yield from self._check_setattr(file, node)
+
+    def _check_target(
+        self, file: SourceFile, target: ast.AST, kind: str
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(file, element, kind)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        field = target.attr
+        if field in _COST_FIELDS or (
+            field in _AMBIGUOUS_FIELDS and _cost_like(target.value)
+        ):
+            yield self.finding(
+                file, target,
+                f"direct {kind} to TransferCost field "
+                f"'{_dotted(target) or field}' outside the whitelisted "
+                "charge sites; accumulate whole TransferCost values at "
+                "a charge site instead",
+            )
+
+    def _check_setattr(
+        self, file: SourceFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = _dotted(node.func)
+        if name not in ("setattr", "object.__setattr__"):
+            return
+        field_arg_index = 1 if name == "setattr" else 1
+        if len(node.args) <= field_arg_index:
+            return
+        field_arg = node.args[field_arg_index]
+        if not (
+            isinstance(field_arg, ast.Constant)
+            and isinstance(field_arg.value, str)
+        ):
+            return
+        field = field_arg.value
+        target = node.args[0]
+        if field in _COST_FIELDS or (
+            field in _AMBIGUOUS_FIELDS and _cost_like(target)
+        ):
+            yield self.finding(
+                file, node,
+                f"{name}(..., {field!r}, ...) writes a TransferCost "
+                "field outside the whitelisted charge sites (and defeats "
+                "the frozen dataclass); accumulate whole TransferCost "
+                "values at a charge site instead",
+            )

@@ -1,0 +1,357 @@
+"""R001 (seed hygiene) and R005 (unordered iteration).
+
+Both protect the same property — byte-identical reruns — from its two
+classic leaks: randomness that does not flow from an explicit seed
+(or wall-clock values smuggled into results), and set iteration whose
+order varies with ``PYTHONHASHSEED`` feeding ordered outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, SourceFile
+
+__all__ = ["SeedHygieneRule", "UnorderedIterationRule"]
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``""`` if not a name)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names the module is importable under in this file."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or module.split(".")[0])
+                elif item.name.startswith(module + "."):
+                    # ``import numpy.random`` exposes the root name.
+                    aliases.add((item.asname or item.name).split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> set[str]:
+    """Local names bound by ``from module import ...``."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for item in node.names:
+                names.add(item.asname or item.name)
+    return names
+
+
+class SeedHygieneRule(Rule):
+    """R001: every random stream is seeded; no wall-clock in results.
+
+    Flags, inside the configured scope:
+
+    * calls to the ``random`` module's global functions (the shared,
+      implicitly seeded generator) and ``random.Random()`` with no seed;
+    * legacy ``numpy.random.*`` calls (the global NumPy state) and
+      ``numpy.random.default_rng()`` without a seed argument;
+    * ``time.time()`` / ``time.time_ns()`` and ``datetime.now()`` /
+      ``utcnow()`` / ``today()`` — wall-clock values that make reruns
+      differ.
+
+    Explicitly seeded constructions (``default_rng(seed)``,
+    ``random.Random(seed)``) and generator *methods* on an ``rng``
+    object pass; monotonic timers (``time.perf_counter``) pass — they
+    never reach results, only measurements.
+    """
+
+    id = "R001"
+    severity = "error"
+    title = "seed hygiene / wall-clock hygiene"
+
+    _WALLCLOCK_DATETIME = ("now", "utcnow", "today")
+    _TIME_FUNCS = ("time", "time_ns")
+
+    def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return tuple(config.seed_scope)
+
+    def check_file(
+        self, file: SourceFile, config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        tree = file.tree
+        assert tree is not None
+        random_aliases = _module_aliases(tree, "random")
+        numpy_aliases = _module_aliases(tree, "numpy")
+        time_aliases = _module_aliases(tree, "time")
+        datetime_aliases = _module_aliases(tree, "datetime")
+        random_from = _from_imports(tree, "random")
+        datetime_from = _from_imports(tree, "datetime")
+        time_from = _from_imports(tree, "time")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if not name:
+                continue
+            yield from self._check_call(
+                file, node, name,
+                random_aliases, numpy_aliases, time_aliases,
+                datetime_aliases, random_from, datetime_from, time_from,
+            )
+
+    def _check_call(
+        self,
+        file: SourceFile,
+        node: ast.Call,
+        name: str,
+        random_aliases: set[str],
+        numpy_aliases: set[str],
+        time_aliases: set[str],
+        datetime_aliases: set[str],
+        random_from: set[str],
+        datetime_from: set[str],
+        time_from: set[str],
+    ) -> Iterator[Finding]:
+        parts = name.split(".")
+        has_args = bool(node.args or node.keywords)
+
+        # -- the stdlib ``random`` module ------------------------------
+        if parts[0] in random_aliases and len(parts) == 2:
+            func = parts[1]
+            if func == "Random" and not has_args:
+                yield self.finding(
+                    file, node,
+                    f"unseeded {name}(): pass an explicit seed so runs "
+                    "are reproducible",
+                )
+            elif func == "SystemRandom":
+                yield self.finding(
+                    file, node,
+                    f"{name}() is unseedable by design; deterministic "
+                    "code must use a seeded generator",
+                )
+            elif func[0].islower():
+                yield self.finding(
+                    file, node,
+                    f"{name}() draws from the process-global generator; "
+                    "thread an explicitly seeded random.Random/"
+                    "numpy Generator through instead",
+                )
+        if parts == ["Random"] and "Random" in random_from and not has_args:
+            yield self.finding(
+                file, node,
+                "unseeded Random(): pass an explicit seed so runs are "
+                "reproducible",
+            )
+
+        # -- numpy.random ----------------------------------------------
+        if (
+            len(parts) >= 3
+            and parts[0] in numpy_aliases
+            and parts[1] == "random"
+        ):
+            func = parts[2]
+            if func == "default_rng":
+                if not has_args:
+                    yield self.finding(
+                        file, node,
+                        f"{name}() without a seed gives a fresh OS-"
+                        "entropy stream; pass the seed explicitly",
+                    )
+            elif func == "Generator" or func == "SeedSequence":
+                pass  # constructing from explicit state is fine
+            elif func[0].islower():
+                yield self.finding(
+                    file, node,
+                    f"legacy global-state call {name}(); use an "
+                    "explicitly seeded numpy.random.default_rng(seed)",
+                )
+
+        # -- wall clocks -----------------------------------------------
+        if (
+            len(parts) == 2
+            and parts[0] in time_aliases
+            and parts[1] in self._TIME_FUNCS
+        ):
+            yield self.finding(
+                file, node,
+                f"wall-clock call {name}() in deterministic scope; "
+                "results must not depend on when they ran "
+                "(time.perf_counter is fine for measurements)",
+            )
+        if parts[-1] in self._TIME_FUNCS and parts[-1] in time_from and len(parts) == 1:
+            yield self.finding(
+                file, node,
+                f"wall-clock call {name}() in deterministic scope; "
+                "results must not depend on when they ran",
+            )
+        if parts[-1] in self._WALLCLOCK_DATETIME and len(parts) >= 2:
+            base = parts[-2]
+            if base in ("datetime", "date") or parts[0] in datetime_aliases:
+                if base in datetime_from or parts[0] in datetime_aliases or base in ("datetime", "date"):
+                    yield self.finding(
+                        file, node,
+                        f"wall-clock call {name}() in deterministic "
+                        "scope; results must not depend on when they ran",
+                    )
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """Yield each lexical scope's statements: module, then functions.
+
+    Name-based set inference must not leak across scopes (a ``names``
+    set in one helper must not taint an unrelated ``names`` list in
+    another), so every function body is analyzed with its own tracker.
+    Class bodies share the enclosing scope's statements.
+    """
+    functions: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(node)
+    yield list(tree.body)
+    for function in functions:
+        yield list(function.body)
+
+
+def _scope_walk(statements: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes.
+
+    A nested ``def``'s decorators and argument defaults evaluate in
+    the enclosing scope and are traversed; its body is its own scope
+    (yielded separately by :func:`_scopes`).
+    """
+    stack: list[ast.AST] = list(statements)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(node.decorator_list)
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+class _SetTracker:
+    """Set-typed expressions and scope-local names bound to them."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def is_setish(self, node: ast.AST) -> bool:
+        """Whether ``node`` evaluates to a set (conservatively)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self.is_setish(node.func.value) or any(
+                    self.is_setish(arg) for arg in node.args
+                )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_setish(node.left) or self.is_setish(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def record(self, node: ast.AST) -> None:
+        """Note any name the statement binds to a set value."""
+        if isinstance(node, ast.Assign) and self.is_setish(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.value is not None and self.is_setish(node.value):
+                self.set_names.add(node.target.id)
+            elif _dotted(node.annotation) in ("set", "frozenset"):
+                self.set_names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if self.is_setish(node.value):
+                self.set_names.add(node.target.id)
+
+
+class UnorderedIterationRule(Rule):
+    """R005: set iteration order must never reach an ordered output.
+
+    ``set`` iteration order depends on ``PYTHONHASHSEED`` for strings
+    and on insertion history for ints — a rerun can legally produce a
+    different order, which silently reorders stores, sweep grids, and
+    report tables.  The rule flags ``for`` loops, comprehensions, and
+    ``list``/``tuple``/``enumerate`` materializations whose iterable is
+    a set (literal, constructor, set operation, or a local name bound
+    to one) unless the iterable is wrapped in ``sorted(...)``.
+
+    Plain ``dict`` iteration is exempt: insertion order is guaranteed
+    and deterministic since Python 3.7.
+    """
+
+    id = "R005"
+    severity = "warning"
+    title = "nondeterministic iteration order"
+
+    _MATERIALIZERS = ("list", "tuple", "enumerate", "iter", "next")
+
+    def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return tuple(config.iteration_scope)
+
+    def check_file(
+        self, file: SourceFile, config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        tree = file.tree
+        assert tree is not None
+        for statements in _scopes(tree):
+            tracker = _SetTracker()
+            nodes = list(_scope_walk(statements))
+            for node in nodes:
+                tracker.record(node)
+            for node in nodes:
+                yield from self._check_node(file, tracker, node)
+
+    def _check_node(
+        self, file: SourceFile, tracker: _SetTracker, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if tracker.is_setish(node.iter):
+                yield self._finding(file, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if tracker.is_setish(generator.iter):
+                    yield self._finding(file, generator.iter)
+        elif isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if (
+                name in self._MATERIALIZERS
+                and node.args
+                and tracker.is_setish(node.args[0])
+            ):
+                yield self._finding(file, node.args[0])
+
+    def _finding(self, file: SourceFile, node: ast.AST) -> Finding:
+        label = _dotted(node) or type(node).__name__
+        return self.finding(
+            file, node,
+            f"iteration over unordered set ({label}); wrap it in "
+            "sorted(...) before it can feed an ordered output",
+        )

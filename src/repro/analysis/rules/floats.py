@@ -1,0 +1,103 @@
+"""R004: no ``==`` / ``!=`` on energy, cost, or rate floats.
+
+Energies in joules, rates, latencies and EDP values are accumulated
+floating-point quantities; exact equality on them is either vacuously
+true (same object) or flaky across NumPy versions, vectorization
+widths, and summation orders.  Inside the metric/energy/reporting
+scope the rule flags equality comparisons where either side *looks*
+float-valued: a float literal, a division, a ``float(...)`` cast, or a
+name matching the float-suffix conventions this codebase uses
+(``*_j``, ``*_rate``, ``*_latency``, ``*_fraction``, ``*_overhead``,
+``*energy*``, ``edp``).  Integer-valued expressions — ``len(...)``,
+int literals, ``int(...)``/``round(...)`` casts — are exempt, as are
+order comparisons (``<``, ``>=``, …), which are how thresholds should
+be written.  Use ``math.isclose`` (or ``pytest.approx`` in tests).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, SourceFile
+
+__all__ = ["FloatEqualityRule"]
+
+_FLOAT_NAME = re.compile(
+    r"(_j|_rate|_latency|_fraction|_overhead|_seconds|^edp$|_edp$|energy)",
+)
+_INT_CASTS = ("len", "int", "round", "id", "ord", "hash")
+
+
+def _name_of(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_int_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, bool)) and not isinstance(
+            node.value, float
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in _INT_CASTS
+    return False
+
+
+def _is_float_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        return bool(_FLOAT_NAME.search(_name_of(func).lower()))
+    name = _name_of(node).lower()
+    return bool(name) and bool(_FLOAT_NAME.search(name))
+
+
+class FloatEqualityRule(Rule):
+    """R004: equality comparison on float-valued metrics."""
+
+    id = "R004"
+    severity = "warning"
+    title = "float equality on energy/cost metrics"
+
+    def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return tuple(config.float_scope)
+
+    def check_file(
+        self, file: SourceFile, config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        tree = file.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:], strict=True
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_int_like(left) or _is_int_like(right):
+                    continue
+                if _is_float_like(left) or _is_float_like(right):
+                    suspect = left if _is_float_like(left) else right
+                    label = _name_of(suspect) or type(suspect).__name__
+                    yield self.finding(
+                        file, node,
+                        f"exact float equality on '{label}'; use "
+                        "math.isclose (or an explicit tolerance) for "
+                        "energy/cost comparisons",
+                    )
+                    break

@@ -1,0 +1,274 @@
+"""R003: the engine tiers stay call-compatible, and every scheme has a
+registered transfer model.
+
+The multicore substrate runs on a fallback chain — native kernel →
+vectorized engine → reference event loop — that only stays honest if
+the tiers remain drop-in replacements.  Two checks enforce that:
+
+* **Signature parity** — the configured tier classes must define the
+  configured methods with identical parameter names, defaults, and
+  kinds (``self`` excluded).  A keyword default that drifts on one
+  tier silently changes behaviour only on the machines that fall back
+  to it: exactly the bug class a reviewer cannot see in a diff.
+* **Dispatch compatibility** — the dispatch facade (the reference
+  event loop's home) must define its methods with the same leading
+  parameter the tiers' ``run`` takes, so the chain can be rewired
+  without call-site edits.
+* **Transfer-model coverage** — every scheme name the encoder registry
+  exposes must have a registered
+  :class:`~repro.encoding.registry.TransferModel`, or the staged
+  engine raises at dispatch time on exactly one scheme, in exactly the
+  configuration no test covered.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, SourceFile
+
+__all__ = ["TierParityRule"]
+
+
+def _signature(node: ast.FunctionDef) -> dict:
+    """Comparable shape of a method: names, defaults, kinds."""
+    args = node.args
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    if positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    defaults = [ast.dump(d) for d in args.defaults]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    kw_defaults = [
+        ast.dump(d) if d is not None else None for d in args.kw_defaults
+    ]
+    return {
+        "positional": positional,
+        "defaults": defaults,
+        "kwonly": kwonly,
+        "kw_defaults": kw_defaults,
+        "vararg": args.vararg.arg if args.vararg else None,
+        "kwarg": args.kwarg.arg if args.kwarg else None,
+    }
+
+
+def _describe(sig: dict) -> str:
+    parts = list(sig["positional"])
+    if sig["vararg"]:
+        parts.append("*" + sig["vararg"])
+    parts.extend(sig["kwonly"])
+    if sig["kwarg"]:
+        parts.append("**" + sig["kwarg"])
+    return "(" + ", ".join(parts) + ")"
+
+
+class _ClassSpec:
+    """One ``path:Class`` entry, resolved against the loaded file set."""
+
+    def __init__(self, entry: str) -> None:
+        path, _, name = entry.rpartition(":")
+        if not path or not name:
+            raise ValueError(
+                f"tier entry {entry!r} must look like 'path/to/file.py:Class'"
+            )
+        self.path = path
+        self.name = name
+        self.entry = entry
+
+    def resolve(
+        self, files: Sequence[SourceFile], root: Path
+    ) -> tuple[SourceFile | None, ast.ClassDef | None]:
+        file = next((f for f in files if f.rel == self.path), None)
+        if file is None:
+            disk = root / self.path
+            if disk.is_file():
+                file = SourceFile.load(disk, self.path)
+        if file is None or file.tree is None:
+            return file, None
+        for node in file.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == self.name:
+                return file, node
+        return file, None
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+class TierParityRule(Rule):
+    """R003: engine tiers and the scheme registry stay in lock-step."""
+
+    id = "R003"
+    severity = "error"
+    title = "engine-tier parity / transfer-model coverage"
+
+    def check_project(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> Iterable[Finding]:
+        yield from self._check_tiers(files, config, root)
+        yield from self._check_dispatch(files, config, root)
+        if config.check_transfer_models:
+            yield from self._check_models(config)
+
+    # -- signature parity ----------------------------------------------
+
+    def _check_tiers(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> Iterator[Finding]:
+        specs = [_ClassSpec(entry) for entry in config.tier_classes]
+        if len(specs) < 2:
+            return
+        resolved = []
+        for spec in specs:
+            file, cls = spec.resolve(files, root)
+            if cls is None:
+                yield self._missing(file, spec)
+                continue
+            resolved.append((spec, file, cls))
+        if len(resolved) < 2:
+            return
+        anchor_spec, anchor_file, anchor_cls = resolved[0]
+        anchor_methods = _methods(anchor_cls)
+        for method in config.tier_methods:
+            reference = anchor_methods.get(method)
+            for spec, file, cls in resolved[1:]:
+                other = _methods(cls).get(method)
+                if reference is None and other is None:
+                    continue
+                if reference is None or other is None:
+                    present = anchor_spec if other is None else spec
+                    absent = spec if other is None else anchor_spec
+                    where_file = file if other is None else anchor_file
+                    where_node = cls if other is None else anchor_cls
+                    assert where_file is not None
+                    yield self.finding(
+                        where_file, where_node,
+                        f"tier {absent.name} is missing method "
+                        f"'{method}' that tier {present.name} defines; "
+                        "the fallback chain requires call-compatible "
+                        "tiers",
+                    )
+                    continue
+                ref_sig = _signature(reference)
+                other_sig = _signature(other)
+                if ref_sig != other_sig:
+                    assert file is not None
+                    yield self.finding(
+                        file, other,
+                        f"signature of {spec.name}.{method}"
+                        f"{_describe(other_sig)} differs from "
+                        f"{anchor_spec.name}.{method}"
+                        f"{_describe(ref_sig)}; tiers must expose "
+                        "identical parameters and keyword defaults",
+                    )
+
+    def _missing(self, file: SourceFile | None, spec: _ClassSpec) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=spec.path,
+            line=1,
+            col=0,
+            message=(
+                f"configured engine tier {spec.entry!r} not found; "
+                "update [tool.repro.analysis] tier_classes if the tier "
+                "moved"
+            ),
+        )
+
+    # -- dispatch compatibility ----------------------------------------
+
+    def _check_dispatch(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> Iterator[Finding]:
+        if not config.dispatch_class:
+            return
+        spec = _ClassSpec(config.dispatch_class)
+        file, cls = spec.resolve(files, root)
+        if cls is None:
+            yield self._missing(file, spec)
+            return
+        assert file is not None
+        methods = _methods(cls)
+        leading = self._tier_run_leading_arg(files, config, root)
+        for method in config.dispatch_methods:
+            node = methods.get(method)
+            if node is None:
+                yield self.finding(
+                    file, cls,
+                    f"dispatch facade {spec.name} is missing method "
+                    f"'{method}'; the reference tier must stay "
+                    "reachable through it",
+                )
+                continue
+            sig = _signature(node)
+            if leading and (
+                not sig["positional"] or sig["positional"][0] != leading
+            ):
+                yield self.finding(
+                    file, node,
+                    f"{spec.name}.{method}{_describe(sig)} does not "
+                    f"take '{leading}' as its first parameter like the "
+                    "engine tiers' run(); dispatch and tiers must stay "
+                    "call-compatible",
+                )
+
+    def _tier_run_leading_arg(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> str | None:
+        for entry in config.tier_classes:
+            spec = _ClassSpec(entry)
+            _, cls = spec.resolve(files, root)
+            if cls is None:
+                continue
+            run = _methods(cls).get("run")
+            if run is not None:
+                sig = _signature(run)
+                if sig["positional"]:
+                    return sig["positional"][0]
+        return None
+
+    # -- transfer-model coverage ---------------------------------------
+
+    def _check_models(self, config: AnalysisConfig) -> Iterator[Finding]:
+        try:
+            from repro.encoding.registry import (
+                scheme_names,
+                transfer_model_names,
+            )
+
+            schemes = set(scheme_names())
+            models = set(transfer_model_names())
+        except Exception as exc:  # registry import must never crash lint
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=config.registry_file,
+                line=1,
+                col=0,
+                message=(
+                    "could not verify transfer-model coverage: "
+                    f"importing the registry failed ({exc!r})"
+                ),
+            )
+            return
+        for scheme in sorted(schemes - models):
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=config.registry_file,
+                line=1,
+                col=0,
+                message=(
+                    f"scheme {scheme!r} has no registered TransferModel; "
+                    "the staged engine will raise at dispatch time — "
+                    "register a factory in repro.sim.transfer"
+                ),
+            )

@@ -181,7 +181,7 @@ class DescL2DataPath:
                 raise RuntimeError("read did not complete")
         block = bank.controller_rx.received_blocks[-1]
         per_wire = bank.read_tree.upstream_transitions_per_wire()
-        deltas = [after - before for after, before in zip(per_wire, per_wire_before)]
+        deltas = [after - before for after, before in zip(per_wire, per_wire_before, strict=True)]
         cost = TransferCost(
             data_flips=sum(deltas[1:]),  # wire 0 is the reset/skip strobe
             overhead_flips=deltas[0],

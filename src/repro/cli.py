@@ -14,6 +14,8 @@ Usage::
     python -m repro faults --quick           # fault-injection sweep
     python -m repro faults --quick --check   # CI smoke assertions
     python -m repro sweep --scheme desc-zero --field num_banks=2,8,32
+    python -m repro lint                     # repo-specific static analysis
+    python -m repro lint --check --json      # CI mode, machine-readable
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
 dispatches and formats.  ``--workers N`` fans suite runs out over a
@@ -222,7 +224,7 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_sweep_value(text: str):
+def _parse_sweep_value(text: str) -> int | float | bool | str | None:
     """A swept value: int, float, bool, or None, falling back to str."""
     lowered = text.strip().lower()
     if lowered in ("true", "false"):
@@ -339,6 +341,18 @@ def main(argv: list[str] | None = None) -> int:
                               help="output JSON path (default "
                                    "BENCH_<git-rev>.json in the cwd)")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repo-specific static-analysis pass",
+        description="Enforce the reproduction's determinism, "
+                    "cost-accounting, and engine-tier parity invariants "
+                    "(rules R001-R005); see docs/static_analysis.md. "
+                    "Exits 1 on any finding not in the baseline.",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+
     stats_parser = sub.add_parser(
         "cache-stats",
         help="show result-store hit/miss/size statistics",
@@ -406,7 +420,23 @@ def main(argv: list[str] | None = None) -> int:
         except (pickle.UnpicklingError, ValueError, EOFError) as exc:
             parser.error(f"cannot read store {args.store!r}: {exc}")
 
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
+
     if args.command == "bench":
+        if args.out is None:
+            from repro.analysis.config import find_repo_root
+
+            if find_repo_root() is None:
+                print(
+                    "repro bench: error: not inside a repro checkout, so "
+                    "the default BENCH_<rev>.json location is unavailable; "
+                    "run from the repository or pass --out PATH",
+                    file=sys.stderr,
+                )
+                return 2
         from repro.bench import run_benchmarks, write_report
 
         report = run_benchmarks(quick=args.quick)

@@ -69,7 +69,7 @@ def ratio_by_app(
 ) -> dict[str, float]:
     """Per-app ``metric(result) / metric(baseline)`` plus the geomean."""
     ratios = {
-        r.app: metric(r) / metric(b) for r, b in zip(results, baseline)
+        r.app: metric(r) / metric(b) for r, b in zip(results, baseline, strict=True)
     }
     ratios["Geomean"] = geomean(ratios.values())
     return ratios

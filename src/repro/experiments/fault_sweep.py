@@ -81,7 +81,7 @@ def run(
 
     rows = []
     failed = 0
-    for config, outcome in zip(grid, outcomes):
+    for config, outcome in zip(grid, outcomes, strict=True):
         if isinstance(outcome, FailedJob):
             failed += 1
             rows.append({

@@ -18,7 +18,7 @@ def run(system: SystemConfig | None = None) -> dict:
     baseline = run_suite(SchemeConfig(name="binary"), system)
     desc = run_suite(desc_scheme("zero"), system)
     table = {}
-    for b, d in zip(baseline, desc):
+    for b, d in zip(baseline, desc, strict=True):
         table[d.app] = {
             "l2": d.processor.l2_j / b.processor.total_j,
             "other": d.processor.non_l2_j / b.processor.total_j,

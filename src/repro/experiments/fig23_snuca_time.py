@@ -24,6 +24,6 @@ def run(system: SystemConfig | None = None) -> dict:
     cfg = snuca_system(system)
     binary = run_suite(SchemeConfig(name="binary", data_wires=128), cfg)
     desc = run_suite(desc_scheme("zero", data_wires=128), cfg)
-    ratios = {d.app: d.cycles / b.cycles for d, b in zip(desc, binary)}
+    ratios = {d.app: d.cycles / b.cycles for d, b in zip(desc, binary, strict=True)}
     ratios["Geomean"] = geomean(ratios.values())
     return {"execution_time_normalized": ratios, "paper_geomean": 1.01}

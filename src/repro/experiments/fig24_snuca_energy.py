@@ -18,15 +18,15 @@ def run(system: SystemConfig | None = None) -> dict:
     cfg = snuca_system(system)
     binary = run_suite(SchemeConfig(name="binary", data_wires=128), cfg)
     desc = run_suite(desc_scheme("zero", data_wires=128), cfg)
-    energy = {d.app: d.l2_energy_j / b.l2_energy_j for d, b in zip(desc, binary)}
+    energy = {d.app: d.l2_energy_j / b.l2_energy_j for d, b in zip(desc, binary, strict=True)}
     energy["Geomean"] = geomean(energy.values())
     power = geomean(
         (d.l2_energy_j / d.cycles) / (b.l2_energy_j / b.cycles)
-        for d, b in zip(desc, binary)
+        for d, b in zip(desc, binary, strict=True)
     )
     edp = geomean(
         (d.l2_energy_j * d.cycles) / (b.l2_energy_j * b.cycles)
-        for d, b in zip(desc, binary)
+        for d, b in zip(desc, binary, strict=True)
     )
     return {
         "l2_energy_normalized": energy,

@@ -32,7 +32,7 @@ def run(system: SystemConfig | None = None) -> dict:
         results = run_suite(scheme, system)
         table[label] = geomean(r.cycles for r in results) / base
         per_app[label] = {
-            r.app: r.cycles / b.cycles for r, b in zip(results, baseline)
+            r.app: r.cycles / b.cycles for r, b in zip(results, baseline, strict=True)
         }
     return {
         "execution_time_normalized": table,

@@ -333,7 +333,8 @@ class VectorizedMulticoreEngine:
                 # In-order scatter: duplicate ways keep the last (= max)
                 # stamp, since same-core commits are stamp-ordered.
                 for fw, sv in zip(
-                    flat_way[:take].tolist(), stamps[:take].tolist()
+                    flat_way[:take].tolist(), stamps[:take].tolist(),
+                    strict=True,
                 ):
                     stamp_c[fw] = sv
                 wr_take = wr_w[:take]

@@ -47,7 +47,7 @@ _CFG_FIELDS = 13
 #: Field order of the C kernel's stats_out[] block.
 _STAT_FIELDS = 11
 
-_kernel = None
+_kernel: ctypes.CDLL | None = None
 _kernel_error: str | None = None
 
 _I64P = ctypes.POINTER(ctypes.c_int64)
@@ -89,7 +89,7 @@ def _build_library() -> ctypes.CDLL:
     return lib
 
 
-def load_native_kernel():
+def load_native_kernel() -> ctypes.CDLL | None:
     """The compiled kernel library, or ``None`` if unavailable.
 
     The first call attempts the build; the outcome (library or error)

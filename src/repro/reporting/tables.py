@@ -35,13 +35,13 @@ def _normalize(headers: Sequence[str], rows: Sequence[Sequence]) -> list[list[st
 def text_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Fixed-width aligned table (first column left, rest right)."""
     cells = _normalize(headers, rows)
-    columns = [list(col) for col in zip(*([list(headers)] + cells))] if cells else [
+    columns = [list(col) for col in zip(*([list(headers)] + cells), strict=True)] if cells else [
         [h] for h in headers
     ]
     widths = [max(len(v) for v in col) for col in columns]
     def fmt(row: Sequence[str]) -> str:
         first = row[0].ljust(widths[0])
-        rest = [cell.rjust(width) for cell, width in zip(row[1:], widths[1:])]
+        rest = [cell.rjust(width) for cell, width in zip(row[1:], widths[1:], strict=True)]
         return "  ".join([first, *rest]).rstrip()
     lines = [fmt(list(headers))]
     lines.append("  ".join("-" * w for w in widths))

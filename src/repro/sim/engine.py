@@ -369,7 +369,7 @@ class StagedEngine:
         # Serve whatever is already stored; only ship the misses.
         results: list[object | None] = []
         pending: list[tuple[int, object]] = []
-        for index, (job, key) in enumerate(zip(jobs, keys)):
+        for index, (job, key) in enumerate(zip(jobs, keys, strict=True)):
             if key in self.store:
                 results.append(self.store.get(key))
             else:
@@ -400,7 +400,7 @@ class StagedEngine:
             outcomes = _pool_outcomes(
                 worker, run_local, payloads, max_workers, chunksize, job_timeout
             )
-        for (index, job), outcome in zip(pending, outcomes):
+        for (index, job), outcome in zip(pending, outcomes, strict=True):
             if outcome[0] == "ok":
                 self.store.put(keys[index], outcome[1])
                 results[index] = outcome[1]

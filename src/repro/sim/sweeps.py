@@ -85,7 +85,7 @@ def sweep(
     base = base if base is not None else SystemConfig()
     names = list(field_values)
     combos = [
-        dict(zip(names, combo))
+        dict(zip(names, combo, strict=True))
         for combo in itertools.product(*field_values.values())
     ]
     jobs = [

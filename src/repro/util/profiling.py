@@ -17,8 +17,9 @@ blocks overlap on the stack.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 __all__ = ["PROFILER", "SectionStat", "TimerRegistry", "timed"]
 
@@ -59,7 +60,7 @@ class TimerRegistry:
         self._stats.clear()
 
     @contextmanager
-    def section(self, name: str):
+    def section(self, name: str) -> Iterator[None]:
         """Time a block under ``name`` (no-op while disabled)."""
         if not self.enabled:
             yield
@@ -120,6 +121,6 @@ class TimerRegistry:
 PROFILER = TimerRegistry()
 
 
-def timed(name: str):
+def timed(name: str) -> "AbstractContextManager[None]":
     """Context manager timing a block into the global registry."""
     return PROFILER.section(name)

@@ -1,0 +1,84 @@
+"""Baseline ledger semantics: round-trips, splits, staleness, versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_VERSION, Baseline
+from repro.analysis.findings import Finding, sort_findings
+
+
+def finding(
+    rule: str = "R001",
+    path: str = "src/repro/x.py",
+    line: int = 3,
+    message: str = "unseeded source",
+) -> Finding:
+    return Finding(
+        rule=rule, severity="error", path=path, line=line, col=0,
+        message=message,
+    )
+
+
+class TestFingerprint:
+    def test_line_independent(self):
+        # An unrelated edit that shifts the finding down a line must
+        # not invalidate the baseline entry.
+        a = finding(line=3)
+        b = finding(line=40)
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinguishes_rule_path_message(self):
+        base = finding()
+        assert base.fingerprint != finding(rule="R002").fingerprint
+        assert base.fingerprint != finding(path="src/repro/y.py").fingerprint
+        assert base.fingerprint != finding(message="other").fingerprint
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_entries(self, tmp_path):
+        findings = [finding(), finding(rule="R005", message="set walk")]
+        path = tmp_path / "lint_baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert all(f in loaded for f in findings)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "lint_baseline.json"
+        path.write_text(
+            json.dumps({"version": BASELINE_VERSION + 1, "findings": []})
+        )
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_serialization_is_stable(self, tmp_path):
+        # Same findings in any order -> byte-identical file, so the
+        # committed baseline never churns on re-generation.
+        findings = [finding(), finding(rule="R004", message="float eq")]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings).save(a)
+        Baseline.from_findings(list(reversed(findings))).save(b)
+        assert a.read_text() == b.read_text()
+
+
+class TestSplit:
+    def test_partitions_new_from_baselined(self):
+        known = finding()
+        fresh = finding(rule="R002", message="rogue write")
+        baseline = Baseline.from_findings([known])
+        new, old = baseline.split(sort_findings([known, fresh]))
+        assert [f.rule for f in new] == ["R002"]
+        assert [f.rule for f in old] == ["R001"]
+
+    def test_stale_entries_reported(self):
+        paid = finding(message="paid down")
+        baseline = Baseline.from_findings([paid, finding()])
+        stale = baseline.stale([finding()])
+        assert stale == [paid.fingerprint]

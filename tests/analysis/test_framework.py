@@ -1,0 +1,123 @@
+"""Driver-level behaviour: file collection, scopes, suppressions, R000."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.framework import collect_files, in_scope, run_analysis
+from repro.analysis.rules import default_rules
+
+
+class TestInScope:
+    def test_prefix_semantics(self):
+        assert in_scope("src/repro/sim/engine.py", ("src/repro",))
+        assert in_scope("src/repro/core/link.py", ("src/repro/core/link.py",))
+        assert not in_scope("src/reproX/other.py", ("src/repro",))
+        assert not in_scope("tests/test_x.py", ("src",))
+
+    def test_empty_prefixes_match_nothing(self):
+        assert not in_scope("src/repro/x.py", ())
+
+
+class TestCollectFiles:
+    def test_sorted_and_deduplicated(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/b.py": "B = 1\n",
+                "src/repro/a.py": "A = 1\n",
+            }
+        )
+        # Overlapping entries (a tree and a file inside it) load once.
+        files = collect_files(root, ["src", "src/repro/a.py"])
+        rels = [f.rel for f in files]
+        assert rels == sorted(rels)
+        assert rels.count("src/repro/a.py") == 1
+
+    def test_missing_path_raises(self, make_repo):
+        root = make_repo({})
+        with pytest.raises(FileNotFoundError):
+            collect_files(root, ["src/nowhere"])
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_reports_r000(self, make_repo):
+        root = make_repo({"src/repro/broken.py": "def broken(:\n"})
+        config = load_config(root)
+        findings = run_analysis(root, config, default_rules())
+        r000 = [f for f in findings if f.rule == "R000"]
+        assert len(r000) == 1
+        assert r000[0].path == "src/repro/broken.py"
+        assert "does not parse" in r000[0].message
+
+    def test_r000_cannot_be_suppressed(self, make_repo):
+        root = make_repo(
+            {"src/repro/broken.py": "# lint-ok-file: R000\ndef broken(:\n"}
+        )
+        config = load_config(root)
+        findings = run_analysis(root, config, default_rules())
+        assert [f.rule for f in findings] == ["R000"]
+
+    def test_r000_survives_rule_filter(self, make_repo):
+        root = make_repo({"src/repro/broken.py": "def broken(:\n"})
+        config = load_config(root)
+        findings = run_analysis(
+            root, config, default_rules(), rule_filter=["R004"]
+        )
+        assert [f.rule for f in findings] == ["R000"]
+
+
+class TestConfig:
+    def test_pyproject_overrides_defaults(self, make_repo):
+        root = make_repo(
+            {},
+            """
+            [tool.repro.analysis]
+            paths = ["src", "tools"]
+            seed_scope = ["src/repro/sim"]
+            check_transfer_models = false
+            """,
+        )
+        config = load_config(root)
+        assert config.paths == ("src", "tools")
+        assert config.seed_scope == ("src/repro/sim",)
+        assert config.check_transfer_models is False
+        # Untouched fields keep the built-in defaults.
+        assert config.baseline == AnalysisConfig().baseline
+
+    def test_unknown_key_raises(self, make_repo):
+        root = make_repo(
+            {},
+            """
+            [tool.repro.analysis]
+            seed_scpoe = ["src"]
+            """,
+        )
+        with pytest.raises(ValueError, match="seed_scpoe"):
+            load_config(root)
+
+
+class TestFindingOrder:
+    def test_report_order_is_stable(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/zz.py": """
+                import time
+
+                def late():
+                    return time.time()
+                """,
+                "src/repro/aa.py": """
+                import time
+
+                def early():
+                    return time.time()
+                """,
+            }
+        )
+        config = load_config(root)
+        findings = run_analysis(root, config, default_rules())
+        assert [f.path for f in findings] == [
+            "src/repro/aa.py",
+            "src/repro/zz.py",
+        ]

@@ -1,0 +1,137 @@
+"""``repro lint`` front-end: exit codes, baseline workflow, output modes."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATION = {
+    "src/repro/leak.py": """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+}
+
+
+def lint(*argv: str) -> int:
+    from repro.analysis.cli import add_lint_arguments, run_lint
+
+    parser = argparse.ArgumentParser(prog="repro lint")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(list(argv)))
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, make_repo, capsys):
+        root = make_repo({"src/repro/ok.py": "VALUE = 1\n"})
+        assert lint("--root", str(root)) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_new_finding_exits_one(self, make_repo, capsys):
+        root = make_repo(VIOLATION)
+        assert lint("--root", str(root)) == 1
+        out = capsys.readouterr()
+        assert "src/repro/leak.py" in out.out
+        assert "R001" in out.out
+        assert "1 new finding(s)" in out.err
+
+    def test_unknown_rule_exits_two(self, make_repo, capsys):
+        root = make_repo({})
+        assert lint("--root", str(root), "--rule", "R999") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, make_repo, capsys):
+        root = make_repo({})
+        assert lint("--root", str(root), "nowhere") == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_outside_checkout_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert lint("--root", str(empty)) == 2
+        assert "not inside a repro checkout" in capsys.readouterr().err
+
+    def test_config_typo_exits_two(self, make_repo, capsys):
+        root = make_repo(
+            {},
+            """
+            [tool.repro.analysis]
+            seed_scpoe = ["src"]
+            """,
+        )
+        assert lint("--root", str(root)) == 2
+        assert "seed_scpoe" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_update_then_check_round_trip(self, make_repo, capsys):
+        # Accepting current findings into the baseline must make the
+        # very next --check pass, and the debt must stay visible.
+        root = make_repo(VIOLATION)
+        assert lint("--root", str(root), "--update-baseline") == 0
+        capsys.readouterr()
+
+        baseline = json.loads((root / "lint_baseline.json").read_text())
+        assert baseline["version"] == 1
+        assert len(baseline["findings"]) == 1
+        assert baseline["findings"][0]["rule"] == "R001"
+
+        assert lint("--root", str(root), "--check") == 0
+
+        payload = self._json_report(root, capsys)
+        assert payload["new_count"] == 0
+        assert len(payload["baselined"]) == 1
+
+    def test_new_violation_fails_despite_baseline(self, make_repo, capsys):
+        root = make_repo(VIOLATION)
+        assert lint("--root", str(root), "--update-baseline") == 0
+        (root / "src" / "repro" / "fresh.py").write_text(
+            "import time\n\nSTAMP = time.time()\n"
+        )
+        capsys.readouterr()
+        assert lint("--root", str(root), "--check") == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_paid_down_debt_reported_stale(self, make_repo, capsys):
+        root = make_repo(VIOLATION)
+        assert lint("--root", str(root), "--update-baseline") == 0
+        (root / "src" / "repro" / "leak.py").write_text("VALUE = 1\n")
+        capsys.readouterr()
+        assert lint("--root", str(root)) == 0
+        assert "stale" in capsys.readouterr().err
+
+    @staticmethod
+    def _json_report(root: Path, capsys) -> dict:
+        assert lint("--root", str(root), "--json") == 0
+        return json.loads(capsys.readouterr().out)
+
+
+class TestJsonOutput:
+    def test_payload_shape(self, make_repo, capsys):
+        root = make_repo(VIOLATION)
+        assert lint("--root", str(root), "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new_count"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "R001"
+        assert entry["path"] == "src/repro/leak.py"
+        assert entry["severity"] == "error"
+        assert payload["stale_baseline_entries"] == []
+
+    def test_rule_filter_recorded(self, make_repo, capsys):
+        root = make_repo({"src/repro/ok.py": "VALUE = 1\n"})
+        assert lint("--root", str(root), "--rule", "R004", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["R004"]
+
+
+class TestSelfCheck:
+    def test_repo_own_tree_is_clean(self, capsys):
+        # The acceptance invariant: this checkout passes its own
+        # analyzer with the committed (empty-or-justified) baseline.
+        assert lint("--root", str(REPO_ROOT), "--check") == 0

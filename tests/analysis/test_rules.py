@@ -1,0 +1,409 @@
+"""Per-rule positive and negative cases for R001-R005.
+
+Every rule has at least one fixture that must produce a finding and
+one that must stay clean, so a rule that silently stops firing (or
+starts over-firing) breaks this suite before it reaches CI policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.framework import run_analysis
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.parity import TierParityRule
+
+
+def lint(root: Path, *rule_ids: str):
+    config = load_config(root)
+    return run_analysis(root, config, default_rules(), list(rule_ids) or None)
+
+
+# -- R001: seed hygiene ------------------------------------------------
+
+
+class TestSeedHygiene:
+    def test_flags_unseeded_sources(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/bad.py": """
+                import random
+                import numpy as np
+                import time
+                from datetime import datetime
+
+                def draw():
+                    r = random.Random()
+                    x = random.random()
+                    rng = np.random.default_rng()
+                    legacy = np.random.rand(4)
+                    stamp = time.time()
+                    when = datetime.now()
+                    return r, x, rng, legacy, stamp, when
+                """
+            }
+        )
+        findings = lint(root, "R001")
+        assert len(findings) == 6
+        assert all(f.rule == "R001" for f in findings)
+        messages = " ".join(f.message for f in findings)
+        assert "unseeded" in messages
+        assert "process-global" in messages
+        assert "wall-clock" in messages
+
+    def test_seeded_and_monotonic_uses_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/good.py": """
+                import random
+                import time
+                import numpy as np
+                from datetime import datetime
+
+                def draw(seed):
+                    r = random.Random(seed)
+                    rng = np.random.default_rng(seed)
+                    values = rng.normal(size=4)
+                    elapsed = time.perf_counter()
+                    fixed = datetime.fromtimestamp(0)
+                    return r.random(), values, elapsed, fixed
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
+    def test_import_aliases_are_tracked(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/alias.py": """
+                import numpy as xp
+                import random as rnd
+
+                def draw():
+                    return xp.random.default_rng(), rnd.random()
+                """
+            }
+        )
+        assert len(lint(root, "R001")) == 2
+
+    def test_out_of_scope_files_ignored(self, make_repo):
+        root = make_repo(
+            {
+                "src/tools/script.py": """
+                import random
+
+                print(random.random())
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
+    def test_line_suppression_waives_one_call(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/meta.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint-ok: R001
+
+                def leak():
+                    return time.time()
+                """
+            }
+        )
+        findings = lint(root, "R001")
+        assert len(findings) == 1
+        assert findings[0].line == 8
+
+
+# -- R002: cost accounting ---------------------------------------------
+
+
+class TestCostAccounting:
+    def test_flags_field_writes_outside_charge_sites(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/rogue.py": """
+                def tamper(cost, total_cost):
+                    cost.data_flips += 1
+                    total_cost.sync_flips = 5
+                    total_cost.cycles += 10
+                    object.__setattr__(cost, "overhead_flips", 3)
+                """
+            }
+        )
+        findings = lint(root, "R002")
+        assert len(findings) == 4
+        assert all(f.rule == "R002" for f in findings)
+
+    def test_charge_sites_are_whitelisted(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/core/link.py": """
+                def charge(cost):
+                    cost.data_flips += 1
+                """
+            }
+        )
+        assert lint(root, "R002") == []
+
+    def test_non_cost_objects_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/clean.py": """
+                def accumulate(stats, cost, delta):
+                    stats.cycles = 5
+                    self_cycles = cost.cycles
+                    cost = cost + delta
+                    return cost, self_cycles
+                """
+            }
+        )
+        assert lint(root, "R002") == []
+
+
+# -- R003: engine-tier parity ------------------------------------------
+
+
+_TIER_CONFIG = """
+[tool.repro.analysis]
+tier_classes = ["src/repro/a.py:EngineA", "src/repro/b.py:EngineB"]
+tier_methods = ["__init__", "run", "supports"]
+dispatch_class = "src/repro/d.py:Dispatch"
+dispatch_methods = ["run"]
+check_transfer_models = false
+"""
+
+_ENGINE_A = """
+class EngineA:
+    def __init__(self, config):
+        self.config = config
+
+    @staticmethod
+    def supports(trace, config):
+        return True
+
+    def run(self, trace, stats=None):
+        return stats
+"""
+
+
+class TestTierParity:
+    def test_matching_tiers_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/a.py": _ENGINE_A,
+                "src/repro/b.py": _ENGINE_A.replace("EngineA", "EngineB"),
+                "src/repro/d.py": """
+                class Dispatch:
+                    def run(self, trace):
+                        return trace
+                """,
+            },
+            _TIER_CONFIG,
+        )
+        assert lint(root, "R003") == []
+
+    def test_drifted_default_is_flagged(self, make_repo):
+        drifted = _ENGINE_A.replace("EngineA", "EngineB").replace(
+            "stats=None", "stats=0"
+        )
+        root = make_repo(
+            {
+                "src/repro/a.py": _ENGINE_A,
+                "src/repro/b.py": drifted,
+                "src/repro/d.py": """
+                class Dispatch:
+                    def run(self, trace):
+                        return trace
+                """,
+            },
+            _TIER_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "EngineB.run" in findings[0].message
+        assert findings[0].path == "src/repro/b.py"
+
+    def test_missing_method_is_flagged(self, make_repo):
+        stripped = "\n".join(
+            line
+            for line in _ENGINE_A.replace("EngineA", "EngineB").splitlines()
+            if "supports" not in line and "return True" not in line
+            and "@staticmethod" not in line
+        )
+        root = make_repo(
+            {
+                "src/repro/a.py": _ENGINE_A,
+                "src/repro/b.py": stripped,
+                "src/repro/d.py": """
+                class Dispatch:
+                    def run(self, trace):
+                        return trace
+                """,
+            },
+            _TIER_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "missing method 'supports'" in findings[0].message
+
+    def test_dispatch_leading_arg_mismatch(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/a.py": _ENGINE_A,
+                "src/repro/b.py": _ENGINE_A.replace("EngineA", "EngineB"),
+                "src/repro/d.py": """
+                class Dispatch:
+                    def run(self, job):
+                        return job
+                """,
+            },
+            _TIER_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "first parameter" in findings[0].message
+
+    def test_missing_tier_class_is_flagged(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/a.py": _ENGINE_A,
+                "src/repro/d.py": """
+                class Dispatch:
+                    def run(self, trace):
+                        return trace
+                """,
+            },
+            _TIER_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert any("not found" in f.message for f in findings)
+
+    def test_real_registry_has_full_model_coverage(self):
+        # The live invariant on this checkout: every scheme the encoder
+        # registry exposes has a registered TransferModel.
+        rule = TierParityRule()
+        config = replace(AnalysisConfig(), check_transfer_models=True)
+        assert list(rule._check_models(config)) == []
+
+
+# -- R004: float equality ----------------------------------------------
+
+
+class TestFloatEquality:
+    def test_flags_equality_on_float_metrics(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/sim/check.py": """
+                def compare(a, b, total, count):
+                    if a.energy_j == b.energy_j:
+                        return True
+                    if total / count != 0.5:
+                        return False
+                    return a.link_rate == b.link_rate
+                """
+            }
+        )
+        findings = lint(root, "R004")
+        assert len(findings) == 3
+        assert all(f.rule == "R004" for f in findings)
+        assert "math.isclose" in findings[0].message
+
+    def test_order_comparisons_and_ints_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/sim/clean.py": """
+                def compare(a, b, items, count):
+                    close = a.energy_j <= b.energy_j
+                    sized = len(items) == 3
+                    empty = count == 0
+                    return close and sized and empty
+                """
+            }
+        )
+        assert lint(root, "R004") == []
+
+    def test_scope_limits_where_it_fires(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/core/free.py": """
+                def compare(a, b):
+                    return a.energy_j == b.energy_j
+                """
+            }
+        )
+        assert lint(root, "R004") == []
+
+
+# -- R005: unordered iteration -----------------------------------------
+
+
+class TestUnorderedIteration:
+    def test_flags_set_iteration_feeding_ordered_output(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/walk.py": """
+                def emit(rows):
+                    names = {row.name for row in rows}
+                    for name in names:
+                        print(name)
+                    return list(names), [n.upper() for n in names]
+                """
+            }
+        )
+        findings = lint(root, "R005")
+        assert len(findings) == 3
+        assert all("sorted" in f.message for f in findings)
+
+    def test_sorted_wrapper_and_dicts_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/ordered.py": """
+                def emit(rows, table):
+                    names = {row.name for row in rows}
+                    for name in sorted(names):
+                        print(name)
+                    for key in table:
+                        print(key, table[key])
+                    return sorted(names)
+                """
+            }
+        )
+        assert lint(root, "R005") == []
+
+    def test_set_names_do_not_leak_across_scopes(self, make_repo):
+        # A set-typed ``names`` in one helper must not taint an
+        # unrelated list-typed ``names`` in another (regression: the
+        # first implementation used one flat namespace per file).
+        root = make_repo(
+            {
+                "src/repro/scopes.py": """
+                def as_set(rows):
+                    names = {row.name for row in rows}
+                    return sorted(names)
+
+                def as_list(rows):
+                    names = [row.name for row in rows]
+                    for name in names:
+                        print(name)
+                """
+            }
+        )
+        assert lint(root, "R005") == []
+
+    def test_file_suppression_waives_whole_file(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/waived.py": """
+                # lint-ok-file: R005
+                def emit(names):
+                    for name in set(names):
+                        print(name)
+                """
+            }
+        )
+        assert lint(root, "R005") == []

@@ -159,7 +159,7 @@ class TestToggleRegenerator:
         select = (rng.random(n) < 0.5).astype(np.int64)
 
         regen = ToggleRegenerator()
-        for b0, b1, s in zip(branch0, branch1, select):
+        for b0, b1, s in zip(branch0, branch1, select, strict=True):
             regen.sample(int(b0), int(b1), int(s))
 
         edges0 = level_transitions(branch0)

@@ -102,5 +102,5 @@ class TestSerialEncoder:
         arr = np.array([bits], dtype=np.uint8)
         cost = SerialEncoder(8).stream_cost(arr)
         stream = [0] + bits
-        expected = sum(a != b for a, b in zip(stream, stream[1:]))
+        expected = sum(a != b for a, b in zip(stream, stream[1:], strict=False))
         assert cost.data_flips[0] == expected

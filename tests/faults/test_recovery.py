@@ -98,6 +98,7 @@ class TestMidRoundDesyncRecovery:
         for got, want in zip(
             link.receiver.received_blocks[-20:],
             reference.receiver.received_blocks[-20:],
+            strict=False,  # tails may differ in length if blocks were lost
         ):
             assert np.array_equal(got, want)
 

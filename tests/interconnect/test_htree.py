@@ -19,7 +19,7 @@ class TestRouteLength:
 
     def test_monotone_in_depth(self):
         lengths = [htree_route_length_mm(4.0, d) for d in range(10)]
-        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+        assert all(b > a for a, b in zip(lengths, lengths[1:], strict=False))
 
     def test_converges_to_side(self):
         """Infinite depth approaches the centre-to-corner Manhattan

@@ -149,7 +149,7 @@ class TestSimulateMany:
 
     def test_matches_individual_simulate_calls(self):
         results = simulate_many(self._jobs(), max_workers=1)
-        for job, result in zip(self._jobs(), results):
+        for job, result in zip(self._jobs(), results, strict=True):
             assert result == simulate(job.app, job.scheme, job.system)
 
     def test_accepts_plain_tuples(self):
@@ -219,7 +219,7 @@ class TestSimulateMany:
         jobs = self._jobs()
         results = simulate_many(jobs, max_workers=2, store=ResultStore())
         assert len(results) == len(jobs)
-        for job, result in zip(jobs, results):
+        for job, result in zip(jobs, results, strict=True):
             assert result == simulate(job.app, job.scheme, job.system)
 
 

@@ -59,7 +59,7 @@ class TestFailureDegradation:
             return [
                 FailedJob(job=job, reason="error", error="injected")
                 if fail_when(job) else result
-                for job, result in zip(jobs, results)
+                for job, result in zip(jobs, results, strict=True)
             ]
 
         return run

@@ -251,3 +251,58 @@ class TestBenchCommand:
             assert row["seconds"] > 0
             assert row["speedup_vs_reference"] > 0
         assert report["end_to_end"]["seconds"] > 0
+
+
+class TestOutsideCheckout:
+    """``repro lint``/``repro bench`` away from a checkout: clear error,
+    exit code 2, never a traceback."""
+
+    @staticmethod
+    def _run_away_from_repo(args, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ, PYTHONPATH=str(root / "src"))
+        return subprocess.run(
+            [_sys.executable, "-m", "repro", *args],
+            env=env, capture_output=True, text=True, cwd=tmp_path,
+            timeout=120,
+        )
+
+    def test_lint_outside_checkout(self, tmp_path):
+        proc = self._run_away_from_repo(["lint"], tmp_path)
+        assert proc.returncode == 2
+        assert "not inside a repro checkout" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_bench_outside_checkout_without_out(self, tmp_path):
+        proc = self._run_away_from_repo(["bench", "--quick"], tmp_path)
+        assert proc.returncode == 2
+        assert "checkout" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_bench_outside_checkout_with_out_succeeds(self, tmp_path):
+        out = tmp_path / "bench.json"
+        proc = self._run_away_from_repo(
+            ["bench", "--quick", "--out", str(out)], tmp_path
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.is_file()
+
+    def test_lint_inside_checkout_via_subprocess(self, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ, PYTHONPATH=str(root / "src"))
+        proc = subprocess.run(
+            [_sys.executable, "-m", "repro", "lint", "--check"],
+            env=env, capture_output=True, text=True, cwd=root,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -132,7 +132,7 @@ class TestMatrixConverters:
     def test_bit_matrix_to_chunks_matches_rowwise(self, rng):
         bits = rng.integers(0, 2, size=(10, 64), dtype=np.uint8)
         chunks = bitops.bit_matrix_to_chunks(bits, 4)
-        for row_bits, row_chunks in zip(bits, chunks):
+        for row_bits, row_chunks in zip(bits, chunks, strict=True):
             assert np.array_equal(
                 bitops.bits_to_chunks(row_bits, 4), row_chunks
             )
@@ -140,7 +140,7 @@ class TestMatrixConverters:
     def test_chunk_matrix_to_bits_matches_rowwise(self, rng):
         chunks = rng.integers(0, 16, size=(10, 16), dtype=np.int64)
         bits = bitops.chunk_matrix_to_bits(chunks, 4)
-        for row_chunks, row_bits in zip(chunks, bits):
+        for row_chunks, row_bits in zip(chunks, bits, strict=True):
             assert np.array_equal(
                 bitops.chunks_to_bits(row_chunks, 4), row_bits
             )
