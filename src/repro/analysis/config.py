@@ -36,6 +36,12 @@ class AnalysisConfig:
         paths: Trees the analyzer walks.
         baseline: Baseline file recording accepted pre-existing debt.
         seed_scope: Where R001 (seed hygiene) applies.
+        clock_scope: Where R001 additionally flags *monotonic* clock
+            reads (``time.monotonic``/``perf_counter``...).  The
+            service package must route timing through its injectable
+            :class:`~repro.service.clock.Clock` so tests can drive a
+            fake; one real read lives in ``clock.py`` behind a
+            ``lint-ok`` waiver.
         cost_scope: Where R002 (cost accounting) applies.
         cost_charge_sites: Files allowed to write TransferCost fields —
             the protocol's whitelisted charge sites.
@@ -57,6 +63,7 @@ class AnalysisConfig:
     paths: tuple[str, ...] = ("src",)
     baseline: str = "lint_baseline.json"
     seed_scope: tuple[str, ...] = ("src/repro",)
+    clock_scope: tuple[str, ...] = ("src/repro/service",)
     cost_scope: tuple[str, ...] = ("src/repro",)
     cost_charge_sites: tuple[str, ...] = (
         "src/repro/core/link.py",

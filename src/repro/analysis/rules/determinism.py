@@ -13,7 +13,7 @@ from typing import Iterable, Iterator
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding
-from repro.analysis.framework import Rule, SourceFile
+from repro.analysis.framework import Rule, SourceFile, in_scope
 
 __all__ = ["SeedHygieneRule", "UnorderedIterationRule"]
 
@@ -70,7 +70,12 @@ class SeedHygieneRule(Rule):
     Explicitly seeded constructions (``default_rng(seed)``,
     ``random.Random(seed)``) and generator *methods* on an ``rng``
     object pass; monotonic timers (``time.perf_counter``) pass — they
-    never reach results, only measurements.
+    never reach results, only measurements — **except** inside the
+    configured ``clock_scope`` (the service package), where timing
+    must flow through the injectable
+    :class:`repro.service.clock.Clock` so tests can drive a fake
+    clock.  There, direct monotonic reads are flagged too; the one
+    real read in ``clock.py`` carries a justified ``lint-ok`` waiver.
     """
 
     id = "R001"
@@ -79,6 +84,12 @@ class SeedHygieneRule(Rule):
 
     _WALLCLOCK_DATETIME = ("now", "utcnow", "today")
     _TIME_FUNCS = ("time", "time_ns")
+    _MONOTONIC_FUNCS = (
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    )
 
     def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
         return tuple(config.seed_scope)
@@ -95,6 +106,7 @@ class SeedHygieneRule(Rule):
         random_from = _from_imports(tree, "random")
         datetime_from = _from_imports(tree, "datetime")
         time_from = _from_imports(tree, "time")
+        clock_scoped = in_scope(file.rel, tuple(config.clock_scope))
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -105,6 +117,7 @@ class SeedHygieneRule(Rule):
                 file, node, name,
                 random_aliases, numpy_aliases, time_aliases,
                 datetime_aliases, random_from, datetime_from, time_from,
+                clock_scoped,
             )
 
     def _check_call(
@@ -119,6 +132,7 @@ class SeedHygieneRule(Rule):
         random_from: set[str],
         datetime_from: set[str],
         time_from: set[str],
+        clock_scoped: bool = False,
     ) -> Iterator[Finding]:
         parts = name.split(".")
         has_args = bool(node.args or node.keywords)
@@ -193,6 +207,25 @@ class SeedHygieneRule(Rule):
                 f"wall-clock call {name}() in deterministic scope; "
                 "results must not depend on when they ran",
             )
+        if clock_scoped:
+            direct = (
+                len(parts) == 2
+                and parts[0] in time_aliases
+                and parts[1] in self._MONOTONIC_FUNCS
+            )
+            imported = (
+                len(parts) == 1
+                and parts[0] in self._MONOTONIC_FUNCS
+                and parts[0] in time_from
+            )
+            if direct or imported:
+                yield self.finding(
+                    file, node,
+                    f"direct monotonic read {name}() in the service "
+                    "package; route timing through the injectable "
+                    "repro.service.clock.Clock so tests can drive a "
+                    "fake clock",
+                )
         if parts[-1] in self._WALLCLOCK_DATETIME and len(parts) >= 2:
             base = parts[-2]
             if base in ("datetime", "date") or parts[0] in datetime_aliases:

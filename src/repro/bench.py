@@ -13,6 +13,10 @@ review diffs rather than in users' wall clocks.  Three tiers:
   speedups relative to the reference event loop.
 * **end_to_end** — the fig20 execution-time experiment against a cold
   result store.
+* **service** — the serving pipeline (:mod:`repro.service`) under
+  duplicate-heavy concurrent traffic: request latency percentiles and
+  coalesce/store hit rates straight from the service's own
+  :class:`~repro.service.metrics.MetricsRegistry`.
 
 Timings are best-of-N wall clock (N=1 with ``--quick``, the CI smoke
 mode).  The report is plain JSON, stable-keyed for diffing.
@@ -29,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.util.version import package_version
 from repro.workloads.generator import memory_trace
 from repro.workloads.profiles import PARALLEL_PROFILES, profile
 
@@ -168,6 +173,65 @@ def _bench_end_to_end(quick: bool) -> dict:
     }
 
 
+# -- tier 4: the serving layer under live traffic ----------------------
+
+
+def _bench_service(quick: bool) -> dict:
+    import asyncio
+
+    from repro.experiments.common import DEFAULT_SCHEMES
+    from repro.service.pipeline import SimulationService
+    from repro.sim.config import SystemConfig
+    from repro.sim.engine import SimJob, StagedEngine
+    from repro.sim.store import ResultStore
+
+    sample_blocks = 150 if quick else 600
+    rounds = 3 if quick else 6
+    system = SystemConfig(sample_blocks=sample_blocks)
+    jobs = [
+        SimJob.of(app, scheme, system)
+        for app in ("Ocean", "CG", "mcf")
+        for _, scheme in DEFAULT_SCHEMES
+    ]
+
+    async def drive() -> dict:
+        async with SimulationService(
+            engine=StagedEngine(ResultStore())
+        ) as service:
+            # Duplicate-heavy: every config requested ``rounds`` times
+            # concurrently, so coalescing and the read-through store
+            # both carry real load.
+            await asyncio.gather(
+                *(
+                    service.submit(job, wait=True)
+                    for _ in range(rounds)
+                    for job in jobs
+                )
+            )
+            return service.snapshot()
+
+    snapshot = asyncio.run(drive())
+    latency = snapshot["histograms"]["service_latency_s"]
+    derived = snapshot["derived"]
+    counters = snapshot["counters"]
+    return {
+        "unique_configs": len(jobs),
+        "rounds": rounds,
+        "requests": len(jobs) * rounds,
+        "sample_blocks": sample_blocks,
+        "latency_s": {
+            "mean": round(latency["mean"], 6),
+            "p50": round(latency["p50"], 6),
+            "p95": round(latency["p95"], 6),
+        },
+        "coalesce_hit_rate": round(derived["coalesce_hit_rate"], 4),
+        "store_hit_rate": round(derived["store_hit_rate"], 4),
+        "combined_hit_rate": round(derived["combined_hit_rate"], 4),
+        "batches": counters.get("batches_total", 0),
+        "engine_jobs": counters.get("engine_jobs_total", 0),
+    }
+
+
 # -- report assembly ---------------------------------------------------
 
 
@@ -195,6 +259,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     report = {
         "schema": 1,
         "revision": _git_revision(),
+        "version": package_version(),
         # Report metadata, never a simulation input: the one legitimate
         # wall-clock read in the package.
         "generated": datetime.datetime.now(  # lint-ok: R001
@@ -207,6 +272,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "kernels": _bench_kernels(quick),
         "multicore": _bench_multicore(quick),
         "end_to_end": _bench_end_to_end(quick),
+        "service": _bench_service(quick),
     }
     return report
 

@@ -16,6 +16,9 @@ Usage::
     python -m repro sweep --scheme desc-zero --field num_banks=2,8,32
     python -m repro lint                     # repo-specific static analysis
     python -m repro lint --check --json      # CI mode, machine-readable
+    python -m repro serve --port 8765        # async simulation service
+    python -m repro serve --check --quick    # service smoke check
+    python -m repro --version                # package version
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
 dispatches and formats.  ``--workers N`` fans suite runs out over a
@@ -150,10 +153,13 @@ def _cache_stats(store_path: str | None) -> int:
     store = ResultStore(store_path) if store_path else RESULT_STORE
     stats = store.stats()
     where = store.path if store.path else "in-process"
+    cap = stats.max_entries if stats.max_entries is not None else "unbounded"
     print(f"result store ({where})")
     print(f"  entries: {stats.size}")
+    print(f"  cap:     {cap}")
     print(f"  hits:    {stats.hits}")
     print(f"  misses:  {stats.misses}")
+    print(f"  evictions: {stats.evictions}")
     print(f"  hit rate: {stats.hit_rate:.1%}")
     return 0
 
@@ -295,11 +301,83 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run (or smoke-check) the service."""
+    if args.check:
+        from repro.service.check import run_check
+
+        code, summary = run_check(
+            quick=args.quick, metrics_out=args.metrics_out
+        )
+        if args.json:
+            json.dump(
+                {k: v for k, v in summary.items() if k != "metrics"},
+                sys.stdout, indent=2,
+            )
+            print()
+        else:
+            print(
+                f"service check: {summary['answered']}/{summary['requests']} "
+                f"requests answered from {summary['clients']} clients over "
+                f"{summary['golden_configs']} golden configs"
+            )
+            print(
+                f"  coalesced: {summary['coalesced_total']}  "
+                f"combined hit rate: {summary['combined_hit_rate']:.1%}  "
+                f"byte-identical: {summary['byte_identical']}"
+            )
+            for problem in summary["problems"]:
+                print(f"  FAIL: {problem}", file=sys.stderr)
+        if code == 0:
+            print("service smoke checks passed", file=sys.stderr)
+        return code
+
+    import asyncio
+
+    from repro.service.pipeline import ServiceConfig, SimulationService
+    from repro.service.server import ServiceServer
+
+    config = ServiceConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_workers=args.workers if args.workers != 1 else None,
+        job_timeout=args.job_timeout,
+    )
+
+    async def serve() -> None:
+        service = SimulationService(config=config)
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            "(endpoints: /simulate /sweep /healthz /metrics)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    from repro.util.version import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from the DESC (MICRO 2013) reproduction.",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -412,6 +490,43 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit JSON instead of pretty text")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the async simulation service (HTTP+JSON)",
+        description="Serve simulation and sweep requests over a local "
+                    "HTTP+JSON API with request coalescing, result-store "
+                    "read-through, adaptive batching, and explicit "
+                    "backpressure; see docs/service.md.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="TCP port (0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="engine process-pool width per batch "
+                                   "(1 = in-process)")
+    serve_parser.add_argument("--max-queue", type=int, default=128,
+                              help="pending jobs held before rejecting "
+                                   "with 429 backpressure")
+    serve_parser.add_argument("--max-batch", type=int, default=16,
+                              help="largest job batch per engine call")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              help="per-job seconds before a structured "
+                                   "timeout response (pool runs only)")
+    serve_parser.add_argument("--check", action="store_true",
+                              help="run the end-to-end smoke check "
+                                   "(concurrent clients, coalescing, "
+                                   "byte-identical results); exit 1 on "
+                                   "violation")
+    serve_parser.add_argument("--quick", action="store_true",
+                              help="smaller value samples for the check "
+                                   "(CI smoke mode)")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the check summary as JSON")
+    serve_parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                              help="write the check's metrics snapshot "
+                                   "to a JSON file (CI artifact)")
+
     args = parser.parse_args(argv)
 
     if args.command == "cache-stats":
@@ -458,6 +573,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.util.profiling import PROFILER
 
         PROFILER.enable()
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "faults":
         return _run_faults(args)

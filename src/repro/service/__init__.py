@@ -1,0 +1,68 @@
+"""repro.service — the async serving layer over the staged engine.
+
+Turns the batch/CLI-driven reproduction into an operable system: an
+asyncio HTTP+JSON service (``repro serve``) that absorbs concurrent
+simulation and sweep requests, deduplicates identical in-flight
+configurations, serves repeats from the
+:class:`~repro.sim.store.ResultStore`, and keeps the hardened engine
+saturated with adaptively sized batches — all with explicit
+backpressure instead of unbounded queues, and structured error
+responses instead of hung connections.
+
+Layers (each its own module, composable in-process without HTTP):
+
+* :mod:`repro.service.pipeline` — admission, coalescing, read-through
+  caching, adaptive batching (:class:`SimulationService`);
+* :mod:`repro.service.server` — the HTTP front-end
+  (:class:`ServiceServer`: ``/simulate``, ``/sweep``, ``/healthz``,
+  ``/metrics``);
+* :mod:`repro.service.client` — the in-repo client with 429-aware
+  retries (:class:`ServiceClient`);
+* :mod:`repro.service.metrics` — the counters/gauges/histograms
+  registry behind ``/metrics`` (also reused by ``repro bench``);
+* :mod:`repro.service.codec` — request canonicalization and canonical
+  result encoding;
+* :mod:`repro.service.clock` — injectable monotonic time;
+* :mod:`repro.service.check` — the end-to-end self-check behind
+  ``repro serve --check``.
+
+See ``docs/service.md`` for the API schema, the metrics glossary, and
+operational notes.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
+from repro.service.clock import MONOTONIC_CLOCK, Clock, FakeClock
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.pipeline import (
+    Backpressure,
+    ServiceConfig,
+    ServiceError,
+    SimulationFailed,
+    SimulationService,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "Backpressure",
+    "Clock",
+    "Counter",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MONOTONIC_CLOCK",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRequestError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "SimulationFailed",
+    "SimulationService",
+]

@@ -1,0 +1,279 @@
+"""The in-repo client for the simulation service.
+
+A small, dependency-free blocking client over :mod:`http.client` with
+the retry discipline the service's error contract asks for:
+
+* **429 backpressure** — honoured, not fought: the client sleeps for
+  the server's ``Retry-After`` hint (bounded) and retries, up to its
+  attempt budget;
+* **connection errors / timeouts** — simulation requests are pure and
+  idempotent, so the client reconnects and retries with exponential
+  backoff;
+* **structured errors** — non-retryable responses raise
+  :class:`ServiceRequestError` carrying the server's error payload.
+
+Deadlines are measured on the injectable
+:class:`~repro.service.clock.Clock`, like everything else in the
+package.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.service.clock import MONOTONIC_CLOCK, Clock
+from repro.sim.config import SchemeConfig, SystemConfig
+
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceRequestError",
+    "ServiceUnavailable",
+]
+
+#: Upper bound on how long one Retry-After hint may stall the client.
+_MAX_RETRY_AFTER_S = 5.0
+
+
+class ServiceClientError(Exception):
+    """Base class for client-side failures."""
+
+
+class ServiceUnavailable(ServiceClientError):
+    """The service could not be reached (or stayed busy) within budget."""
+
+
+class ServiceRequestError(ServiceClientError):
+    """The service answered with a non-retryable error response.
+
+    Attributes:
+        status: HTTP status code.
+        error: The server's structured ``error`` object (type, message,
+            and any extra fields like ``reason`` or ``detail``).
+    """
+
+    def __init__(self, status: int, error: Mapping[str, Any]) -> None:
+        super().__init__(
+            f"HTTP {status}: {error.get('type', 'unknown')} - "
+            f"{error.get('message', '')}"
+        )
+        self.status = status
+        self.error = dict(error)
+
+
+def _payload_dict(config: Any) -> dict:
+    """A config dataclass (or ready dict) as a JSON-able object."""
+    if is_dataclass(config) and not isinstance(config, type):
+        return asdict(config)
+    if isinstance(config, Mapping):
+        return dict(config)
+    raise TypeError(
+        f"expected a config dataclass or mapping, got {type(config).__name__}"
+    )
+
+
+class ServiceClient:
+    """Talks JSON to a running ``repro serve`` instance.
+
+    Args:
+        host / port: Where the service listens.
+        timeout: Socket timeout per request, seconds.
+        max_attempts: Total tries per request (connection errors and
+            429 rejections both consume attempts).
+        backoff_s: First reconnect delay; doubles per retry.
+        deadline_s: Overall budget per logical request across every
+            retry and backoff sleep (``None`` = attempts bound only).
+        clock: Monotonic time source for the deadline (tests inject a
+            fake).
+
+    Use as a context manager or call :meth:`close` when done.  One
+    client holds one keep-alive connection; use a client per thread.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 30.0,
+        max_attempts: int = 5,
+        backoff_s: float = 0.05,
+        deadline_s: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- public API ----------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The service's liveness document (status, version, uptime)."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The full metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def simulate(
+        self,
+        app: str,
+        scheme: SchemeConfig | Mapping[str, Any] | None = None,
+        system: SystemConfig | Mapping[str, Any] | None = None,
+    ) -> dict:
+        """Run (or fetch) one simulation; returns the result payload."""
+        payload: dict[str, Any] = {"app": app}
+        if scheme is not None:
+            payload["scheme"] = _payload_dict(scheme)
+        if system is not None:
+            payload["system"] = _payload_dict(system)
+        return self.simulate_payload(payload)
+
+    def simulate_payload(self, payload: Mapping[str, Any]) -> dict:
+        """Run one simulation from a ready request payload."""
+        return self._request("POST", "/simulate", dict(payload))
+
+    def sweep(
+        self,
+        fields: Mapping[str, Sequence],
+        scheme: SchemeConfig | Mapping[str, Any] | None = None,
+        system: SystemConfig | Mapping[str, Any] | None = None,
+        apps: Sequence[str] | None = None,
+    ) -> dict:
+        """Run a grid sweep; returns ``{"scheme", "apps", "points"}``."""
+        payload: dict[str, Any] = {
+            "fields": {name: list(values) for name, values in fields.items()}
+        }
+        if scheme is not None:
+            payload["scheme"] = _payload_dict(scheme)
+        if system is not None:
+            payload["system"] = _payload_dict(system)
+        if apps is not None:
+            payload["apps"] = list(apps)
+        return self._request("POST", "/sweep", payload)
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        backoff = self.backoff_s
+        started = self.clock.monotonic()
+        last_error: Exception | None = None
+
+        def sleep_or_stop(wait: float) -> bool:
+            """Back off; False when the overall deadline forbids it."""
+            if self.deadline_s is not None:
+                elapsed = self.clock.monotonic() - started
+                if elapsed + wait > self.deadline_s:
+                    return False
+            time.sleep(wait)
+            return True
+
+        for attempt in range(self.max_attempts):
+            try:
+                status, reply_headers, reply = self._once(
+                    method, path, body, headers
+                )
+            except (ConnectionError, socket.timeout, OSError,
+                    http.client.HTTPException) as exc:
+                self._drop_connection()
+                last_error = exc
+                if attempt + 1 >= self.max_attempts or not sleep_or_stop(backoff):
+                    break
+                backoff *= 2
+                continue
+            if status == 429:
+                last_error = ServiceRequestError(
+                    status, reply.get("error", {})
+                )
+                wait = self._retry_after(reply_headers, reply, backoff)
+                if attempt + 1 >= self.max_attempts or not sleep_or_stop(wait):
+                    break
+                backoff *= 2
+                continue
+            if status >= 400:
+                raise ServiceRequestError(status, reply.get("error", {}))
+            return reply
+        raise ServiceUnavailable(
+            f"{method} {path} failed after {self.max_attempts} attempt(s): "
+            f"{last_error!r}"
+        )
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: Mapping[str, str],
+    ) -> tuple[int, Mapping[str, str], dict]:
+        conn = self._connection()
+        conn.request(method, path, body=body, headers=dict(headers))
+        response = conn.getresponse()
+        raw = response.read()
+        lowered = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        if lowered.get("connection", "keep-alive") == "close":
+            self._drop_connection()
+        try:
+            reply = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise http.client.HTTPException(
+                f"undecodable response body: {raw[:200]!r}"
+            ) from exc
+        if not isinstance(reply, dict):
+            reply = {"value": reply}
+        return response.status, lowered, reply
+
+    @staticmethod
+    def _retry_after(
+        headers: Mapping[str, str], reply: Mapping[str, Any], fallback: float
+    ) -> float:
+        hint = headers.get("retry-after")
+        if hint is None:
+            hint = reply.get("error", {}).get("retry_after_s")
+        try:
+            wait = float(hint) if hint is not None else fallback
+        except (TypeError, ValueError):
+            wait = fallback
+        return max(0.0, min(wait, _MAX_RETRY_AFTER_S))

@@ -33,6 +33,9 @@ __all__ = ["ResultStore", "StoreStats", "RESULT_STORE", "default_store"]
 #: Environment variable naming a pickle file the global store persists to.
 STORE_PATH_ENV = "REPRO_RESULT_STORE"
 
+#: Environment variable capping the global store's entry count (LRU).
+STORE_MAX_ENV = "REPRO_RESULT_STORE_MAX"
+
 #: Format of the persisted payload.  Bumped whenever the pickle layout
 #: (or the meaning of stored entries) changes incompatibly; a store
 #: written under any other version is discarded with a warning instead
@@ -50,11 +53,16 @@ class StoreStats:
         hits: Lookups served from the store since construction/load.
         misses: Lookups that had to compute their value.
         size: Entries currently resident.
+        evictions: Entries dropped by the LRU cap since
+            construction/load (always 0 for an uncapped store).
+        max_entries: The LRU cap, or ``None`` when unbounded.
     """
 
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    max_entries: int | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -71,12 +79,30 @@ class ResultStore:
             path on construction and :meth:`save` writes back to it.
             Counters persist alongside the entries, so a sequence of CLI
             invocations accumulates meaningful statistics.
+        max_entries: When given, cap the store at this many entries,
+            evicting least-recently-used ones (every hit refreshes its
+            key's recency).  ``None`` (the default) keeps the historic
+            unbounded behaviour; the global store reads the cap from
+            the ``REPRO_RESULT_STORE_MAX`` environment variable.  Every
+            eviction is counted (see :class:`StoreStats`), so an
+            undersized cap is visible in ``repro cache-stats`` and the
+            service's ``/metrics`` instead of silently thrashing.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self._entries: dict[StoreKey, Any] = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self.max_entries = max_entries
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self.load(self.path)
@@ -92,21 +118,38 @@ class ResultStore:
         except KeyError:
             self._misses += 1
             value = compute()
-            self._entries[key] = value
+            self.put(key, value)
             return value
         self._hits += 1
+        self._touch(key)
         return value
 
     def get(self, key: StoreKey, default: Any = None) -> Any:
         """Peek at a key without counting a miss on absence."""
         if key in self._entries:
             self._hits += 1
+            self._touch(key)
             return self._entries[key]
         return default
 
     def put(self, key: StoreKey, value: Any) -> None:
-        """Insert (or overwrite) an entry."""
+        """Insert (or overwrite) an entry, evicting LRU ones over the cap."""
+        self._entries.pop(key, None)  # re-insert at the recent end
         self._entries[key] = value
+        self._evict_over_cap()
+
+    def _touch(self, key: StoreKey) -> None:
+        """Mark ``key`` most-recently-used (dicts preserve insert order)."""
+        if self.max_entries is not None:
+            self._entries[key] = self._entries.pop(key)
+
+    def _evict_over_cap(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self._evictions += 1
 
     def __contains__(self, key: StoreKey) -> bool:
         return key in self._entries
@@ -131,15 +174,27 @@ class ResultStore:
         """Lookups that computed a fresh value."""
         return self._misses
 
+    @property
+    def evictions(self) -> int:
+        """Entries the LRU cap has dropped."""
+        return self._evictions
+
     def stats(self) -> StoreStats:
         """A snapshot of the store's counters."""
-        return StoreStats(hits=self._hits, misses=self._misses, size=len(self))
+        return StoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self),
+            evictions=self._evictions,
+            max_entries=self.max_entries,
+        )
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._entries.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Persistence
@@ -159,6 +214,7 @@ class ResultStore:
             "entries": self._entries,
             "hits": self._hits,
             "misses": self._misses,
+            "evictions": self._evictions,
         }
         target.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -225,6 +281,11 @@ class ResultStore:
         self._entries = entries
         self._hits = hits
         self._misses = misses
+        # Older stores predate the eviction counter; start it at 0.
+        self._evictions = payload.get("evictions", 0)
+        # A persisted store larger than this instance's cap trims down
+        # immediately (oldest-persisted first) instead of exceeding it.
+        self._evict_over_cap()
 
     @staticmethod
     def _quarantine(path: Path) -> Path | None:
@@ -237,9 +298,32 @@ class ResultStore:
         return target
 
 
+def _env_max_entries() -> int | None:
+    """Parse ``REPRO_RESULT_STORE_MAX`` (unset/empty = unbounded)."""
+    raw = os.environ.get(STORE_MAX_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+        if value < 1:
+            raise ValueError(value)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {STORE_MAX_ENV}={raw!r}: expected a positive "
+            "integer entry cap",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value
+
+
 def default_store() -> ResultStore:
-    """Build the process-wide store, honouring ``REPRO_RESULT_STORE``."""
-    return ResultStore(path=os.environ.get(STORE_PATH_ENV))
+    """Build the process-wide store, honouring ``REPRO_RESULT_STORE``
+    (persistence path) and ``REPRO_RESULT_STORE_MAX`` (LRU entry cap)."""
+    return ResultStore(
+        path=os.environ.get(STORE_PATH_ENV), max_entries=_env_max_entries()
+    )
 
 
 #: The process-wide store every stage uses unless handed another one.

@@ -40,7 +40,7 @@ from repro.sim.engine import FailedJob, SimJob, simulate_many
 from repro.workloads.profiles import AppProfile
 from repro.workloads.suites import PARALLEL_SUITE
 
-__all__ = ["SweepPoint", "sweep"]
+__all__ = ["SweepPoint", "aggregate_points", "expand_grid", "sweep"]
 
 
 @dataclass(frozen=True)
@@ -67,41 +67,46 @@ class SweepPoint:
         return self.l2_energy_j * self.cycles
 
 
-def sweep(
-    scheme: SchemeConfig,
-    base: SystemConfig | None = None,
-    apps: Sequence[AppProfile] = PARALLEL_SUITE,
-    max_workers: int | None = None,
-    **field_values: Sequence,
-) -> list[SweepPoint]:
-    """Simulate every combination of the given SystemConfig fields.
+def expand_grid(field_values: dict[str, Sequence]) -> list[dict[str, object]]:
+    """Every combination of the given field/value lists, in grid order.
 
-    ``max_workers`` > 1 distributes the whole grid over a process pool
-    (``None`` keeps the engine's default); the returned points are
-    identical to a serial run.
+    The order is the cartesian product with the *first* field slowest —
+    stable for a given input, so sweep outputs (and the service's sweep
+    responses) are reproducible.
     """
     if not field_values:
         raise ValueError("provide at least one field to sweep")
-    base = base if base is not None else SystemConfig()
     names = list(field_values)
-    combos = [
+    return [
         dict(zip(names, combo, strict=True))
         for combo in itertools.product(*field_values.values())
     ]
-    jobs = [
-        SimJob.of(app, scheme, base.with_(**params))
-        for params in combos
-        for app in apps
-    ]
-    results = simulate_many(jobs, max_workers=max_workers)
+
+
+def aggregate_points(
+    combos: Sequence[dict[str, object]],
+    apps: Sequence[AppProfile],
+    results: Sequence,
+) -> list[SweepPoint]:
+    """Fold per-(combo, app) results into suite-geomean sweep points.
+
+    ``results`` is job-ordered — every app of combo 0, then every app
+    of combo 1, ... exactly as the job list of :func:`sweep` (and the
+    service's sweep endpoint) is built.  A :class:`FailedJob` slot
+    degrades its point instead of sinking the sweep: warn, aggregate
+    over the survivors, and emit NaNs when no application of the
+    combination completed.
+    """
+    if len(results) != len(combos) * len(apps):
+        raise ValueError(
+            f"{len(results)} results do not cover {len(combos)} combos x "
+            f"{len(apps)} apps"
+        )
     points = []
     for index, params in enumerate(combos):
         group = results[index * len(apps):(index + 1) * len(apps)]
         failed = [r for r in group if isinstance(r, FailedJob)]
         if failed:
-            # A failed job degrades its point instead of sinking the
-            # sweep: warn, aggregate over the survivors, and emit NaNs
-            # when no application of the combination completed.
             warnings.warn(
                 f"{len(failed)} of {len(group)} simulations failed at "
                 f"{params} ({failed[0].reason}); point computed from the "
@@ -133,3 +138,27 @@ def sweep(
             )
         )
     return points
+
+
+def sweep(
+    scheme: SchemeConfig,
+    base: SystemConfig | None = None,
+    apps: Sequence[AppProfile] = PARALLEL_SUITE,
+    max_workers: int | None = None,
+    **field_values: Sequence,
+) -> list[SweepPoint]:
+    """Simulate every combination of the given SystemConfig fields.
+
+    ``max_workers`` > 1 distributes the whole grid over a process pool
+    (``None`` keeps the engine's default); the returned points are
+    identical to a serial run.
+    """
+    base = base if base is not None else SystemConfig()
+    combos = expand_grid(field_values)
+    jobs = [
+        SimJob.of(app, scheme, base.with_(**params))
+        for params in combos
+        for app in apps
+    ]
+    results = simulate_many(jobs, max_workers=max_workers)
+    return aggregate_points(combos, apps, results)

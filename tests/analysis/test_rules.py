@@ -74,6 +74,50 @@ class TestSeedHygiene:
         )
         assert lint(root, "R001") == []
 
+    def test_monotonic_reads_flagged_in_clock_scope(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/timing.py": """
+                import time
+                from time import perf_counter
+
+                def measure():
+                    a = time.monotonic()
+                    b = perf_counter()
+                    return a, b
+                """
+            }
+        )
+        findings = lint(root, "R001")
+        assert len(findings) == 2
+        assert all("repro.service.clock" in f.message for f in findings)
+
+    def test_monotonic_reads_pass_outside_clock_scope(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/sim/timing.py": """
+                import time
+
+                def measure():
+                    return time.monotonic()
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
+    def test_clock_scope_waiver_is_honoured(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/clock.py": """
+                import time
+
+                def real():
+                    return time.monotonic()  # lint-ok: R001
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
     def test_import_aliases_are_tracked(self, make_repo):
         root = make_repo(
             {

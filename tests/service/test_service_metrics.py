@@ -1,0 +1,138 @@
+"""Tests for the service metrics registry and the injectable clock."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.service.clock import MONOTONIC_CLOCK, FakeClock
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_empty_summary_is_explicit(self):
+        summary = Histogram().summary()
+        assert summary == {
+            "count": 0, "mean": None, "min": None, "max": None,
+            "p50": None, "p95": None,
+        }
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram().percentile(50))
+
+    def test_summary_over_observations(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+
+    def test_nearest_rank_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(0) == 1.0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram().percentile(101)
+
+    def test_ring_bounds_samples_but_not_count(self):
+        hist = Histogram(max_samples=4)
+        for value in range(10):
+            hist.observe(float(value))
+        assert hist.count == 10
+        assert hist.sum == pytest.approx(45.0)
+        # Only the 4 most recent samples remain for percentiles.
+        assert hist.percentile(0) == 6.0
+        assert hist.percentile(100) == 9.0
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            Histogram(max_samples=0)
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(1.0)
+        assert list(registry.names()) == ["a", "b", "c"]
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_snapshot_is_json_ready_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"reqs": 3}
+        assert snap["gauges"] == {"depth": 1.5}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestClock:
+    def test_fake_clock_advances_explicitly(self):
+        clock = FakeClock(start=10.0)
+        assert clock.monotonic() == 10.0
+        clock.advance(2.5)
+        assert clock.monotonic() == 12.5
+
+    def test_fake_clock_rejects_rewind(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_real_clock_is_monotonic(self):
+        first = MONOTONIC_CLOCK.monotonic()
+        second = MONOTONIC_CLOCK.monotonic()
+        assert second >= first

@@ -187,3 +187,116 @@ class TestGracefulLoad:
         store.save()
         fresh = ResultStore(path)
         assert fresh.get(("k",)) == 7
+
+
+class TestLRUCap:
+    """Satellite guarantee: a capped store evicts least-recently-used
+    entries, counts every eviction, and reads its cap from the
+    environment for the process-wide store."""
+
+    def test_cap_evicts_oldest_first(self):
+        store = ResultStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.put(("c",), 3)
+        assert ("a",) not in store
+        assert store.get(("b",)) == 2
+        assert store.get(("c",)) == 3
+        assert store.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        store = ResultStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        assert store.get(("a",)) == 1  # touch: "a" is now most recent
+        store.put(("c",), 3)
+        assert ("b",) not in store
+        assert ("a",) in store
+
+    def test_get_or_compute_hit_refreshes_recency(self):
+        store = ResultStore(max_entries=2)
+        store.get_or_compute(("a",), lambda: 1)
+        store.get_or_compute(("b",), lambda: 2)
+        store.get_or_compute(("a",), lambda: 1)  # hit, refresh
+        store.get_or_compute(("c",), lambda: 3)
+        assert ("a",) in store
+        assert ("b",) not in store
+
+    def test_overwrite_does_not_evict(self):
+        store = ResultStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.put(("a",), 10)  # overwrite, still 2 entries
+        assert len(store) == 2
+        assert store.evictions == 0
+        assert store.get(("a",)) == 10
+
+    def test_stats_carry_cap_and_evictions(self):
+        store = ResultStore(max_entries=1)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        stats = store.stats()
+        assert stats.evictions == 1
+        assert stats.max_entries == 1
+        assert stats.size == 1
+
+    def test_uncapped_store_reports_none(self):
+        stats = ResultStore().stats()
+        assert stats.max_entries is None
+        assert stats.evictions == 0
+
+    def test_clear_resets_evictions(self):
+        store = ResultStore(max_entries=1)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.clear()
+        assert store.evictions == 0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultStore(max_entries=0)
+
+    def test_evictions_persist(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        store = ResultStore(path, max_entries=1)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.save()
+        fresh = ResultStore(path)
+        assert fresh.stats().evictions == 1
+
+    def test_load_trims_to_cap(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        big = ResultStore(path)
+        for i in range(5):
+            big.put(("k", i), i)
+        big.save()
+        small = ResultStore(path, max_entries=2)
+        assert len(small) == 2
+        assert small.evictions == 3
+        # The most recently inserted entries survive the trim.
+        assert ("k", 3) in small and ("k", 4) in small
+
+
+class TestEnvCap:
+    def test_default_store_reads_env_cap(self, monkeypatch):
+        from repro.sim.store import STORE_MAX_ENV, default_store
+
+        monkeypatch.setenv(STORE_MAX_ENV, "3")
+        store = default_store()
+        assert store.max_entries == 3
+
+    def test_unset_env_means_unbounded(self, monkeypatch):
+        from repro.sim.store import STORE_MAX_ENV, default_store
+
+        monkeypatch.delenv(STORE_MAX_ENV, raising=False)
+        assert default_store().max_entries is None
+
+    def test_invalid_env_warns_and_ignores(self, monkeypatch):
+        from repro.sim.store import STORE_MAX_ENV, default_store
+
+        for bad in ("zero", "0", "-4"):
+            monkeypatch.setenv(STORE_MAX_ENV, bad)
+            with pytest.warns(RuntimeWarning, match=STORE_MAX_ENV):
+                store = default_store()
+            assert store.max_entries is None

