@@ -58,6 +58,13 @@ class AnalysisConfig:
             a transfer model (imports the registry; fixture trees turn
             this off).
         registry_file: Where transfer-model coverage findings anchor.
+        stage_protocol: ``path:Class`` of the service pipeline's stage
+            protocol; every configured stage class must satisfy its
+            surface (R003).
+        stage_classes: ``path:Class`` pipeline stage implementations
+            checked against ``stage_protocol`` — matching method
+            signatures (including async-ness) and the protocol's
+            class attributes.
     """
 
     paths: tuple[str, ...] = ("src",)
@@ -85,6 +92,13 @@ class AnalysisConfig:
     dispatch_methods: tuple[str, ...] = ("run", "_run_reference")
     check_transfer_models: bool = True
     registry_file: str = "src/repro/encoding/registry.py"
+    stage_protocol: str = "src/repro/service/stages.py:PipelineStage"
+    stage_classes: tuple[str, ...] = (
+        "src/repro/service/stages.py:Admission",
+        "src/repro/service/stages.py:Coalescer",
+        "src/repro/service/stages.py:Batcher",
+        "src/repro/service/stages.py:Executor",
+    )
 
 
 def find_repo_root(start: Path | None = None) -> Path | None:

@@ -19,6 +19,14 @@ the tiers remain drop-in replacements.  Two checks enforce that:
   :class:`~repro.encoding.registry.TransferModel`, or the staged
   engine raises at dispatch time on exactly one scheme, in exactly the
   configuration no test covered.
+* **Stage-protocol conformance** — every configured service pipeline
+  stage must satisfy the
+  :class:`~repro.service.stages.PipelineStage` protocol: the
+  protocol's methods with identical signatures *and* async-ness, and
+  its class attributes.  ``typing.Protocol`` is structural and only
+  checked where a stage is annotated as one; this keeps a stage that
+  drifts (or a new stage that never grew a ``drain``) from wiring into
+  a shard unnoticed.
 """
 
 from __future__ import annotations
@@ -34,8 +42,11 @@ from repro.analysis.framework import Rule, SourceFile
 __all__ = ["TierParityRule"]
 
 
-def _signature(node: ast.FunctionDef) -> dict:
-    """Comparable shape of a method: names, defaults, kinds."""
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _signature(node: _FunctionNode) -> dict:
+    """Comparable shape of a method: names, defaults, kinds, async-ness."""
     args = node.args
     positional = [a.arg for a in args.posonlyargs + args.args]
     if positional and positional[0] in ("self", "cls"):
@@ -52,6 +63,7 @@ def _signature(node: ast.FunctionDef) -> dict:
         "kw_defaults": kw_defaults,
         "vararg": args.vararg.arg if args.vararg else None,
         "kwarg": args.kwarg.arg if args.kwarg else None,
+        "is_async": isinstance(node, ast.AsyncFunctionDef),
     }
 
 
@@ -62,7 +74,8 @@ def _describe(sig: dict) -> str:
     parts.extend(sig["kwonly"])
     if sig["kwarg"]:
         parts.append("**" + sig["kwarg"])
-    return "(" + ", ".join(parts) + ")"
+    prefix = "async " if sig.get("is_async") else ""
+    return prefix + "(" + ", ".join(parts) + ")"
 
 
 class _ClassSpec:
@@ -94,12 +107,26 @@ class _ClassSpec:
         return file, None
 
 
-def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+def _methods(cls: ast.ClassDef) -> dict[str, _FunctionNode]:
     return {
         node.name: node
         for node in cls.body
-        if isinstance(node, ast.FunctionDef)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
     }
+
+
+def _class_attrs(cls: ast.ClassDef) -> set[str]:
+    """Class-level attribute names (plain and annotated assignments)."""
+    attrs: set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    attrs.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                attrs.add(node.target.id)
+    return attrs
 
 
 class TierParityRule(Rule):
@@ -116,6 +143,7 @@ class TierParityRule(Rule):
         yield from self._check_dispatch(files, config, root)
         if config.check_transfer_models:
             yield from self._check_models(config)
+        yield from self._check_stage_protocol(files, config, root)
 
     # -- signature parity ----------------------------------------------
 
@@ -169,7 +197,13 @@ class TierParityRule(Rule):
                         "identical parameters and keyword defaults",
                     )
 
-    def _missing(self, file: SourceFile | None, spec: _ClassSpec) -> Finding:
+    def _missing(
+        self,
+        file: SourceFile | None,
+        spec: _ClassSpec,
+        what: str = "engine tier",
+        key: str = "tier_classes",
+    ) -> Finding:
         return Finding(
             rule=self.id,
             severity=self.severity,
@@ -177,9 +211,8 @@ class TierParityRule(Rule):
             line=1,
             col=0,
             message=(
-                f"configured engine tier {spec.entry!r} not found; "
-                "update [tool.repro.analysis] tier_classes if the tier "
-                "moved"
+                f"configured {what} {spec.entry!r} not found; "
+                f"update [tool.repro.analysis] {key} if it moved"
             ),
         )
 
@@ -234,6 +267,67 @@ class TierParityRule(Rule):
                 if sig["positional"]:
                     return sig["positional"][0]
         return None
+
+    # -- stage-protocol conformance ------------------------------------
+
+    def _check_stage_protocol(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> Iterator[Finding]:
+        if not config.stage_protocol or not config.stage_classes:
+            return
+        proto_spec = _ClassSpec(config.stage_protocol)
+        proto_file, proto_cls = proto_spec.resolve(files, root)
+        if proto_cls is None:
+            yield self._missing(
+                proto_file, proto_spec,
+                what="stage protocol", key="stage_protocol",
+            )
+            return
+        proto_methods = _methods(proto_cls)
+        proto_attrs = _class_attrs(proto_cls)
+        for entry in config.stage_classes:
+            spec = _ClassSpec(entry)
+            file, cls = spec.resolve(files, root)
+            if cls is None:
+                yield self._missing(
+                    file, spec,
+                    what="pipeline stage", key="stage_classes",
+                )
+                continue
+            assert file is not None
+            methods = _methods(cls)
+            attrs = _class_attrs(cls)
+            for attr in sorted(proto_attrs):
+                if attr not in attrs and attr not in methods:
+                    yield self.finding(
+                        file, cls,
+                        f"stage {spec.name} is missing the "
+                        f"{proto_spec.name} attribute '{attr}'; every "
+                        "pipeline stage must satisfy the stage protocol",
+                    )
+            for method_name, proto_node in sorted(proto_methods.items()):
+                node = methods.get(method_name)
+                if node is None:
+                    yield self.finding(
+                        file, cls,
+                        f"stage {spec.name} is missing the "
+                        f"{proto_spec.name} method '{method_name}'; "
+                        "every pipeline stage must satisfy the stage "
+                        "protocol",
+                    )
+                    continue
+                proto_sig = _signature(proto_node)
+                sig = _signature(node)
+                if proto_sig != sig:
+                    yield self.finding(
+                        file, node,
+                        f"signature of {spec.name}.{method_name}"
+                        f"{_describe(sig)} differs from the protocol's "
+                        f"{proto_spec.name}.{method_name}"
+                        f"{_describe(proto_sig)}; stages must expose "
+                        "the protocol surface exactly (including "
+                        "async-ness)",
+                    )
 
     # -- transfer-model coverage ---------------------------------------
 

@@ -147,10 +147,19 @@ def _scalar(value) -> str:
     return str(value)
 
 
-def _cache_stats(store_path: str | None) -> int:
-    from repro.sim.store import RESULT_STORE, ResultStore
+def _cache_stats(
+    store_path: str | None, warehouse_path: str | None = None
+) -> int:
+    import os
 
-    store = ResultStore(store_path) if store_path else RESULT_STORE
+    from repro.sim.store import RESULT_STORE, WAREHOUSE_ENV, ResultStore
+
+    if warehouse_path is None:
+        warehouse_path = os.environ.get(WAREHOUSE_ENV) or None
+    if store_path or warehouse_path:
+        store = ResultStore(store_path, warehouse=warehouse_path)
+    else:
+        store = RESULT_STORE
     stats = store.stats()
     where = store.path if store.path else "in-process"
     cap = stats.max_entries if stats.max_entries is not None else "unbounded"
@@ -161,6 +170,13 @@ def _cache_stats(store_path: str | None) -> int:
     print(f"  misses:  {stats.misses}")
     print(f"  evictions: {stats.evictions}")
     print(f"  hit rate: {stats.hit_rate:.1%}")
+    if store.warehouse is not None:
+        wh = store.warehouse.stats()
+        print(f"warehouse ({store.warehouse.root})")
+        print(f"  entries:   {wh.entries}")
+        print(f"  disk hits: {wh.disk_hits}")
+        print(f"  promotions: {stats.promotions}")
+        print(f"  segments:  {wh.segment_count} ({wh.segment_bytes} bytes)")
     return 0
 
 
@@ -303,11 +319,21 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: run (or smoke-check) the service."""
+    if args.shards < 0:
+        print(f"repro serve: error: --shards must be >= 0, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    shards = args.shards if args.shards else None  # 0 = one per worker
     if args.check:
         from repro.service.check import run_check
 
         code, summary = run_check(
-            quick=args.quick, metrics_out=args.metrics_out
+            quick=args.quick,
+            metrics_out=args.metrics_out,
+            workers=args.workers,
+            shards=shards,
+            warehouse=args.warehouse,
+            expect_warm=args.expect_warm,
         )
         if args.json:
             json.dump(
@@ -319,13 +345,22 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(
                 f"service check: {summary['answered']}/{summary['requests']} "
                 f"requests answered from {summary['clients']} clients over "
-                f"{summary['golden_configs']} golden configs"
+                f"{summary['golden_configs']} golden configs "
+                f"({summary['workers']} worker(s), "
+                f"{summary['shards']} shard(s))"
             )
             print(
                 f"  coalesced: {summary['coalesced_total']}  "
                 f"combined hit rate: {summary['combined_hit_rate']:.1%}  "
                 f"byte-identical: {summary['byte_identical']}"
             )
+            if summary["warehouse"]:
+                print(
+                    f"  warehouse: {summary['warehouse']}  "
+                    f"disk hits: {summary['store_disk_hits']}  "
+                    f"segments: {summary['warehouse_segments']} "
+                    f"({summary['warehouse_bytes']} bytes)"
+                )
             for problem in summary["problems"]:
                 print(f"  FAIL: {problem}", file=sys.stderr)
         if code == 0:
@@ -336,16 +371,24 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.service.pipeline import ServiceConfig, SimulationService
     from repro.service.server import ServiceServer
+    from repro.sim.engine import StagedEngine
+    from repro.sim.store import ResultStore
 
     config = ServiceConfig(
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         max_workers=args.workers if args.workers != 1 else None,
         job_timeout=args.job_timeout,
+        shards=shards if shards is not None
+        else (args.workers if args.workers > 1 else 1),
+    )
+    engine = (
+        StagedEngine(ResultStore(warehouse=args.warehouse))
+        if args.warehouse else None
     )
 
     async def serve() -> None:
-        service = SimulationService(config=config)
+        service = SimulationService(engine=engine, config=config)
         server = ServiceServer(service, host=args.host, port=args.port)
         await server.start()
         print(
@@ -440,6 +483,11 @@ def main(argv: list[str] | None = None) -> int:
         help="persisted store to inspect (default: the in-process store, "
              "or $REPRO_RESULT_STORE when set)",
     )
+    stats_parser.add_argument(
+        "--warehouse", metavar="DIR", default=None,
+        help="warehouse (disk-tier) directory to report alongside the "
+             "store (default: $REPRO_WAREHOUSE when set)",
+    )
 
     validate_parser = sub.add_parser(
         "validate", help="check headline results against the paper"
@@ -505,6 +553,14 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--workers", type=int, default=1,
                               help="engine process-pool width per batch "
                                    "(1 = in-process)")
+    serve_parser.add_argument("--shards", type=int, default=0,
+                              help="shard pipelines to route across "
+                                   "(0 = one per worker)")
+    serve_parser.add_argument("--warehouse", metavar="DIR", default=None,
+                              help="directory for the disk-backed result "
+                                   "warehouse; a restarted service pointed "
+                                   "at the same directory warm-starts its "
+                                   "cache")
     serve_parser.add_argument("--max-queue", type=int, default=128,
                               help="pending jobs held before rejecting "
                                    "with 429 backpressure")
@@ -526,12 +582,16 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--metrics-out", metavar="PATH", default=None,
                               help="write the check's metrics snapshot "
                                    "to a JSON file (CI artifact)")
+    serve_parser.add_argument("--expect-warm", action="store_true",
+                              help="with --check and --warehouse: fail "
+                                   "unless some lookups were served from "
+                                   "the disk tier (warm-restart proof)")
 
     args = parser.parse_args(argv)
 
     if args.command == "cache-stats":
         try:
-            return _cache_stats(args.store)
+            return _cache_stats(args.store, args.warehouse)
         except (pickle.UnpicklingError, ValueError, EOFError) as exc:
             parser.error(f"cannot read store {args.store!r}: {exc}")
 

@@ -11,8 +11,13 @@ responses instead of hung connections.
 
 Layers (each its own module, composable in-process without HTTP):
 
-* :mod:`repro.service.pipeline` — admission, coalescing, read-through
-  caching, adaptive batching (:class:`SimulationService`);
+* :mod:`repro.service.stages` — the composable pipeline stages
+  (Admission, Coalescer, Batcher, Executor) behind the
+  :class:`~repro.service.stages.PipelineStage` protocol;
+* :mod:`repro.service.router` — consistent-hash routing of canonical
+  run_keys across shards (:class:`~repro.service.router.ShardRouter`);
+* :mod:`repro.service.pipeline` — shards as wired stage stacks behind
+  one facade (:class:`SimulationService`);
 * :mod:`repro.service.server` — the HTTP front-end
   (:class:`ServiceServer`: ``/simulate``, ``/sweep``, ``/healthz``,
   ``/metrics``);
@@ -37,24 +42,47 @@ from repro.service.client import (
     ServiceUnavailable,
 )
 from repro.service.clock import MONOTONIC_CLOCK, Clock, FakeClock
-from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
 from repro.service.pipeline import (
     Backpressure,
     ServiceConfig,
     ServiceError,
+    ShardPipeline,
     SimulationFailed,
     SimulationService,
 )
+from repro.service.router import ShardRouter
 from repro.service.server import ServiceServer
+from repro.service.stages import (
+    Admission,
+    Batcher,
+    Coalescer,
+    Executor,
+    PipelineStage,
+)
 
 __all__ = [
+    "Admission",
     "Backpressure",
+    "Batcher",
+    "Coalescer",
+    "Executor",
+    "PipelineStage",
+    "ShardPipeline",
+    "ShardRouter",
     "Clock",
     "Counter",
     "FakeClock",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsScope",
     "MONOTONIC_CLOCK",
     "ServiceClient",
     "ServiceClientError",

@@ -34,7 +34,9 @@ from repro.experiments.common import DEFAULT_SCHEMES
 from repro.service import codec
 from repro.service.client import ServiceClient
 from repro.service.pipeline import ServiceConfig, SimulationService
+from repro.service.router import ShardRouter
 from repro.service.server import ServiceServer
+from repro.sim import stages as sim_stages
 from repro.sim.config import SystemConfig
 from repro.sim.engine import SimJob, StagedEngine
 from repro.sim.store import ResultStore
@@ -178,17 +180,33 @@ def run_check(
     requests_per_client: int | None = None,
     sample_blocks: int | None = None,
     metrics_out: str | None = None,
+    workers: int = 1,
+    shards: int | None = None,
+    warehouse: str | None = None,
+    expect_warm: bool = False,
 ) -> tuple[int, dict]:
     """Run the end-to-end smoke check; returns (exit code, summary).
 
     ``quick`` shrinks the per-application value sample (the simulation
     cost), not the traffic shape: the concurrency and duplication the
     check exists to exercise stay the same.
+
+    ``workers`` > 1 runs engine batches in worker processes;
+    ``shards`` routes across N shard pipelines (default: one per
+    worker) and additionally asserts coalescing happened *per shard*.
+    ``warehouse`` points the service's store at a disk tier, and
+    ``expect_warm`` asserts the run was served (at least partly) from
+    that tier — the warm-restart proof: run once to populate, re-run
+    with ``expect_warm`` against the same path.
     """
     if sample_blocks is None:
         sample_blocks = 250 if quick else 1200
     if requests_per_client is None:
         requests_per_client = 3 if quick else 6
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shards is None:
+        shards = workers if workers > 1 else 1
     system = SystemConfig(sample_blocks=sample_blocks)
     jobs = golden_jobs(system)
     payloads = [
@@ -212,20 +230,33 @@ def run_check(
         for job in jobs
     ]
 
-    # Duplicate-heavy traffic: every client opens with config 0 (32
-    # concurrent identical requests — the coalescing pressure test),
-    # then walks a seeded-random mix of the full golden set.
+    # Duplicate-heavy traffic: every client opens with one config per
+    # covered shard (num_clients concurrent identical requests per
+    # shard — the coalescing pressure test), then walks a seeded-random
+    # mix of the full golden set.  With one shard the openers are just
+    # ``[0]``, the historic single-shard traffic shape.
+    router = ShardRouter(shards)
+    shard_openers: dict[int, int] = {}
+    for config_index, job in enumerate(jobs):
+        key = sim_stages.run_key(job.app, job.scheme, job.system)
+        shard_openers.setdefault(router.route(key), config_index)
+    openers = [shard_openers[shard] for shard in sorted(shard_openers)]
     schedules = []
     for client_index in range(num_clients):
         rng = random.Random(1000 + client_index)
-        indices = [0] + [
+        indices = list(openers) + [
             rng.randrange(len(jobs)) for _ in range(requests_per_client - 1)
         ]
         schedules.append(indices)
 
+    service_config = ServiceConfig(
+        max_workers=workers if workers > 1 else None,
+        shards=shards,
+    )
+    engine = StagedEngine(ResultStore(warehouse=warehouse))
     outcomes = [_ClientOutcome() for _ in range(num_clients)]
     barrier = threading.Barrier(num_clients)
-    with ServerHarness() as harness:
+    with ServerHarness(service_config=service_config, engine=engine) as harness:
         threads = [
             threading.Thread(
                 target=_drive_client,
@@ -246,7 +277,7 @@ def run_check(
     for outcome in outcomes:
         problems.extend(outcome.errors)
 
-    total_requests = num_clients * requests_per_client
+    total_requests = sum(len(schedule) for schedule in schedules)
     answered = sum(len(outcome.responses) for outcome in outcomes)
     if answered != total_requests and not problems:
         problems.append(
@@ -265,13 +296,34 @@ def run_check(
 
     counters = metrics.get("counters", {})
     derived = metrics.get("derived", {})
+    # Read the store's stats after the harness stopped: shutdown
+    # flushes the warehouse's write-behind buffer, so segment counts
+    # here reflect what actually landed on disk (the mid-run /metrics
+    # snapshot predates that flush).
+    store_stats = engine.store.stats()
     coalesced = counters.get("coalesced_total", 0)
     hit_rate = derived.get("combined_hit_rate", 0.0)
-    if answered and coalesced == 0:
+    # A warm replay is served from the store (that's the point), so
+    # there is nothing in flight to coalesce — the coalescing contract
+    # only binds cold runs.
+    if answered and coalesced == 0 and not expect_warm:
         problems.append("no request was coalesced under concurrent duplicates")
+    if answered and shards > 1 and not expect_warm:
+        for shard in sorted(shard_openers):
+            per_shard = counters.get(f"shard_{shard}/coalesced_total", 0)
+            if per_shard == 0:
+                problems.append(
+                    f"shard_{shard} coalesced nothing under concurrent "
+                    "duplicates"
+                )
     if answered and hit_rate < 0.5:
         problems.append(
             f"combined coalesce+store hit rate {hit_rate:.1%} is below 50%"
+        )
+    if expect_warm and store_stats.disk_hits == 0:
+        problems.append(
+            "expected a warm start from the warehouse tier, but no lookup "
+            "was served from disk"
         )
     if health.get("status") != "ok":
         problems.append(f"healthz reported {health!r}")
@@ -291,6 +343,13 @@ def run_check(
         "byte_identical": mismatches == 0,
         "coalesced_total": coalesced,
         "combined_hit_rate": hit_rate,
+        "workers": workers,
+        "shards": shards,
+        "warehouse": warehouse,
+        "store_disk_hits": store_stats.disk_hits,
+        "store_promotions": store_stats.promotions,
+        "warehouse_segments": store_stats.warehouse_segments,
+        "warehouse_bytes": store_stats.warehouse_bytes,
         "version": health.get("version"),
         "problems": problems,
         "metrics": metrics,

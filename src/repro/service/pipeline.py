@@ -1,44 +1,58 @@
-"""The service's request pipeline: admit, coalesce, batch, serve.
+"""The service's request pipeline: route, admit, coalesce, batch, serve.
 
-One :class:`SimulationService` owns the whole request path:
+One :class:`SimulationService` fronts N independent shards.  Each shard
+(:class:`ShardPipeline`) is a wired stack of the composable stages from
+:mod:`repro.service.stages` — Admission, Coalescer, Batcher, Executor —
+with its own metrics scope, and the
+:class:`~repro.service.router.ShardRouter` consistent-hashes canonical
+run_keys across them so every spelling of the same configuration lands
+on the same shard (preserving the coalescing win per shard).  The full
+request path:
 
-1. **read-through cache** — a request whose
-   :func:`~repro.sim.stages.run_key` is already in the engine's
-   :class:`~repro.sim.store.ResultStore` is answered immediately;
-2. **coalescing** — identical configurations *in flight* share one
+1. **routing** — the canonical :func:`~repro.sim.stages.run_key` picks
+   the owning shard;
+2. **read-through cache** — a request whose run_key is already in the
+   engine's :class:`~repro.sim.store.ResultStore` (memory LRU or the
+   disk warehouse tier beneath it) is answered immediately;
+3. **coalescing** — identical configurations *in flight* share one
    computation: the first request enqueues a job, the rest await the
    same future (``coalesced_total`` counts the sharers);
-3. **admission control** — the pending queue is bounded; a request that
-   cannot be enqueued raises :class:`Backpressure` with a suggested
+4. **admission control** — each shard's pending queue is bounded; a
+   request that cannot be enqueued raises
+   :class:`~repro.service.stages.Backpressure` with a suggested
    retry-after derived from observed latency, which the HTTP layer
    turns into a ``429`` (the service never silently queues unbounded
    work or hangs a connection);
-4. **adaptive batching** — a single batcher task drains the queue into
-   :meth:`~repro.sim.engine.StagedEngine.run_many` calls, sizing each
-   batch from the observed queue depth and lingering (briefly, and only
-   when jobs are expensive enough for batching to pay) to let
+5. **adaptive batching** — each shard's batcher task drains its queue
+   into :meth:`~repro.sim.engine.StagedEngine.run_many` calls, sizing
+   each batch from the observed queue depth and lingering (briefly, and
+   only when jobs are expensive enough for batching to pay) to let
    concurrent clients pile in;
-5. **failure isolation** — the PR-3 hardened engine turns worker
-   crashes, timeouts, and pool breakage into typed
+6. **failure isolation** — the hardened engine turns worker crashes,
+   timeouts, and pool breakage into typed
    :class:`~repro.sim.engine.FailedJob` slots, which surface here as
-   :class:`SimulationFailed` — a structured error response, never a
-   hung connection.
+   :class:`~repro.service.stages.SimulationFailed` — a structured error
+   response, never a hung connection.
+
+With ``--workers N`` each shard dispatches its batches into engine
+worker processes, so N shards drive N pools concurrently; ``/sweep``
+requests fan their expanded points across all shards through the same
+:meth:`SimulationService.submit_many` path.
 
 Every clock read goes through the injectable
 :class:`~repro.service.clock.Clock` (see that module for the lint
 story).  Determinism: the pipeline only ever *routes* work to the
 engine — results are the engine's, bit-for-bit, no matter which tier
-(store, coalescing map, fresh batch) served them.
+(store, coalescing map, fresh batch) or shard served them.
 """
 
 from __future__ import annotations
 
 import asyncio
-import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
-from repro.sim import stages
+from repro.sim import stages as sim_stages
 from repro.sim.engine import (
     FailedJob,
     SimJob,
@@ -46,61 +60,29 @@ from repro.sim.engine import (
     get_pool_fallback_count,
 )
 from repro.sim.metrics import RunResult
-from repro.sim.store import StoreKey
 from repro.service.clock import MONOTONIC_CLOCK, Clock
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import MetricsRegistry, MetricsScope
+from repro.service.router import ShardRouter
+from repro.service.stages import (
+    Admission,
+    Backpressure,
+    Batcher,
+    Coalescer,
+    Executor,
+    Pending,
+    ServiceError,
+    SimulationFailed,
+)
+from repro.sim.store import StoreKey
 
 __all__ = [
     "Backpressure",
     "ServiceConfig",
     "ServiceError",
+    "ShardPipeline",
     "SimulationFailed",
     "SimulationService",
 ]
-
-_log = logging.getLogger("repro.service.pipeline")
-
-#: Exponential-moving-average weight for per-job latency observations.
-_EMA_ALPHA = 0.3
-
-#: Fraction of the per-job latency the batcher is willing to linger for
-#: more arrivals; cheap jobs get (almost) no linger, expensive jobs get
-#: up to ``ServiceConfig.batch_linger_s``.
-_LINGER_FRACTION = 0.25
-
-
-class ServiceError(Exception):
-    """Base class for structured service-level failures."""
-
-
-class Backpressure(ServiceError):
-    """The pending queue is full; retry after ``retry_after_s``."""
-
-    def __init__(self, retry_after_s: float, queue_depth: int) -> None:
-        super().__init__(
-            f"service queue is full ({queue_depth} pending); "
-            f"retry in {retry_after_s:.2f}s"
-        )
-        self.retry_after_s = retry_after_s
-        self.queue_depth = queue_depth
-
-
-class SimulationFailed(ServiceError):
-    """The engine could not produce a result for this job.
-
-    Attributes:
-        reason: ``"error"`` or ``"timeout"`` (see
-            :class:`~repro.sim.engine.FailedJob`).
-        detail: Traceback text of the final attempt (may be empty).
-        attempts: How many times the engine tried.
-    """
-
-    def __init__(self, reason: str, detail: str, attempts: int) -> None:
-        super().__init__(f"simulation failed ({reason}) after "
-                         f"{attempts} attempt(s)")
-        self.reason = reason
-        self.detail = detail
-        self.attempts = attempts
 
 
 @dataclass(frozen=True)
@@ -108,10 +90,11 @@ class ServiceConfig:
     """Every operational knob of the pipeline.
 
     Attributes:
-        max_queue: Pending (not yet batched) jobs the service will hold
-            before rejecting new work with :class:`Backpressure`.
+        max_queue: Pending (not yet batched) jobs each shard will hold
+            before rejecting new work with
+            :class:`~repro.service.stages.Backpressure`.
         max_batch: Largest job count handed to one ``run_many`` call.
-        batch_linger_s: Upper bound on how long the batcher waits for
+        batch_linger_s: Upper bound on how long a batcher waits for
             more arrivals after the first job of a batch; the actual
             linger adapts downward for cheap jobs.
         retry_after_s: Floor of the retry-after hint sent with a
@@ -124,6 +107,8 @@ class ServiceConfig:
         job_timeout: Per-job seconds before the engine declares a
             :class:`~repro.sim.engine.FailedJob` (pool runs only).
         retries: Engine-level re-attempts per job.
+        shards: Independent stage stacks the service routes across;
+            each has its own queue, coalescing map, and batcher task.
     """
 
     max_queue: int = 128
@@ -134,6 +119,7 @@ class ServiceConfig:
     max_workers: int | None = None
     job_timeout: float | None = None
     retries: int = 1
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -144,18 +130,123 @@ class ServiceConfig:
             raise ValueError(
                 f"batch_linger_s must be >= 0, got {self.batch_linger_s}"
             )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
 
-@dataclass
-class _Pending:
-    """One enqueued computation and everyone waiting on it."""
+async def _await_result(pending: Pending) -> RunResult:
+    # shield(): many requests await one future; one caller being
+    # cancelled (client disconnect) must not cancel the shared
+    # computation out from under the others.
+    result = await asyncio.shield(pending.future)
+    if isinstance(result, FailedJob):
+        raise SimulationFailed(
+            reason=result.reason,
+            detail=result.error,
+            attempts=result.attempts,
+        )
+    return result
 
-    key: StoreKey
-    job: SimJob
-    future: asyncio.Future = field(repr=False)
 
+class ShardPipeline:
+    """One shard: a wired stack of pipeline stages over a shared engine.
 
-_SHUTDOWN = object()
+    Args:
+        index: The shard's position in the service's shard list (names
+            its metrics scope and batcher task).
+        engine: The engine every shard shares (the store beneath it is
+            the cross-shard cache).
+        config: Operational knobs; see :class:`ServiceConfig`.
+        clock: Monotonic time source.
+        metrics: The shard's labelled metrics scope.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        engine: StagedEngine,
+        config: ServiceConfig,
+        clock: Clock,
+        metrics: MetricsScope,
+    ) -> None:
+        self.index = index
+        self.metrics = metrics
+        self.executor = Executor(
+            engine=engine,
+            max_workers=config.max_workers,
+            job_timeout=config.job_timeout,
+            retries=config.retries,
+            metrics=metrics,
+        )
+        self.batcher = Batcher(
+            max_batch=config.max_batch,
+            linger_s=config.batch_linger_s,
+            retry_after_floor=config.retry_after_s,
+            clock=clock,
+            metrics=metrics,
+        )
+        self.admission = Admission(
+            max_queue=config.max_queue,
+            metrics=metrics,
+            retry_after=self.batcher.suggest_retry_after,
+        )
+        self.coalescer = Coalescer(metrics=metrics)
+
+    @property
+    def stages(self) -> tuple:
+        """The shard's stages in pipeline order."""
+        return (self.admission, self.coalescer, self.batcher, self.executor)
+
+    def start(self) -> None:
+        """Spawn the shard's batcher task; idempotent."""
+        self.batcher.start(
+            self.admission,
+            self.coalescer,
+            self.executor,
+            task_name=f"repro-service-batcher-{self.index}",
+        )
+
+    async def drain(self) -> None:
+        """Shut the stages down in pipeline-safe order.
+
+        The batcher exits first (completing its current batch), then
+        admission fails anything stranded behind the sentinel, then the
+        coalescing map clears.
+        """
+        await self.batcher.drain()
+        await self.admission.drain()
+        await self.coalescer.drain()
+        await self.executor.drain()
+
+    async def submit(self, key: StoreKey, job: SimJob, wait: bool) -> RunResult:
+        """Serve one routed job through this shard's stage stack."""
+        self.metrics.counter("requests_total").inc()
+        store = self.executor.engine.store
+        if key in store:
+            self.metrics.counter("store_hits_total").inc()
+            return store.get(key)
+        pending = self.coalescer.join(key)
+        if pending is not None:
+            return await _await_result(pending)
+        pending = Pending(
+            key=key, job=job,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if wait:
+            # Register before the (possibly blocking) put so duplicates
+            # arriving while we wait for queue space still coalesce.
+            self.coalescer.register(pending)
+            await self.admission.offer(pending, wait=True)
+        else:
+            # Offer first: a Backpressure rejection must not leave a
+            # never-to-run future in the coalescing map.
+            await self.admission.offer(pending, wait=False)
+            self.coalescer.register(pending)
+        return await _await_result(pending)
+
+    def snapshot(self) -> dict:
+        """Each stage's operational snapshot, keyed by stage name."""
+        return {stage.name: stage.snapshot() for stage in self.stages}
 
 
 class SimulationService:
@@ -163,7 +254,9 @@ class SimulationService:
 
     Args:
         engine: The engine to drive (default: a fresh one over the
-            process-wide store).
+            process-wide store).  All shards share it — and the store
+            beneath it, so a result computed by one shard is a store
+            hit on every shard.
         config: Operational knobs; see :class:`ServiceConfig`.
         clock: Monotonic time source (tests inject a fake).
         metrics: Registry to record into (default: a private one).
@@ -184,46 +277,37 @@ class SimulationService:
         self.config = config if config is not None else ServiceConfig()
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._inflight: dict[StoreKey, _Pending] = {}
-        self._queue: asyncio.Queue = asyncio.Queue(
-            maxsize=self.config.max_queue
-        )
-        self._batcher: asyncio.Task | None = None
-        self._job_latency_ema: float | None = None
+        self.router = ShardRouter(self.config.shards)
+        self.shards = [
+            ShardPipeline(
+                index=index,
+                engine=self.engine,
+                config=self.config,
+                clock=self.clock,
+                metrics=self.metrics.scoped(f"shard_{index}"),
+            )
+            for index in range(self.config.shards)
+        ]
         self._started = False
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn the batcher task; idempotent."""
+        """Spawn every shard's batcher task; idempotent."""
         if self._started:
             return
         self._started = True
-        self._batcher = asyncio.get_running_loop().create_task(
-            self._batch_loop(), name="repro-service-batcher"
-        )
+        for shard in self.shards:
+            shard.start()
 
     async def stop(self) -> None:
-        """Stop the batcher and fail anything still pending."""
+        """Drain every shard and flush the store's warehouse tier."""
         if not self._started:
             return
         self._started = False
-        await self._queue.put(_SHUTDOWN)
-        if self._batcher is not None:
-            await self._batcher
-            self._batcher = None
-        # Anything enqueued behind the sentinel never ran.
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            if item is _SHUTDOWN or item.future.done():
-                continue
-            item.future.set_exception(
-                ServiceError("service stopped before the job ran")
-            )
-            self._inflight.pop(item.key, None)
+        for shard in self.shards:
+            await shard.drain()
+        self.engine.store.flush()
 
     async def __aenter__(self) -> "SimulationService":
         await self.start()
@@ -234,16 +318,25 @@ class SimulationService:
 
     # -- the request path ----------------------------------------------
 
+    def shard_for(self, key: StoreKey) -> ShardPipeline:
+        """The shard owning ``key`` under the router."""
+        return self.shards[self.router.route(key)]
+
+    def queue_depth(self) -> int:
+        """Pending jobs across every shard's admission queue."""
+        return sum(shard.admission.depth for shard in self.shards)
+
     async def submit(self, job: SimJob, wait: bool = False) -> RunResult:
         """Serve one canonicalized job through the full pipeline.
 
         Args:
             job: The canonical configuration to simulate.
-            wait: When the queue is full, ``False`` (the default, used
-                for external requests) raises :class:`Backpressure`;
-                ``True`` (used by internal fan-outs like sweeps) awaits
-                queue space instead, so a large expansion throttles
-                itself rather than being rejected.
+            wait: When the owning shard's queue is full, ``False`` (the
+                default, used for external requests) raises
+                :class:`~repro.service.stages.Backpressure`; ``True``
+                (used by internal fan-outs like sweeps) awaits queue
+                space instead, so a large expansion throttles itself
+                rather than being rejected.
 
         Raises:
             Backpressure: Queue full and ``wait`` is false.
@@ -252,43 +345,21 @@ class SimulationService:
         if not self._started:
             raise ServiceError("service is not running (call start())")
         started = self.clock.monotonic()
-        self.metrics.counter("requests_total").inc()
-        key = stages.run_key(job.app, job.scheme, job.system)
-        if key in self.engine.store:
-            self.metrics.counter("store_hits_total").inc()
-            return self._respond(started, self.engine.store.get(key))
-        pending = self._inflight.get(key)
-        if pending is not None:
-            self.metrics.counter("coalesced_total").inc()
-            return self._respond(started, await self._await_result(pending))
-        pending = _Pending(
-            key=key, job=job,
-            future=asyncio.get_running_loop().create_future(),
-        )
-        if wait:
-            self._inflight[key] = pending
-            await self._queue.put(pending)
-        else:
-            try:
-                self._queue.put_nowait(pending)
-            except asyncio.QueueFull:
-                self.metrics.counter("rejected_total").inc()
-                raise Backpressure(
-                    self._suggest_retry_after(), self._queue.qsize()
-                ) from None
-            self._inflight[key] = pending
-        self.metrics.gauge("queue_depth").set(self._queue.qsize())
-        return self._respond(started, await self._await_result(pending))
+        key = sim_stages.run_key(job.app, job.scheme, job.system)
+        result = await self.shard_for(key).submit(key, job, wait)
+        return self._respond(started, result)
 
     async def submit_many(self, jobs: Iterable[SimJob]) -> list[RunResult]:
-        """Fan a set of jobs through the pipeline, preserving order.
+        """Fan a set of jobs across the shards, preserving order.
 
-        Used by sweep requests: every job rides the same coalescing and
-        batching machinery as individual requests (a concurrent client
-        asking for one of the sweep's points shares its computation).
-        Jobs beyond the queue bound throttle the caller instead of
-        being rejected; an oversized expansion raises
-        :class:`ServiceError` up front.
+        Used by sweep requests: every job routes to its owning shard
+        and rides the same coalescing and batching machinery as
+        individual requests (a concurrent client asking for one of the
+        sweep's points shares its computation), so a sweep's points run
+        on every shard's engine pool concurrently.  Jobs beyond a
+        shard's queue bound throttle the caller instead of being
+        rejected; an oversized expansion raises
+        :class:`~repro.service.stages.ServiceError` up front.
         """
         jobs = list(jobs)
         if len(jobs) > self.config.max_sweep_jobs:
@@ -309,118 +380,14 @@ class SimulationService:
         )
         return result
 
-    @staticmethod
-    async def _await_result(pending: _Pending) -> RunResult:
-        # shield(): many requests await one future; one caller being
-        # cancelled (client disconnect) must not cancel the shared
-        # computation out from under the others.
-        result = await asyncio.shield(pending.future)
-        if isinstance(result, FailedJob):
-            raise SimulationFailed(
-                reason=result.reason,
-                detail=result.error,
-                attempts=result.attempts,
-            )
-        return result
-
-    def _suggest_retry_after(self) -> float:
-        """A retry-after hint scaled to how far behind the service is."""
-        floor = self.config.retry_after_s
-        if self._job_latency_ema is None:
-            return floor
-        backlog_batches = 1 + self._queue.qsize() // self.config.max_batch
-        estimate = (
-            self._job_latency_ema * self.config.max_batch * backlog_batches
-        )
-        return min(30.0, max(floor, estimate))
-
-    # -- the batcher ---------------------------------------------------
-
-    def _linger_seconds(self) -> float:
-        """How long this batch should wait for company.
-
-        Adapts to observed per-job latency: when jobs are cheap,
-        lingering would dominate service time, so the batcher skips it;
-        when jobs are expensive, a bounded linger lets concurrent
-        clients join the batch (and coalesce duplicates) at negligible
-        relative cost.
-        """
-        cap = self.config.batch_linger_s
-        if self._job_latency_ema is None:
-            return cap
-        return min(cap, self._job_latency_ema * _LINGER_FRACTION)
-
-    def _target_batch_size(self) -> int:
-        """Batch size adapted to the observed queue depth."""
-        return max(1, min(self.config.max_batch, 1 + self._queue.qsize()))
-
-    async def _batch_loop(self) -> None:
-        while True:
-            item = await self._queue.get()
-            if item is _SHUTDOWN:
-                return
-            linger = self._linger_seconds()
-            if linger > 0 and self._queue.qsize() == 0:
-                await asyncio.sleep(linger)
-            batch = [item]
-            target = self._target_batch_size()
-            while len(batch) < target:
-                try:
-                    extra = self._queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    break
-                if extra is _SHUTDOWN:
-                    # Put the sentinel back for the next loop turn so
-                    # the current batch still completes.
-                    await self._queue.put(_SHUTDOWN)
-                    break
-                batch.append(extra)
-            self.metrics.gauge("queue_depth").set(self._queue.qsize())
-            await self._run_batch(batch)
-
-    def _run_many(self, jobs: list[SimJob]) -> list:
-        return self.engine.run_many(
-            jobs,
-            max_workers=self.config.max_workers,
-            job_timeout=self.config.job_timeout,
-            retries=self.config.retries,
-        )
-
-    async def _run_batch(self, batch: list[_Pending]) -> None:
-        jobs = [item.job for item in batch]
-        started = self.clock.monotonic()
-        loop = asyncio.get_running_loop()
-        try:
-            results = await loop.run_in_executor(None, self._run_many, jobs)
-        except Exception as exc:  # engine infrastructure, not a job
-            _log.exception("batch of %d job(s) failed in the engine", len(jobs))
-            failure = FailedJob(job=None, reason="error", error=repr(exc))
-            results = [failure] * len(batch)
-        elapsed = self.clock.monotonic() - started
-        per_job = elapsed / len(batch)
-        self._job_latency_ema = (
-            per_job if self._job_latency_ema is None
-            else _EMA_ALPHA * per_job
-            + (1 - _EMA_ALPHA) * self._job_latency_ema
-        )
-        self.metrics.counter("batches_total").inc()
-        self.metrics.counter("engine_jobs_total").inc(len(batch))
-        self.metrics.histogram("batch_size").observe(len(batch))
-        self.metrics.histogram("batch_latency_s").observe(elapsed)
-        self.metrics.gauge("job_latency_ema_s").set(self._job_latency_ema)
-        for item, result in zip(batch, results, strict=True):
-            self._inflight.pop(item.key, None)
-            if isinstance(result, FailedJob):
-                self.metrics.counter(
-                    f"failed_{result.reason}_total"
-                ).inc()
-            if not item.future.done():
-                item.future.set_result(result)
-
     # -- observability -------------------------------------------------
 
     def snapshot(self) -> dict:
-        """The metrics snapshot plus derived rates and engine counters."""
+        """The metrics snapshot plus derived rates, engine counters,
+        warehouse-tier statistics, and per-shard stage state."""
+        # The bare queue_depth gauge is last-writer-wins across shards;
+        # pin it to the true cross-shard sum at snapshot time.
+        self.metrics.gauge("queue_depth").set(self.queue_depth())
         snap = self.metrics.snapshot()
         counters = snap["counters"]
         requests = counters.get("requests_total", 0)
@@ -441,5 +408,12 @@ class SimulationService:
             "store_misses": store_stats.misses,
             "store_evictions": store_stats.evictions,
             "store_max_entries": store_stats.max_entries,
+            "store_disk_hits": store_stats.disk_hits,
+            "store_promotions": store_stats.promotions,
+            "warehouse_segments": store_stats.warehouse_segments,
+            "warehouse_bytes": store_stats.warehouse_bytes,
+        }
+        snap["shards"] = {
+            f"shard_{shard.index}": shard.snapshot() for shard in self.shards
         }
         return snap

@@ -1,0 +1,79 @@
+"""Consistent-hash routing of canonical run_keys across shards.
+
+A sharded service must send every spelling of the same configuration to
+the same shard, or the per-shard coalescing maps stop deduplicating.
+The router therefore hashes the *canonical*
+:func:`~repro.sim.stages.run_key` — the same tuple the store and the
+coalescer key on — so "same simulation" and "same shard" are decided by
+the same bytes.
+
+The hash ring uses virtual nodes (``replicas`` points per shard) so
+keys spread evenly even at small shard counts, and so growing from N to
+N+1 shards remaps only ~1/(N+1) of the key space — a restarted service
+scaled up one shard keeps most of its warehouse locality.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.sim.store import StoreKey
+
+__all__ = ["ShardRouter", "canonical_key_bytes"]
+
+
+def canonical_key_bytes(key: StoreKey) -> bytes:
+    """The canonical byte representation of a run_key.
+
+    ``repr`` of the key tuple is deterministic: run_keys are tuples of
+    strings and frozen config dataclasses, whose generated ``repr``
+    lists every field in declaration order.
+    """
+    return repr(key).encode("utf-8")
+
+
+def _point(token: str) -> int:
+    """One ring position: a 64-bit digest of ``token``."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps canonical run_keys onto shard indices via a hash ring.
+
+    Args:
+        num_shards: Shards to route across (>= 1).
+        replicas: Virtual nodes per shard; more replicas smooth the
+            distribution at the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, num_shards: int, replicas: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(replicas):
+                points.append((_point(f"shard:{shard}:replica:{replica}"),
+                               shard))
+        points.sort()
+        self._ring = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, key: StoreKey) -> int:
+        """The shard index owning ``key`` (stable across processes)."""
+        if self.num_shards == 1:
+            return 0
+        where = bisect.bisect_right(self._ring, _point_of(key))
+        return self._owners[where % len(self._owners)]
+
+
+def _point_of(key: StoreKey) -> int:
+    digest = hashlib.blake2b(
+        canonical_key_bytes(key), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")

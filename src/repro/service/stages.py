@@ -1,0 +1,499 @@
+"""Composable pipeline stages: admission, coalescing, batching, execution.
+
+The request pipeline used to be one monolithic ``SimulationService``;
+it is now four small stages, each behind the :class:`PipelineStage`
+protocol, so a shard (:class:`~repro.service.pipeline.ShardPipeline`)
+is just a wired stack of stages with its own metrics scope:
+
+* :class:`Admission` — the bounded intake queue.  A request that cannot
+  be enqueued raises :class:`Backpressure` with a retry-after hint
+  instead of queueing unbounded work;
+* :class:`Coalescer` — the run_key-shared future map.  Identical
+  configurations *in flight* share one computation;
+* :class:`Batcher` — the drain loop.  Sizes each engine batch from the
+  observed queue depth and lingers (briefly, and only when jobs are
+  expensive enough for batching to pay) to let concurrent clients pile
+  in; owns the per-job latency EMA that both the linger and the
+  retry-after hint scale from;
+* :class:`Executor` — engine dispatch.  Runs
+  :meth:`~repro.sim.engine.StagedEngine.run_many` off the event loop
+  and turns engine-infrastructure crashes into
+  :class:`~repro.sim.engine.FailedJob` slots, never a hung future.
+
+Every stage implements the same protocol surface — a ``name``, a
+``snapshot()`` of its operational state, and an async ``drain()`` for
+shutdown — which ``repro lint`` rule R003 verifies stays in lock-step
+across implementations (a stage that drifts from the protocol cannot
+be wired into a shard).
+
+The structured error types (:class:`ServiceError`, :class:`Backpressure`,
+:class:`SimulationFailed`) live here with the stages that raise them;
+:mod:`repro.service.pipeline` re-exports them unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.service.clock import Clock
+from repro.service.metrics import MetricsScope
+from repro.sim.engine import FailedJob, SimJob, StagedEngine
+from repro.sim.store import StoreKey
+
+__all__ = [
+    "Admission",
+    "Backpressure",
+    "Batcher",
+    "Coalescer",
+    "Executor",
+    "Pending",
+    "PipelineStage",
+    "SHUTDOWN",
+    "ServiceError",
+    "SimulationFailed",
+]
+
+_log = logging.getLogger("repro.service.stages")
+
+#: Exponential-moving-average weight for per-job latency observations.
+_EMA_ALPHA = 0.3
+
+#: Fraction of the per-job latency the batcher is willing to linger for
+#: more arrivals; cheap jobs get (almost) no linger, expensive jobs get
+#: up to the configured cap.
+_LINGER_FRACTION = 0.25
+
+#: Queue sentinel: the batcher exits when it takes this item.
+SHUTDOWN = object()
+
+
+class ServiceError(Exception):
+    """Base class for structured service-level failures."""
+
+
+class Backpressure(ServiceError):
+    """The pending queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float, queue_depth: int) -> None:
+        super().__init__(
+            f"service queue is full ({queue_depth} pending); "
+            f"retry in {retry_after_s:.2f}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.queue_depth = queue_depth
+
+
+class SimulationFailed(ServiceError):
+    """The engine could not produce a result for this job.
+
+    Attributes:
+        reason: ``"error"`` or ``"timeout"`` (see
+            :class:`~repro.sim.engine.FailedJob`).
+        detail: Traceback text of the final attempt (may be empty).
+        attempts: How many times the engine tried.
+    """
+
+    def __init__(self, reason: str, detail: str, attempts: int) -> None:
+        super().__init__(f"simulation failed ({reason}) after "
+                         f"{attempts} attempt(s)")
+        self.reason = reason
+        self.detail = detail
+        self.attempts = attempts
+
+
+@dataclass
+class Pending:
+    """One enqueued computation and everyone waiting on it."""
+
+    key: StoreKey
+    job: SimJob
+    future: asyncio.Future = field(repr=False)
+
+
+class PipelineStage(Protocol):
+    """The contract every pipeline stage implements.
+
+    A stage is a small, independently-testable unit of the per-shard
+    request path.  Beyond its stage-specific operations, every stage
+    exposes the same three-part surface so shards can wire, observe,
+    and shut down any stack of stages uniformly — and so ``repro lint``
+    rule R003 can hold implementations to the protocol signature:
+
+    * ``name`` — a stable label used in snapshots and metrics;
+    * ``snapshot()`` — a JSON-ready view of the stage's operational
+      state (queue depth, in-flight count, latency EMA, ...);
+    * ``drain()`` — release the stage's resources at shutdown; called
+      in pipeline order, must be idempotent, and must never strand a
+      waiter on an unresolved future.
+    """
+
+    name: str
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of the stage's operational state."""
+        ...
+
+    async def drain(self) -> None:
+        """Release the stage's resources at shutdown (idempotent)."""
+        ...
+
+
+class Admission:
+    """Stage 1: the bounded intake queue with explicit backpressure.
+
+    Args:
+        max_queue: Pending (not yet batched) jobs held before new work
+            is rejected with :class:`Backpressure`.
+        metrics: The shard's metrics scope.
+        retry_after: Maps the current queue depth to the retry-after
+            hint sent with a rejection (wired to
+            :meth:`Batcher.suggest_retry_after`, which scales the hint
+            by the observed per-job latency).
+    """
+
+    name = "admission"
+
+    def __init__(
+        self,
+        max_queue: int,
+        metrics: MetricsScope,
+        retry_after: Callable[[int], float],
+    ) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
+        self._metrics = metrics
+        self._retry_after = retry_after
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (excluding any shutdown sentinel)."""
+        return self._queue.qsize()
+
+    async def offer(self, pending: Pending, wait: bool) -> None:
+        """Enqueue one pending computation.
+
+        ``wait=False`` (external requests) raises :class:`Backpressure`
+        when the queue is full; ``wait=True`` (internal fan-outs like
+        sweeps) awaits queue space instead, so a large expansion
+        throttles itself rather than being rejected.
+        """
+        if wait:
+            await self._queue.put(pending)
+        else:
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self._metrics.counter("rejected_total").inc()
+                raise Backpressure(
+                    self._retry_after(self.depth), self.depth
+                ) from None
+        self._metrics.gauge("queue_depth").set(self.depth)
+
+    async def take(self) -> object:
+        """Await the next queued item (a :class:`Pending` or ``SHUTDOWN``)."""
+        return await self._queue.get()
+
+    def take_nowait(self) -> object | None:
+        """The next queued item, or ``None`` when the queue is empty."""
+        try:
+            return self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+
+    async def push_shutdown(self) -> None:
+        """Enqueue the shutdown sentinel (the batcher exits on it)."""
+        await self._queue.put(SHUTDOWN)
+
+    def snapshot(self) -> dict:
+        """Queue depth and bound."""
+        return {"queue_depth": self.depth, "max_queue": self._queue.maxsize}
+
+    async def drain(self) -> None:
+        """Fail anything still queued — it will never run.
+
+        Called after the batcher has exited: whatever is left behind
+        the sentinel (a sweep's blocked ``put`` landing late, say) gets
+        a loud :class:`ServiceError` instead of a hung future.
+        """
+        while True:
+            item = self.take_nowait()
+            if item is None:
+                break
+            if item is SHUTDOWN or not isinstance(item, Pending):
+                continue
+            if not item.future.done():
+                item.future.set_exception(
+                    ServiceError("service stopped before the job ran")
+                )
+        self._metrics.gauge("queue_depth").set(0)
+
+
+class Coalescer:
+    """Stage 2: identical in-flight configurations share one future.
+
+    The map is keyed by the canonical
+    :func:`~repro.sim.stages.run_key`, so two requests that mean the
+    same simulation — however they were spelled on the wire — join the
+    same computation.  Entries are registered when a job is enqueued
+    and resolved when its batch completes.
+    """
+
+    name = "coalescer"
+
+    def __init__(self, metrics: MetricsScope) -> None:
+        self._inflight: dict[StoreKey, Pending] = {}
+        self._metrics = metrics
+
+    def join(self, key: StoreKey) -> Pending | None:
+        """The in-flight computation for ``key``, counting the share."""
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self._metrics.counter("coalesced_total").inc()
+        return pending
+
+    def register(self, pending: Pending) -> None:
+        """Track a newly enqueued computation for later joiners."""
+        self._inflight[pending.key] = pending
+
+    def resolve(self, key: StoreKey) -> None:
+        """Drop a completed (or failed) computation from the map."""
+        self._inflight.pop(key, None)
+
+    @property
+    def inflight(self) -> int:
+        """Computations currently tracked."""
+        return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """The in-flight computation count."""
+        return {"inflight": self.inflight}
+
+    async def drain(self) -> None:
+        """Forget every tracked computation (their futures are already
+        resolved by the batcher or failed by admission's drain)."""
+        self._inflight.clear()
+
+
+class Batcher:
+    """Stage 3: adaptive batch assembly and the shard's pacing brain.
+
+    One batcher task drains the admission queue into executor calls,
+    sizing each batch from the observed queue depth and lingering
+    (briefly, and only when jobs are expensive enough for batching to
+    pay) to let concurrent clients pile in.  It owns the per-job
+    latency EMA, from which both the linger and admission's
+    retry-after hint derive.
+
+    Args:
+        max_batch: Largest job count handed to one executor call.
+        linger_s: Upper bound on how long a batch waits for company.
+        retry_after_floor: Floor of the retry-after hint.
+        clock: Monotonic time source.
+        metrics: The shard's metrics scope.
+    """
+
+    name = "batcher"
+
+    def __init__(
+        self,
+        max_batch: int,
+        linger_s: float,
+        retry_after_floor: float,
+        clock: Clock,
+        metrics: MetricsScope,
+    ) -> None:
+        self._max_batch = max_batch
+        self._linger_cap = linger_s
+        self._retry_after_floor = retry_after_floor
+        self._clock = clock
+        self._metrics = metrics
+        self._ema: float | None = None
+        self._task: asyncio.Task | None = None
+        self._admission: Admission | None = None
+        self._coalescer: Coalescer | None = None
+        self._executor: "Executor | None" = None
+
+    @property
+    def job_latency_ema(self) -> float | None:
+        """Observed per-job latency EMA, seconds (``None`` until the
+        first batch completes)."""
+        return self._ema
+
+    def start(
+        self,
+        admission: Admission,
+        coalescer: Coalescer,
+        executor: "Executor",
+        task_name: str = "repro-service-batcher",
+    ) -> None:
+        """Wire the stack and spawn the drain task; idempotent."""
+        if self._task is not None:
+            return
+        self._admission = admission
+        self._coalescer = coalescer
+        self._executor = executor
+        self._task = asyncio.get_running_loop().create_task(
+            self._loop(), name=task_name
+        )
+
+    def suggest_retry_after(self, queue_depth: int) -> float:
+        """A retry-after hint scaled to how far behind the shard is."""
+        if self._ema is None:
+            return self._retry_after_floor
+        backlog_batches = 1 + queue_depth // self._max_batch
+        estimate = self._ema * self._max_batch * backlog_batches
+        return min(30.0, max(self._retry_after_floor, estimate))
+
+    def _linger_seconds(self) -> float:
+        """How long this batch should wait for company.
+
+        Adapts to observed per-job latency: when jobs are cheap,
+        lingering would dominate service time, so the batcher skips it;
+        when jobs are expensive, a bounded linger lets concurrent
+        clients join the batch (and coalesce duplicates) at negligible
+        relative cost.
+        """
+        if self._ema is None:
+            return self._linger_cap
+        return min(self._linger_cap, self._ema * _LINGER_FRACTION)
+
+    def _target_batch_size(self, queue_depth: int) -> int:
+        """Batch size adapted to the observed queue depth."""
+        return max(1, min(self._max_batch, 1 + queue_depth))
+
+    async def _loop(self) -> None:
+        admission = self._admission
+        assert admission is not None, "start() wires the stack first"
+        while True:
+            item = await admission.take()
+            if item is SHUTDOWN:
+                return
+            assert isinstance(item, Pending)
+            linger = self._linger_seconds()
+            if linger > 0 and admission.depth == 0:
+                await asyncio.sleep(linger)
+            batch = [item]
+            target = self._target_batch_size(admission.depth)
+            while len(batch) < target:
+                extra = admission.take_nowait()
+                if extra is None:
+                    break
+                if extra is SHUTDOWN:
+                    # Put the sentinel back for the next loop turn so
+                    # the current batch still completes.
+                    await admission.push_shutdown()
+                    break
+                assert isinstance(extra, Pending)
+                batch.append(extra)
+            self._metrics.gauge("queue_depth").set(admission.depth)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[Pending]) -> None:
+        assert self._executor is not None and self._coalescer is not None
+        started = self._clock.monotonic()
+        results = await self._executor.execute([item.job for item in batch])
+        elapsed = self._clock.monotonic() - started
+        per_job = elapsed / len(batch)
+        self._ema = (
+            per_job if self._ema is None
+            else _EMA_ALPHA * per_job + (1 - _EMA_ALPHA) * self._ema
+        )
+        metrics = self._metrics
+        metrics.counter("batches_total").inc()
+        metrics.counter("engine_jobs_total").inc(len(batch))
+        metrics.histogram("batch_size").observe(len(batch))
+        metrics.histogram("batch_latency_s").observe(elapsed)
+        metrics.gauge("job_latency_ema_s").set(self._ema)
+        for item, result in zip(batch, results, strict=True):
+            self._coalescer.resolve(item.key)
+            if isinstance(result, FailedJob):
+                metrics.counter(f"failed_{result.reason}_total").inc()
+            if not item.future.done():
+                item.future.set_result(result)
+
+    def snapshot(self) -> dict:
+        """Latency EMA, batch bound, and whether the task is running."""
+        return {
+            "job_latency_ema_s": self._ema,
+            "max_batch": self._max_batch,
+            "running": self._task is not None,
+        }
+
+    async def drain(self) -> None:
+        """Push the shutdown sentinel and wait for the task to exit."""
+        if self._task is None:
+            return
+        assert self._admission is not None
+        await self._admission.push_shutdown()
+        await self._task
+        self._task = None
+
+
+class Executor:
+    """Stage 4: engine dispatch off the event loop.
+
+    Runs :meth:`~repro.sim.engine.StagedEngine.run_many` in a thread so
+    the event loop stays responsive, and absorbs engine-infrastructure
+    crashes (not per-job failures — the hardened engine already types
+    those) into :class:`~repro.sim.engine.FailedJob` slots, so a
+    broken pool can never hang a waiter.
+
+    Args:
+        engine: The engine to drive.
+        max_workers: Engine process-pool width per batch (``None``
+            uses the engine default; 1 = in-process).
+        job_timeout: Per-job seconds before the engine declares a
+            :class:`~repro.sim.engine.FailedJob` (pool runs only).
+        retries: Engine-level re-attempts per job.
+        metrics: The shard's metrics scope.
+    """
+
+    name = "executor"
+
+    def __init__(
+        self,
+        engine: StagedEngine,
+        max_workers: int | None,
+        job_timeout: float | None,
+        retries: int,
+        metrics: MetricsScope,
+    ) -> None:
+        self.engine = engine
+        self._max_workers = max_workers
+        self._job_timeout = job_timeout
+        self._retries = retries
+        self._metrics = metrics
+
+    async def execute(self, jobs: list[SimJob]) -> list:
+        """Run one batch; one result or :class:`FailedJob` per slot."""
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, self._run_many, jobs)
+        except Exception as exc:  # engine infrastructure, not a job
+            _log.exception(
+                "batch of %d job(s) failed in the engine", len(jobs)
+            )
+            failure = FailedJob(job=None, reason="error", error=repr(exc))
+            return [failure] * len(jobs)
+
+    def _run_many(self, jobs: list[SimJob]) -> list:
+        return self.engine.run_many(
+            jobs,
+            max_workers=self._max_workers,
+            job_timeout=self._job_timeout,
+            retries=self._retries,
+        )
+
+    def snapshot(self) -> dict:
+        """The engine-dispatch knobs."""
+        return {
+            "max_workers": self._max_workers,
+            "job_timeout": self._job_timeout,
+            "retries": self._retries,
+        }
+
+    async def drain(self) -> None:
+        """Nothing to release — batches own their pool lifetimes."""
+        return None

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Hashable, Iterator
 
+from repro.sim.warehouse import SegmentWarehouse
+
 __all__ = ["ResultStore", "StoreStats", "RESULT_STORE", "default_store"]
 
 #: Environment variable naming a pickle file the global store persists to.
@@ -36,6 +38,10 @@ STORE_PATH_ENV = "REPRO_RESULT_STORE"
 #: Environment variable capping the global store's entry count (LRU).
 STORE_MAX_ENV = "REPRO_RESULT_STORE_MAX"
 
+#: Environment variable naming the warehouse directory for the global
+#: store's disk tier (unset = memory-only).
+WAREHOUSE_ENV = "REPRO_WAREHOUSE"
+
 #: Format of the persisted payload.  Bumped whenever the pickle layout
 #: (or the meaning of stored entries) changes incompatibly; a store
 #: written under any other version is discarded with a warning instead
@@ -43,6 +49,9 @@ STORE_MAX_ENV = "REPRO_RESULT_STORE_MAX"
 STORE_FORMAT_VERSION = 2
 
 StoreKey = tuple[Hashable, ...]
+
+#: Internal "no value" marker (``None`` is a legitimate stored value).
+_ABSENT = object()
 
 
 @dataclass(frozen=True)
@@ -56,6 +65,11 @@ class StoreStats:
         evictions: Entries dropped by the LRU cap since
             construction/load (always 0 for an uncapped store).
         max_entries: The LRU cap, or ``None`` when unbounded.
+        disk_hits: Lookups served by the warehouse tier (0 when the
+            store has no warehouse).
+        promotions: Warehouse reads promoted into the memory LRU.
+        warehouse_segments: Segment files in the warehouse tier.
+        warehouse_bytes: Total bytes across warehouse segments.
     """
 
     hits: int
@@ -63,6 +77,10 @@ class StoreStats:
     size: int
     evictions: int = 0
     max_entries: int | None = None
+    disk_hits: int = 0
+    promotions: int = 0
+    warehouse_segments: int = 0
+    warehouse_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,12 +105,20 @@ class ResultStore:
             eviction is counted (see :class:`StoreStats`), so an
             undersized cap is visible in ``repro cache-stats`` and the
             service's ``/metrics`` instead of silently thrashing.
+        warehouse: The durable disk tier beneath the memory LRU: a
+            :class:`~repro.sim.warehouse.SegmentWarehouse`, or a
+            directory path to open one at.  Lookups read through to it
+            (a warehouse hit is **promoted** into memory), writes go
+            write-behind into its append-only segments, and a restarted
+            process pointed at the same directory warm-starts its
+            cache.  ``None`` (the default) keeps the store memory-only.
     """
 
     def __init__(
         self,
         path: str | Path | None = None,
         max_entries: int | None = None,
+        warehouse: SegmentWarehouse | str | Path | None = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(
@@ -102,7 +128,12 @@ class ResultStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._promotions = 0
         self.max_entries = max_entries
+        if warehouse is None or isinstance(warehouse, SegmentWarehouse):
+            self.warehouse = warehouse
+        else:
+            self.warehouse = SegmentWarehouse(warehouse)
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self.load(self.path)
@@ -112,10 +143,18 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def get_or_compute(self, key: StoreKey, compute: Callable[[], Any]) -> Any:
-        """Return the stored value for ``key``, computing it on a miss."""
+        """Return the stored value for ``key``, computing it on a miss.
+
+        Lookup order: the memory LRU, then the warehouse tier (a disk
+        hit counts as a store hit and the entry is promoted into
+        memory), then ``compute``.
+        """
         try:
             value = self._entries[key]
         except KeyError:
+            promoted = self._promote(key)
+            if promoted is not _ABSENT:
+                return promoted
             self._misses += 1
             value = compute()
             self.put(key, value)
@@ -130,13 +169,36 @@ class ResultStore:
             self._hits += 1
             self._touch(key)
             return self._entries[key]
+        promoted = self._promote(key)
+        if promoted is not _ABSENT:
+            return promoted
         return default
 
     def put(self, key: StoreKey, value: Any) -> None:
-        """Insert (or overwrite) an entry, evicting LRU ones over the cap."""
+        """Insert (or overwrite) an entry, evicting LRU ones over the cap.
+
+        With a warehouse attached, the entry also lands (write-behind,
+        append-once) in the disk tier, so it survives both LRU eviction
+        and process restart.
+        """
         self._entries.pop(key, None)  # re-insert at the recent end
         self._entries[key] = value
+        if self.warehouse is not None:
+            self.warehouse.put(key, value)
         self._evict_over_cap()
+
+    def _promote(self, key: StoreKey) -> Any:
+        """Read ``key`` through to the warehouse, promoting a hit into
+        the memory LRU; returns ``_ABSENT`` on a true miss."""
+        if self.warehouse is None or key not in self.warehouse:
+            return _ABSENT
+        value = self.warehouse.get(key, _ABSENT)
+        if value is _ABSENT:
+            return _ABSENT
+        self._hits += 1
+        self._promotions += 1
+        self.put(key, value)
+        return value
 
     def _touch(self, key: StoreKey) -> None:
         """Mark ``key`` most-recently-used (dicts preserve insert order)."""
@@ -152,7 +214,9 @@ class ResultStore:
             self._evictions += 1
 
     def __contains__(self, key: StoreKey) -> bool:
-        return key in self._entries
+        if key in self._entries:
+            return True
+        return self.warehouse is not None and key in self.warehouse
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -180,21 +244,43 @@ class ResultStore:
         return self._evictions
 
     def stats(self) -> StoreStats:
-        """A snapshot of the store's counters."""
+        """A snapshot of the store's counters (and the warehouse's)."""
+        disk_hits = 0
+        warehouse_segments = 0
+        warehouse_bytes = 0
+        if self.warehouse is not None:
+            wh = self.warehouse.stats()
+            disk_hits = wh.disk_hits
+            warehouse_segments = wh.segment_count
+            warehouse_bytes = wh.segment_bytes
         return StoreStats(
             hits=self._hits,
             misses=self._misses,
             size=len(self),
             evictions=self._evictions,
             max_entries=self.max_entries,
+            disk_hits=disk_hits,
+            promotions=self._promotions,
+            warehouse_segments=warehouse_segments,
+            warehouse_bytes=warehouse_bytes,
         )
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every memory entry and reset the counters.
+
+        The warehouse tier is durable by design and is *not* cleared —
+        it is the thing that survives restarts.
+        """
         self._entries.clear()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._promotions = 0
+
+    def flush(self) -> None:
+        """Flush the warehouse tier's write-behind buffer (if any)."""
+        if self.warehouse is not None:
+            self.warehouse.flush()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -228,6 +314,7 @@ class ResultStore:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
             raise
+        self.flush()
         return target
 
     def load(self, path: str | Path) -> None:
@@ -320,9 +407,12 @@ def _env_max_entries() -> int | None:
 
 def default_store() -> ResultStore:
     """Build the process-wide store, honouring ``REPRO_RESULT_STORE``
-    (persistence path) and ``REPRO_RESULT_STORE_MAX`` (LRU entry cap)."""
+    (persistence path), ``REPRO_RESULT_STORE_MAX`` (LRU entry cap), and
+    ``REPRO_WAREHOUSE`` (disk-tier directory)."""
     return ResultStore(
-        path=os.environ.get(STORE_PATH_ENV), max_entries=_env_max_entries()
+        path=os.environ.get(STORE_PATH_ENV),
+        max_entries=_env_max_entries(),
+        warehouse=os.environ.get(WAREHOUSE_ENV) or None,
     )
 
 

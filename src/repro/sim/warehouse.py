@@ -1,0 +1,370 @@
+"""Append-only segment-file warehouse: the disk tier under the store.
+
+The in-memory :class:`~repro.sim.store.ResultStore` LRU dies with the
+process; the warehouse is the durable tier beneath it.  Entries the
+store writes (or evicts past) land in append-only **segment files**, so
+a restarted service warm-starts its cache by reading results back from
+disk instead of recomputing them.
+
+Design, in the same spirit as the store's persistence semantics:
+
+* **append-only records** — each ``put`` appends one length-prefixed,
+  CRC-guarded record (pickled key + pickled value) to the active
+  segment; nothing is ever rewritten in place, so a crash can only
+  damage the tail of one file;
+* **torn-tail recovery** — on open, each segment is scanned record by
+  record; a truncated or CRC-failing tail (the signature of a crash
+  mid-append) is cut back to the last good record with a warning, and
+  appending resumes from there;
+* **quarantine** — a segment whose *header* is unreadable (wrong magic,
+  short file) is renamed to ``<name>.corrupt`` so the broken bytes
+  survive for inspection, mirroring
+  :meth:`~repro.sim.store.ResultStore.load`;
+* **versioning** — segment headers carry
+  :data:`PAYLOAD_FORMAT_VERSION`, kept in lock-step with the store's
+  ``STORE_FORMAT_VERSION`` (a unit test asserts the pairing); a
+  segment written under another version is set aside as ``<name>.stale``
+  rather than misread;
+* **write-behind** — ``put`` buffers records in memory and ``flush``
+  appends them in one pass (the service flushes on shutdown and the
+  store flushes on :meth:`~repro.sim.store.ResultStore.save`), so the
+  request path never waits on disk;
+* **fork safety** — only the process that opened the warehouse appends
+  to it; engine pool workers inherit a read-only view, so parent and
+  children can never interleave writes into one segment.
+
+The index (key → segment/offset) lives in memory; ``get`` seeks and
+reads one value on demand, so warm-starting a large warehouse costs a
+key scan, not a full load.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable, Iterator
+
+__all__ = ["PAYLOAD_FORMAT_VERSION", "SegmentWarehouse", "WarehouseStats"]
+
+WarehouseKey = tuple[Hashable, ...]
+
+#: Format of the stored payloads.  Kept in lock-step with the store's
+#: ``STORE_FORMAT_VERSION`` (the two tiers persist the same pickled
+#: values); bumped together whenever the payload layout changes
+#: incompatibly.
+PAYLOAD_FORMAT_VERSION = 2
+
+#: Eight magic bytes opening every segment file.
+_MAGIC = b"RPROWHSE"
+
+#: Segment header: magic + little-endian u32 format version.
+_HEADER = struct.Struct("<8sI")
+
+#: Record preamble: key length, value length, CRC32 of key+value bytes.
+_RECORD = struct.Struct("<III")
+
+
+@dataclass(frozen=True)
+class WarehouseStats:
+    """Counters describing a :class:`SegmentWarehouse`.
+
+    Attributes:
+        entries: Keys currently indexed.
+        disk_hits: ``get`` calls served by reading a segment.
+        appends: Records written to segments since open.
+        segment_count: Segment files on disk.
+        segment_bytes: Total bytes across segment files.
+        pending: Buffered write-behind records not yet flushed.
+    """
+
+    entries: int
+    disk_hits: int
+    appends: int
+    segment_count: int
+    segment_bytes: int
+    pending: int
+
+
+class SegmentWarehouse:
+    """The append-only disk tier beneath a ResultStore.
+
+    Args:
+        root: Directory holding the segment files (created on demand).
+        segment_max_bytes: Soft size bound per segment; the active
+            segment rolls over to a new file once it grows past this.
+        flush_every: Auto-flush the write-behind buffer once this many
+            records are pending (the request path still never waits on
+            disk for an individual ``put``).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        segment_max_bytes: int = 8 << 20,
+        flush_every: int = 32,
+    ) -> None:
+        if segment_max_bytes < 1:
+            raise ValueError(
+                f"segment_max_bytes must be >= 1, got {segment_max_bytes}"
+            )
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.root = Path(root)
+        self.segment_max_bytes = segment_max_bytes
+        self.flush_every = flush_every
+        self._index: dict[WarehouseKey, tuple[Path, int, int]] = {}
+        self._pending: dict[WarehouseKey, Any] = {}
+        self._disk_hits = 0
+        self._appends = 0
+        self._owner_pid = os.getpid()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._segments = sorted(self.root.glob("segment-*.seg"))
+        for segment in list(self._segments):
+            self._scan(segment)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: WarehouseKey) -> bool:
+        return key in self._pending or key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index.keys() | self._pending.keys())
+
+    def __iter__(self) -> Iterator[WarehouseKey]:
+        return iter(self._index.keys() | self._pending.keys())
+
+    def get(self, key: WarehouseKey, default: Any = None) -> Any:
+        """Read one value (from the buffer, or by seeking its segment)."""
+        if key in self._pending:
+            self._disk_hits += 1
+            return self._pending[key]
+        try:
+            path, offset, length = self._index[key]
+        except KeyError:
+            return default
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read(length)
+        if len(blob) != length:
+            # The segment shrank underneath the index (external
+            # truncation); treat as a miss rather than misread.
+            warnings.warn(
+                f"warehouse segment {path} shorter than indexed; "
+                f"dropping entry",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._index.pop(key, None)
+            return default
+        self._disk_hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: WarehouseKey, value: Any) -> None:
+        """Buffer one record for the next :meth:`flush`.
+
+        Append-once: a key already on disk is not rewritten (results
+        are deterministic, so the first copy is as good as any).
+        """
+        if key in self._index or key in self._pending:
+            return
+        self._pending[key] = value
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Append every buffered record to the active segment.
+
+        Returns the number of records written.  A no-op in forked
+        children: only the opening process may append, so pool workers
+        inheriting this warehouse can never interleave writes with the
+        parent (their buffered puts simply stay in-memory for their
+        short lives).
+        """
+        if not self._pending:
+            return 0
+        if os.getpid() != self._owner_pid:
+            return 0
+        written = 0
+        segment = self._active_segment()
+        with open(segment, "ab") as handle:
+            handle.seek(0, os.SEEK_END)  # tell() is pinned to EOF
+            for key, value in self._pending.items():
+                offset = handle.tell()
+                key_blob = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+                val_blob = pickle.dumps(
+                    value, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                crc = zlib.crc32(key_blob + val_blob)
+                handle.write(
+                    _RECORD.pack(len(key_blob), len(val_blob), crc)
+                )
+                handle.write(key_blob)
+                handle.write(val_blob)
+                value_offset = offset + _RECORD.size + len(key_blob)
+                self._index[key] = (segment, value_offset, len(val_blob))
+                written += 1
+                self._appends += 1
+                if handle.tell() >= self.segment_max_bytes:
+                    handle.flush()
+                    segment = self._roll_over()
+                    break
+        self._pending = {
+            key: value
+            for key, value in self._pending.items()
+            if key not in self._index
+        }
+        if self._pending:
+            # A roll-over interrupted the pass; finish into the new
+            # segment (recurses at most once per extra segment).
+            written += self.flush()
+        return written
+
+    def _active_segment(self) -> Path:
+        if not self._segments:
+            self._segments.append(self.root / "segment-000000.seg")
+            self._write_header(self._segments[-1])
+        active = self._segments[-1]
+        if active.stat().st_size >= self.segment_max_bytes:
+            active = self._roll_over()
+        return active
+
+    def _roll_over(self) -> Path:
+        number = len(self._segments)
+        while True:
+            candidate = self.root / f"segment-{number:06d}.seg"
+            if not candidate.exists():
+                break
+            number += 1
+        self._write_header(candidate)
+        self._segments.append(candidate)
+        return candidate
+
+    @staticmethod
+    def _write_header(path: Path) -> None:
+        with open(path, "xb") as handle:
+            handle.write(_HEADER.pack(_MAGIC, PAYLOAD_FORMAT_VERSION))
+
+    # ------------------------------------------------------------------
+    # Recovery scan
+    # ------------------------------------------------------------------
+
+    def _scan(self, segment: Path) -> None:
+        """Index one segment, recovering or quarantining as needed."""
+        try:
+            handle = open(segment, "rb")
+        except OSError as exc:
+            warnings.warn(
+                f"warehouse segment {segment} unreadable ({exc!r}); "
+                "skipping it",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._segments.remove(segment)
+            return
+        with handle:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size or header[:8] != _MAGIC:
+                self._set_aside(segment, "corrupt", "bad or short header")
+                return
+            (_, version) = _HEADER.unpack(header)
+            if version != PAYLOAD_FORMAT_VERSION:
+                self._set_aside(
+                    segment, "stale",
+                    f"format version {version}, "
+                    f"expected {PAYLOAD_FORMAT_VERSION}",
+                )
+                return
+            good_end = self._index_records(segment, handle)
+        size = segment.stat().st_size
+        if good_end < size:
+            # Torn tail from a crash mid-append: cut back to the last
+            # good record so appending can resume cleanly.
+            warnings.warn(
+                f"warehouse segment {segment} has a torn tail "
+                f"({size - good_end} byte(s)); truncating to last good "
+                "record",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            if os.getpid() == self._owner_pid:
+                with open(segment, "r+b") as repair:
+                    repair.truncate(good_end)
+
+    def _index_records(self, segment: Path, handle: io.BufferedReader) -> int:
+        """Index ``segment``'s records; returns the last good offset."""
+        good_end = _HEADER.size
+        while True:
+            preamble = handle.read(_RECORD.size)
+            if len(preamble) < _RECORD.size:
+                break
+            key_len, val_len, crc = _RECORD.unpack(preamble)
+            key_blob = handle.read(key_len)
+            val_blob = handle.read(val_len)
+            if len(key_blob) < key_len or len(val_blob) < val_len:
+                break
+            if zlib.crc32(key_blob + val_blob) != crc:
+                break
+            try:
+                key = pickle.loads(key_blob)
+            except Exception:
+                break
+            value_offset = good_end + _RECORD.size + key_len
+            self._index[key] = (segment, value_offset, val_len)
+            good_end = value_offset + val_len
+        return good_end
+
+    def _set_aside(self, segment: Path, suffix: str, why: str) -> None:
+        """Rename a bad segment out of the way; best effort."""
+        target = segment.with_name(segment.name + f".{suffix}")
+        where = ""
+        try:
+            os.replace(segment, target)
+            where = f" (set aside as {target.name})"
+        except OSError:
+            pass
+        warnings.warn(
+            f"warehouse segment {segment} ignored: {why}{where}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._segments.remove(segment)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def disk_hits(self) -> int:
+        """``get`` calls served by the warehouse."""
+        return self._disk_hits
+
+    def stats(self) -> WarehouseStats:
+        """A snapshot of the warehouse's counters and footprint."""
+        segment_bytes = 0
+        segment_count = 0
+        for segment in self._segments:
+            try:
+                segment_bytes += segment.stat().st_size
+                segment_count += 1
+            except OSError:
+                continue
+        return WarehouseStats(
+            entries=len(self),
+            disk_hits=self._disk_hits,
+            appends=self._appends,
+            segment_count=segment_count,
+            segment_bytes=segment_bytes,
+            pending=len(self._pending),
+        )

@@ -13,12 +13,14 @@ from pathlib import Path
 import pytest
 
 # A [tool.repro.analysis] block that disables the project-level checks
-# (engine tiers, transfer models) so file-rule fixtures stay minimal.
+# (engine tiers, transfer models, stage protocol) so file-rule fixtures
+# stay minimal.
 FILE_RULES_ONLY = """
 [tool.repro.analysis]
 tier_classes = []
 dispatch_class = ""
 check_transfer_models = false
+stage_protocol = ""
 """
 
 

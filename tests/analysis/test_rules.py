@@ -219,6 +219,7 @@ tier_methods = ["__init__", "run", "supports"]
 dispatch_class = "src/repro/d.py:Dispatch"
 dispatch_methods = ["run"]
 check_transfer_models = false
+stage_protocol = ""
 """
 
 _ENGINE_A = """
@@ -333,6 +334,146 @@ class TestTierParity:
         rule = TierParityRule()
         config = replace(AnalysisConfig(), check_transfer_models=True)
         assert list(rule._check_models(config)) == []
+
+
+# -- R003: stage-protocol conformance ----------------------------------
+
+
+_STAGE_CONFIG = """
+[tool.repro.analysis]
+tier_classes = []
+dispatch_class = ""
+check_transfer_models = false
+stage_protocol = "src/repro/stages.py:Stage"
+stage_classes = ["src/repro/stages.py:Good", "src/repro/other.py:Far"]
+"""
+
+_STAGE_PROTOCOL = """
+from typing import Protocol
+
+class Stage(Protocol):
+    name: str
+
+    def snapshot(self) -> dict:
+        ...
+
+    async def drain(self) -> None:
+        ...
+"""
+
+_GOOD_STAGE = """
+class Good:
+    name = "good"
+
+    def snapshot(self) -> dict:
+        return {}
+
+    async def drain(self) -> None:
+        return None
+
+    def extra_method(self, x, y=1):
+        return x + y
+"""
+
+
+class TestStageProtocol:
+    def test_conforming_stages_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE,
+                "src/repro/other.py": _GOOD_STAGE.replace("Good", "Far"),
+            },
+            _STAGE_CONFIG,
+        )
+        assert lint(root, "R003") == []
+
+    def test_sync_drain_is_flagged(self, make_repo):
+        # Same signature, wrong async-ness: awaiting a sync drain at
+        # shutdown is exactly the drift the rule exists to catch.
+        drifted = _GOOD_STAGE.replace("Good", "Far").replace(
+            "async def drain", "def drain"
+        )
+        root = make_repo(
+            {
+                "src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE,
+                "src/repro/other.py": drifted,
+            },
+            _STAGE_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "async" in findings[0].message
+        assert "Far.drain" in findings[0].message
+
+    def test_missing_protocol_method_is_flagged(self, make_repo):
+        stripped = _GOOD_STAGE.replace("Good", "Far").replace(
+            "    def snapshot(self) -> dict:\n        return {}\n", ""
+        )
+        root = make_repo(
+            {
+                "src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE,
+                "src/repro/other.py": stripped,
+            },
+            _STAGE_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "missing the Stage method 'snapshot'" in findings[0].message
+
+    def test_missing_name_attribute_is_flagged(self, make_repo):
+        nameless = _GOOD_STAGE.replace("Good", "Far").replace(
+            '    name = "good"\n', ""
+        )
+        root = make_repo(
+            {
+                "src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE,
+                "src/repro/other.py": nameless,
+            },
+            _STAGE_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "attribute 'name'" in findings[0].message
+
+    def test_signature_drift_is_flagged(self, make_repo):
+        drifted = _GOOD_STAGE.replace("Good", "Far").replace(
+            "def snapshot(self) -> dict:", "def snapshot(self, deep) -> dict:"
+        )
+        root = make_repo(
+            {
+                "src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE,
+                "src/repro/other.py": drifted,
+            },
+            _STAGE_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "Far.snapshot" in findings[0].message
+
+    def test_missing_stage_class_is_flagged(self, make_repo):
+        root = make_repo(
+            {"src/repro/stages.py": _STAGE_PROTOCOL + _GOOD_STAGE},
+            _STAGE_CONFIG,
+        )
+        findings = lint(root, "R003")
+        assert len(findings) == 1
+        assert "not found" in findings[0].message
+        assert "stage_classes" in findings[0].message
+
+    def test_real_stages_satisfy_the_protocol(self):
+        # The live invariant on this checkout: the shipped pipeline
+        # stages conform to the shipped protocol.
+        from repro.analysis.config import find_repo_root
+        from repro.analysis.framework import run_analysis
+        from repro.analysis.rules import default_rules
+
+        root = find_repo_root()
+        assert root is not None
+        config = load_config(root)
+        findings = run_analysis(
+            root, config, default_rules(), rule_filter=["R003"]
+        )
+        assert [f for f in findings if "stage" in f.message.lower()] == []
 
 
 # -- R004: float equality ----------------------------------------------

@@ -180,7 +180,7 @@ class TestBackpressure:
     def test_retry_after_floor_applies_when_no_latency_observed(self):
         config = ServiceConfig(retry_after_s=0.5)
         service = SimulationService(engine=StubEngine(), config=config)
-        assert service._suggest_retry_after() == 0.5
+        assert service.shards[0].batcher.suggest_retry_after(0) == 0.5
 
 
 class TestFailures:
@@ -287,19 +287,20 @@ class TestBatching:
         """A waiter whose blocked put lands after the shutdown sentinel
         (a sweep throttling on a full queue during shutdown) must get a
         loud failure, never a hung future."""
-        from repro.service.pipeline import _Pending
+        from repro.service.stages import Pending
 
         async def drive():
             service = SimulationService(engine=StubEngine())
             await service.start()
-            pending = _Pending(
+            pending = Pending(
                 key=("stranded",),
                 job=job_for(sample_blocks=150),
                 future=asyncio.get_running_loop().create_future(),
             )
+            admission = service.shards[0].admission
             stop_task = asyncio.ensure_future(service.stop())
             await asyncio.sleep(0)  # let stop() enqueue the sentinel
-            service._queue.put_nowait(pending)
+            admission._queue.put_nowait(pending)
             await stop_task
             with pytest.raises(ServiceError, match="stopped"):
                 await pending.future

@@ -1,0 +1,126 @@
+"""Tests for the consistent-hash shard router.
+
+Balance over the golden run_keys, determinism across instances,
+stability under shard-count change, and the property the router exists
+to preserve: coalescing still works per shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SCHEMES
+from repro.service.pipeline import ServiceConfig, SimulationService
+from repro.service.router import ShardRouter, canonical_key_bytes
+from repro.sim import stages
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimJob
+from repro.workloads.profiles import profile
+
+GOLDEN_APPS = ("Ocean", "CG", "mcf")
+
+
+def golden_keys(sample_blocks: int = 400) -> list[tuple]:
+    system = SystemConfig(sample_blocks=sample_blocks)
+    return [
+        stages.run_key(profile(app), scheme, system)
+        for app in GOLDEN_APPS
+        for _, scheme in DEFAULT_SCHEMES
+    ]
+
+
+class TestRouting:
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1)
+        assert {router.route(key) for key in golden_keys()} == {0}
+
+    def test_routing_is_deterministic_across_instances(self):
+        # Two processes building the same ring must agree on every key,
+        # or a restarted service loses its per-shard cache locality.
+        a, b = ShardRouter(4), ShardRouter(4)
+        for key in golden_keys():
+            assert a.route(key) == b.route(key)
+
+    def test_identical_keys_share_a_shard(self):
+        router = ShardRouter(3)
+        keys = golden_keys()
+        rebuilt = golden_keys()  # fresh-but-equal config objects
+        for key, twin in zip(keys, rebuilt):
+            assert router.route(key) == router.route(twin)
+
+    def test_golden_keys_spread_over_shards(self):
+        # 24 golden keys over 2-4 shards: every shard count in the
+        # supported smoke range gets work on more than one shard, and
+        # no shard hoards everything.
+        keys = golden_keys()
+        for num_shards in (2, 3, 4):
+            router = ShardRouter(num_shards)
+            counts = [0] * num_shards
+            for key in keys:
+                counts[router.route(key)] += 1
+            occupied = sum(1 for count in counts if count)
+            assert occupied >= 2, (num_shards, counts)
+            assert max(counts) < len(keys), (num_shards, counts)
+
+    def test_shard_count_change_remaps_a_minority(self):
+        # Consistent hashing: growing N -> N+1 should move well under
+        # half the key space (ideally ~1/(N+1)).  Use a larger synthetic
+        # key population for a stable statistic.
+        keys = [("run", f"app-{i}", i % 7, i * 13) for i in range(500)]
+        before = ShardRouter(4)
+        after = ShardRouter(5)
+        moved = sum(
+            1 for key in keys if before.route(key) != after.route(key)
+        )
+        assert moved / len(keys) < 0.5
+        assert moved > 0  # the new shard did take some keys
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardRouter(0)
+        with pytest.raises(ValueError, match="replicas"):
+            ShardRouter(2, replicas=0)
+
+    def test_canonical_bytes_equal_for_equal_keys(self):
+        keys = golden_keys()
+        twins = golden_keys()
+        for key, twin in zip(keys, twins):
+            assert canonical_key_bytes(key) == canonical_key_bytes(twin)
+
+
+class TestCoalescingPerShard(object):
+    def test_concurrent_duplicates_coalesce_on_their_shard(self):
+        """The property the router preserves: duplicates of one config
+        land on one shard and share one computation there."""
+        from tests.service.test_pipeline import StubEngine, job_for
+
+        gate = threading.Event()
+        engine = StubEngine(gate=gate)
+        config = ServiceConfig(shards=3, batch_linger_s=0.0)
+
+        async def drive():
+            async with SimulationService(engine=engine, config=config) as svc:
+                job = job_for(sample_blocks=777)
+                pending = [
+                    asyncio.ensure_future(svc.submit(job)) for _ in range(6)
+                ]
+                await asyncio.sleep(0.05)
+                gate.set()
+                results = await asyncio.gather(*pending)
+                key = stages.run_key(job.app, job.scheme, job.system)
+                return results, svc.snapshot(), svc.router.route(key)
+
+        results, snap, owner = asyncio.run(drive())
+        assert all(result == results[0] for result in results)
+        # One engine job total, on the owning shard only.
+        assert sum(len(batch) for batch in engine.batches) == 1
+        counters = snap["counters"]
+        assert counters[f"shard_{owner}/coalesced_total"] == 5
+        for other in range(3):
+            if other != owner:
+                assert counters.get(f"shard_{other}/requests_total", 0) == 0
+        # The aggregate (dual-written) counter sees the same traffic.
+        assert counters["coalesced_total"] == 5

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.sim.store import ResultStore, StoreStats
@@ -187,6 +192,69 @@ class TestGracefulLoad:
         store.save()
         fresh = ResultStore(path)
         assert fresh.get(("k",)) == 7
+
+
+class TestCrashSafety:
+    """Satellite guarantee: ``save`` is atomic.  A process killed in
+    the middle of writing can never leave a truncated store behind —
+    the previous good file survives untouched."""
+
+    KILLER = textwrap.dedent(
+        """
+        import os, signal, sys
+        from repro.sim.store import ResultStore
+
+        class Bomb:
+            '''Pickles partway, then SIGKILLs the process: a crash in
+            the middle of save()'s temp-file write.'''
+            def __reduce__(self):
+                os.kill(os.getpid(), signal.SIGKILL)
+                return (int, (0,))  # unreachable
+
+        store = ResultStore(sys.argv[1])
+        store.put(("padding",), list(range(10000)))  # fill the buffer
+        store.put(("bomb",), Bomb())
+        store.save()
+        """
+    )
+
+    def test_kill_mid_save_preserves_the_previous_store(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        good = ResultStore(path)
+        good.put(("survivor",), 42)
+        good.save()
+        before = path.read_bytes()
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", self.KILLER, str(path)],
+            env=env, capture_output=True,
+        )
+        assert proc.returncode == -9  # SIGKILL landed mid-save
+
+        # The target was never replaced: byte-identical to the good
+        # save, and the next load sees the old entries with no
+        # quarantine (the half-written temp file is not the store).
+        assert path.read_bytes() == before
+        fresh = ResultStore(path)
+        assert fresh.get(("survivor",)) == 42
+        assert not (tmp_path / "store.pkl.corrupt").exists()
+
+    def test_save_failure_cleans_up_its_temp_file(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("refuses to pickle")
+
+        path = tmp_path / "store.pkl"
+        store = ResultStore(path)
+        store.put(("k",), Unpicklable())
+        with pytest.raises(RuntimeError, match="refuses"):
+            store.save()
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestLRUCap:

@@ -1,0 +1,303 @@
+"""Tests for the append-only segment warehouse (the disk tier)."""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro.sim.store import STORE_FORMAT_VERSION, ResultStore
+from repro.sim.warehouse import (
+    _HEADER,
+    _MAGIC,
+    _RECORD,
+    PAYLOAD_FORMAT_VERSION,
+    SegmentWarehouse,
+)
+
+
+def test_payload_version_tracks_store_version():
+    """The two tiers persist the same pickled values; their format
+    versions are bumped together or not at all."""
+    assert PAYLOAD_FORMAT_VERSION == STORE_FORMAT_VERSION
+
+
+class TestRoundtrip:
+    def test_put_flush_get(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path)
+        warehouse.put(("k", 1), {"deep": [1, 2, 3]})
+        warehouse.flush()
+        assert warehouse.get(("k", 1)) == {"deep": [1, 2, 3]}
+        assert ("k", 1) in warehouse
+        assert len(warehouse) == 1
+
+    def test_unflushed_put_is_still_readable(self, tmp_path):
+        # Write-behind: the buffer answers before the disk does.
+        warehouse = SegmentWarehouse(tmp_path)
+        warehouse.put(("k",), 42)
+        assert warehouse.get(("k",)) == 42
+        assert warehouse.stats().pending == 1
+
+    def test_none_is_a_legitimate_value(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path)
+        warehouse.put(("k",), None)
+        warehouse.flush()
+        assert warehouse.get(("k",), default="sentinel") is None
+
+    def test_get_default_on_absent(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path)
+        assert warehouse.get(("missing",)) is None
+        assert warehouse.get(("missing",), default=7) == 7
+        assert warehouse.disk_hits == 0
+
+    def test_append_once_semantics(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path)
+        warehouse.put(("k",), "first")
+        warehouse.flush()
+        warehouse.put(("k",), "second")  # ignored: results are deterministic
+        warehouse.flush()
+        assert warehouse.get(("k",)) == "first"
+        assert warehouse.stats().appends == 1
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_max_bytes"):
+            SegmentWarehouse(tmp_path, segment_max_bytes=0)
+        with pytest.raises(ValueError, match="flush_every"):
+            SegmentWarehouse(tmp_path, flush_every=0)
+
+
+class TestWriteBehind:
+    def test_flush_returns_record_count(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path)
+        for i in range(5):
+            warehouse.put(("k", i), i)
+        assert warehouse.flush() == 5
+        assert warehouse.flush() == 0  # nothing left to write
+        assert warehouse.stats().pending == 0
+
+    def test_auto_flush_at_threshold(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path, flush_every=3)
+        warehouse.put(("k", 0), 0)
+        warehouse.put(("k", 1), 1)
+        assert warehouse.stats().pending == 2
+        warehouse.put(("k", 2), 2)  # hits the threshold
+        assert warehouse.stats().pending == 0
+        assert warehouse.stats().appends == 3
+
+    def test_segment_rollover_under_small_bound(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path, segment_max_bytes=256)
+        for i in range(20):
+            warehouse.put(("k", i), list(range(50)))
+        warehouse.flush()
+        stats = warehouse.stats()
+        assert stats.segment_count > 1
+        assert stats.entries == 20
+        # Every record is still reachable across the segment set.
+        for i in range(20):
+            assert warehouse.get(("k", i)) == list(range(50))
+
+
+class TestWarmRestart:
+    def test_second_instance_reads_the_first_ones_records(self, tmp_path):
+        first = SegmentWarehouse(tmp_path)
+        for i in range(10):
+            first.put(("k", i), {"i": i})
+        first.flush()
+
+        second = SegmentWarehouse(tmp_path)
+        assert len(second) == 10
+        for i in range(10):
+            assert second.get(("k", i)) == {"i": i}
+
+    def test_restart_appends_into_the_same_segment(self, tmp_path):
+        first = SegmentWarehouse(tmp_path)
+        first.put(("a",), 1)
+        first.flush()
+
+        second = SegmentWarehouse(tmp_path)
+        second.put(("b",), 2)
+        second.flush()
+        assert second.stats().segment_count == 1
+
+        third = SegmentWarehouse(tmp_path)
+        assert third.get(("a",)) == 1
+        assert third.get(("b",)) == 2
+
+    def test_unflushed_records_do_not_survive(self, tmp_path):
+        # Write-behind means durability starts at flush(), not put().
+        first = SegmentWarehouse(tmp_path)
+        first.put(("ghost",), 1)  # never flushed
+        second = SegmentWarehouse(tmp_path)
+        assert ("ghost",) not in second
+
+
+class TestRecovery:
+    def populated(self, tmp_path, entries=3):
+        warehouse = SegmentWarehouse(tmp_path)
+        for i in range(entries):
+            warehouse.put(("k", i), list(range(100)))
+        warehouse.flush()
+        return sorted(tmp_path.glob("segment-*.seg"))[0]
+
+    def test_torn_tail_truncated_to_last_good_record(self, tmp_path):
+        segment = self.populated(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-37])  # crash mid-append
+
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            warehouse = SegmentWarehouse(tmp_path)
+        # The two whole records survive; the torn third is gone.
+        assert warehouse.get(("k", 0)) == list(range(100))
+        assert warehouse.get(("k", 1)) == list(range(100))
+        assert ("k", 2) not in warehouse
+        # The tail was cut, so appending resumes cleanly.
+        warehouse.put(("k", 2), "recomputed")
+        warehouse.flush()
+        clean = SegmentWarehouse(tmp_path)
+        assert clean.get(("k", 2)) == "recomputed"
+
+    def test_corrupted_record_crc_cuts_the_tail(self, tmp_path):
+        segment = self.populated(tmp_path)
+        data = bytearray(segment.read_bytes())
+        data[-10] ^= 0xFF  # flip a bit inside the last value
+        segment.write_bytes(bytes(data))
+
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            warehouse = SegmentWarehouse(tmp_path)
+        assert ("k", 0) in warehouse and ("k", 1) in warehouse
+        assert ("k", 2) not in warehouse
+
+    def test_bad_header_quarantined_as_corrupt(self, tmp_path):
+        segment = self.populated(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(b"XXXXXXXX" + data[8:])
+
+        with pytest.warns(RuntimeWarning, match="ignored"):
+            warehouse = SegmentWarehouse(tmp_path)
+        assert len(warehouse) == 0
+        quarantined = segment.with_name(segment.name + ".corrupt")
+        assert quarantined.exists()  # broken bytes kept for inspection
+        assert not segment.exists()
+
+    def test_stale_version_set_aside_not_corrupt(self, tmp_path):
+        segment = self.populated(tmp_path)
+        data = segment.read_bytes()
+        old_header = _HEADER.pack(_MAGIC, PAYLOAD_FORMAT_VERSION - 1)
+        segment.write_bytes(old_header + data[_HEADER.size:])
+
+        with pytest.warns(RuntimeWarning, match="format version"):
+            warehouse = SegmentWarehouse(tmp_path)
+        assert len(warehouse) == 0
+        # Stale data is valid under its own format: .stale, not .corrupt.
+        assert segment.with_name(segment.name + ".stale").exists()
+        assert not segment.with_name(segment.name + ".corrupt").exists()
+
+    def test_recovery_then_fresh_writes_round_trip(self, tmp_path):
+        segment = self.populated(tmp_path)
+        segment.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            warehouse = SegmentWarehouse(tmp_path)
+        warehouse.put(("fresh",), 7)
+        warehouse.flush()
+        clean = SegmentWarehouse(tmp_path)
+        assert clean.get(("fresh",)) == 7
+
+    def test_unpicklable_key_blob_cuts_the_tail(self, tmp_path):
+        segment = self.populated(tmp_path, entries=1)
+        # Append a record whose CRC is fine but whose key is garbage.
+        key_blob = b"\x80not-a-pickle"
+        val_blob = pickle.dumps(1)
+        with open(segment, "ab") as handle:
+            handle.write(
+                _RECORD.pack(len(key_blob), len(val_blob),
+                             zlib.crc32(key_blob + val_blob))
+            )
+            handle.write(key_blob)
+            handle.write(val_blob)
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            warehouse = SegmentWarehouse(tmp_path)
+        assert len(warehouse) == 1  # the good record survives
+
+
+class TestStoreIntegration:
+    """The ResultStore reads through to, and writes behind into, the
+    warehouse tier."""
+
+    def test_read_through_counts_hit_and_promotion(self, tmp_path):
+        seed = ResultStore(warehouse=tmp_path)
+        seed.put(("k",), 42)
+        seed.flush()
+
+        store = ResultStore(warehouse=tmp_path)
+        assert store.get(("k",)) == 42  # served from disk
+        stats = store.stats()
+        assert stats.hits == 1
+        assert stats.disk_hits == 1
+        assert stats.promotions == 1
+        # Promoted into memory: the second read never touches disk.
+        assert store.get(("k",)) == 42
+        assert store.stats().disk_hits == 1
+
+    def test_get_or_compute_prefers_disk_over_compute(self, tmp_path):
+        seed = ResultStore(warehouse=tmp_path)
+        seed.put(("k",), "stored")
+        seed.flush()
+
+        store = ResultStore(warehouse=tmp_path)
+        value = store.get_or_compute(
+            ("k",), lambda: pytest.fail("computed despite a disk copy")
+        )
+        assert value == "stored"
+        assert store.misses == 0
+
+    def test_entry_survives_lru_eviction_via_warehouse(self, tmp_path):
+        store = ResultStore(max_entries=1, warehouse=tmp_path)
+        store.put(("a",), 1)
+        store.put(("b",), 2)  # evicts ("a",) from memory
+        store.flush()
+        assert store.evictions == 1
+        assert ("a",) in store  # still visible through the disk tier
+        assert store.get(("a",)) == 1
+        assert store.stats().promotions == 1
+
+    def test_clear_keeps_the_durable_tier(self, tmp_path):
+        store = ResultStore(warehouse=tmp_path)
+        store.put(("k",), 1)
+        store.flush()
+        store.clear()
+        assert len(store) == 0  # memory is empty...
+        assert ("k",) in store  # ...but the warehouse still answers
+        assert store.get(("k",)) == 1
+
+    def test_save_flushes_the_warehouse(self, tmp_path):
+        store = ResultStore(
+            path=tmp_path / "store.pkl", warehouse=tmp_path / "wh"
+        )
+        store.put(("k",), 1)
+        assert store.warehouse.stats().pending == 1
+        store.save()
+        assert store.warehouse.stats().pending == 0
+
+    def test_warehouse_accepts_prebuilt_instance(self, tmp_path):
+        warehouse = SegmentWarehouse(tmp_path, flush_every=1)
+        store = ResultStore(warehouse=warehouse)
+        store.put(("k",), 1)  # flush_every=1: flushed immediately
+        fresh = ResultStore(warehouse=SegmentWarehouse(tmp_path))
+        assert fresh.get(("k",)) == 1
+
+    def test_memory_only_store_reports_zero_warehouse_stats(self):
+        stats = ResultStore().stats()
+        assert stats.disk_hits == 0
+        assert stats.promotions == 0
+        assert stats.warehouse_segments == 0
+        assert stats.warehouse_bytes == 0
+
+    def test_default_store_reads_warehouse_env(self, tmp_path, monkeypatch):
+        from repro.sim.store import WAREHOUSE_ENV, default_store
+
+        monkeypatch.setenv(WAREHOUSE_ENV, str(tmp_path / "wh"))
+        assert default_store().warehouse is not None
+        monkeypatch.setenv(WAREHOUSE_ENV, "")
+        assert default_store().warehouse is None
