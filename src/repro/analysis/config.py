@@ -50,6 +50,11 @@ class AnalysisConfig:
         tier_classes: ``path:Class`` engine tiers whose public
             signatures must match exactly (R003).
         tier_methods: The methods compared across tiers.
+        kernel_dispatchers: ``path:function`` compute-kernel dispatch
+            functions; each must ship ``<name>_native`` and
+            ``<name>_numpy`` twins in the same module with the
+            dispatcher's exact signature (R003), so the
+            ``REPRO_NATIVE=0`` fallback chain stays drop-in.
         dispatch_class: ``path:Class`` of the engine-dispatch facade
             (the reference event loop's home).
         dispatch_methods: Methods the facade must define, each taking
@@ -88,6 +93,15 @@ class AnalysisConfig:
         "src/repro/kernels/native.py:NativeMulticoreEngine",
     )
     tier_methods: tuple[str, ...] = ("__init__", "run", "supports")
+    kernel_dispatchers: tuple[str, ...] = (
+        "src/repro/kernels/pipeline.py:desc_stream_arrays",
+        "src/repro/kernels/pipeline.py:binary_flips",
+        "src/repro/kernels/pipeline.py:dzc_flips",
+        "src/repro/kernels/pipeline.py:bus_invert_flips",
+        "src/repro/kernels/pipeline.py:block_assemble",
+        "src/repro/kernels/pipeline.py:trace_assemble",
+        "src/repro/kernels/pipeline.py:group_rank",
+    )
     dispatch_class: str = "src/repro/cpu/multicore.py:MulticoreSimulator"
     dispatch_methods: tuple[str, ...] = ("run", "_run_reference")
     check_transfer_models: bool = True

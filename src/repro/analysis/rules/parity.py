@@ -19,6 +19,13 @@ the tiers remain drop-in replacements.  Two checks enforce that:
   :class:`~repro.encoding.registry.TransferModel`, or the staged
   engine raises at dispatch time on exactly one scheme, in exactly the
   configuration no test covered.
+* **Kernel-dispatcher parity** — every configured ``path:function``
+  compute-kernel dispatcher must ship ``<name>_native`` and
+  ``<name>_numpy`` twins in the same module with the dispatcher's
+  exact signature.  The batched pipeline kernels select a tier per
+  call (ctypes library when loaded, NumPy otherwise); a twin whose
+  parameters drift produces answers that differ only under
+  ``REPRO_NATIVE=0`` or on boxes without a C toolchain.
 * **Stage-protocol conformance** — every configured service pipeline
   stage must satisfy the
   :class:`~repro.service.stages.PipelineStage` protocol: the
@@ -141,6 +148,7 @@ class TierParityRule(Rule):
     ) -> Iterable[Finding]:
         yield from self._check_tiers(files, config, root)
         yield from self._check_dispatch(files, config, root)
+        yield from self._check_kernel_dispatchers(files, config, root)
         if config.check_transfer_models:
             yield from self._check_models(config)
         yield from self._check_stage_protocol(files, config, root)
@@ -267,6 +275,60 @@ class TierParityRule(Rule):
                 if sig["positional"]:
                     return sig["positional"][0]
         return None
+
+    # -- kernel-dispatcher parity --------------------------------------
+
+    def _check_kernel_dispatchers(
+        self, files: Sequence[SourceFile], config: AnalysisConfig, root: Path
+    ) -> Iterator[Finding]:
+        for entry in config.kernel_dispatchers:
+            spec = _ClassSpec(entry)  # same path:name syntax
+            file = next((f for f in files if f.rel == spec.path), None)
+            if file is None:
+                disk = root / spec.path
+                if disk.is_file():
+                    file = SourceFile.load(disk, spec.path)
+            if file is None or file.tree is None:
+                yield self._missing(
+                    file, spec,
+                    what="kernel dispatcher", key="kernel_dispatchers",
+                )
+                continue
+            functions = {
+                node.name: node
+                for node in file.tree.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            dispatcher = functions.get(spec.name)
+            if dispatcher is None:
+                yield self._missing(
+                    file, spec,
+                    what="kernel dispatcher", key="kernel_dispatchers",
+                )
+                continue
+            ref_sig = _signature(dispatcher)
+            for suffix in ("_native", "_numpy"):
+                twin_name = spec.name + suffix
+                twin = functions.get(twin_name)
+                if twin is None:
+                    yield self.finding(
+                        file, dispatcher,
+                        f"kernel dispatcher '{spec.name}' has no "
+                        f"'{twin_name}' twin in {spec.path}; the "
+                        "native/NumPy fallback chain requires both "
+                        "tiers",
+                    )
+                    continue
+                twin_sig = _signature(twin)
+                if twin_sig != ref_sig:
+                    yield self.finding(
+                        file, twin,
+                        f"signature of {twin_name}"
+                        f"{_describe(twin_sig)} differs from dispatcher "
+                        f"{spec.name}{_describe(ref_sig)}; kernel tiers "
+                        "must expose identical parameters so the "
+                        "fallback chain stays drop-in",
+                    )
 
     # -- stage-protocol conformance ------------------------------------
 

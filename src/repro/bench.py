@@ -12,7 +12,9 @@ review diffs rather than in users' wall clocks.  Three tiers:
   reference count and seed per profile.  Reported per engine with
   speedups relative to the reference event loop.
 * **end_to_end** — the fig20 execution-time experiment against a cold
-  result store.
+  result store, reported both as wall seconds and as a pipeline rate
+  (blocks/sec across all scheme x app jobs) so quick and full runs
+  stay comparable.
 * **service** — the serving pipeline (:mod:`repro.service`) under
   duplicate-heavy concurrent traffic: request latency percentiles and
   coalesce/store hit rates straight from the service's own
@@ -20,6 +22,11 @@ review diffs rather than in users' wall clocks.  Three tiers:
 
 Timings are best-of-N wall clock (N=1 with ``--quick``, the CI smoke
 mode).  The report is plain JSON, stable-keyed for diffing.
+
+``python -m repro bench --against BENCH_<rev>.json`` additionally
+compares the fresh run's throughput metrics against a committed
+snapshot and exits non-zero when any rate regresses past the
+``--tolerance`` band (:func:`compare_reports`).
 """
 
 from __future__ import annotations
@@ -37,7 +44,14 @@ from repro.util.version import package_version
 from repro.workloads.generator import memory_trace
 from repro.workloads.profiles import PARALLEL_PROFILES, profile
 
-__all__ = ["run_benchmarks", "write_report", "parallel16_traces"]
+__all__ = [
+    "run_benchmarks",
+    "write_report",
+    "parallel16_traces",
+    "compare_reports",
+    "resolve_baseline",
+    "format_comparison",
+]
 
 #: References simulated per parallel-suite profile in the multicore tier.
 PARALLEL16_REFERENCES = 40_000
@@ -61,8 +75,12 @@ def _timed(fn) -> float:
 def _bench_kernels(quick: bool) -> dict:
     from repro.kernels import batched
 
-    n = 100_000 if quick else 2_000_000
-    repeats = 1 if quick else 5
+    # Quick mode shrinks the arrays but keeps a few repeats: a single
+    # cold measurement is dominated by first-touch/allocation overhead
+    # and reads tens of percent below the true rate, which would make
+    # the --against gate meaningless for quick-vs-full comparisons.
+    n = 500_000 if quick else 2_000_000
+    repeats = 3 if quick else 5
     rng = np.random.default_rng(0)
     words = rng.integers(0, 2**62, size=n, dtype=np.int64)
     cycles = np.sort(rng.integers(0, 4 * n, size=n))
@@ -83,7 +101,7 @@ def _bench_kernels(quick: bool) -> dict:
     throughput("strobe_flips", lambda: batched.strobe_flips(cycles, 0))
     throughput("group_rank", lambda: batched.group_rank(levels))
 
-    gen_n = 20_000 if quick else 200_000
+    gen_n = 50_000 if quick else 200_000
     app = profile("Ocean")
     gen_seconds = _best_of(
         repeats, lambda: _timed(lambda: memory_trace(app, gen_n, seed=1))
@@ -112,10 +130,13 @@ def _bench_multicore(quick: bool) -> dict:
     from repro.cpu.multicore import MulticoreSimulator
     from repro.kernels.native import native_available
 
-    n = 4_000 if quick else PARALLEL16_REFERENCES
+    # Longer quick traces + a second repeat: the fast engines finish a
+    # 4k-reference trace in microseconds, so per-trace setup would
+    # otherwise swamp the rate (see the note in ``_bench_kernels``).
+    n = 20_000 if quick else PARALLEL16_REFERENCES
     apps = PARALLEL_PROFILES[:4] if quick else PARALLEL_PROFILES
     traces = [memory_trace(app, n, seed=PARALLEL16_SEED) for app in apps]
-    repeats = 1 if quick else 3
+    repeats = 2 if quick else 3
     engines = ["reference", "vectorized"]
     if native_available():
         engines.append("native")
@@ -154,8 +175,10 @@ def _bench_multicore(quick: bool) -> dict:
 
 def _bench_end_to_end(quick: bool) -> dict:
     from repro.experiments import fig20_exec_time
+    from repro.experiments.common import DEFAULT_SCHEMES
     from repro.sim.config import SystemConfig
     from repro.sim.store import RESULT_STORE
+    from repro.workloads.suites import PARALLEL_SUITE
 
     sample_blocks = 300 if quick else 1500
     system = SystemConfig(sample_blocks=sample_blocks)
@@ -164,12 +187,19 @@ def _bench_end_to_end(quick: bool) -> dict:
         RESULT_STORE.clear()  # cold store: measure real work, not hits
         return _timed(lambda: fig20_exec_time.run(system))
 
-    seconds = _best_of(1, once)
+    seconds = _best_of(2 if quick else 3, once)
     RESULT_STORE.clear()
+    # Every unique (scheme, app) job streams ``sample_blocks`` blocks
+    # through the full pipeline (generate -> encode -> queueing ->
+    # energy), so blocks/sec is the tracked end-to-end rate: it stays
+    # comparable between quick and full runs where raw seconds do not.
+    jobs = len(DEFAULT_SCHEMES) * len(PARALLEL_SUITE)
     return {
         "experiment": "fig20",
         "sample_blocks": sample_blocks,
+        "jobs": jobs,
         "seconds": round(seconds, 4),
+        "blocks_per_sec": round(sample_blocks * jobs / seconds),
     }
 
 
@@ -282,3 +312,113 @@ def write_report(report: dict, out: str | None = None) -> Path:
     path = Path(out) if out else Path(f"BENCH_{report['revision']}.json")
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path
+
+
+# -- baseline comparison -----------------------------------------------
+
+
+def _rate_metrics(report: dict) -> dict[str, float]:
+    """Flatten a report to its throughput metrics.
+
+    Only *rates* are compared across reports: unlike raw seconds they
+    stay meaningful when one side ran in ``--quick`` mode (smaller
+    element counts) or on a differently loaded machine.
+    """
+    rates: dict[str, float] = {}
+    for name, row in report.get("kernels", {}).items():
+        rate = row.get("elements_per_sec")
+        if rate:
+            rates[f"kernels.{name}"] = float(rate)
+    engines = report.get("multicore", {}).get("engines", {})
+    for engine, row in engines.items():
+        rate = row.get("references_per_sec")
+        if rate:
+            rates[f"multicore.{engine}"] = float(rate)
+    e2e = report.get("end_to_end", {})
+    rate = e2e.get("blocks_per_sec")
+    if not rate and e2e.get("seconds") and e2e.get("sample_blocks"):
+        # Pre-schema-addition baselines recorded only wall seconds; the
+        # fig20 sweep has always covered the same 8 x 16 job grid, so
+        # the rate can be reconstructed.
+        rate = e2e["sample_blocks"] * e2e.get("jobs", 128) / e2e["seconds"]
+    if rate:
+        rates[f"end_to_end.{e2e.get('experiment', 'fig20')}"] = float(rate)
+    return rates
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.5
+) -> tuple[list[dict], list[str]]:
+    """Per-metric throughput deltas of ``current`` against ``baseline``.
+
+    Returns ``(rows, regressions)``: one row per metric present in both
+    reports (``metric``, ``baseline``, ``current``, ``ratio``), and the
+    names of metrics whose current rate fell below ``baseline * (1 -
+    tolerance)``.  Improvements never fail; ``tolerance`` only guards
+    the downside.  The default is deliberately loose — shared CI boxes
+    jitter by tens of percent, and the committed ``BENCH_<rev>.json``
+    snapshots remain the precise record.
+    """
+    base_rates = _rate_metrics(baseline)
+    cur_rates = _rate_metrics(current)
+    rows: list[dict] = []
+    regressions: list[str] = []
+    for metric, base in base_rates.items():
+        cur = cur_rates.get(metric)
+        if cur is None:
+            continue
+        ratio = cur / base
+        rows.append({
+            "metric": metric,
+            "baseline": base,
+            "current": cur,
+            "ratio": ratio,
+        })
+        if cur < base * (1.0 - tolerance):
+            regressions.append(metric)
+    return rows, regressions
+
+
+def resolve_baseline(path: str) -> Path:
+    """Resolve ``--against`` to a baseline report file.
+
+    A file path is used as-is.  A directory is scanned for committed
+    ``BENCH_*.json`` snapshots and the one with the newest ``generated``
+    stamp wins — checkouts do not preserve mtimes, so the stamp inside
+    the report is the only reliable ordering.
+    """
+    p = Path(path)
+    if p.is_file():
+        return p
+    if p.is_dir():
+        candidates = []
+        for snap in sorted(p.glob("BENCH_*.json")):
+            try:
+                generated = json.loads(snap.read_text()).get("generated", "")
+            except (OSError, json.JSONDecodeError):
+                continue
+            candidates.append((generated, snap))
+        if candidates:
+            return max(candidates)[1]
+        raise FileNotFoundError(
+            f"no readable BENCH_*.json snapshot under {path!r}"
+        )
+    raise FileNotFoundError(f"baseline {path!r} does not exist")
+
+
+def format_comparison(rows: list[dict], regressions: list[str]) -> str:
+    """Human-readable delta table for the CLI."""
+    lines = [
+        f"{'metric':34s} {'baseline':>14s} {'current':>14s} {'delta':>8s}"
+    ]
+    failed = set(regressions)
+    for row in rows:
+        delta = (row["ratio"] - 1.0) * 100.0
+        flag = "  REGRESSED" if row["metric"] in failed else ""
+        lines.append(
+            f"{row['metric']:34s} {row['baseline']:>14,.0f} "
+            f"{row['current']:>14,.0f} {delta:>+7.1f}%{flag}"
+        )
+    if not rows:
+        lines.append("(no comparable throughput metrics)")
+    return "\n".join(lines)

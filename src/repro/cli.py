@@ -461,6 +461,16 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--out", metavar="PATH", default=None,
                               help="output JSON path (default "
                                    "BENCH_<git-rev>.json in the cwd)")
+    bench_parser.add_argument("--against", metavar="BASELINE", default=None,
+                              help="compare throughput against a committed "
+                                   "BENCH_<rev>.json (or a directory, which "
+                                   "selects its newest snapshot); exit 1 on "
+                                   "regression past --tolerance")
+    bench_parser.add_argument("--tolerance", type=float, default=0.5,
+                              metavar="FRACTION",
+                              help="allowed fractional rate drop before "
+                                   "--against fails (default 0.5; shared "
+                                   "runners jitter by tens of percent)")
 
     lint_parser = sub.add_parser(
         "lint",
@@ -612,11 +622,41 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        from repro.bench import run_benchmarks, write_report
+        from repro.bench import (
+            compare_reports,
+            format_comparison,
+            resolve_baseline,
+            run_benchmarks,
+            write_report,
+        )
 
+        baseline = None
+        if args.against is not None:
+            if not 0.0 <= args.tolerance < 1.0:
+                parser.error(
+                    f"--tolerance must be in [0, 1), got {args.tolerance}"
+                )
+            try:
+                baseline_path = resolve_baseline(args.against)
+                baseline = json.loads(baseline_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"repro bench: error: cannot read baseline: {exc}",
+                      file=sys.stderr)
+                return 2
         report = run_benchmarks(quick=args.quick)
         path = write_report(report, args.out)
         print(f"wrote {path}", file=sys.stderr)
+        if baseline is not None:
+            rows, regressions = compare_reports(
+                report, baseline, args.tolerance
+            )
+            print(f"against {baseline_path} "
+                  f"(tolerance {args.tolerance:.0%}):")
+            print(format_comparison(rows, regressions))
+            if regressions:
+                print(f"{len(regressions)} metric(s) regressed past "
+                      f"tolerance", file=sys.stderr)
+                return 1
         return 0
 
     if getattr(args, "workers", 1) != 1:

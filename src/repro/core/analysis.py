@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.chunking import ChunkLayout
 from repro.core.protocol import TransferCost
+from repro.kernels import pipeline
 from repro.kernels.batched import shifted_prev, strobe_flips
 
 __all__ = ["StreamCost", "DescCostModel"]
@@ -141,36 +142,28 @@ class DescCostModel:
 
         # values[t, w]: chunk sent on wire w in global round t (time order).
         values = blocks.reshape(num_blocks * rounds, wires)
-        skipped, fire = self._fire_schedule(values)
-
-        unskipped = ~skipped
-        masked_fire = np.where(unskipped, fire, -1)
-        last_fire = masked_fire.max(axis=1)
-        any_skipped = skipped.any(axis=1)
-
-        # Round duration per repro.core.protocol.round_duration.
-        duration = np.where(
-            last_fire < 0,
-            2,
-            last_fire + 1 + any_skipped.astype(np.int64),
-        )
-
-        per_round_data = unskipped.sum(axis=1)
+        if type(self) is DescCostModel:
+            # Stock fire schedules go through the pipeline kernels (one
+            # C call over the whole stream when native is loaded, the
+            # shared NumPy twin otherwise — byte-identical either way).
+            arrays = pipeline.desc_stream_arrays(
+                values, num_blocks, rounds, wires, self._skip_policy, self._last
+            )
+        else:
+            # Subclasses may override _fire_schedule; honour it.
+            skipped, fire = self._fire_schedule(values)
+            arrays = pipeline.schedule_arrays(skipped, fire, num_blocks, rounds)
+        data_flips, overhead_flips, cycles, fire_sum, per_round_data = arrays
 
         # Critical-path latency: the mean fire cycle of the round's
         # transmitted chunks (the paper's average-value latency model)
         # plus the strobe overhead — one cycle for basic DESC's final
-        # toggle, two when a closing skip toggle is needed.
-        fire_sum = np.where(unskipped, fire, 0).sum(axis=1).astype(np.float64)
+        # toggle, two when a closing skip toggle is needed.  Float math
+        # stays here, in one formulation, so every tier agrees exactly.
         counts = np.maximum(per_round_data, 1)
-        mean_fire = fire_sum / counts
+        mean_fire = fire_sum.astype(np.float64) / counts
         extra = 1.0 + (self._skip_policy != "none")
         round_latency = np.where(per_round_data > 0, mean_fire + extra, 2.0)
-        per_block = lambda per_round: per_round.reshape(num_blocks, rounds).sum(axis=1)
-
-        data_flips = per_block(per_round_data)
-        overhead_flips = per_block(1 + any_skipped.astype(np.int64))
-        cycles = per_block(duration)
         latency = round_latency.reshape(num_blocks, rounds).sum(axis=1)
 
         # Sync strobe: one flip per two busy cycles, with parity carried

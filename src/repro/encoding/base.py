@@ -28,7 +28,7 @@ from repro.core.analysis import StreamCost
 from repro.core.protocol import TransferCost
 from repro.util.validation import require_multiple, require_positive
 
-__all__ = ["BusEncoder", "as_bit_matrix"]
+__all__ = ["BusEncoder", "as_bit_matrix", "as_bit_payload"]
 
 
 def as_bit_matrix(blocks_bits: np.ndarray, block_bits: int) -> np.ndarray:
@@ -44,6 +44,27 @@ def as_bit_matrix(blocks_bits: np.ndarray, block_bits: int) -> np.ndarray:
     if ((blocks_bits != 0) & (blocks_bits != 1)).any():
         raise ValueError("bit matrix entries must be 0 or 1")
     return blocks_bits
+
+
+def as_bit_payload(blocks_bits, block_bits: int):
+    """Normalise an encoder payload: bit matrix or pre-packed words.
+
+    A :class:`repro.kernels.pipeline.PackedBits` passes through after a
+    shape check — its words were validated and packed once when the
+    sample was assembled, so re-validating (and re-packing) the unpacked
+    matrix per scheme would defeat the pack-once design.  Anything else
+    goes through :func:`as_bit_matrix`.
+    """
+    from repro.kernels.pipeline import PackedBits
+
+    if isinstance(blocks_bits, PackedBits):
+        if blocks_bits.block_bits != block_bits:
+            raise ValueError(
+                f"expected packed bits with block_bits={block_bits}, "
+                f"got {blocks_bits.block_bits}"
+            )
+        return blocks_bits
+    return as_bit_matrix(blocks_bits, block_bits)
 
 
 class BusEncoder(ABC):

@@ -12,7 +12,8 @@ import numpy as np
 
 from repro.core.analysis import StreamCost
 from repro.encoding import segments
-from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.encoding.base import BusEncoder, as_bit_payload
+from repro.kernels import pipeline
 
 __all__ = ["BinaryEncoder"]
 
@@ -27,21 +28,29 @@ class BinaryEncoder(BusEncoder):
         return 0
 
     def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
-        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        blocks_bits = as_bit_payload(blocks_bits, self.block_bits)
         num_blocks = blocks_bits.shape[0]
         if num_blocks == 0:
             empty = np.zeros(0, dtype=np.int64)
             return StreamCost(empty, empty, empty, empty)
+        data_flips, overhead_flips = pipeline.binary_flips(
+            blocks_bits, self.data_wires
+        )
+        zeros = np.zeros(num_blocks, dtype=np.int64)
+        cycles = np.full(num_blocks, self.beats, dtype=np.int64)
+        return StreamCost(
+            data_flips=data_flips,
+            overhead_flips=overhead_flips,
+            sync_flips=zeros,
+            cycles=cycles,
+        )
+
+    def _flips_arrays(self, blocks_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized flip tallies (the NumPy tier of ``binary_flips``)."""
+        num_blocks = blocks_bits.shape[0]
         beats = segments.beat_view(blocks_bits, self.data_wires, self.data_wires)
         driven = np.ones(beats.shape[:2], dtype=bool)
         held = segments.held_pattern(beats, driven)
         flips = (beats ^ held).sum(axis=(1, 2))
         data_flips = segments.per_block(flips, num_blocks)
-        zeros = np.zeros(num_blocks, dtype=np.int64)
-        cycles = np.full(num_blocks, self.beats, dtype=np.int64)
-        return StreamCost(
-            data_flips=data_flips,
-            overhead_flips=zeros,
-            sync_flips=zeros.copy(),
-            cycles=cycles,
-        )
+        return data_flips, np.zeros(num_blocks, dtype=np.int64)

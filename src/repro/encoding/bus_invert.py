@@ -45,7 +45,8 @@ import numpy as np
 
 from repro.core.analysis import StreamCost
 from repro.encoding import segments
-from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.encoding.base import BusEncoder, as_bit_payload
+from repro.kernels import pipeline
 from repro.kernels.batched import popcount, shifted_prev
 from repro.util.validation import require_multiple, require_positive
 
@@ -101,12 +102,27 @@ class BusInvertEncoder(BusEncoder):
         return math.ceil(self.num_segments * math.log2(3.0))
 
     def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
-        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        blocks_bits = as_bit_payload(blocks_bits, self.block_bits)
         num_blocks = blocks_bits.shape[0]
         if num_blocks == 0:
             empty = np.zeros(0, dtype=np.int64)
             return StreamCost(empty, empty, empty, empty)
 
+        data_flips, overhead_flips = pipeline.bus_invert_flips(
+            blocks_bits, self.data_wires, self.segment_bits, self.zero_skipping
+        )
+        zeros = np.zeros(num_blocks, dtype=np.int64)
+        cycles = np.full(num_blocks, self.beats, dtype=np.int64)
+        return StreamCost(
+            data_flips=data_flips,
+            overhead_flips=overhead_flips,
+            sync_flips=zeros,
+            cycles=cycles,
+        )
+
+    def _flips_arrays(self, blocks_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized flip tallies (the NumPy tier of ``bus_invert_flips``)."""
+        num_blocks = blocks_bits.shape[0]
         s = self.segment_bits
         beats = segments.beat_view(blocks_bits, self.data_wires, s)
         if self.zero_skipping is None:
@@ -134,14 +150,7 @@ class BusInvertEncoder(BusEncoder):
 
         data_flips = segments.per_block(data_per_seg, num_blocks)
         overhead_flips = segments.per_block(overhead_per_beat, num_blocks)
-        zeros = np.zeros(num_blocks, dtype=np.int64)
-        cycles = np.full(num_blocks, self.beats, dtype=np.int64)
-        return StreamCost(
-            data_flips=data_flips,
-            overhead_flips=overhead_flips,
-            sync_flips=zeros,
-            cycles=cycles,
-        )
+        return data_flips, overhead_flips
 
     @staticmethod
     def _polarity_before(toggle: np.ndarray, tie: np.ndarray) -> np.ndarray:

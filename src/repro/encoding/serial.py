@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.analysis import StreamCost
-from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.encoding.base import BusEncoder, as_bit_payload
 from repro.kernels.batched import level_transitions
 
 __all__ = ["SerialEncoder"]
@@ -29,7 +29,9 @@ class SerialEncoder(BusEncoder):
         return 0
 
     def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
-        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        blocks_bits = as_bit_payload(blocks_bits, self.block_bits)
+        if not isinstance(blocks_bits, np.ndarray):
+            blocks_bits = blocks_bits.bits  # serial walks individual bits
         num_blocks = blocks_bits.shape[0]
         if num_blocks == 0:
             empty = np.zeros(0, dtype=np.int64)

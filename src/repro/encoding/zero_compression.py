@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.core.analysis import StreamCost
 from repro.encoding import segments
-from repro.encoding.base import BusEncoder, as_bit_matrix
+from repro.encoding.base import BusEncoder, as_bit_payload
+from repro.kernels import pipeline
 from repro.util.validation import require_multiple, require_positive
 
 __all__ = ["ZeroCompressionEncoder"]
@@ -45,22 +46,15 @@ class ZeroCompressionEncoder(BusEncoder):
         return self.num_segments  # one zero-indicator wire per segment
 
     def stream_cost(self, blocks_bits: np.ndarray) -> StreamCost:
-        blocks_bits = as_bit_matrix(blocks_bits, self.block_bits)
+        blocks_bits = as_bit_payload(blocks_bits, self.block_bits)
         num_blocks = blocks_bits.shape[0]
         if num_blocks == 0:
             empty = np.zeros(0, dtype=np.int64)
             return StreamCost(empty, empty, empty, empty)
 
-        beats = segments.beat_view(blocks_bits, self.data_wires, self.segment_bits)
-        is_zero = ~beats.any(axis=2)
-        driven = ~is_zero
-        held = segments.held_pattern(beats, driven)
-        distance = (beats ^ held).sum(axis=2).astype(np.int64)
-        data_per_seg = np.where(driven, distance, 0)
-        indicator = segments.level_transitions(is_zero)
-
-        data_flips = segments.per_block(data_per_seg, num_blocks)
-        overhead_flips = segments.per_block(indicator, num_blocks)
+        data_flips, overhead_flips = pipeline.dzc_flips(
+            blocks_bits, self.data_wires, self.segment_bits
+        )
         zeros = np.zeros(num_blocks, dtype=np.int64)
         cycles = np.full(num_blocks, self.beats, dtype=np.int64)
         return StreamCost(
@@ -69,3 +63,17 @@ class ZeroCompressionEncoder(BusEncoder):
             sync_flips=zeros,
             cycles=cycles,
         )
+
+    def _flips_arrays(self, blocks_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized flip tallies (the NumPy tier of ``dzc_flips``)."""
+        num_blocks = blocks_bits.shape[0]
+        beats = segments.beat_view(blocks_bits, self.data_wires, self.segment_bits)
+        is_zero = ~beats.any(axis=2)
+        driven = ~is_zero
+        held = segments.held_pattern(beats, driven)
+        distance = (beats ^ held).sum(axis=2).astype(np.int64)
+        data_per_seg = np.where(driven, distance, 0)
+        indicator = segments.level_transitions(is_zero)
+        data_flips = segments.per_block(data_per_seg, num_blocks)
+        overhead_flips = segments.per_block(indicator, num_blocks)
+        return data_flips, overhead_flips

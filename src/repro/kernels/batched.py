@@ -28,6 +28,7 @@ __all__ = [
     "level_transitions",
     "strobe_flips",
     "group_rank",
+    "group_rank_sorted",
 ]
 
 #: ``np.bitwise_count`` landed in NumPy 2.0; fall back to a 16-bit
@@ -149,10 +150,22 @@ def group_rank(groups: np.ndarray) -> np.ndarray:
     entry ``i`` is the number of earlier entries with the same label.
     This is the vectorized form of the "per-key running counter" loop
     (e.g. each thread's position within its private stream region).
+
+    Dispatches through :mod:`repro.kernels.pipeline`: a dense counting
+    pass in C when the native library is loaded and the label range is
+    narrow, the stable-sort formulation below otherwise.
     """
+    from repro.kernels import pipeline
+
     groups = np.asarray(groups)
     if groups.ndim != 1:
         raise ValueError(f"expected a 1-D group array, got shape {groups.shape}")
+    return pipeline.group_rank(groups)
+
+
+def group_rank_sorted(groups: np.ndarray) -> np.ndarray:
+    """Stable-sort formulation of :func:`group_rank` (pure NumPy tier)."""
+    groups = np.asarray(groups)
     n = len(groups)
     rank = np.empty(n, dtype=np.int64)
     if n == 0:

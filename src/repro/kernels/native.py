@@ -4,9 +4,11 @@ The scalar event loop is the one hot path that resists NumPy batching:
 misses serialize through shared bank/channel/coherence state, so the
 epoch-batched engine still interprets ~60 bytecodes per miss.  This
 module compiles ``multicore_native.c`` — a direct transliteration of
-the reference loop onto flat int64 arrays — with the system C compiler
-and drives it through :mod:`ctypes` (both already present everywhere we
-run; nothing is installed).
+the reference loop onto flat int64 arrays — together with the pipeline
+kernels of ``pipeline_native.c`` (see :mod:`repro.kernels.pipeline`)
+into one shared library, built with the system C compiler and driven
+through :mod:`ctypes` (both already present everywhere we run; nothing
+is installed).
 
 Everything degrades gracefully: if no compiler is available, the build
 fails, or ``REPRO_NATIVE=0`` is set, :func:`load_native_kernel` returns
@@ -23,8 +25,9 @@ import os
 import shutil
 import subprocess
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -37,10 +40,17 @@ __all__ = [
     "load_native_kernel",
     "native_available",
     "native_error",
+    "native_cache_dir",
     "reset_native_kernel_cache",
 ]
 
-_SOURCE = Path(__file__).with_name("multicore_native.c")
+#: All C sources compiled into the one shared library; the cache key is
+#: the hash of their concatenation, so editing either triggers exactly
+#: one rebuild.
+_SOURCES = (
+    Path(__file__).with_name("multicore_native.c"),
+    Path(__file__).with_name("pipeline_native.c"),
+)
 
 #: Field order of the C kernel's cfg[] block (keep in sync with the enum).
 _CFG_FIELDS = 13
@@ -57,26 +67,84 @@ def _as_i64p(arr: np.ndarray):
     return arr.ctypes.data_as(_I64P)
 
 
+def native_cache_dir() -> Path:
+    """The shared directory holding compiled kernel libraries.
+
+    Defaults to a per-user temp directory; ``REPRO_NATIVE_CACHE``
+    overrides it so e.g. a build farm or a ProcessPool test can point
+    every worker at one warm cache.
+    """
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+
+
+@contextmanager
+def _build_lock(cache_dir: Path) -> Iterator[None]:
+    """Serialize concurrent cold builds of the same cache directory.
+
+    Without it, N pool workers starting cold each spawn a compiler; the
+    ``os.replace`` below keeps that *correct*, but N-1 compiles are
+    wasted work.  Advisory ``flock`` when available, no-op otherwise
+    (Windows falls back to the atomic-replace-only behaviour).
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = cache_dir / "build.lock"
+    with lock_path.open("w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def _build_library() -> ctypes.CDLL:
-    source = _SOURCE.read_text()
+    source = "".join(path.read_text() for path in _SOURCES)
     digest = hashlib.sha256(source.encode()).hexdigest()[:16]
-    cache_dir = Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
-    cache_dir.mkdir(mode=0o700, exist_ok=True)
-    lib_path = cache_dir / f"multicore-{digest}.so"
+    cache_dir = native_cache_dir()
+    cache_dir.mkdir(mode=0o700, parents=True, exist_ok=True)
+    lib_path = cache_dir / f"kernels-{digest}.so"
     if not lib_path.exists():
-        cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-        if cc is None:
-            raise RuntimeError("no C compiler on PATH")
-        tmp_path = lib_path.with_suffix(f".{os.getpid()}.tmp")
+        with _build_lock(cache_dir):
+            if not lib_path.exists():  # another worker may have built it
+                _compile(lib_path)
+    lib = ctypes.CDLL(str(lib_path))
+    fn = lib.desc_mc_run
+    _configure_mc_prototype(fn)
+    return lib
+
+
+def _compile(lib_path: Path) -> None:
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH")
+    tmp_path = lib_path.with_suffix(f".{os.getpid()}.tmp")
+    # -march=native lets the counter-RNG trace kernel vectorize (the
+    # library is compiled on demand on the machine that runs it); both
+    # sources are integer-only, so codegen flags cannot change results.
+    # Some toolchains reject the flag — fall back to the portable build.
+    base_cmd = [cc, "-O3", "-shared", "-fPIC"]
+    tail = [str(path) for path in _SOURCES] + ["-o", str(tmp_path)]
+    try:
         subprocess.run(
-            [cc, "-O2", "-shared", "-fPIC", str(_SOURCE), "-o", str(tmp_path)],
+            base_cmd + ["-march=native"] + tail,
             check=True,
             capture_output=True,
             timeout=120,
         )
-        os.replace(tmp_path, lib_path)  # atomic vs concurrent builders
-    lib = ctypes.CDLL(str(lib_path))
-    fn = lib.desc_mc_run
+    except subprocess.CalledProcessError:
+        subprocess.run(
+            base_cmd + tail, check=True, capture_output=True, timeout=120
+        )
+    os.replace(tmp_path, lib_path)  # atomic vs concurrent builders
+
+
+def _configure_mc_prototype(fn) -> None:
     fn.restype = ctypes.c_int64
     fn.argtypes = (
         [_I64P, ctypes.c_int64, ctypes.c_int64]
@@ -86,7 +154,6 @@ def _build_library() -> ctypes.CDLL:
         + [_I64P, ctypes.c_int64, _I64P]
         + [_I64P, _I64P, _I64P, _I64P]
     )
-    return lib
 
 
 def load_native_kernel() -> ctypes.CDLL | None:

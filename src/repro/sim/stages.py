@@ -25,15 +25,14 @@ import numpy as np
 from repro.cpu.dram import DramModel
 from repro.cpu.inorder import SmtCoreModel
 from repro.cpu.ooo import OooCoreModel
-from repro.cpu.queueing import md1_wait
+from repro.cpu.queueing import _MAX_UTILIZATION
 from repro.energy.cacti import CacheEnergyModel, CacheGeometry
 from repro.energy.mcpat import ProcessorEnergyBreakdown, ProcessorPowerModel
 from repro.interconnect.wires import WireModel
 from repro.sim.config import SchemeConfig, SystemConfig
 from repro.sim.metrics import L2Energy, TransferStats
 from repro.sim.store import StoreKey
-from repro.util.bitops import chunk_matrix_to_bits
-from repro.workloads.generator import block_stream
+from repro.workloads.generator import block_sample
 from repro.workloads.profiles import AppProfile
 
 __all__ = [
@@ -76,16 +75,23 @@ class WorkloadSample:
         num_blocks: Sample size (blocks).
         seed: Generator seed.
         chunks: ``(num_blocks, 128)`` matrix of 4-bit chunk values.
-        bits: ``(num_blocks, 512)`` 0/1 matrix of the same sample.
+        bits: ``(num_blocks, 512)`` 0/1 matrix of the same sample, or
+            ``None`` when ``packed`` carries the stream (the matrix is
+            then available lazily via ``packed.bits``).
         null_fraction: Fraction of blocks that are entirely zero.
+        packed: The same bits as little-endian packed uint64 words
+            (``pipeline.PackedBits``), so encoder kernels can consume
+            the sample without re-packing per scheme.  ``None`` on
+            samples deserialized from older stores.
     """
 
     app: AppProfile
     num_blocks: int
     seed: int
     chunks: np.ndarray
-    bits: np.ndarray
+    bits: np.ndarray | None
     null_fraction: float
+    packed: object | None = None
 
 
 def workload_key(app: AppProfile, num_blocks: int, seed: int) -> StoreKey:
@@ -99,17 +105,26 @@ def workload_key(app: AppProfile, num_blocks: int, seed: int) -> StoreKey:
 
 
 def sample_workload(app: AppProfile, num_blocks: int, seed: int) -> WorkloadSample:
-    """Draw an application's block-value sample (pure in the seed)."""
-    chunks = block_stream(app, num_blocks, seed)
-    bits = chunk_matrix_to_bits(chunks, 4)
+    """Draw an application's block-value sample (pure in the seed).
+
+    Both views come out of one ``pipeline.block_assemble`` call (mask
+    compares + chunk fills + word packing), so the epoch's workload
+    stage crosses the Python↔C boundary once when the native library is
+    loaded and the bit stream is packed once for every scheme that
+    consumes it.  The unpacked matrix materializes lazily (and is then
+    cached on the sample's ``packed``) only for the paths that walk
+    individual bits — ECC layouts and null-excluded streams.
+    """
+    chunks, packed = block_sample(app, num_blocks, seed)
     null_fraction = float((chunks == 0).all(axis=1).mean())
     return WorkloadSample(
         app=app,
         num_blocks=num_blocks,
         seed=seed,
         chunks=chunks,
-        bits=bits,
+        bits=None,
         null_fraction=null_fraction,
+        packed=packed,
     )
 
 
@@ -303,13 +318,29 @@ def solve_timing(
     cycles = core.execution_cycles(app, hit_no_wait, miss_base)
     bank_wait = 0.0
     miss_latency = miss_base
+    # ``md1_wait`` inlined (same expressions, so the floats are
+    # bit-identical): the two queueing terms run 2 * 30 iterations per
+    # (scheme, app) job and the call/validation overhead is measurable
+    # across a whole figure sweep.
+    dram_service = dram.service_cycles
+    dram_channels = dram.channels
+    miss_transfers = app.l2_accesses * app.l2_miss_rate
+    access_transfers = app.l2_accesses * transfers_per_access
     for _ in range(_FIXED_POINT_ITERATIONS):
-        rate = app.l2_accesses * transfers_per_access / cycles
-        bank_wait = md1_wait(rate, bank_service, num_banks)
-        miss_rate_per_cycle = app.l2_accesses * app.l2_miss_rate / cycles
-        miss_latency = miss_base + md1_wait(
-            miss_rate_per_cycle, dram.service_cycles, dram.channels
+        rho = min(
+            access_transfers / cycles * bank_service / num_banks,
+            _MAX_UTILIZATION,
         )
+        bank_wait = (
+            0.0
+            if bank_service <= 0.0
+            else rho * bank_service / (2.0 * (1.0 - rho))
+        )
+        rho = min(
+            miss_transfers / cycles * dram_service / dram_channels,
+            _MAX_UTILIZATION,
+        )
+        miss_latency = miss_base + rho * dram_service / (2.0 * (1.0 - rho))
         hit_latency = hit_no_wait + bank_wait
         new_cycles = core.execution_cycles(app, hit_latency, miss_latency + bank_wait)
         cycles = 0.5 * (cycles + new_cycles)

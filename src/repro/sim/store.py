@@ -417,4 +417,18 @@ def default_store() -> ResultStore:
 
 
 #: The process-wide store every stage uses unless handed another one.
-RESULT_STORE = default_store()
+#: Constructed — and its ``REPRO_RESULT_STORE`` pickle loaded — on first
+#: attribute access (PEP 562), never at import time: this module is
+#: imported by :mod:`repro.sim.stages` before the stage dataclasses
+#: exist, so an import-time load would unpickle ``WorkloadSample`` from
+#: a partially initialized module and quarantine a perfectly good store
+#: on every warm restart.
+RESULT_STORE: ResultStore
+
+
+def __getattr__(name: str) -> Any:
+    if name == "RESULT_STORE":
+        store = default_store()
+        globals()["RESULT_STORE"] = store
+        return store
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -55,6 +55,13 @@ BASELINE_SCHEME_NAMES = (
 _LAST_VALUE_BROADCAST_ACTIVITY = 0.16
 
 
+def _sample_bits(sample: WorkloadSample) -> np.ndarray:
+    """The sample's unpacked bit matrix, whichever field carries it."""
+    if sample.bits is not None:
+        return sample.bits
+    return sample.packed.bits
+
+
 def _drop_null_rows(blocks: np.ndarray) -> np.ndarray:
     """Remove all-zero rows (blocks served by the null directory)."""
     keep = blocks.any(axis=1)
@@ -78,7 +85,7 @@ class DescTransferModel:
         """Closed-form DESC costs, with the Figure 9 layout under ECC."""
         scheme = self.scheme
         if scheme.ecc_segment_bits:
-            bits = sample.bits
+            bits = _sample_bits(sample)
             if exclude_null:
                 bits = _drop_null_rows(bits)
             ecc = DescEccLayout(
@@ -100,7 +107,7 @@ class DescTransferModel:
                 block_bits=512, chunk_bits=4, num_wires=scheme.data_wires
             )
         else:
-            bits = sample.bits
+            bits = _sample_bits(sample)
             if exclude_null:
                 bits = _drop_null_rows(bits)
             chunks = bit_matrix_to_chunks(bits, scheme.chunk_bits)
@@ -157,7 +164,23 @@ class BaselineTransferModel:
     ) -> TransferStats:
         """Stream the sample through the configured ``BusEncoder``."""
         scheme = self.scheme
-        bits = sample.bits
+        if not exclude_null and not scheme.ecc_segment_bits and (
+            sample.packed is not None
+        ):
+            # Fast path: the unmodified full sample streams as its
+            # pre-packed word form — the encoder kernels then skip
+            # re-validating and re-packing the bit matrix per scheme,
+            # and the unpacked matrix never materializes.
+            encoder = make_encoder(
+                scheme.name,
+                block_bits=sample.packed.block_bits,
+                data_wires=scheme.data_wires,
+                segment_bits=scheme.segment_bits,
+            )
+            return self._stats_from_stream(
+                encoder, encoder.stream_cost(sample.packed)
+            )
+        bits = _sample_bits(sample)
         if exclude_null:
             bits = _drop_null_rows(bits)
         if scheme.ecc_segment_bits:
@@ -184,7 +207,10 @@ class BaselineTransferModel:
                 data_wires=scheme.data_wires,
                 segment_bits=scheme.segment_bits,
             )
-        stream = encoder.stream_cost(bits)
+        return self._stats_from_stream(encoder, encoder.stream_cost(bits))
+
+    @staticmethod
+    def _stats_from_stream(encoder, stream) -> TransferStats:
         n = stream.num_blocks
         return TransferStats(
             data_flips=float(stream.data_flips.sum()) / n,

@@ -13,21 +13,41 @@ Two generators, both deterministic given (application, seed):
   working sets with temporal locality plus a shared region, yielding
   realistic hit/miss and sharing behaviour for the MESI L1s.
 
-Everything is vectorized; the repeat chain across blocks uses a
-forward-fill instead of a Python loop.
+Both generators dispatch their hot assembly through
+:mod:`repro.kernels.pipeline` — one C call per stream when the native
+library is loaded, byte-identical NumPy twins otherwise:
+
+* the block generator draws its masks with NumPy's seeded ``Generator``
+  (unchanged draw order, so historical streams are preserved) and hands
+  the mask application, word-copy / repeat-chain fills, bit expansion,
+  and packed-word emission to ``pipeline.block_assemble``;
+* the trace generator is *table-driven* on a counter RNG (murmur3
+  ``fmix64`` over per-stream counters): every float-derived constant —
+  the switch/kind/write probability thresholds and the Pareto-rank /
+  Poisson-gap inverse-CDF tables — is computed once here as integers,
+  so the C and NumPy tiers compare the same uint64 draws and agree
+  exactly.
 """
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from repro.kernels.batched import forward_fill_take, group_rank
+from repro.kernels import pipeline
 from repro.workloads.profiles import AppProfile
 
-__all__ = ["block_stream", "chunk_statistics", "MemoryTrace", "memory_trace"]
+__all__ = [
+    "block_stream",
+    "block_sample",
+    "chunk_statistics",
+    "MemoryTrace",
+    "memory_trace",
+]
 
 _CHUNK_BITS = 4
 _CHUNKS_PER_BLOCK = 128
@@ -61,37 +81,90 @@ def block_stream(
     Fresh chunks outside those cases are zero with ``p_zero_chunk``
     else uniform over 1..15 (Figure 12's near-uniform non-zero tail).
     """
+    chunks, _, _ = _generate_blocks(
+        app, num_blocks, seed, with_bits=False, with_packed=False
+    )
+    return chunks
+
+
+def block_sample(
+    app: AppProfile, num_blocks: int, seed: int = 0
+) -> tuple[np.ndarray, pipeline.PackedBits]:
+    """Generate a block stream in both views: ``(chunks, packed)``.
+
+    Identical values to :func:`block_stream` followed by
+    ``chunk_matrix_to_bits`` + packing, but the fills and the packed
+    little-endian word stream come out of the same single
+    ``pipeline.block_assemble`` call — the forms the staged engine's
+    workload stage consumes.  The unpacked 0/1 matrix stays available
+    lazily through ``packed.bits``.
+    """
+    chunks, _, packed = _generate_blocks(
+        app, num_blocks, seed, with_bits=False, with_packed=True
+    )
+    assert packed is not None
+    return chunks, packed
+
+
+def _generate_blocks(
+    app: AppProfile,
+    num_blocks: int,
+    seed: int,
+    with_bits: bool,
+    with_packed: bool,
+) -> tuple[np.ndarray, np.ndarray | None, pipeline.PackedBits | None]:
+    """Draw the locality uniforms (fixed rng order) and run the kernel."""
     if num_blocks <= 0:
         raise ValueError(f"num_blocks must be positive, got {num_blocks}")
     rng = np.random.default_rng(seed ^ _stable_hash(app.name))
-    shape = (num_blocks, _CHUNKS_PER_BLOCK)
+    n = num_blocks
+    shape = (n, _CHUNKS_PER_BLOCK)
     words_per_block = _CHUNKS_PER_BLOCK // _CHUNKS_PER_WORD
 
-    null_block = rng.random(num_blocks) < app.p_null_block
-    zero_word = rng.random((num_blocks, words_per_block)) < app.p_zero_word
-    zero_word_chunks = np.repeat(zero_word, _CHUNKS_PER_WORD, axis=1)
-    zero_chunk = rng.random(shape) < app.p_zero_chunk
-
+    # Historical draw order: null_block (n), zero_word (n, 16),
+    # zero_chunk (n, 128), fresh, word_copy (n, 16), repeat (n, 128).
+    # ``Generator.random`` fills arrays from the same sequential double
+    # stream, so drawing each group in one call and slicing preserves
+    # the exact values while paying the generator overhead twice
+    # instead of five times.
+    head = rng.random(n * (1 + words_per_block + _CHUNKS_PER_BLOCK))
     fresh = rng.integers(1, 1 << _CHUNK_BITS, size=shape, dtype=np.int64)
-    fresh[zero_chunk | zero_word_chunks | null_block[:, None]] = 0
+    tail = rng.random(n * (words_per_block + _CHUNKS_PER_BLOCK))
+
+    null_draw = head[:n]
+    zero_word_draw = head[n : n * (1 + words_per_block)].reshape(
+        n, words_per_block
+    )
+    zero_chunk_draw = head[n * (1 + words_per_block) :].reshape(shape)
+    word_copy_draw = tail[: n * words_per_block].reshape(n, words_per_block)
+    repeat_draw = tail[n * words_per_block :].reshape(shape)
 
     # Spatial locality: word j copies word j-1 within the block — a
     # copy chain, so the value that propagates is the last *non-copied*
-    # word at or before j (kernels.forward_fill_take along the word
-    # axis; word 0 never copies, null blocks are all-zero anyway).
-    word_copy = rng.random((num_blocks, words_per_block)) < app.p_word_repeat
-    word_copy[:, 0] = False
-    word_copy &= ~null_block[:, None]
-    word_view = fresh.reshape(num_blocks, words_per_block, _CHUNKS_PER_WORD)
-    fresh = forward_fill_take(word_view, ~word_copy, axis=1).reshape(shape)
-
-    repeat = rng.random(shape) < app.p_repeat_chunk
-    repeat[0] = False  # the first block has nothing to repeat
-    # Null blocks are architecturally all-zero regardless of history.
-    repeat[null_block] = False
-
-    # value[i, c] = fresh value at the last non-repeat index <= i.
-    return forward_fill_take(fresh, ~repeat, axis=0)
+    # word at or before j (word 0 never copies, null blocks are
+    # all-zero anyway).  Temporal locality: value[i, c] = fresh value at
+    # the last non-repeat index <= i (per chunk offset); the first block
+    # has nothing to repeat and null blocks are architecturally all-zero
+    # regardless of history.  The kernel applies the mask compares and
+    # those structural overrides itself — the raw draws go in untouched.
+    return pipeline.block_assemble(
+        fresh,
+        null_draw,
+        zero_word_draw,
+        zero_chunk_draw,
+        word_copy_draw,
+        repeat_draw,
+        (
+            app.p_null_block,
+            app.p_zero_word,
+            app.p_zero_chunk,
+            app.p_word_repeat,
+            app.p_repeat_chunk,
+        ),
+        _CHUNK_BITS,
+        with_bits,
+        with_packed,
+    )
 
 
 def chunk_statistics(blocks: np.ndarray) -> dict[str, float]:
@@ -136,6 +209,63 @@ class MemoryTrace:
         return len(self.addresses)
 
 
+# Pareto block popularity: rank ~ floor(32 * pareto(1.2)), the hot-head
+# long-tail reuse pattern of the private regions.
+_RANK_PARETO_SHAPE = 1.2
+_RANK_PARETO_SCALE = 32.0
+# Bursty thread interleaving: a thread issues a run of references (mean
+# ~7) before another takes over.
+_SWITCH_PROBABILITY = 0.15
+
+#: Largest float64 strictly below 2**64 — CDF values of ~1.0 must not
+#: wrap to 0 when scaled into uint64 thresholds.
+_U64_CEIL = np.nextafter(2.0**64, 0)
+
+
+def _threshold(probability: float) -> int:
+    """uint64 threshold t with P(draw < t) == ``probability``."""
+    return int(min(probability * 2.0**64, _U64_CEIL))
+
+
+def _cdf_to_table(cdf: np.ndarray) -> np.ndarray:
+    """Ascending uint64 inverse-CDF table for ``searchsorted`` lookup.
+
+    Entry ``k`` is the threshold below which a uniform uint64 draw maps
+    to value ``<= k``; ``searchsorted(table, u, side="right")`` (and
+    the C ``upper_bound``) then invert the CDF identically.
+    """
+    return np.minimum(cdf * 2.0**64, _U64_CEIL).astype(np.uint64)
+
+
+@lru_cache(maxsize=None)
+def _rank_table(private_blocks: int) -> np.ndarray:
+    """Inverse-CDF table of the clamped Pareto block rank.
+
+    ``CDF(rank <= k) = 1 - (1 + (k+1)/32)**-1.2``; the table stops at
+    ``private_blocks - 2`` so the maximum lookup result is the clamp
+    value ``private_blocks - 1``.
+    """
+    k = np.arange(private_blocks - 1, dtype=np.float64)
+    cdf = 1.0 - (1.0 + (k + 1.0) / _RANK_PARETO_SCALE) ** (-_RANK_PARETO_SHAPE)
+    return _cdf_to_table(cdf)
+
+
+@lru_cache(maxsize=None)
+def _gap_table(lam: float) -> np.ndarray:
+    """Inverse-CDF table of the Poisson(``lam``) instruction gap.
+
+    Log-space pmf (``lgamma`` keeps large means finite); the table is
+    truncated ~10 standard deviations past the mean, where the residual
+    tail mass is far below one part in 2**64.
+    """
+    length = int(lam + 10.0 * math.sqrt(lam) + 16.0)
+    log_pmf = np.array(
+        [k * math.log(lam) - lam - math.lgamma(k + 1.0) for k in range(length)]
+    )
+    cdf = np.minimum(np.cumsum(np.exp(log_pmf)), 1.0)
+    return _cdf_to_table(cdf)
+
+
 def memory_trace(
     app: AppProfile,
     num_references: int,
@@ -157,55 +287,38 @@ def memory_trace(
     * per-thread *streams* — sequential block-by-block scans through a
       dedicated region, the array-walk behaviour that gives DRAM its
       row-buffer locality and the T0 address encoder its strides.
+
+    Assembly is counter-RNG based (``pipeline.trace_assemble``): the
+    burst switching, kind mix, Pareto ranks, and Poisson gaps are all
+    decided by comparing per-stream ``fmix64`` draws against integer
+    thresholds/tables built here, so the native and NumPy tiers emit
+    byte-identical traces.
     """
     if num_references <= 0:
         raise ValueError(f"num_references must be positive, got {num_references}")
-    rng = np.random.default_rng((seed + 0x9E37) ^ _stable_hash(app.name))
-    # Bursty thread interleaving: a thread issues a run of references
-    # (mean ~7) before another takes over — real traces are not i.i.d.
-    # per reference, and the bursts are what let streams reach the DRAM
-    # row buffers before another thread's accesses evict the open row.
-    switch = rng.random(num_references) > 0.85
-    switch[0] = True
-    fresh_threads = rng.integers(0, app.threads, size=num_references)
-    index = np.arange(num_references, dtype=np.int64)
-    last_switch = np.maximum.accumulate(np.where(switch, index, -1))
-    threads = fresh_threads[last_switch]
-
-    kind = rng.random(num_references)
-    streaming = kind < stream_fraction
-    shared = (kind >= stream_fraction) & (
-        kind < stream_fraction + shared_fraction * (1 - stream_fraction)
-    )
-    # Power-law block popularity: rank ~ pareto gives a hot working set.
-    rank = np.minimum(
-        (rng.pareto(1.2, size=num_references) * 32).astype(np.int64),
-        private_blocks - 1,
-    )
-    private_base = (1 + threads.astype(np.int64)) * private_blocks
-    block_index = np.where(shared, rank % shared_blocks, private_base + rank)
-
-    # Streams: each thread scans its own bounded region sequentially,
-    # wrapping so later passes find the data resident in the L2.  Each
-    # streaming reference's offset is its rank among the thread's
-    # streaming references so far (kernels.group_rank).
+    base = ((seed + 0x9E37) ^ _stable_hash(app.name)) & (2**64 - 1)
+    per_ref_instructions = 1000.0 / app.l2_apki / max(app.threads, 1)
     stream_blocks = max(private_blocks // 4, 64)
     stream_region = private_blocks * (app.threads + 2)
-    stream_refs = np.flatnonzero(streaming)
-    if len(stream_refs):
-        stream_threads = threads[stream_refs].astype(np.int64)
-        offsets = group_rank(stream_threads) % stream_blocks
-        block_index[stream_refs] = (
-            stream_region + stream_threads * stream_blocks + offsets
-        )
-
-    addresses = block_index * block_bytes
-    is_write = rng.random(num_references) < app.write_fraction
-    per_ref_instructions = 1000.0 / app.l2_apki / max(app.threads, 1)
-    gaps = rng.poisson(max(per_ref_instructions, 1.0), size=num_references)
+    addresses, is_write, threads, gaps = pipeline.trace_assemble(
+        base,
+        num_references,
+        app.threads,
+        _threshold(1.0 - _SWITCH_PROBABILITY),
+        _threshold(stream_fraction),
+        _threshold(stream_fraction + shared_fraction * (1 - stream_fraction)),
+        _threshold(app.write_fraction),
+        _rank_table(private_blocks),
+        _gap_table(max(per_ref_instructions, 1.0)),
+        private_blocks,
+        shared_blocks,
+        stream_blocks,
+        stream_region,
+        block_bytes,
+    )
     return MemoryTrace(
-        addresses=addresses.astype(np.int64),
+        addresses=addresses,
         is_write=is_write,
-        thread=threads.astype(np.int64),
-        instructions_between=np.maximum(gaps, 1).astype(np.int64),
+        thread=threads,
+        instructions_between=gaps,
     )

@@ -19,6 +19,7 @@ FILE_RULES_ONLY = """
 [tool.repro.analysis]
 tier_classes = []
 dispatch_class = ""
+kernel_dispatchers = []
 check_transfer_models = false
 stage_protocol = ""
 """

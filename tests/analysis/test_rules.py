@@ -218,6 +218,7 @@ tier_classes = ["src/repro/a.py:EngineA", "src/repro/b.py:EngineB"]
 tier_methods = ["__init__", "run", "supports"]
 dispatch_class = "src/repro/d.py:Dispatch"
 dispatch_methods = ["run"]
+kernel_dispatchers = []
 check_transfer_models = false
 stage_protocol = ""
 """
@@ -336,6 +337,81 @@ class TestTierParity:
         assert list(rule._check_models(config)) == []
 
 
+# -- R003: kernel-dispatcher parity ------------------------------------
+
+
+_KERNEL_CONFIG = """
+[tool.repro.analysis]
+tier_classes = []
+dispatch_class = ""
+kernel_dispatchers = ["src/repro/kern.py:encode"]
+check_transfer_models = false
+stage_protocol = ""
+"""
+
+_KERNEL_TRIO = """
+def encode_native(bits, data_wires, segment_bits=8):
+    return 1
+
+
+def encode_numpy(bits, data_wires, segment_bits=8):
+    return 2
+
+
+def encode(bits, data_wires, segment_bits=8):
+    return encode_native(bits, data_wires, segment_bits)
+"""
+
+
+class TestKernelDispatcherParity:
+    def test_matching_trio_passes(self, make_repo):
+        root = make_repo({"src/repro/kern.py": _KERNEL_TRIO}, _KERNEL_CONFIG)
+        assert lint(root, "R003") == []
+
+    def test_missing_twin_is_flagged(self, make_repo):
+        no_numpy = _KERNEL_TRIO.replace("def encode_numpy", "def _hidden")
+        root = make_repo({"src/repro/kern.py": no_numpy}, _KERNEL_CONFIG)
+        findings = lint(root, "R003")
+        assert any("encode_numpy" in f.message for f in findings)
+
+    def test_drifted_twin_default_is_flagged(self, make_repo):
+        # The numpy twin's keyword default drifts: wrong answers appear
+        # only under REPRO_NATIVE=0, the exact bug class R003 guards.
+        drifted = _KERNEL_TRIO.replace(
+            "def encode_numpy(bits, data_wires, segment_bits=8):",
+            "def encode_numpy(bits, data_wires, segment_bits=4):",
+        )
+        root = make_repo({"src/repro/kern.py": drifted}, _KERNEL_CONFIG)
+        findings = lint(root, "R003")
+        assert any(
+            "encode_numpy" in f.message and "differs" in f.message
+            for f in findings
+        )
+
+    def test_missing_dispatcher_is_flagged(self, make_repo):
+        root = make_repo({"src/repro/kern.py": "X = 1\n"}, _KERNEL_CONFIG)
+        findings = lint(root, "R003")
+        assert any("not found" in f.message for f in findings)
+
+    def test_real_pipeline_dispatchers_conform(self):
+        # The live invariant: every configured pipeline dispatcher in
+        # this checkout ships signature-identical native/numpy twins.
+        from repro.analysis.config import find_repo_root
+        from repro.analysis.framework import SourceFile
+
+        root = find_repo_root()
+        assert root is not None
+        config = AnalysisConfig()
+        paths = dict.fromkeys(
+            e.rpartition(":")[0] for e in config.kernel_dispatchers
+        )
+        files = [SourceFile.load(root / rel, rel) for rel in paths]
+        rule = TierParityRule()
+        assert list(
+            rule._check_kernel_dispatchers(files, config, root)
+        ) == []
+
+
 # -- R003: stage-protocol conformance ----------------------------------
 
 
@@ -343,6 +419,7 @@ _STAGE_CONFIG = """
 [tool.repro.analysis]
 tier_classes = []
 dispatch_class = ""
+kernel_dispatchers = []
 check_transfer_models = false
 stage_protocol = "src/repro/stages.py:Stage"
 stage_classes = ["src/repro/stages.py:Good", "src/repro/other.py:Far"]

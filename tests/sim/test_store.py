@@ -110,6 +110,65 @@ class TestPersistence:
         assert payload["version"] == STORE_FORMAT_VERSION
 
 
+class TestWarmRestart:
+    """Regression: the global store must construct (and load) lazily.
+
+    ``repro.sim.stages`` imports this module for ``StoreKey`` before
+    its stage dataclasses exist, so an import-time load of the
+    ``REPRO_RESULT_STORE`` pickle used to unpickle ``WorkloadSample``
+    from the partially initialized module — quarantining a perfectly
+    good store on every warm restart.
+    """
+
+    SEED = textwrap.dedent(
+        """
+        import sys
+        from repro.sim.stages import sample_workload, workload_key
+        from repro.sim.store import ResultStore
+        from repro.workloads.profiles import profile
+
+        app = profile("FFT")
+        store = ResultStore(sys.argv[1])
+        store.put(workload_key(app, 8, 0), sample_workload(app, 8, 0))
+        store.save()
+        """
+    )
+
+    PROBE = textwrap.dedent(
+        """
+        import warnings
+        warnings.simplefilter("error")  # any quarantine warning fails
+
+        import repro.sim  # the failing order: stages mid-import chain
+        from repro.sim.store import RESULT_STORE
+
+        assert RESULT_STORE.stats().size == 1, RESULT_STORE.stats()
+        """
+    )
+
+    def test_env_store_survives_a_warm_restart(self, tmp_path):
+        path = tmp_path / "warm.pkl"
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+        )
+        cold = subprocess.run(
+            [sys.executable, "-c", self.SEED, str(path)],
+            env=dict(os.environ, PYTHONPATH=src),
+            capture_output=True, text=True,
+        )
+        assert cold.returncode == 0, cold.stderr
+        warm = subprocess.run(
+            [sys.executable, "-c", self.PROBE],
+            env=dict(
+                os.environ, PYTHONPATH=src, REPRO_RESULT_STORE=str(path)
+            ),
+            capture_output=True, text=True,
+        )
+        assert warm.returncode == 0, warm.stderr
+        assert path.exists()
+        assert not (tmp_path / "warm.pkl.corrupt").exists()
+
+
 class TestGracefulLoad:
     """Satellite guarantee: a broken persisted store warns and starts
     empty — it never crashes a run or silently feeds bad entries."""
