@@ -70,6 +70,14 @@ class AnalysisConfig:
             checked against ``stage_protocol`` — matching method
             signatures (including async-ness) and the protocol's
             class attributes.
+        deadline_scope: Where R006 (deadline hygiene) applies — the
+            deadline-propagating service package.
+        deadline_primitives: Method names whose direct ``await`` must
+            carry a timeout/deadline (queue, future, lock, and socket
+            blocking primitives).
+        deadline_wrappers: Call names that bound an await — awaiting
+            one of these, or sitting inside ``async with <wrapper>``,
+            satisfies R006.
     """
 
     paths: tuple[str, ...] = ("src",)
@@ -113,6 +121,13 @@ class AnalysisConfig:
         "src/repro/service/stages.py:Batcher",
         "src/repro/service/stages.py:Executor",
     )
+    deadline_scope: tuple[str, ...] = ("src/repro/service",)
+    deadline_primitives: tuple[str, ...] = (
+        "get", "put", "join", "wait", "acquire", "drain",
+        "readexactly", "readuntil", "readline", "read", "recv",
+        "accept", "wait_closed", "serve_forever",
+    )
+    deadline_wrappers: tuple[str, ...] = ("wait_for", "timeout", "timeout_at")
 
 
 def find_repo_root(start: Path | None = None) -> Path | None:

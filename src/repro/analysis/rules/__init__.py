@@ -12,6 +12,8 @@ R003      error     engine tiers expose matching public signatures;
 R004      warning   no ``==``/``!=`` on energy/cost floats
 R005      warning   no iteration over unordered sets feeding
                     ordered outputs
+R006      warning   deadline hygiene: no unbounded awaits on
+                    blocking primitives in the service scope
 ========  ========  ==============================================
 
 ``R000`` (syntax error) is emitted by the framework itself.
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 from repro.analysis.framework import Rule
 from repro.analysis.rules.cost import CostAccountingRule
+from repro.analysis.rules.deadline import DeadlineHygieneRule
 from repro.analysis.rules.determinism import SeedHygieneRule, UnorderedIterationRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.parity import TierParityRule
@@ -36,5 +39,6 @@ def default_rules() -> list[Rule]:
         TierParityRule(),
         FloatEqualityRule(),
         UnorderedIterationRule(),
+        DeadlineHygieneRule(),
     ]
     return sorted(rules, key=lambda r: r.id)

@@ -1,0 +1,118 @@
+"""R006: deadline hygiene — no unbounded awaits on blocking primitives.
+
+The service package propagates deadlines end to end (see
+``docs/service.md``); an ``await`` on a queue, future, lock, or socket
+primitive with no timeout is how a lost wakeup becomes a hung request
+instead of a structured 504.  Inside the service scope the rule flags
+``await <expr>.<primitive>(...)`` — ``get``, ``put``, ``join``,
+``wait``, ``acquire``, ``drain``, the stream ``read*`` family,
+``recv``, ``accept``, ``wait_closed``, ``serve_forever`` — unless the
+call carries a ``timeout``/``deadline`` keyword, is wrapped in
+``asyncio.wait_for(...)`` (awaiting the wrapper, primitive as its
+argument), or sits inside an ``async with asyncio.timeout(...)`` block.
+
+Intentionally unbounded awaits exist — the batcher parking on an idle
+queue, ``serve_forever``, awaiting a task that was just cancelled —
+and each carries a ``# lint-ok: R006`` waiver naming why it cannot
+hang a request.  The primitive and wrapper name lists are configurable
+(``deadline_primitives`` / ``deadline_wrappers``); name-based matching
+is a heuristic, so the waiver is the escape hatch, not the baseline
+file (which stays empty).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, SourceFile
+
+__all__ = ["DeadlineHygieneRule"]
+
+#: Keyword names that count as an explicit bound on the call itself.
+_TIMEOUT_KWARGS = ("timeout", "deadline")
+
+
+def _call_name(node: ast.AST) -> str:
+    """The trailing name of a call target (``a.b.get`` -> ``get``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _has_timeout_kwarg(call: ast.Call) -> bool:
+    return any(
+        kw.arg in _TIMEOUT_KWARGS and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        )
+        for kw in call.keywords
+    )
+
+
+class DeadlineHygieneRule(Rule):
+    """R006: unbounded await on a blocking primitive in service scope."""
+
+    id = "R006"
+    severity = "warning"
+    title = "unbounded await on a blocking primitive"
+
+    def scope(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return tuple(config.deadline_scope)
+
+    def check_file(
+        self, file: SourceFile, config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        tree = file.tree
+        assert tree is not None
+        primitives = frozenset(config.deadline_primitives)
+        wrappers = frozenset(config.deadline_wrappers)
+        yield from self._visit(file, tree, primitives, wrappers, False)
+
+    def _visit(
+        self,
+        file: SourceFile,
+        node: ast.AST,
+        primitives: frozenset,
+        wrappers: frozenset,
+        guarded: bool,
+    ) -> Iterable[Finding]:
+        """Walk the tree carrying whether a timeout scope encloses us."""
+        if isinstance(node, ast.AsyncWith) and any(
+            isinstance(item.context_expr, ast.Call)
+            and _call_name(item.context_expr.func) in wrappers
+            for item in node.items
+        ):
+            guarded = True
+        if isinstance(node, ast.Await) and not guarded:
+            yield from self._check_await(file, node, primitives, wrappers)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(file, child, primitives, wrappers, guarded)
+
+    def _check_await(
+        self,
+        file: SourceFile,
+        node: ast.Await,
+        primitives: frozenset,
+        wrappers: frozenset,
+    ) -> Iterable[Finding]:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        name = _call_name(value.func)
+        if name in wrappers:
+            return  # await asyncio.wait_for(...) is the fix, not a bug
+        if name not in primitives:
+            return
+        if _has_timeout_kwarg(value):
+            return
+        yield self.finding(
+            file, node,
+            f"awaiting '{name}()' with no deadline; wrap it in "
+            "asyncio.wait_for(...), pass a timeout, or add a "
+            "'# lint-ok: R006' waiver explaining why it cannot hang "
+            "a request",
+        )

@@ -18,6 +18,7 @@ Usage::
     python -m repro lint --check --json      # CI mode, machine-readable
     python -m repro serve --port 8765        # async simulation service
     python -m repro serve --check --quick    # service smoke check
+    python -m repro chaos --quick --seed 0   # fault-inject the service
     python -m repro --version                # package version
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only
@@ -410,6 +411,60 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: fault-inject a live service."""
+    from repro.service.chaos import run_chaos
+
+    code, report = run_chaos(
+        quick=args.quick,
+        seed=args.seed,
+        report_out=args.report_out,
+    )
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        phases = report["phases"]
+        print(
+            f"chaos campaign (seed {report['seed']}, "
+            f"{report['shards']} shards, {report['clients']} clients):"
+        )
+        print(
+            f"  crash storm: {phases['crash_storm']['answered']}/"
+            f"{phases['crash_storm']['expected']} answered under "
+            f"{phases['crash_storm']['kills']} kill(s)"
+        )
+        print(
+            f"  failure burst: {phases['failure_burst']['breaker_opens']} "
+            f"breaker open(s) from "
+            f"{phases['failure_burst']['injected_failures']} injected "
+            "failure(s)"
+        )
+        print(
+            f"  scrub: {phases['scrub']['repaired']}/"
+            f"{phases['scrub']['damaged']} corrupted record(s) repaired"
+        )
+        print(
+            f"  deadlines: {phases['deadlines']['expired_504s']} "
+            "request(s) expired with structured 504s"
+        )
+        print(
+            f"  queue flood: {phases['queue_flood']['answered']}/"
+            f"{phases['queue_flood']['expected']} answered"
+        )
+        counters = report["counters"]
+        print(
+            f"  recovery: {counters['supervisor_restarts']} restart(s), "
+            f"{counters['breaker_closes_total']} breaker close(s), "
+            f"{counters['deadline_expirations']} expiration(s)"
+        )
+        for problem in report["problems"]:
+            print(f"  FAIL: {problem}", file=sys.stderr)
+    if code == 0:
+        print("chaos checks passed", file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     from repro.util.version import package_version
@@ -597,6 +652,34 @@ def main(argv: list[str] | None = None) -> int:
                                    "unless some lookups were served from "
                                    "the disk tier (warm-restart proof)")
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-inject a live service and assert it recovers",
+        description="Boot a sharded service and drive golden traffic "
+                    "while a seeded chaos schedule kills workers "
+                    "mid-batch, fails batches until breakers open, "
+                    "corrupts warehouse segments, injects latency "
+                    "against tight deadlines, and floods the admission "
+                    "queue; exit 1 unless every answer is "
+                    "byte-identical and every recovery counter moved. "
+                    "See docs/service.md.",
+    )
+    chaos_parser.add_argument("--quick", action="store_true",
+                              help="smaller value samples and traffic "
+                                   "volume (CI smoke mode)")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="chaos schedule seed; the same seed "
+                                   "replays the same fault events")
+    chaos_parser.add_argument("--check", action="store_true",
+                              help="accepted for symmetry with 'serve "
+                                   "--check'; chaos always asserts and "
+                                   "exits 1 on violation")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the chaos report as JSON")
+    chaos_parser.add_argument("--report-out", metavar="PATH", default=None,
+                              help="write the chaos report to a JSON "
+                                   "file (CI artifact)")
+
     args = parser.parse_args(argv)
 
     if args.command == "cache-stats":
@@ -676,6 +759,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     if args.command == "faults":
         return _run_faults(args)

@@ -21,20 +21,31 @@ Layers (each its own module, composable in-process without HTTP):
 * :mod:`repro.service.server` — the HTTP front-end
   (:class:`ServiceServer`: ``/simulate``, ``/sweep``, ``/healthz``,
   ``/metrics``);
-* :mod:`repro.service.client` — the in-repo client with 429-aware
-  retries (:class:`ServiceClient`);
+* :mod:`repro.service.breaker` — the per-shard circuit breaker
+  (:class:`~repro.service.breaker.CircuitBreaker`): a sick shard sheds
+  load with 503 + Retry-After instead of queueing doomed work;
+* :mod:`repro.service.supervisor` — shard health checks, crash
+  recovery with bounded backoff, queue re-routing, and the warehouse
+  scrubber (:class:`~repro.service.supervisor.ShardSupervisor`);
+* :mod:`repro.service.client` — the in-repo client with full-jitter
+  429/503-aware retries, deadline stamping, and optional hedged
+  requests (:class:`ServiceClient`);
 * :mod:`repro.service.metrics` — the counters/gauges/histograms
   registry behind ``/metrics`` (also reused by ``repro bench``);
 * :mod:`repro.service.codec` — request canonicalization and canonical
   result encoding;
 * :mod:`repro.service.clock` — injectable monotonic time;
 * :mod:`repro.service.check` — the end-to-end self-check behind
-  ``repro serve --check``.
+  ``repro serve --check``;
+* :mod:`repro.service.chaos` — the seeded chaos campaign behind
+  ``repro chaos`` (crash storms, failure bursts, byte flips, floods —
+  golden traffic must stay byte-identical throughout).
 
 See ``docs/service.md`` for the API schema, the metrics glossary, and
 operational notes.
 """
 
+from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.client import (
     ServiceClient,
     ServiceClientError,
@@ -51,9 +62,11 @@ from repro.service.metrics import (
 )
 from repro.service.pipeline import (
     Backpressure,
+    DeadlineExceeded,
     ServiceConfig,
     ServiceError,
     ShardPipeline,
+    ShardUnavailable,
     SimulationFailed,
     SimulationService,
 )
@@ -61,21 +74,29 @@ from repro.service.router import ShardRouter
 from repro.service.server import ServiceServer
 from repro.service.stages import (
     Admission,
+    BatchCrash,
     Batcher,
     Coalescer,
     Executor,
     PipelineStage,
 )
+from repro.service.supervisor import ShardSupervisor
 
 __all__ = [
     "Admission",
     "Backpressure",
+    "BatchCrash",
     "Batcher",
+    "BreakerConfig",
+    "CircuitBreaker",
     "Coalescer",
+    "DeadlineExceeded",
     "Executor",
     "PipelineStage",
     "ShardPipeline",
     "ShardRouter",
+    "ShardSupervisor",
+    "ShardUnavailable",
     "Clock",
     "Counter",
     "FakeClock",

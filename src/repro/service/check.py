@@ -69,6 +69,9 @@ class ServerHarness:
         engine: Engine to serve (default: fresh engine + private store,
             so harnesses never leak state into the process-wide store).
         host: Bind address.
+        interceptor_factory: Optional per-shard batch interceptor
+            factory, passed through to the service — the chaos
+            harness's injection point (see :mod:`repro.service.chaos`).
     """
 
     def __init__(
@@ -76,6 +79,7 @@ class ServerHarness:
         service_config: ServiceConfig | None = None,
         engine: StagedEngine | None = None,
         host: str = "127.0.0.1",
+        interceptor_factory=None,
     ) -> None:
         self.host = host
         self.port: int | None = None
@@ -85,6 +89,7 @@ class ServerHarness:
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
         )
+        self.interceptor_factory = interceptor_factory
         self.service: SimulationService | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -125,6 +130,26 @@ class ServerHarness:
         assert self.port is not None, "harness is not started"
         return ServiceClient(host=self.host, port=self.port, **kwargs)
 
+    def run_in_loop(self, func, timeout: float = 30.0):
+        """Call ``func()`` on the service's event loop thread.
+
+        The chaos harness uses this to poke service internals (a
+        supervisor scrub, a snapshot) without racing the loop.
+        """
+        assert self._loop is not None, "harness is not started"
+        import concurrent.futures
+
+        outcome: concurrent.futures.Future = concurrent.futures.Future()
+
+        def call() -> None:
+            try:
+                outcome.set_result(func())
+            except BaseException as exc:
+                outcome.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(call)
+        return outcome.result(timeout)
+
     def _run(self) -> None:
         try:
             asyncio.run(self._main())
@@ -136,14 +161,17 @@ class ServerHarness:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self.service = SimulationService(
-            engine=self.engine, config=self.service_config
+            engine=self.engine,
+            config=self.service_config,
+            interceptor_factory=self.interceptor_factory,
         )
         server = ServiceServer(self.service, host=self.host, port=0)
         await server.start()
         self.port = server.port
         self._ready.set()
         try:
-            await self._stop.wait()
+            # Parked until stop(); not a request path.
+            await self._stop.wait()  # lint-ok: R006
         finally:
             await server.stop()
 

@@ -3,12 +3,27 @@
 A small, dependency-free blocking client over :mod:`http.client` with
 the retry discipline the service's error contract asks for:
 
-* **429 backpressure** — honoured, not fought: the client sleeps for
-  the server's ``Retry-After`` hint (bounded) and retries, up to its
-  attempt budget;
+* **429 backpressure / 503 unavailable** — honoured, not fought: the
+  client sleeps for the server's ``Retry-After`` hint (bounded) and
+  retries, up to its attempt budget (an open circuit breaker answers
+  503, so clients naturally pace a recovering shard);
 * **connection errors / timeouts** — simulation requests are pure and
-  idempotent, so the client reconnects and retries with exponential
-  backoff;
+  idempotent, so the client reconnects and retries with **full-jitter**
+  exponential backoff: each sleep is drawn uniformly from
+  ``[0, ceiling]`` where the ceiling doubles per retry, so a fleet of
+  clients kicked off by the same outage desynchronizes instead of
+  thundering back in lock-step.  The jitter RNG is seeded per client
+  (``jitter_seed``), keeping test runs reproducible;
+* **deadline propagation** — a client with a ``deadline_s`` budget
+  stamps the *remaining* budget on every attempt as the
+  ``X-Repro-Deadline-S`` header, so the server can refuse or cancel
+  work the client can no longer use;
+* **hedged requests** — with ``hedge_after_s`` set, a ``/simulate``
+  request that hasn't answered within the hedge delay races a second
+  connection against the first and takes whichever answers first.
+  Simulations are deterministic and coalesced server-side, so the
+  duplicate is nearly free when it lands on a cache hit — and a big
+  tail-latency win when the first connection hit a sick shard;
 * **structured errors** — non-retryable responses raise
   :class:`ServiceRequestError` carrying the server's error payload.
 
@@ -21,7 +36,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import queue as queue_mod
+import random
 import socket
+import threading
 import time
 from dataclasses import asdict, is_dataclass
 from typing import Any, Mapping, Sequence
@@ -38,6 +56,9 @@ __all__ = [
 
 #: Upper bound on how long one Retry-After hint may stall the client.
 _MAX_RETRY_AFTER_S = 5.0
+
+#: Request header carrying the remaining deadline budget, seconds.
+_DEADLINE_HEADER = "X-Repro-Deadline-S"
 
 
 class ServiceClientError(Exception):
@@ -84,12 +105,21 @@ class ServiceClient:
         host / port: Where the service listens.
         timeout: Socket timeout per request, seconds.
         max_attempts: Total tries per request (connection errors and
-            429 rejections both consume attempts).
-        backoff_s: First reconnect delay; doubles per retry.
+            429/503 rejections both consume attempts).
+        backoff_s: First backoff *ceiling*; doubles per retry.  Actual
+            sleeps are full-jitter: uniform in ``[0, ceiling]``.
         deadline_s: Overall budget per logical request across every
             retry and backoff sleep (``None`` = attempts bound only).
+            The remaining budget is stamped on each attempt as the
+            ``X-Repro-Deadline-S`` header.
         clock: Monotonic time source for the deadline (tests inject a
             fake).
+        jitter_seed: Seed for the backoff jitter RNG (``None`` seeds
+            from OS entropy).  Two clients with different seeds
+            desynchronize even when they fail in lock-step.
+        hedge_after_s: When set, a ``/simulate`` request unanswered
+            after this many seconds races a second connection and the
+            first answer wins (``None`` disables hedging).
 
     Use as a context manager or call :meth:`close` when done.  One
     client holds one keep-alive connection; use a client per thread.
@@ -104,9 +134,15 @@ class ServiceClient:
         backoff_s: float = 0.05,
         deadline_s: float | None = None,
         clock: Clock | None = None,
+        jitter_seed: int | None = None,
+        hedge_after_s: float | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ValueError(
+                f"hedge_after_s must be > 0 when set, got {hedge_after_s}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -114,6 +150,9 @@ class ServiceClient:
         self.backoff_s = backoff_s
         self.deadline_s = deadline_s
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.hedge_after_s = hedge_after_s
+        self.hedges = 0  #: hedged (second) connections launched
+        self._rng = random.Random(jitter_seed)
         self._conn: http.client.HTTPConnection | None = None
 
     # -- lifecycle -----------------------------------------------------
@@ -195,21 +234,31 @@ class ServiceClient:
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        headers = {"Content-Type": "application/json"} if body else {}
-        backoff = self.backoff_s
+        base_headers = {"Content-Type": "application/json"} if body else {}
+        ceiling = self.backoff_s
         started = self.clock.monotonic()
         last_error: Exception | None = None
 
+        def remaining_budget() -> float | None:
+            if self.deadline_s is None:
+                return None
+            return self.deadline_s - (self.clock.monotonic() - started)
+
         def sleep_or_stop(wait: float) -> bool:
             """Back off; False when the overall deadline forbids it."""
-            if self.deadline_s is not None:
-                elapsed = self.clock.monotonic() - started
-                if elapsed + wait > self.deadline_s:
-                    return False
+            budget = remaining_budget()
+            if budget is not None and wait > budget:
+                return False
             time.sleep(wait)
             return True
 
         for attempt in range(self.max_attempts):
+            headers = dict(base_headers)
+            budget = remaining_budget()
+            if budget is not None:
+                if budget <= 0:
+                    break
+                headers[_DEADLINE_HEADER] = f"{budget:.3f}"
             try:
                 status, reply_headers, reply = self._once(
                     method, path, body, headers
@@ -218,18 +267,25 @@ class ServiceClient:
                     http.client.HTTPException) as exc:
                 self._drop_connection()
                 last_error = exc
-                if attempt + 1 >= self.max_attempts or not sleep_or_stop(backoff):
+                wait = self._jittered(ceiling)
+                if attempt + 1 >= self.max_attempts or not sleep_or_stop(wait):
                     break
-                backoff *= 2
+                ceiling *= 2
                 continue
-            if status == 429:
+            if status in (429, 503):
+                # Backpressure and open breakers are both "come back
+                # later": honour the server's pacing hint, jittered so
+                # synchronized clients spread out.
                 last_error = ServiceRequestError(
                     status, reply.get("error", {})
                 )
-                wait = self._retry_after(reply_headers, reply, backoff)
+                hint = self._retry_after(
+                    reply_headers, reply, self._jittered(ceiling)
+                )
+                wait = self._jittered(hint) if hint > 0 else hint
                 if attempt + 1 >= self.max_attempts or not sleep_or_stop(wait):
                     break
-                backoff *= 2
+                ceiling *= 2
                 continue
             if status >= 400:
                 raise ServiceRequestError(status, reply.get("error", {}))
@@ -239,6 +295,10 @@ class ServiceClient:
             f"{last_error!r}"
         )
 
+    def _jittered(self, ceiling: float) -> float:
+        """A full-jitter wait: uniform in ``[0, ceiling]``."""
+        return self._rng.uniform(0.0, max(0.0, ceiling))
+
     def _once(
         self,
         method: str,
@@ -246,15 +306,80 @@ class ServiceClient:
         body: bytes | None,
         headers: Mapping[str, str],
     ) -> tuple[int, Mapping[str, str], dict]:
+        if self.hedge_after_s is not None and path == "/simulate":
+            return self._once_hedged(method, path, body, headers)
         conn = self._connection()
+        status, lowered, reply = self._exchange(
+            conn, method, path, body, headers
+        )
+        if lowered.get("connection", "keep-alive") == "close":
+            self._drop_connection()
+        return status, lowered, reply
+
+    def _once_hedged(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: Mapping[str, str],
+    ) -> tuple[int, Mapping[str, str], dict]:
+        """Race a second connection when the first is slow to answer.
+
+        Safe because ``/simulate`` is pure and idempotent, and nearly
+        free because the server coalesces the duplicate onto the same
+        in-flight computation.  Each racer uses its own one-shot
+        connection so a slow loser can be abandoned without corrupting
+        the keep-alive stream.
+        """
+        results: queue_mod.Queue = queue_mod.Queue()
+
+        def racer() -> None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                results.put(("ok", self._exchange(
+                    conn, method, path, body, headers
+                )))
+            except Exception as exc:
+                results.put(("err", exc))
+            finally:
+                conn.close()
+
+        threading.Thread(target=racer, daemon=True).start()
+        racers = 1
+        try:
+            kind, value = results.get(timeout=self.hedge_after_s)
+        except queue_mod.Empty:
+            self.hedges += 1
+            threading.Thread(target=racer, daemon=True).start()
+            racers = 2
+            kind, value = results.get(timeout=self.timeout + 1.0)
+        while kind == "err" and racers > 1:
+            # One racer failed; give the survivor its chance.
+            racers -= 1
+            try:
+                kind, value = results.get(timeout=self.timeout + 1.0)
+            except queue_mod.Empty:
+                break
+        if kind == "err":
+            raise value
+        return value
+
+    def _exchange(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: Mapping[str, str],
+    ) -> tuple[int, Mapping[str, str], dict]:
         conn.request(method, path, body=body, headers=dict(headers))
         response = conn.getresponse()
         raw = response.read()
         lowered = {
             name.lower(): value for name, value in response.getheaders()
         }
-        if lowered.get("connection", "keep-alive") == "close":
-            self._drop_connection()
         try:
             reply = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:

@@ -49,8 +49,8 @@ engine — results are the engine's, bit-for-bit, no matter which tier
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Iterable
 
 from repro.sim import stages as sim_stages
 from repro.sim.engine import (
@@ -60,6 +60,7 @@ from repro.sim.engine import (
     get_pool_fallback_count,
 )
 from repro.sim.metrics import RunResult
+from repro.service.breaker import HALF_OPEN, BreakerConfig, CircuitBreaker
 from repro.service.clock import MONOTONIC_CLOCK, Clock
 from repro.service.metrics import MetricsRegistry, MetricsScope
 from repro.service.router import ShardRouter
@@ -68,21 +69,36 @@ from repro.service.stages import (
     Backpressure,
     Batcher,
     Coalescer,
+    DeadlineExceeded,
     Executor,
     Pending,
     ServiceError,
+    ShardUnavailable,
     SimulationFailed,
 )
 from repro.sim.store import StoreKey
 
 __all__ = [
     "Backpressure",
+    "BreakerConfig",
+    "DeadlineExceeded",
     "ServiceConfig",
     "ServiceError",
     "ShardPipeline",
+    "ShardUnavailable",
     "SimulationFailed",
     "SimulationService",
 ]
+
+#: An async hook awaited by a shard's executor before each engine
+#: dispatch; see :class:`~repro.service.stages.Executor`.
+Interceptor = Callable[[list[SimJob]], Awaitable[None]]
+
+
+def _consume_exception(future: "asyncio.Future") -> None:
+    """Mark a done future's exception retrieved (waiters detached)."""
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass(frozen=True)
@@ -109,6 +125,19 @@ class ServiceConfig:
         retries: Engine-level re-attempts per job.
         shards: Independent stage stacks the service routes across;
             each has its own queue, coalescing map, and batcher task.
+        breaker: Per-shard circuit-breaker trip policy; see
+            :class:`~repro.service.breaker.BreakerConfig`.
+        supervisor_interval_s: How often the supervisor health-checks
+            each shard's drain task (also its crash-detection latency).
+        restart_backoff_s: First restart delay after a shard crash;
+            doubles on repeated crashes, capped at
+            ``restart_max_backoff_s``.
+        restart_max_backoff_s: Upper bound of the restart backoff.
+        scrub_interval_s: Seconds between background warehouse scrub
+            passes (``None`` disables periodic scrubbing; an explicit
+            ``repro scrub``-style call still works).
+        default_deadline_s: Deadline budget applied to requests that
+            do not carry one (``None`` = unbounded, the default).
     """
 
     max_queue: int = 128
@@ -120,6 +149,12 @@ class ServiceConfig:
     job_timeout: float | None = None
     retries: int = 1
     shards: int = 1
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    supervisor_interval_s: float = 0.1
+    restart_backoff_s: float = 0.05
+    restart_max_backoff_s: float = 2.0
+    scrub_interval_s: float | None = None
+    default_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -132,20 +167,31 @@ class ServiceConfig:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
-
-
-async def _await_result(pending: Pending) -> RunResult:
-    # shield(): many requests await one future; one caller being
-    # cancelled (client disconnect) must not cancel the shared
-    # computation out from under the others.
-    result = await asyncio.shield(pending.future)
-    if isinstance(result, FailedJob):
-        raise SimulationFailed(
-            reason=result.reason,
-            detail=result.error,
-            attempts=result.attempts,
-        )
-    return result
+        if self.supervisor_interval_s <= 0:
+            raise ValueError(
+                f"supervisor_interval_s must be > 0, "
+                f"got {self.supervisor_interval_s}"
+            )
+        if self.restart_backoff_s <= 0:
+            raise ValueError(
+                f"restart_backoff_s must be > 0, "
+                f"got {self.restart_backoff_s}"
+            )
+        if self.restart_max_backoff_s < self.restart_backoff_s:
+            raise ValueError(
+                f"restart_max_backoff_s ({self.restart_max_backoff_s}) must "
+                f"be >= restart_backoff_s ({self.restart_backoff_s})"
+            )
+        if self.scrub_interval_s is not None and self.scrub_interval_s <= 0:
+            raise ValueError(
+                f"scrub_interval_s must be > 0 when set, "
+                f"got {self.scrub_interval_s}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0 when set, "
+                f"got {self.default_deadline_s}"
+            )
 
 
 class ShardPipeline:
@@ -159,6 +205,7 @@ class ShardPipeline:
         config: Operational knobs; see :class:`ServiceConfig`.
         clock: Monotonic time source.
         metrics: The shard's labelled metrics scope.
+        interceptor: Optional chaos hook for this shard's executor.
     """
 
     def __init__(
@@ -168,29 +215,45 @@ class ShardPipeline:
         config: ServiceConfig,
         clock: Clock,
         metrics: MetricsScope,
+        interceptor: Interceptor | None = None,
     ) -> None:
         self.index = index
         self.metrics = metrics
-        self.executor = Executor(
-            engine=engine,
-            max_workers=config.max_workers,
-            job_timeout=config.job_timeout,
-            retries=config.retries,
-            metrics=metrics,
-        )
-        self.batcher = Batcher(
-            max_batch=config.max_batch,
-            linger_s=config.batch_linger_s,
-            retry_after_floor=config.retry_after_s,
-            clock=clock,
-            metrics=metrics,
-        )
+        self._engine = engine
+        self._config = config
+        self._clock = clock
+        self._interceptor = interceptor
+        self.breaker = CircuitBreaker(config.breaker, clock, metrics)
+        self.executor = self._build_executor()
+        self.batcher = self._build_batcher()
         self.admission = Admission(
             max_queue=config.max_queue,
             metrics=metrics,
-            retry_after=self.batcher.suggest_retry_after,
+            # A lambda, not a bound method: restart_stack() replaces
+            # the batcher and the hint must follow the live one.
+            retry_after=lambda depth: self.batcher.suggest_retry_after(depth),
+            clock=clock,
         )
         self.coalescer = Coalescer(metrics=metrics)
+
+    def _build_executor(self) -> Executor:
+        return Executor(
+            engine=self._engine,
+            max_workers=self._config.max_workers,
+            job_timeout=self._config.job_timeout,
+            retries=self._config.retries,
+            metrics=self.metrics,
+            interceptor=self._interceptor,
+        )
+
+    def _build_batcher(self) -> Batcher:
+        return Batcher(
+            max_batch=self._config.max_batch,
+            linger_s=self._config.batch_linger_s,
+            retry_after_floor=self._config.retry_after_s,
+            clock=self._clock,
+            metrics=self.metrics,
+        )
 
     @property
     def stages(self) -> tuple:
@@ -198,13 +261,31 @@ class ShardPipeline:
         return (self.admission, self.coalescer, self.batcher, self.executor)
 
     def start(self) -> None:
-        """Spawn the shard's batcher task; idempotent."""
+        """Spawn the shard's batcher task; idempotent while alive."""
         self.batcher.start(
             self.admission,
             self.coalescer,
             self.executor,
             task_name=f"repro-service-batcher-{self.index}",
         )
+
+    @property
+    def crashed(self) -> bool:
+        """Whether this shard's drain task died with an exception."""
+        return self.batcher.crashed
+
+    def restart_stack(self) -> None:
+        """Rebuild the crashed execution stages and respawn the task.
+
+        The supervisor calls this after it has drained and re-routed
+        the old stack's stranded work.  Executor and batcher are
+        rebuilt (dropping any state the crash poisoned — including the
+        latency EMA, which restarts cold); the admission queue and
+        coalescing map survive, already emptied by the supervisor.
+        """
+        self.executor = self._build_executor()
+        self.batcher = self._build_batcher()
+        self.start()
 
     async def drain(self) -> None:
         """Shut the stages down in pipeline-safe order.
@@ -213,40 +294,133 @@ class ShardPipeline:
         admission fails anything stranded behind the sentinel, then the
         coalescing map clears.
         """
-        await self.batcher.drain()
-        await self.admission.drain()
-        await self.coalescer.drain()
-        await self.executor.drain()
+        # Shutdown path, bounded by the sentinel protocol: the batcher
+        # exits at the sentinel and the later stages fail-fast anything
+        # stranded rather than waiting on it.
+        await self.batcher.drain()  # lint-ok: R006
+        await self.admission.drain()  # lint-ok: R006
+        await self.coalescer.drain()  # lint-ok: R006
+        await self.executor.drain()  # lint-ok: R006
 
-    async def submit(self, key: StoreKey, job: SimJob, wait: bool) -> RunResult:
-        """Serve one routed job through this shard's stage stack."""
+    async def submit(
+        self,
+        key: StoreKey,
+        job: SimJob,
+        wait: bool,
+        deadline: float | None = None,
+    ) -> RunResult:
+        """Serve one routed job through this shard's stage stack.
+
+        Args:
+            key: The canonical run_key (routing and coalescing handle).
+            job: The configuration to simulate.
+            wait: Await queue space instead of raising
+                :class:`Backpressure` when the queue is full.
+            deadline: Absolute monotonic deadline, or ``None`` for
+                unbounded.
+
+        Raises:
+            ShardUnavailable: The shard's breaker is open (store hits
+                are still served — they never touch the engine).
+            DeadlineExceeded: The budget ran out before a result.
+        """
         self.metrics.counter("requests_total").inc()
         store = self.executor.engine.store
         if key in store:
             self.metrics.counter("store_hits_total").inc()
             return store.get(key)
+        probe = self.breaker.state == HALF_OPEN
+        if not self.breaker.allow():
+            raise ShardUnavailable(
+                self.index,
+                self.breaker.retry_after_s(),
+                self.breaker.state_name,
+            )
+        try:
+            result = await self._submit_inner(key, job, wait, deadline)
+        except SimulationFailed:
+            self.breaker.record_failure(probe=probe)
+            raise
+        except ServiceError:
+            # Backpressure, deadline expiry, shutdown: load and client
+            # budgets, not shard sickness — no breaker outcome, but a
+            # half-open probe slot must still be released.
+            if probe:
+                self.breaker.release_probe()
+            raise
+        self.breaker.record_success(probe=probe)
+        return result
+
+    async def _submit_inner(
+        self,
+        key: StoreKey,
+        job: SimJob,
+        wait: bool,
+        deadline: float | None,
+    ) -> RunResult:
         pending = self.coalescer.join(key)
         if pending is not None:
-            return await _await_result(pending)
+            # A later joiner may extend the job's lifetime: the batcher
+            # cancels only when no waiter can use the result.
+            pending.extend_deadline(deadline)
+            return await self._await_result(pending, deadline)
         pending = Pending(
             key=key, job=job,
             future=asyncio.get_running_loop().create_future(),
+            deadline=deadline,
         )
         if wait:
             # Register before the (possibly blocking) put so duplicates
             # arriving while we wait for queue space still coalesce.
             self.coalescer.register(pending)
-            await self.admission.offer(pending, wait=True)
+            try:
+                await self.admission.offer(pending, wait=True)
+            except ServiceError:
+                # Never leave a never-to-run future in the map.
+                self.coalescer.resolve(key)
+                raise
         else:
             # Offer first: a Backpressure rejection must not leave a
             # never-to-run future in the coalescing map.
             await self.admission.offer(pending, wait=False)
             self.coalescer.register(pending)
-        return await _await_result(pending)
+        return await self._await_result(pending, deadline)
+
+    async def _await_result(
+        self, pending: Pending, deadline: float | None
+    ) -> RunResult:
+        # shield(): many requests await one future; one caller being
+        # cancelled (client disconnect) or timing out must not cancel
+        # the shared computation out from under the others.
+        if deadline is None:
+            result = await asyncio.shield(pending.future)  # lint-ok: R006
+        else:
+            remaining = deadline - self._clock.monotonic()
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(pending.future), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                self.metrics.counter("deadline_expirations").inc()
+                # This caller is detaching; if no other waiter remains,
+                # the shared future's eventual exception must not rot
+                # into an "exception was never retrieved" warning.
+                pending.future.add_done_callback(_consume_exception)
+                raise DeadlineExceeded("awaiting result") from None
+        if isinstance(result, FailedJob):
+            raise SimulationFailed(
+                reason=result.reason,
+                detail=result.error,
+                attempts=result.attempts,
+            )
+        return result
 
     def snapshot(self) -> dict:
-        """Each stage's operational snapshot, keyed by stage name."""
-        return {stage.name: stage.snapshot() for stage in self.stages}
+        """Each stage's operational snapshot, keyed by stage name,
+        plus the shard's breaker state."""
+        snap = {stage.name: stage.snapshot() for stage in self.stages}
+        snap["breaker"] = self.breaker.snapshot()
+        return snap
 
 
 class SimulationService:
@@ -272,6 +446,7 @@ class SimulationService:
         config: ServiceConfig | None = None,
         clock: Clock | None = None,
         metrics: MetricsRegistry | None = None,
+        interceptor_factory: Callable[[int], Interceptor] | None = None,
     ) -> None:
         self.engine = engine if engine is not None else StagedEngine()
         self.config = config if config is not None else ServiceConfig()
@@ -285,28 +460,48 @@ class SimulationService:
                 config=self.config,
                 clock=self.clock,
                 metrics=self.metrics.scoped(f"shard_{index}"),
+                interceptor=(
+                    interceptor_factory(index)
+                    if interceptor_factory is not None else None
+                ),
             )
             for index in range(self.config.shards)
         ]
+        #: Shards currently down for restart; the router walks past
+        #: them so only their keys remap (see ShardRouter.route).
+        self.down: set[int] = set()
         self._started = False
+        # Imported here to break the module cycle: the supervisor
+        # drives the service, the service owns the supervisor.
+        from repro.service.supervisor import ShardSupervisor
+
+        self.supervisor = ShardSupervisor(self)
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn every shard's batcher task; idempotent."""
+        """Spawn every shard's batcher task and the supervisor;
+        idempotent."""
         if self._started:
             return
         self._started = True
         for shard in self.shards:
             shard.start()
+        self.supervisor.start()
 
     async def stop(self) -> None:
-        """Drain every shard and flush the store's warehouse tier."""
+        """Stop supervision, drain every shard, flush the warehouse.
+
+        The supervisor goes first (its re-route tasks either finish or
+        fail their futures loudly — no orphaned tasks), then each shard
+        drains, then the store's write-behind tier flushes.
+        """
         if not self._started:
             return
         self._started = False
+        await self.supervisor.stop()
         for shard in self.shards:
-            await shard.drain()
+            await shard.drain()  # lint-ok: R006 - sentinel-bounded
         self.engine.store.flush()
 
     async def __aenter__(self) -> "SimulationService":
@@ -319,14 +514,45 @@ class SimulationService:
     # -- the request path ----------------------------------------------
 
     def shard_for(self, key: StoreKey) -> ShardPipeline:
-        """The shard owning ``key`` under the router."""
-        return self.shards[self.router.route(key)]
+        """The live shard owning ``key`` under the router.
+
+        Down shards are excluded: while a crashed shard restarts, its
+        keys (and only its keys) fail over around the ring.
+
+        Raises:
+            ShardUnavailable: Every shard is down.
+        """
+        try:
+            index = self.router.route(key, exclude=frozenset(self.down))
+        except ValueError:
+            raise ShardUnavailable(
+                shard=-1,
+                retry_after_s=self.config.restart_backoff_s,
+                state="all shards down",
+            ) from None
+        return self.shards[index]
 
     def queue_depth(self) -> int:
         """Pending jobs across every shard's admission queue."""
         return sum(shard.admission.depth for shard in self.shards)
 
-    async def submit(self, job: SimJob, wait: bool = False) -> RunResult:
+    def _absolute_deadline(self, deadline_s: float | None) -> float | None:
+        """An absolute monotonic deadline from a relative budget,
+        falling back to the configured default budget."""
+        budget = (
+            deadline_s if deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        if budget is None:
+            return None
+        return self.clock.monotonic() + budget
+
+    async def submit(
+        self,
+        job: SimJob,
+        wait: bool = False,
+        deadline_s: float | None = None,
+    ) -> RunResult:
         """Serve one canonicalized job through the full pipeline.
 
         Args:
@@ -337,19 +563,32 @@ class SimulationService:
                 (used by internal fan-outs like sweeps) awaits queue
                 space instead, so a large expansion throttles itself
                 rather than being rejected.
+            deadline_s: Remaining budget in seconds (``None`` uses the
+                configured default; both ``None`` = unbounded).  The
+                deadline propagates through every stage: admission
+                refuses spent budgets, the batcher cancels jobs no
+                waiter can use, and the await gives up at the deadline
+                even mid-computation.
 
         Raises:
             Backpressure: Queue full and ``wait`` is false.
+            ShardUnavailable: The owning shard's breaker is open.
+            DeadlineExceeded: The budget ran out before a result.
             SimulationFailed: The engine gave up on the job.
         """
         if not self._started:
             raise ServiceError("service is not running (call start())")
         started = self.clock.monotonic()
         key = sim_stages.run_key(job.app, job.scheme, job.system)
-        result = await self.shard_for(key).submit(key, job, wait)
+        deadline = self._absolute_deadline(deadline_s)
+        result = await self.shard_for(key).submit(key, job, wait, deadline)
         return self._respond(started, result)
 
-    async def submit_many(self, jobs: Iterable[SimJob]) -> list[RunResult]:
+    async def submit_many(
+        self,
+        jobs: Iterable[SimJob],
+        deadline_s: float | None = None,
+    ) -> list[RunResult]:
         """Fan a set of jobs across the shards, preserving order.
 
         Used by sweep requests: every job routes to its owning shard
@@ -359,7 +598,9 @@ class SimulationService:
         on every shard's engine pool concurrently.  Jobs beyond a
         shard's queue bound throttle the caller instead of being
         rejected; an oversized expansion raises
-        :class:`~repro.service.stages.ServiceError` up front.
+        :class:`~repro.service.stages.ServiceError` up front.  An
+        optional ``deadline_s`` budget applies to every point of the
+        fan-out.
         """
         jobs = list(jobs)
         if len(jobs) > self.config.max_sweep_jobs:
@@ -369,7 +610,10 @@ class SimulationService:
             )
         return list(
             await asyncio.gather(
-                *(self.submit(job, wait=True) for job in jobs)
+                *(
+                    self.submit(job, wait=True, deadline_s=deadline_s)
+                    for job in jobs
+                )
             )
         )
 
@@ -416,4 +660,6 @@ class SimulationService:
         snap["shards"] = {
             f"shard_{shard.index}": shard.snapshot() for shard in self.shards
         }
+        snap["supervisor"] = self.supervisor.snapshot()
+        snap["supervisor"]["down_shards"] = sorted(self.down)
         return snap

@@ -11,6 +11,14 @@ The hash ring uses virtual nodes (``replicas`` points per shard) so
 keys spread evenly even at small shard counts, and so growing from N to
 N+1 shards remaps only ~1/(N+1) of the key space — a restarted service
 scaled up one shard keeps most of its warehouse locality.
+
+The same ring also answers *failover* routing: :meth:`ShardRouter.route`
+takes an optional set of excluded (down or draining) shards and walks
+the ring past the owner to the next healthy one.  Because the walk
+starts at the key's own ring position, only keys owned by an excluded
+shard remap — everything else keeps its shard, so a single crashed
+shard does not reshuffle the whole key space (the supervisor leans on
+this when it drains a dead shard's queue).
 """
 
 from __future__ import annotations
@@ -64,12 +72,41 @@ class ShardRouter:
         self._ring = [p for p, _ in points]
         self._owners = [s for _, s in points]
 
-    def route(self, key: StoreKey) -> int:
-        """The shard index owning ``key`` (stable across processes)."""
+    def route(
+        self, key: StoreKey, exclude: frozenset[int] | set[int] = frozenset()
+    ) -> int:
+        """The shard index owning ``key`` (stable across processes).
+
+        Args:
+            key: The canonical run_key to place.
+            exclude: Shards currently unavailable (down, draining).
+                The walk continues around the ring past the owner until
+                it reaches a shard not in this set, so only keys owned
+                by an excluded shard remap — every other key keeps its
+                home shard.
+
+        Raises:
+            ValueError: every shard is excluded (nothing can own the
+                key).
+        """
+        if not exclude:
+            if self.num_shards == 1:
+                return 0
+            where = bisect.bisect_right(self._ring, _point_of(key))
+            return self._owners[where % len(self._owners)]
+        alive = set(range(self.num_shards)) - set(exclude)
+        if not alive:
+            raise ValueError("every shard is excluded; nothing can route")
         if self.num_shards == 1:
             return 0
         where = bisect.bisect_right(self._ring, _point_of(key))
-        return self._owners[where % len(self._owners)]
+        for step in range(len(self._owners)):
+            owner = self._owners[(where + step) % len(self._owners)]
+            if owner in alive:
+                return owner
+        raise ValueError(  # pragma: no cover - unreachable: alive != {}
+            "ring walk exhausted without a live shard"
+        )
 
 
 def _point_of(key: StoreKey) -> int:

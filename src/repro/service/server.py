@@ -15,9 +15,18 @@ POST      ``/sweep``     a grid sweep, expanded through the pipeline
 
 Error mapping is structural, never a hung connection: malformed
 payloads are ``400``, an over-full queue is ``429`` with a
-``Retry-After`` header, an engine-timeout job is ``504``, any other
-engine failure is ``500`` — each with a JSON body naming the error
-type, so clients branch on data rather than prose.
+``Retry-After`` header, an open circuit breaker (or down shard) is
+``503`` with a ``Retry-After`` header, an engine-timeout job or an
+expired request deadline is ``504``, any other engine failure is
+``500`` — each with a JSON body naming the error type, so clients
+branch on data rather than prose.
+
+**Deadline propagation**: a client may stamp an
+``X-Repro-Deadline-S`` header (remaining budget, seconds) on
+``/simulate`` and ``/sweep``; the budget rides the request through
+every pipeline stage (admission refuses spent budgets, the batcher
+cancels unservable jobs) and an exhausted budget answers with a
+structured ``504 deadline-exceeded``.
 """
 
 from __future__ import annotations
@@ -31,7 +40,9 @@ from repro.service import codec
 from repro.service.clock import MONOTONIC_CLOCK, Clock
 from repro.service.pipeline import (
     Backpressure,
+    DeadlineExceeded,
     ServiceError,
+    ShardUnavailable,
     SimulationFailed,
     SimulationService,
 )
@@ -51,6 +62,8 @@ _MAX_BODY = 1 << 20
 _MAX_HEADER = 32 << 10
 #: Seconds an idle keep-alive connection is held open.
 _IDLE_TIMEOUT_S = 30.0
+#: Request header carrying the client's remaining deadline budget.
+_DEADLINE_HEADER = "x-repro-deadline-s"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -125,13 +138,14 @@ class ServiceServer:
     async def serve_forever(self) -> None:
         """Serve until cancelled (the ``repro serve`` foreground loop)."""
         assert self._server is not None, "call start() first"
-        await self._server.serve_forever()
+        await self._server.serve_forever()  # lint-ok: R006 - foreground loop
 
     async def stop(self) -> None:
         """Close the listener, drop live connections, stop the pipeline."""
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            # Closed above; this only reaps the accept loop.
+            await self._server.wait_closed()  # lint-ok: R006
             self._server = None
         for task in list(self._connections):
             task.cancel()
@@ -168,8 +182,15 @@ class ServiceServer:
                 self._connections.discard(task)
             writer.close()
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError, asyncio.CancelledError):
+                await asyncio.wait_for(
+                    writer.wait_closed(), timeout=_IDLE_TIMEOUT_S
+                )
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.CancelledError,
+                asyncio.TimeoutError,
+            ):
                 pass
 
     async def _handle_one(
@@ -223,7 +244,8 @@ class ServiceServer:
             )
         keep_alive = headers.get("connection", "keep-alive") != "close"
         try:
-            status, payload = await self._route(method, path, body)
+            deadline_s = _parse_deadline(headers)
+            status, payload = await self._route(method, path, body, deadline_s)
         except _HttpError as exc:
             await _respond_error(writer, exc, keep_alive)
             return keep_alive
@@ -241,7 +263,11 @@ class ServiceServer:
     # -- routing -------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        deadline_s: float | None = None,
     ) -> tuple[int, Any]:
         handlers: dict[tuple[str, str], Callable[..., Awaitable]] = {
             ("GET", "/healthz"): self._healthz,
@@ -259,7 +285,7 @@ class ServiceServer:
                 )
             raise _HttpError(404, "not-found", f"no route for {path}")
         if method == "POST":
-            return await handler(_parse_json(body))
+            return await handler(_parse_json(body), deadline_s)
         return await handler()
 
     async def _healthz(self) -> tuple[int, Any]:
@@ -282,15 +308,19 @@ class ServiceServer:
         snapshot["version"] = package_version()
         return 200, snapshot
 
-    async def _simulate(self, payload: Any) -> tuple[int, Any]:
+    async def _simulate(
+        self, payload: Any, deadline_s: float | None = None
+    ) -> tuple[int, Any]:
         try:
             job = codec.job_from_payload(payload)
         except codec.BadRequest as exc:
             raise _HttpError(400, "bad-request", str(exc)) from exc
-        result = await self._submit(job)
+        result = await self._submit(job, deadline_s)
         return 200, codec.result_to_payload(result)
 
-    async def _sweep(self, payload: Any) -> tuple[int, Any]:
+    async def _sweep(
+        self, payload: Any, deadline_s: float | None = None
+    ) -> tuple[int, Any]:
         """A grid sweep, expanded into pipeline jobs (see sweeps doc).
 
         Shape::
@@ -330,7 +360,7 @@ class ServiceServer:
             ]
         except (codec.BadRequest, TypeError, ValueError) as exc:
             raise _HttpError(400, "bad-request", str(exc)) from exc
-        results = await self._submit_many(jobs)
+        results = await self._submit_many(jobs, deadline_s)
         points = aggregate_points(combos, apps, results)
         return 200, {
             "scheme": scheme.label(),
@@ -348,9 +378,9 @@ class ServiceServer:
             ],
         }
 
-    async def _submit(self, job: SimJob):
+    async def _submit(self, job: SimJob, deadline_s: float | None = None):
         try:
-            return await self.service.submit(job)
+            return await self.service.submit(job, deadline_s=deadline_s)
         except Backpressure as exc:
             raise _HttpError(
                 429, "backpressure", str(exc),
@@ -358,14 +388,24 @@ class ServiceServer:
                 extra={"retry_after_s": exc.retry_after_s,
                        "queue_depth": exc.queue_depth},
             ) from exc
+        except ShardUnavailable as exc:
+            raise _shard_unavailable_error(exc) from exc
+        except DeadlineExceeded as exc:
+            raise _deadline_exceeded_error(exc) from exc
         except SimulationFailed as exc:
             raise _simulation_failed_error(exc) from exc
         except ServiceError as exc:
             raise _HttpError(503, "service-unavailable", str(exc)) from exc
 
-    async def _submit_many(self, jobs: list[SimJob]):
+    async def _submit_many(
+        self, jobs: list[SimJob], deadline_s: float | None = None
+    ):
         try:
-            return await self.service.submit_many(jobs)
+            return await self.service.submit_many(jobs, deadline_s=deadline_s)
+        except ShardUnavailable as exc:
+            raise _shard_unavailable_error(exc) from exc
+        except DeadlineExceeded as exc:
+            raise _deadline_exceeded_error(exc) from exc
         except SimulationFailed as exc:
             raise _simulation_failed_error(exc) from exc
         except ServiceError as exc:
@@ -379,6 +419,45 @@ def _simulation_failed_error(exc: SimulationFailed) -> _HttpError:
         extra={"reason": exc.reason, "attempts": exc.attempts,
                "detail": exc.detail[-2000:]},
     )
+
+
+def _shard_unavailable_error(exc: ShardUnavailable) -> _HttpError:
+    return _HttpError(
+        503, "shard-unavailable", str(exc),
+        headers={"Retry-After": f"{exc.retry_after_s:.3f}"},
+        extra={"shard": exc.shard, "state": exc.state,
+               "retry_after_s": exc.retry_after_s},
+    )
+
+
+def _deadline_exceeded_error(exc: DeadlineExceeded) -> _HttpError:
+    return _HttpError(
+        504, "deadline-exceeded", str(exc), extra={"where": exc.where}
+    )
+
+
+def _parse_deadline(headers: Mapping[str, str]) -> float | None:
+    """The ``X-Repro-Deadline-S`` budget, or ``None`` when absent.
+
+    A malformed or non-positive budget is a client error, surfaced as
+    a structured 400 rather than silently treated as unbounded.
+    """
+    raw = headers.get(_DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _HttpError(
+            400, "bad-request",
+            f"bad {_DEADLINE_HEADER} value {raw!r}: expected seconds",
+        ) from None
+    if value <= 0:
+        raise _HttpError(
+            400, "bad-request",
+            f"bad {_DEADLINE_HEADER} value {raw!r}: must be > 0",
+        )
+    return value
 
 
 def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
@@ -435,7 +514,8 @@ async def _write_response(
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
-    await writer.drain()
+    # Bounded: a client that stops reading must not pin the handler.
+    await asyncio.wait_for(writer.drain(), timeout=_IDLE_TIMEOUT_S)
 
 
 async def _respond_error(

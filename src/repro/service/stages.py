@@ -26,8 +26,27 @@ shutdown — which ``repro lint`` rule R003 verifies stays in lock-step
 across implementations (a stage that drifts from the protocol cannot
 be wired into a shard).
 
+**Deadlines** propagate through the stack: a :class:`Pending` carries
+the latest absolute deadline any of its waiters can still use (the
+coalescer extends it as later joiners arrive), admission refuses work
+whose budget is already spent, and the batcher cancels queued jobs
+that can no longer meet any waiter's deadline instead of burning an
+engine slot on them.  Every cancellation lands on the
+``deadline_expirations`` counter.
+
+**Chaos**: the :class:`Executor` accepts an optional async
+``interceptor`` invoked before each engine dispatch.  An interceptor
+that sleeps injects stage latency; one that raises
+:data:`CHAOS_FAILURE`-style exceptions produces typed
+:class:`~repro.sim.engine.FailedJob` slots; one that raises a
+:class:`BatchCrash` escapes the batcher loop entirely and kills the
+shard's drain task — the crash the
+:class:`~repro.service.supervisor.ShardSupervisor` exists to recover
+from.  Production stacks leave it ``None``.
+
 The structured error types (:class:`ServiceError`, :class:`Backpressure`,
-:class:`SimulationFailed`) live here with the stages that raise them;
+:class:`SimulationFailed`, :class:`DeadlineExceeded`,
+:class:`ShardUnavailable`) live here with the stages that raise them;
 :mod:`repro.service.pipeline` re-exports them unchanged.
 """
 
@@ -36,7 +55,7 @@ from __future__ import annotations
 import asyncio
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Awaitable, Callable, Protocol
 
 from repro.service.clock import Clock
 from repro.service.metrics import MetricsScope
@@ -46,13 +65,16 @@ from repro.sim.store import StoreKey
 __all__ = [
     "Admission",
     "Backpressure",
+    "BatchCrash",
     "Batcher",
     "Coalescer",
+    "DeadlineExceeded",
     "Executor",
     "Pending",
     "PipelineStage",
     "SHUTDOWN",
     "ServiceError",
+    "ShardUnavailable",
     "SimulationFailed",
 ]
 
@@ -104,13 +126,71 @@ class SimulationFailed(ServiceError):
         self.attempts = attempts
 
 
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a result could be served.
+
+    Raised wherever the remaining budget runs out: at admission (spent
+    before enqueueing), in the batcher (cancelled before dispatch), or
+    while awaiting a shared computation.  The HTTP layer maps it to a
+    structured ``504``.
+    """
+
+    def __init__(self, where: str) -> None:
+        super().__init__(f"deadline exceeded ({where})")
+        self.where = where
+
+
+class ShardUnavailable(ServiceError):
+    """The owning shard's circuit breaker is open (or the shard is
+    down for restart); retry after ``retry_after_s``.
+
+    The HTTP layer maps this to ``503`` + ``Retry-After`` — the sick
+    shard sheds load while healthy shards keep serving.
+    """
+
+    def __init__(self, shard: int, retry_after_s: float, state: str) -> None:
+        super().__init__(
+            f"shard {shard} is unavailable ({state}); "
+            f"retry in {retry_after_s:.2f}s"
+        )
+        self.shard = shard
+        self.retry_after_s = retry_after_s
+        self.state = state
+
+
+class BatchCrash(BaseException):
+    """A deliberate, unhandled crash of a shard's drain task.
+
+    Derives from :class:`BaseException` so the executor's
+    failure-isolation net (which converts ``Exception`` into typed
+    :class:`~repro.sim.engine.FailedJob` slots) does *not* absorb it:
+    the crash escapes the batcher loop and kills the task, exactly the
+    failure mode the supervisor must detect and recover.  Only the
+    chaos harness raises it.
+    """
+
+
 @dataclass
 class Pending:
-    """One enqueued computation and everyone waiting on it."""
+    """One enqueued computation and everyone waiting on it.
+
+    ``deadline`` is the latest absolute (monotonic) deadline among the
+    request's waiters, or ``None`` when any waiter is unbounded; the
+    batcher cancels the job only when *no* waiter can use the result
+    any more.
+    """
 
     key: StoreKey
     job: SimJob
     future: asyncio.Future = field(repr=False)
+    deadline: float | None = None
+
+    def extend_deadline(self, deadline: float | None) -> None:
+        """Fold one more waiter's deadline in (``None`` = unbounded)."""
+        if deadline is None:
+            self.deadline = None
+        elif self.deadline is not None:
+            self.deadline = max(self.deadline, deadline)
 
 
 class PipelineStage(Protocol):
@@ -161,10 +241,12 @@ class Admission:
         max_queue: int,
         metrics: MetricsScope,
         retry_after: Callable[[int], float],
+        clock: Clock | None = None,
     ) -> None:
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
         self._metrics = metrics
         self._retry_after = retry_after
+        self._clock = clock
 
     @property
     def depth(self) -> int:
@@ -177,10 +259,34 @@ class Admission:
         ``wait=False`` (external requests) raises :class:`Backpressure`
         when the queue is full; ``wait=True`` (internal fan-outs like
         sweeps) awaits queue space instead, so a large expansion
-        throttles itself rather than being rejected.
+        throttles itself rather than being rejected.  A pending whose
+        deadline budget is already spent is refused up front with
+        :class:`DeadlineExceeded` — no queue slot is burned on work
+        nobody can use.
         """
+        if (
+            pending.deadline is not None
+            and self._clock is not None
+            and self._clock.monotonic() >= pending.deadline
+        ):
+            self._metrics.counter("deadline_expirations").inc()
+            raise DeadlineExceeded("at admission")
         if wait:
-            await self._queue.put(pending)
+            if pending.deadline is not None and self._clock is not None:
+                remaining = pending.deadline - self._clock.monotonic()
+                try:
+                    await asyncio.wait_for(
+                        self._queue.put(pending), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    self._metrics.counter("deadline_expirations").inc()
+                    raise DeadlineExceeded(
+                        "waiting for queue space"
+                    ) from None
+            else:
+                # Internal fan-outs (sweeps) self-throttle here by
+                # design; drain() loudly fails anything stranded.
+                await self._queue.put(pending)  # lint-ok: R006
         else:
             try:
                 self._queue.put_nowait(pending)
@@ -193,7 +299,9 @@ class Admission:
 
     async def take(self) -> object:
         """Await the next queued item (a :class:`Pending` or ``SHUTDOWN``)."""
-        return await self._queue.get()
+        # The batcher's idle park: unbounded by design, woken by the
+        # shutdown sentinel.
+        return await self._queue.get()  # lint-ok: R006
 
     def take_nowait(self) -> object | None:
         """The next queued item, or ``None`` when the queue is empty."""
@@ -204,7 +312,9 @@ class Admission:
 
     async def push_shutdown(self) -> None:
         """Enqueue the shutdown sentinel (the batcher exits on it)."""
-        await self._queue.put(SHUTDOWN)
+        # Shutdown must land even when the queue is momentarily full;
+        # the live batcher is draining it.
+        await self._queue.put(SHUTDOWN)  # lint-ok: R006
 
     def snapshot(self) -> dict:
         """Queue depth and bound."""
@@ -265,6 +375,15 @@ class Coalescer:
     def inflight(self) -> int:
         """Computations currently tracked."""
         return len(self._inflight)
+
+    def inflight_items(self) -> list[Pending]:
+        """The tracked computations themselves.
+
+        The supervisor reads these when a shard crashes: the map is the
+        authoritative list of work with live waiters (queued *and*
+        mid-batch), exactly what must be re-routed rather than dropped.
+        """
+        return list(self._inflight.values())
 
     def snapshot(self) -> dict:
         """The in-flight computation count."""
@@ -328,8 +447,13 @@ class Batcher:
         executor: "Executor",
         task_name: str = "repro-service-batcher",
     ) -> None:
-        """Wire the stack and spawn the drain task; idempotent."""
-        if self._task is not None:
+        """Wire the stack and spawn the drain task.
+
+        Idempotent while the task is alive; a finished (crashed or
+        drained) task may be replaced, which is how the supervisor
+        restarts a shard's stack in place.
+        """
+        if self._task is not None and not self._task.done():
             return
         self._admission = admission
         self._coalescer = coalescer
@@ -337,6 +461,34 @@ class Batcher:
         self._task = asyncio.get_running_loop().create_task(
             self._loop(), name=task_name
         )
+
+    @property
+    def running(self) -> bool:
+        """Whether the drain task exists and has not finished."""
+        return self._task is not None and not self._task.done()
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the drain task died with an unhandled exception.
+
+        This is the supervisor's health probe: a healthy shard's task
+        is alive, a drained shard's task finished cleanly, a crashed
+        shard's task finished with an exception still attached.
+        """
+        task = self._task
+        return (
+            task is not None
+            and task.done()
+            and not task.cancelled()
+            and task.exception() is not None
+        )
+
+    def crash_exception(self) -> BaseException | None:
+        """The exception that killed the drain task, if any."""
+        task = self._task
+        if task is None or not task.done() or task.cancelled():
+            return None
+        return task.exception()
 
     def suggest_retry_after(self, queue_depth: int) -> float:
         """A retry-after hint scaled to how far behind the shard is."""
@@ -388,7 +540,34 @@ class Batcher:
                 assert isinstance(extra, Pending)
                 batch.append(extra)
             self._metrics.gauge("queue_depth").set(admission.depth)
-            await self._run_batch(batch)
+            batch = self._cancel_expired(batch)
+            if batch:
+                await self._run_batch(batch)
+
+    def _cancel_expired(self, batch: list[Pending]) -> list[Pending]:
+        """Drop pendings no waiter can use any more.
+
+        A job is cancelled only when *every* coalesced waiter's deadline
+        has passed (``Pending.deadline`` folds them with ``max``; an
+        unbounded waiter pins it to ``None``).  Cancelled futures get a
+        :class:`DeadlineExceeded`, the coalescer entry is resolved so a
+        fresh request recomputes, and the expiry lands on the
+        ``deadline_expirations`` counter.
+        """
+        now = self._clock.monotonic()
+        live: list[Pending] = []
+        for item in batch:
+            if item.deadline is not None and now >= item.deadline:
+                assert self._coalescer is not None
+                self._coalescer.resolve(item.key)
+                self._metrics.counter("deadline_expirations").inc()
+                if not item.future.done():
+                    item.future.set_exception(
+                        DeadlineExceeded("cancelled before dispatch")
+                    )
+            else:
+                live.append(item)
+        return live
 
     async def _run_batch(self, batch: list[Pending]) -> None:
         assert self._executor is not None and self._coalescer is not None
@@ -414,20 +593,35 @@ class Batcher:
                 item.future.set_result(result)
 
     def snapshot(self) -> dict:
-        """Latency EMA, batch bound, and whether the task is running."""
+        """Latency EMA, batch bound, and drain-task health."""
         return {
             "job_latency_ema_s": self._ema,
             "max_batch": self._max_batch,
-            "running": self._task is not None,
+            "running": self.running,
+            "crashed": self.crashed,
         }
 
     async def drain(self) -> None:
-        """Push the shutdown sentinel and wait for the task to exit."""
+        """Push the shutdown sentinel and wait for the task to exit.
+
+        Robust against a crashed task: the sentinel is skipped when the
+        task is already dead (nothing would consume it, and a full
+        queue would block the push), and the task's own crash is logged
+        rather than re-raised so shutdown always completes.
+        """
         if self._task is None:
             return
         assert self._admission is not None
-        await self._admission.push_shutdown()
-        await self._task
+        if not self._task.done():
+            await self._admission.push_shutdown()
+        try:
+            await self._task  # lint-ok: R006 - shutdown must not abandon it
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            _log.warning(
+                "batcher task had crashed before drain", exc_info=True
+            )
         self._task = None
 
 
@@ -448,6 +642,12 @@ class Executor:
             :class:`~repro.sim.engine.FailedJob` (pool runs only).
         retries: Engine-level re-attempts per job.
         metrics: The shard's metrics scope.
+        interceptor: Optional chaos hook awaited before each engine
+            dispatch, *outside* the failure-isolation net: a sleeping
+            interceptor injects stage latency, an ``Exception`` becomes
+            typed :class:`~repro.sim.engine.FailedJob` slots via the
+            net below it, and a :class:`BatchCrash` escapes and kills
+            the drain task.  Production stacks leave it ``None``.
     """
 
     name = "executor"
@@ -459,15 +659,25 @@ class Executor:
         job_timeout: float | None,
         retries: int,
         metrics: MetricsScope,
+        interceptor: Callable[[list[SimJob]], Awaitable[None]] | None = None,
     ) -> None:
         self.engine = engine
         self._max_workers = max_workers
         self._job_timeout = job_timeout
         self._retries = retries
         self._metrics = metrics
+        self._interceptor = interceptor
 
     async def execute(self, jobs: list[SimJob]) -> list:
         """Run one batch; one result or :class:`FailedJob` per slot."""
+        if self._interceptor is not None:
+            # except Exception — a BatchCrash (BaseException) must
+            # escape here and kill the drain task.
+            try:
+                await self._interceptor(jobs)
+            except Exception as exc:
+                failure = FailedJob(job=None, reason="error", error=repr(exc))
+                return [failure] * len(jobs)
         loop = asyncio.get_running_loop()
         try:
             return await loop.run_in_executor(None, self._run_many, jobs)

@@ -1,0 +1,273 @@
+"""Shard supervision: detect crashed drain tasks, recover, re-route.
+
+A shard's batcher task is its heartbeat — every queued request funnels
+through it, so an unhandled crash (a chaos :class:`BatchCrash`, a bug
+in a stage, a poisoned batch) would otherwise strand the shard's whole
+queue on futures nobody will ever resolve.  The supervisor closes that
+hole with a small health loop:
+
+1. **detect** — every ``supervisor_interval_s`` it probes each shard's
+   :attr:`~repro.service.stages.Batcher.crashed` flag (a finished task
+   with an exception still attached);
+2. **fence** — the crashed shard joins the service's ``down`` set (the
+   router walks past it, so only its keys remap) and its breaker is
+   forced open (requests that raced the fence shed with 503);
+3. **drain** — the dead stack's stranded work is collected: the
+   admission queue is emptied and the coalescing map (the
+   authoritative list of computations with live waiters, queued *and*
+   mid-batch) is cleared;
+4. **re-route** — each stranded computation is re-submitted through
+   the consistent-hash ring (excluding down shards) on its own task;
+   the outcome — result or structured failure — lands on the original
+   future, so every coalesced waiter resolves rather than hangs.  With
+   no healthy shard left (the single-shard case) the work is held and
+   re-routed after the restart instead;
+5. **restart** — after a bounded exponential backoff (doubling per
+   consecutive crash of the same shard, capped), the shard's execution
+   stages are rebuilt and its task respawned; the breaker resets and
+   the shard leaves the ``down`` set.
+
+Recovery is observable: ``supervisor_restarts`` counts restarts (per
+shard and in aggregate), ``supervisor_recovery_latency_s`` records
+detect-to-restart latency, and the snapshot reports per-shard crash
+counts.  The supervisor also runs the warehouse scrubber on a
+configurable cadence (``scrub_interval_s``), counting repaired records
+on ``scrub_repairs``.
+
+Shutdown is orphan-free by construction: :meth:`ShardSupervisor.stop`
+cancels the health loop, then settles every outstanding re-route task —
+a re-route that cannot finish fails its future with a structured
+:class:`~repro.service.stages.ServiceError` instead of leaking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import TYPE_CHECKING
+
+from repro.service.stages import Pending, ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.pipeline import ShardPipeline, SimulationService
+
+__all__ = ["ShardSupervisor"]
+
+_log = logging.getLogger("repro.service.supervisor")
+
+
+class ShardSupervisor:
+    """The health-check / restart / re-route loop over a service's
+    shards.
+
+    Args:
+        service: The owning :class:`SimulationService`; interval,
+            backoff, and scrub cadence come from its config.
+    """
+
+    def __init__(self, service: "SimulationService") -> None:
+        self._service = service
+        self._config = service.config
+        self._clock = service.clock
+        self._metrics = service.metrics
+        self._task: asyncio.Task | None = None
+        self._reroutes: set[asyncio.Task] = set()
+        self._crash_counts: dict[int, int] = {}
+        self._consecutive: dict[int, int] = {}
+        self._restarted_at: dict[int, float] = {}
+        self._last_scrub = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the health loop; idempotent while alive."""
+        if self._task is not None and not self._task.done():
+            return
+        self._last_scrub = self._clock.monotonic()
+        self._task = asyncio.get_running_loop().create_task(
+            self._loop(), name="repro-service-supervisor"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the health loop and settle every re-route task.
+
+        No orphans: outstanding re-routes are cancelled and any future
+        they still owned fails with a structured error.
+        """
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task  # lint-ok: R006 - cancelled above
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._reroutes:
+            tasks = list(self._reroutes)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self._reroutes.clear()
+
+    # -- the health loop -----------------------------------------------
+
+    async def _loop(self) -> None:
+        interval = self._config.supervisor_interval_s
+        while True:
+            await asyncio.sleep(interval)
+            for shard in self._service.shards:
+                if shard.crashed and shard.index not in self._service.down:
+                    await self._recover(shard)
+                else:
+                    self._maybe_forgive(shard.index)
+            self._maybe_scrub()
+
+    def _maybe_forgive(self, index: int) -> None:
+        """Clear a shard's consecutive-crash streak once it has stayed
+        healthy for a full (maximum) backoff window — so the next
+        isolated crash restarts fast again, while a crash loop keeps
+        its doubled delays."""
+        restarted = self._restarted_at.get(index)
+        if restarted is None or index not in self._consecutive:
+            return
+        stable_for = self._clock.monotonic() - restarted
+        if stable_for >= self._config.restart_max_backoff_s:
+            self._consecutive.pop(index, None)
+
+    async def _recover(self, shard: "ShardPipeline") -> None:
+        detected = self._clock.monotonic()
+        index = shard.index
+        self._crash_counts[index] = self._crash_counts.get(index, 0) + 1
+        self._consecutive[index] = self._consecutive.get(index, 0) + 1
+        exc = shard.batcher.crash_exception()
+        _log.warning(
+            "shard %d drain task crashed (%r); recovering", index, exc
+        )
+        # Fence: router walks past the shard, racing requests shed load.
+        self._service.down.add(index)
+        shard.breaker.force_open()
+        # Drain the dead stack's stranded work.
+        stranded = self._collect_stranded(shard)
+        # Re-route through the ring now when any shard is alive;
+        # otherwise hold the work for the restarted shard below.
+        healthy_left = len(self._service.down) < len(self._service.shards)
+        if healthy_left:
+            for pending in stranded:
+                self._spawn_reroute(pending)
+            held: list[Pending] = []
+        else:
+            held = stranded
+        # Bounded exponential backoff per consecutive crash.
+        backoff = min(
+            self._config.restart_max_backoff_s,
+            self._config.restart_backoff_s
+            * (2 ** (self._consecutive[index] - 1)),
+        )
+        await asyncio.sleep(backoff)
+        shard.restart_stack()
+        shard.breaker.reset()
+        self._service.down.discard(index)
+        self._restarted_at[index] = self._clock.monotonic()
+        for pending in held:
+            self._spawn_reroute(pending)
+        scope = self._metrics.scoped(f"shard_{index}")
+        scope.counter("supervisor_restarts").inc()
+        scope.histogram("supervisor_recovery_latency_s").observe(
+            self._clock.monotonic() - detected
+        )
+
+    def _collect_stranded(self, shard: "ShardPipeline") -> list[Pending]:
+        """Empty the dead stack's queue and coalescing map, returning
+        every computation that still has unresolved waiters."""
+        while shard.admission.take_nowait() is not None:
+            # The coalescing map is a superset of the queue (every
+            # queued Pending is registered); emptying the queue just
+            # keeps the restarted batcher from re-running them.
+            pass
+        stranded = [
+            pending
+            for pending in shard.coalescer.inflight_items()
+            if not pending.future.done()
+        ]
+        for pending in stranded:
+            shard.coalescer.resolve(pending.key)
+        return stranded
+
+    # -- re-routing ----------------------------------------------------
+
+    def _spawn_reroute(self, pending: Pending) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._reroute(pending),
+            name=f"repro-service-reroute-{len(self._reroutes)}",
+        )
+        self._reroutes.add(task)
+        task.add_done_callback(self._reroutes.discard)
+
+    async def _reroute(self, pending: Pending) -> None:
+        """Re-submit one stranded computation through a live shard.
+
+        Whatever happens lands on the original future — a result, a
+        structured failure, or (on shutdown) a loud service error — so
+        no coalesced waiter ever hangs on a crashed shard.
+        """
+        try:
+            shard = self._service.shard_for(pending.key)
+            result = await shard.submit(
+                pending.key, pending.job, wait=True,
+                deadline=pending.deadline,
+            )
+        except asyncio.CancelledError:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceError("service stopped before the job ran")
+                )
+            raise
+        except ServiceError as exc:
+            if not pending.future.done():
+                pending.future.set_exception(exc)
+        except Exception as exc:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceError(f"re-route failed: {exc!r}")
+                )
+        else:
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+    # -- scrubbing -----------------------------------------------------
+
+    def _maybe_scrub(self) -> None:
+        interval = self._config.scrub_interval_s
+        if interval is None:
+            return
+        now = self._clock.monotonic()
+        if now - self._last_scrub < interval:
+            return
+        self._last_scrub = now
+        self.scrub_now()
+
+    def scrub_now(self) -> dict:
+        """Run one warehouse scrub pass and record its counters."""
+        report = self._service.engine.store.scrub()
+        if report.get("scanned", 0) or report.get("repaired", 0):
+            _log.info("warehouse scrub: %s", report)
+        self._metrics.counter("scrub_passes_total").inc()
+        self._metrics.counter("scrub_repairs").inc(
+            report.get("repaired", 0)
+        )
+        self._metrics.counter("scrub_lost_total").inc(
+            report.get("lost", 0)
+        )
+        return report
+
+    # -- observability -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Crash counts and outstanding re-routes, JSON-ready."""
+        return {
+            "running": self._task is not None and not self._task.done(),
+            "crash_counts": {
+                f"shard_{index}": count
+                for index, count in sorted(self._crash_counts.items())
+            },
+            "reroutes_inflight": len(self._reroutes),
+        }

@@ -282,6 +282,27 @@ class ResultStore:
         if self.warehouse is not None:
             self.warehouse.flush()
 
+    def scrub(self) -> dict:
+        """Re-verify the warehouse tier's records, repairing corrupt
+        ones from the memory LRU where it still holds the value.
+
+        Returns the warehouse's scrub report (all-zero counts for a
+        memory-only store); see
+        :meth:`~repro.sim.warehouse.SegmentWarehouse.scrub`.
+        """
+        if self.warehouse is None:
+            return {"scanned": 0, "corrupt": 0, "repaired": 0, "lost": 0}
+        return self.warehouse.scrub(repair=self._entries)
+
+    def compact(self) -> dict:
+        """Compact the warehouse tier's segments (no-op when
+        memory-only); see
+        :meth:`~repro.sim.warehouse.SegmentWarehouse.compact`."""
+        if self.warehouse is None:
+            return {"records": 0, "segments_before": 0,
+                    "segments_after": 0, "reclaimed": 0}
+        return self.warehouse.compact()
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

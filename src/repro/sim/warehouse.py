@@ -28,14 +28,29 @@ Design, in the same spirit as the store's persistence semantics:
 * **write-behind** — ``put`` buffers records in memory and ``flush``
   appends them in one pass (the service flushes on shutdown and the
   store flushes on :meth:`~repro.sim.store.ResultStore.save`), so the
-  request path never waits on disk;
+  request path never waits on disk; the flush ends with an ``fsync``
+  of both the segment file *and* its directory, so an acknowledged
+  flush survives a machine crash, not just a killed process;
 * **fork safety** — only the process that opened the warehouse appends
   to it; engine pool workers inherit a read-only view, so parent and
   children can never interleave writes into one segment.
 
-The index (key → segment/offset) lives in memory; ``get`` seeks and
-reads one value on demand, so warm-starting a large warehouse costs a
-key scan, not a full load.
+The index (key → segment/offset/CRC) lives in memory; ``get`` seeks,
+reads, and **re-verifies the record's CRC** on demand — a byte flipped
+on disk after the open scan is detected at read time and served as a
+miss (never as wrong bytes), and warm-starting a large warehouse still
+costs a key scan, not a full load.
+
+Two maintenance passes keep a long-lived warehouse honest:
+
+* :meth:`SegmentWarehouse.scrub` re-verifies every indexed record's
+  CRC against the bytes on disk, drops corrupt ones from the index,
+  and — given a repair source (the store's memory LRU) — rewrites
+  recoverable values into fresh records;
+* :meth:`SegmentWarehouse.compact` rewrites the live records into
+  fresh segments with a crash-consistent protocol (write ``.tmp``,
+  fsync, ``os.replace``, fsync the directory, then delete the old
+  segments), reclaiming dead bytes from corrupt or superseded records.
 """
 
 from __future__ import annotations
@@ -48,7 +63,7 @@ import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterator, Mapping
 
 __all__ = ["PAYLOAD_FORMAT_VERSION", "SegmentWarehouse", "WarehouseStats"]
 
@@ -81,6 +96,11 @@ class WarehouseStats:
         segment_count: Segment files on disk.
         segment_bytes: Total bytes across segment files.
         pending: Buffered write-behind records not yet flushed.
+        corrupt_records: Records whose CRC failed at read, scan, or
+            scrub time since open (each is dropped from the index, not
+            served).
+        scrub_repairs: Corrupt records rewritten from a repair source.
+        compactions: Completed :meth:`SegmentWarehouse.compact` passes.
     """
 
     entries: int
@@ -89,6 +109,9 @@ class WarehouseStats:
     segment_count: int
     segment_bytes: int
     pending: int
+    corrupt_records: int = 0
+    scrub_repairs: int = 0
+    compactions: int = 0
 
 
 class SegmentWarehouse:
@@ -118,10 +141,15 @@ class SegmentWarehouse:
         self.root = Path(root)
         self.segment_max_bytes = segment_max_bytes
         self.flush_every = flush_every
-        self._index: dict[WarehouseKey, tuple[Path, int, int]] = {}
+        #: key -> (segment path, record offset, key_len, val_len, crc);
+        #: enough to re-read *and re-verify* the record without trust.
+        self._index: dict[WarehouseKey, tuple[Path, int, int, int, int]] = {}
         self._pending: dict[WarehouseKey, Any] = {}
         self._disk_hits = 0
         self._appends = 0
+        self._corrupt_records = 0
+        self._scrub_repairs = 0
+        self._compactions = 0
         self._owner_pid = os.getpid()
         self.root.mkdir(parents=True, exist_ok=True)
         self._segments = sorted(self.root.glob("segment-*.seg"))
@@ -142,30 +170,50 @@ class SegmentWarehouse:
         return iter(self._index.keys() | self._pending.keys())
 
     def get(self, key: WarehouseKey, default: Any = None) -> Any:
-        """Read one value (from the buffer, or by seeking its segment)."""
+        """Read one value (from the buffer, or by seeking its segment).
+
+        The record's CRC is re-verified against the bytes actually
+        read: a byte flipped on disk *after* the open-time scan is
+        detected here and served as a miss (the entry leaves the index
+        so the store recomputes), never as silently wrong bytes.
+        """
         if key in self._pending:
             self._disk_hits += 1
             return self._pending[key]
         try:
-            path, offset, length = self._index[key]
+            path, offset, key_len, val_len, crc = self._index[key]
         except KeyError:
             return default
-        with open(path, "rb") as handle:
-            handle.seek(offset)
-            blob = handle.read(length)
-        if len(blob) != length:
-            # The segment shrank underneath the index (external
-            # truncation); treat as a miss rather than misread.
+        val_blob = self._read_verified(path, offset, key_len, val_len, crc)
+        if val_blob is None:
+            self._corrupt_records += 1
             warnings.warn(
-                f"warehouse segment {path} shorter than indexed; "
-                f"dropping entry",
+                f"warehouse record for {key!r} in {path} failed its CRC "
+                "or shrank; dropping entry",
                 RuntimeWarning,
                 stacklevel=2,
             )
             self._index.pop(key, None)
             return default
         self._disk_hits += 1
-        return pickle.loads(blob)
+        return pickle.loads(val_blob)
+
+    @staticmethod
+    def _read_verified(
+        path: Path, offset: int, key_len: int, val_len: int, crc: int
+    ) -> bytes | None:
+        """The record's value bytes iff the on-disk CRC still checks."""
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset + _RECORD.size)
+                blob = handle.read(key_len + val_len)
+        except OSError:
+            return None
+        if len(blob) != key_len + val_len:
+            return None
+        if zlib.crc32(blob) != crc:
+            return None
+        return blob[key_len:]
 
     def put(self, key: WarehouseKey, value: Any) -> None:
         """Buffer one record for the next :meth:`flush`.
@@ -184,13 +232,17 @@ class SegmentWarehouse:
     # ------------------------------------------------------------------
 
     def flush(self) -> int:
-        """Append every buffered record to the active segment.
+        """Append every buffered record to the active segment, durably.
 
-        Returns the number of records written.  A no-op in forked
-        children: only the opening process may append, so pool workers
-        inheriting this warehouse can never interleave writes with the
-        parent (their buffered puts simply stay in-memory for their
-        short lives).
+        Returns the number of records written.  The pass ends with an
+        ``fsync`` of the segment file and of the warehouse directory,
+        so an acknowledged flush survives a machine crash — not just a
+        killed process (the torn-tail scan covers the in-between).
+
+        A no-op in forked children: only the opening process may
+        append, so pool workers inheriting this warehouse can never
+        interleave writes with the parent (their buffered puts simply
+        stay in-memory for their short lives).
         """
         if not self._pending:
             return 0
@@ -212,14 +264,17 @@ class SegmentWarehouse:
                 )
                 handle.write(key_blob)
                 handle.write(val_blob)
-                value_offset = offset + _RECORD.size + len(key_blob)
-                self._index[key] = (segment, value_offset, len(val_blob))
+                self._index[key] = (
+                    segment, offset, len(key_blob), len(val_blob), crc
+                )
                 written += 1
                 self._appends += 1
                 if handle.tell() >= self.segment_max_bytes:
-                    handle.flush()
                     segment = self._roll_over()
                     break
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._fsync_dir()
         self._pending = {
             key: value
             for key, value in self._pending.items()
@@ -230,6 +285,20 @@ class SegmentWarehouse:
             # segment (recurses at most once per extra segment).
             written += self.flush()
         return written
+
+    def _fsync_dir(self) -> None:
+        """Durably record directory-level changes (new or renamed
+        segment files); best effort where directories can't be fsynced."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
 
     def _active_segment(self) -> Path:
         if not self._segments:
@@ -303,7 +372,16 @@ class SegmentWarehouse:
                     repair.truncate(good_end)
 
     def _index_records(self, segment: Path, handle: io.BufferedReader) -> int:
-        """Index ``segment``'s records; returns the last good offset."""
+        """Index ``segment``'s records; returns the last good offset.
+
+        A *complete* record whose CRC (or key pickle) fails is skipped
+        — a mid-file byte flip costs one record, not the rest of the
+        segment — while an *incomplete* tail (short preamble or short
+        blobs: the signature of a crash mid-append, or a corrupted
+        length field that makes the framing unrecoverable) ends the
+        scan so the caller can truncate back to the last good record.
+        """
+        offset = _HEADER.size
         good_end = _HEADER.size
         while True:
             preamble = handle.read(_RECORD.size)
@@ -314,15 +392,28 @@ class SegmentWarehouse:
             val_blob = handle.read(val_len)
             if len(key_blob) < key_len or len(val_blob) < val_len:
                 break
+            next_offset = offset + _RECORD.size + key_len + val_len
             if zlib.crc32(key_blob + val_blob) != crc:
-                break
+                self._corrupt_records += 1
+                warnings.warn(
+                    f"warehouse segment {segment} has a corrupt record "
+                    f"at offset {offset}; skipping it",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                offset = next_offset
+                good_end = next_offset
+                continue
             try:
                 key = pickle.loads(key_blob)
             except Exception:
-                break
-            value_offset = good_end + _RECORD.size + key_len
-            self._index[key] = (segment, value_offset, val_len)
-            good_end = value_offset + val_len
+                self._corrupt_records += 1
+                offset = next_offset
+                good_end = next_offset
+                continue
+            self._index[key] = (segment, offset, key_len, val_len, crc)
+            offset = next_offset
+            good_end = next_offset
         return good_end
 
     def _set_aside(self, segment: Path, suffix: str, why: str) -> None:
@@ -340,6 +431,155 @@ class SegmentWarehouse:
             stacklevel=4,
         )
         self._segments.remove(segment)
+
+    # ------------------------------------------------------------------
+    # Scrubbing and compaction
+    # ------------------------------------------------------------------
+
+    def scrub(self, repair: Mapping | None = None) -> dict:
+        """Re-verify every indexed record's CRC against the disk.
+
+        Background disk corruption (bit rot, a chaos harness flipping
+        bytes) is caught lazily by :meth:`get`; the scrub catches it
+        proactively, over *cold* records nobody has read.  A corrupt
+        record leaves the index (it will never be served); when
+        ``repair`` — typically the store's in-memory LRU — still holds
+        the key, the value is rewritten as a fresh record, otherwise
+        the entry is lost (and recomputed on next demand).
+
+        Returns a JSON-ready report: ``scanned`` / ``corrupt`` /
+        ``repaired`` / ``lost`` counts.
+        """
+        scanned = 0
+        corrupt: list[WarehouseKey] = []
+        for key, (path, offset, key_len, val_len, crc) in list(
+            self._index.items()
+        ):
+            scanned += 1
+            blob = self._read_verified(path, offset, key_len, val_len, crc)
+            if blob is None:
+                corrupt.append(key)
+        repaired = 0
+        for key in corrupt:
+            self._corrupt_records += 1
+            self._index.pop(key, None)
+            if repair is not None and key in repair:
+                self.put(key, repair[key])
+                repaired += 1
+        if repaired and os.getpid() == self._owner_pid:
+            self.flush()
+        self._scrub_repairs += repaired
+        return {
+            "scanned": scanned,
+            "corrupt": len(corrupt),
+            "repaired": repaired,
+            "lost": len(corrupt) - repaired,
+        }
+
+    def compact(self) -> dict:
+        """Rewrite the live records into fresh segments, reclaiming
+        dead bytes (corrupt records, torn tails, quarantine leftovers).
+
+        Crash-consistent rename protocol: the new segment is written as
+        a ``.tmp`` (invisible to the open-time glob), fsynced, then
+        ``os.replace``d to its final name and the directory fsynced —
+        only *then* are the old segments deleted.  A crash at any point
+        leaves either the old segments intact or old and new
+        coexisting (append-once indexing makes the duplicates
+        harmless), never a half-written warehouse.
+
+        Returns a JSON-ready report: ``records`` rewritten,
+        ``segments_before`` / ``segments_after``, and ``reclaimed``
+        bytes.  A no-op (-ish) in forked children, like :meth:`flush`.
+        """
+        if os.getpid() != self._owner_pid:
+            return {"records": 0, "segments_before": len(self._segments),
+                    "segments_after": len(self._segments), "reclaimed": 0}
+        self.flush()
+        old_segments = list(self._segments)
+        bytes_before = sum(
+            self._safe_size(segment) for segment in old_segments
+        )
+        # Survivors, re-verified on the way out: a record that fails
+        # its CRC here is dropped, not copied.
+        live: list[tuple[WarehouseKey, bytes, bytes, int]] = []
+        for key, (path, offset, key_len, val_len, crc) in list(
+            self._index.items()
+        ):
+            blob = self._read_verified(path, offset, key_len, val_len, crc)
+            if blob is None:
+                self._corrupt_records += 1
+                self._index.pop(key, None)
+                continue
+            key_blob = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+            live.append((key, key_blob, blob, crc))
+        # Number fresh segments past every existing file so nothing
+        # collides with a segment a crashed previous compaction left.
+        number = self._next_segment_number()
+        new_segments: list[Path] = []
+        new_index: dict[WarehouseKey, tuple[Path, int, int, int, int]] = {}
+        cursor = 0
+        while cursor < len(live) or not new_segments:
+            final = self.root / f"segment-{number:06d}.seg"
+            tmp = final.with_name(final.name + ".tmp")
+            number += 1
+            with open(tmp, "wb") as handle:
+                handle.write(_HEADER.pack(_MAGIC, PAYLOAD_FORMAT_VERSION))
+                while cursor < len(live):
+                    key, key_blob, val_blob, crc = live[cursor]
+                    offset = handle.tell()
+                    handle.write(
+                        _RECORD.pack(len(key_blob), len(val_blob), crc)
+                    )
+                    handle.write(key_blob)
+                    handle.write(val_blob)
+                    new_index[key] = (
+                        final, offset, len(key_blob), len(val_blob), crc
+                    )
+                    cursor += 1
+                    if handle.tell() >= self.segment_max_bytes:
+                        break
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+            new_segments.append(final)
+        self._fsync_dir()
+        # The new generation is durable; retire the old one.
+        for segment in old_segments:
+            try:
+                os.unlink(segment)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._fsync_dir()
+        self._segments = new_segments
+        self._index = new_index
+        self._compactions += 1
+        bytes_after = sum(
+            self._safe_size(segment) for segment in new_segments
+        )
+        return {
+            "records": len(live),
+            "segments_before": len(old_segments),
+            "segments_after": len(new_segments),
+            "reclaimed": max(0, bytes_before - bytes_after),
+        }
+
+    def _next_segment_number(self) -> int:
+        """One past the highest segment number present on disk."""
+        highest = -1
+        for path in self.root.glob("segment-*.seg"):
+            try:
+                highest = max(highest, int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):  # pragma: no cover
+                continue
+        return highest + 1
+
+    @staticmethod
+    def _safe_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
 
     # ------------------------------------------------------------------
     # Statistics
@@ -367,4 +607,7 @@ class SegmentWarehouse:
             segment_count=segment_count,
             segment_bytes=segment_bytes,
             pending=len(self._pending),
+            corrupt_records=self._corrupt_records,
+            scrub_repairs=self._scrub_repairs,
+            compactions=self._compactions,
         )

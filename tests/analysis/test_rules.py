@@ -14,6 +14,7 @@ from repro.analysis.config import AnalysisConfig, load_config
 from repro.analysis.framework import run_analysis
 from repro.analysis.rules import default_rules
 from repro.analysis.rules.parity import TierParityRule
+from tests.analysis.conftest import FILE_RULES_ONLY
 
 
 def lint(root: Path, *rule_ids: str):
@@ -669,3 +670,140 @@ class TestUnorderedIteration:
             }
         )
         assert lint(root, "R005") == []
+
+
+# -- R006: deadline hygiene --------------------------------------------
+
+
+class TestDeadlineHygiene:
+    def test_flags_unbounded_awaits_on_blocking_primitives(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/bad.py": """
+                import asyncio
+
+                async def worker(queue, lock, reader):
+                    item = await queue.get()
+                    await lock.acquire()
+                    data = await reader.readexactly(4)
+                    return item, data
+                """
+            }
+        )
+        findings = lint(root, "R006")
+        assert len(findings) == 3
+        assert all(f.rule == "R006" for f in findings)
+        messages = " ".join(f.message for f in findings)
+        assert "get()" in messages
+        assert "acquire()" in messages
+        assert "readexactly()" in messages
+        assert "wait_for" in messages  # the fix is named in the message
+
+    def test_wait_for_wrapped_awaits_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/good.py": """
+                import asyncio
+
+                async def worker(queue):
+                    return await asyncio.wait_for(queue.get(), timeout=5.0)
+                """
+            }
+        )
+        assert lint(root, "R006") == []
+
+    def test_timeout_keyword_passes(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/good.py": """
+                async def worker(pool):
+                    conn = await pool.acquire(timeout=2.0)
+                    return conn
+                """
+            }
+        )
+        assert lint(root, "R006") == []
+
+    def test_none_timeout_is_not_a_deadline(self, make_repo):
+        # ``timeout=None`` means "wait forever": exactly the hazard.
+        root = make_repo(
+            {
+                "src/repro/service/bad.py": """
+                async def worker(pool):
+                    return await pool.acquire(timeout=None)
+                """
+            }
+        )
+        findings = lint(root, "R006")
+        assert len(findings) == 1
+
+    def test_async_with_timeout_scope_guards_awaits(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/good.py": """
+                import asyncio
+
+                async def worker(queue):
+                    async with asyncio.timeout(5.0):
+                        first = await queue.get()
+                        second = await queue.get()
+                    return first, second
+                """
+            }
+        )
+        assert lint(root, "R006") == []
+
+    def test_waiver_comment_passes_with_justification(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/service/waived.py": """
+                async def park(stop_event):
+                    # Lifecycle park, woken by stop(); not a request.
+                    await stop_event.wait()  # lint-ok: R006
+                """
+            }
+        )
+        assert lint(root, "R006") == []
+
+    def test_out_of_scope_files_are_ignored(self, make_repo):
+        # The rule polices the request path (src/repro/service), not
+        # the whole tree: sim code may await freely.
+        root = make_repo(
+            {
+                "src/repro/sim/elsewhere.py": """
+                async def worker(queue):
+                    return await queue.get()
+                """
+            }
+        )
+        assert lint(root, "R006") == []
+
+    def test_scope_is_configurable(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/other/worker.py": """
+                async def worker(queue):
+                    return await queue.get()
+                """
+            },
+            pyproject_extra=(
+                FILE_RULES_ONLY + 'deadline_scope = ["src/repro/other"]\n'
+            ),
+        )
+        findings = lint(root, "R006")
+        assert len(findings) == 1
+
+    def test_non_primitive_awaits_pass(self, make_repo):
+        # Awaiting ordinary coroutines is fine; only the known
+        # blocking primitives need a bound.
+        root = make_repo(
+            {
+                "src/repro/service/good.py": """
+                async def worker(service, job):
+                    result = await service.submit(job)
+                    await service.stop()
+                    return result
+                """
+            }
+        )
+        assert lint(root, "R006") == []

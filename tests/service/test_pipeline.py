@@ -299,7 +299,8 @@ class TestBatching:
             )
             admission = service.shards[0].admission
             stop_task = asyncio.ensure_future(service.stop())
-            await asyncio.sleep(0)  # let stop() enqueue the sentinel
+            while admission._queue.qsize() == 0:  # sentinel lands...
+                await asyncio.sleep(0)  # ...after supervisor shutdown
             admission._queue.put_nowait(pending)
             await stop_task
             with pytest.raises(ServiceError, match="stopped"):

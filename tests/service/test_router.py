@@ -78,6 +78,35 @@ class TestRouting:
         assert moved / len(keys) < 0.5
         assert moved > 0  # the new shard did take some keys
 
+    def test_exclusion_remaps_only_the_excluded_shards_keys(self):
+        """The supervisor's re-route contract: fencing a shard moves
+        exactly its keys; everyone else keeps their home shard (so
+        in-flight caches and coalescing stay warm during recovery)."""
+        keys = [("run", f"app-{i}", i % 7, i * 13) for i in range(500)]
+        router = ShardRouter(4)
+        down = 2
+        for key in keys:
+            home = router.route(key)
+            rerouted = router.route(key, exclude={down})
+            if home == down:
+                assert rerouted != down  # moved off the fenced shard
+            else:
+                assert rerouted == home  # untouched keys stay put
+
+    def test_exclusion_walk_is_deterministic(self):
+        keys = [("run", f"app-{i}", i % 5, i) for i in range(200)]
+        a, b = ShardRouter(4), ShardRouter(4)
+        for key in keys:
+            assert a.route(key, exclude={1, 3}) == b.route(
+                key, exclude={1, 3}
+            )
+            assert a.route(key, exclude={1, 3}) not in {1, 3}
+
+    def test_all_shards_excluded_raises(self):
+        router = ShardRouter(2)
+        with pytest.raises(ValueError, match="exclude"):
+            router.route(("run", "Ocean", 1, 2), exclude={0, 1})
+
     def test_bad_arguments_rejected(self):
         with pytest.raises(ValueError, match="num_shards"):
             ShardRouter(0)
