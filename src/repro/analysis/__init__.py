@@ -17,11 +17,20 @@ break silently and that ``ruff``/``mypy`` cannot see:
 * **Float hygiene** — energy/cost comparisons must not use ``==``
   (rule ``R004``), and ordered outputs must not be fed from unordered
   iteration (rule ``R005``).
+* **Service liveness** — request-path awaits must carry deadlines
+  (rule ``R006``), and the serving layer's coroutines must be free of
+  cross-``await`` state races, event-loop-blocking calls,
+  fire-and-forget tasks, and swallowed cancellations (rule ``R007``).
+* **FFI contracts** — the native kernels' exported C prototypes and
+  their ctypes ``argtypes``/``restype`` bindings must agree on arity,
+  pointer-ness, and integer width (rule ``R008``).
 
 The package is a small AST-walking framework (:mod:`.framework`) with a
 rule registry (:mod:`.rules`), a committed baseline so pre-existing
-debt never blocks CI while *new* violations do (:mod:`.baseline`), and
-a CLI front-end wired into ``repro lint`` (:mod:`.cli`).
+debt never blocks CI while *new* violations do (:mod:`.baseline`), an
+incremental parallel engine with SARIF output (:mod:`.engine`,
+:mod:`.cache`, :mod:`.sarif`), and a CLI front-end wired into
+``repro lint`` (:mod:`.cli`).
 
 Suppressions: append ``# lint-ok: R001`` (comma-separate several ids)
 to a line, or put ``# lint-ok-file: R001`` anywhere in a file to waive

@@ -1,0 +1,166 @@
+"""Content-hash keyed incremental cache for per-file rule results.
+
+A lint run's per-file work is a pure function of three inputs: the
+file's bytes, the rule (id + implementation version), and the
+configuration.  The cache keys on exactly those — SHA-256 of the file
+content, the rule id, and a *config fingerprint* folding the full
+:class:`~repro.analysis.config.AnalysisConfig`, the active rule set,
+and :data:`ANALYSIS_VERSION` — so a warm run re-lints only what
+changed, and **any** edit to a file, the policy block, or the rule
+implementations invalidates precisely the right entries.
+
+Layout: one JSON file per source file under ``.repro-lint-cache/``
+(named by the hash of the repo-relative path, so renames miss cleanly),
+holding the content hash, the config fingerprint, and the raw
+(pre-suppression) findings per rule id.  Writes are atomic
+(temp + ``os.replace``), so parallel workers and concurrent lint runs
+can share a cache directory without torn entries; a corrupt or
+version-skewed entry is treated as a miss, never an error.
+
+Suppressions are deliberately **not** baked into cached entries:
+``# lint-ok`` waivers live in the file text (already part of the key)
+but are applied at assembly time by
+:func:`~repro.analysis.framework.apply_suppressions`, keeping cache
+content independent of presentation concerns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+__all__ = ["ANALYSIS_VERSION", "CACHE_DIR_NAME", "ResultCache", "config_fingerprint"]
+
+#: Bump when any rule's semantics change: the fingerprint folds this
+#: in, so every cache entry from the older analyzer misses.
+ANALYSIS_VERSION = 2
+
+#: Cache directory at the checkout root (gitignored).
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+_ENTRY_VERSION = 1
+
+
+def config_fingerprint(
+    config: AnalysisConfig, rule_ids: Iterable[str]
+) -> str:
+    """One hash covering everything that can change a rule's output
+    besides the file itself."""
+    payload = {
+        "analysis_version": ANALYSIS_VERSION,
+        "config": asdict(config),
+        "rules": sorted(rule_ids),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def content_hash(text: str) -> str:
+    """The cache's file-content key."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Per-file rule results under ``<root>/.repro-lint-cache/``.
+
+    Attributes:
+        hits: (file, rule) pairs served from cache this run.
+        misses: (file, rule) pairs that had to be computed.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        config: AnalysisConfig,
+        rule_ids: Iterable[str],
+        directory: Path | None = None,
+    ) -> None:
+        self.directory = directory or (root / CACHE_DIR_NAME)
+        self.fingerprint = config_fingerprint(config, rule_ids)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------
+
+    def _entry_path(self, rel: str) -> Path:
+        name = hashlib.sha256(rel.encode("utf-8")).hexdigest()[:32]
+        return self.directory / f"{name}.json"
+
+    # -- lookup / store ------------------------------------------------
+
+    def lookup(
+        self, rel: str, file_hash: str, rule_ids: Iterable[str]
+    ) -> dict[str, list[Finding]] | None:
+        """Cached per-rule findings for a file, or ``None`` on a miss.
+
+        A hit requires the entry to match the config fingerprint and
+        content hash **and** to cover every requested rule id — a
+        partial entry (rule set grew) is a miss, and the fresh store
+        rewrites it whole.  Hit/miss counters move per rule so the
+        warm-run report reflects work actually saved.
+        """
+        wanted = list(rule_ids)
+        try:
+            payload = json.loads(
+                self._entry_path(rel).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += len(wanted)
+            return None
+        if (
+            payload.get("version") != _ENTRY_VERSION
+            or payload.get("fingerprint") != self.fingerprint
+            or payload.get("content") != file_hash
+            or payload.get("path") != rel
+        ):
+            self.misses += len(wanted)
+            return None
+        stored = payload.get("rules", {})
+        if any(rule_id not in stored for rule_id in wanted):
+            self.misses += len(wanted)
+            return None
+        try:
+            results = {
+                rule_id: [Finding.from_dict(item) for item in stored[rule_id]]
+                for rule_id in wanted
+            }
+        except (KeyError, TypeError, ValueError):
+            self.misses += len(wanted)
+            return None
+        self.hits += len(wanted)
+        return results
+
+    def store(
+        self, rel: str, file_hash: str, results: dict[str, list[Finding]]
+    ) -> None:
+        """Atomically record one file's per-rule findings."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _ENTRY_VERSION,
+            "fingerprint": self.fingerprint,
+            "path": rel,
+            "content": file_hash,
+            "rules": {
+                rule_id: [f.to_dict() for f in findings]
+                for rule_id, findings in sorted(results.items())
+            },
+        }
+        path = self._entry_path(rel)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss counters."""
+        return {"cache_hits": self.hits, "cache_misses": self.misses}

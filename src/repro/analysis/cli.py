@@ -4,7 +4,14 @@ Kept separate from :mod:`repro.cli` so the analyzer stays importable
 and testable without the figure registry.  Exit codes: ``0`` clean
 (every finding baselined or none), ``1`` new findings, ``2`` usage or
 environment errors (not inside a checkout, unknown rule, unreadable
-baseline) — always as a clear message, never a traceback.
+baseline, bad ``--changed`` ref) — always as a clear message, never a
+traceback.
+
+The heavy lifting lives in :mod:`repro.analysis.engine` (incremental
+cache, worker processes, ``--changed`` scoping); this module maps
+flags to engine knobs and findings to one of three report formats:
+human text, the JSON payload CI has always consumed, or SARIF 2.1.0
+for annotation publishing (``--format sarif --output lint.sarif``).
 """
 
 from __future__ import annotations
@@ -15,14 +22,14 @@ import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import CACHE_DIR_NAME
 from repro.analysis.config import find_repo_root, load_config
+from repro.analysis.engine import EngineReport, analyze, resolve_workers
 from repro.analysis.findings import Finding
-from repro.analysis.framework import run_analysis
-from repro.analysis.rules import default_rules
+from repro.analysis.rules import known_rule_ids
+from repro.util.profiling import PROFILER
 
 __all__ = ["add_lint_arguments", "run_lint"]
-
-_KNOWN_RULES = ("R000", "R001", "R002", "R003", "R004", "R005")
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -36,8 +43,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="checkout root (default: walk up from the current directory)",
     )
     parser.add_argument(
-        "--rule", action="append", default=[], metavar="RXXX", dest="rules",
-        help="run only the given rule (repeatable), e.g. --rule R001",
+        "--rule", action="append", default=[], metavar="RXXX[,RYYY]",
+        dest="rules",
+        help="run only the given rules (repeatable and/or comma-"
+             "separated), e.g. --rule R001,R007",
     )
     parser.add_argument(
         "--baseline", metavar="PATH", default=None,
@@ -52,14 +61,50 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="CI mode: quiet on success, exit 1 on any non-baselined finding",
     )
     parser.add_argument(
+        "--workers", metavar="N|auto", default=None,
+        help="lint files across N worker processes ('auto' = CPU count; "
+             "default: in-process)",
+    )
+    parser.add_argument(
+        "--changed", metavar="REF", default=None,
+        help="only run per-file rules on files that differ from the "
+             "given git ref (project-level rules still see the whole "
+             "tree)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=f"bypass the incremental result cache ({CACHE_DIR_NAME}/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        dest="format_",
+        help="report format (default: text; 'sarif' emits SARIF 2.1.0)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
-        help="emit the findings report as JSON on stdout",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the json/sarif report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-rule wall time after the run",
     )
 
 
 def _fail(message: str) -> int:
     print(f"repro lint: error: {message}", file=sys.stderr)
     return 2
+
+
+def _parse_rule_filter(specs: list[str]) -> list[str] | None:
+    """``--rule`` occurrences (each possibly comma-separated) to ids."""
+    rules: list[str] = []
+    for spec in specs:
+        rules.extend(part.strip() for part in spec.split(",") if part.strip())
+    return rules or None
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -76,11 +121,12 @@ def run_lint(args: argparse.Namespace) -> int:
         config = load_config(root)
     except ValueError as exc:
         return _fail(str(exc))
-    for rule_id in args.rules:
-        if rule_id not in _KNOWN_RULES:
+    known = known_rule_ids()
+    rule_filter = _parse_rule_filter(args.rules)
+    for rule_id in rule_filter or ():
+        if rule_id not in known:
             return _fail(
-                f"unknown rule {rule_id!r}; known rules: "
-                + ", ".join(_KNOWN_RULES)
+                f"unknown rule {rule_id!r}; known rules: " + ", ".join(known)
             )
     if args.paths:
         for entry in args.paths:
@@ -89,9 +135,25 @@ def run_lint(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         config = replace(config, paths=tuple(args.paths))
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        return _fail(str(exc))
 
-    rule_filter = args.rules or None
-    findings = run_analysis(root, config, default_rules(), rule_filter)
+    format_ = args.format_ or ("json" if args.json else "text")
+    if args.profile:
+        PROFILER.enable()
+    try:
+        findings, report = analyze(
+            root,
+            config,
+            rule_filter,
+            workers=workers,
+            use_cache=not args.no_cache,
+            changed_ref=args.changed,
+        )
+    except ValueError as exc:  # bad --changed ref, unreadable tree
+        return _fail(str(exc))
 
     baseline_path = root / (args.baseline or config.baseline)
     if args.update_baseline:
@@ -110,41 +172,66 @@ def run_lint(args: argparse.Namespace) -> int:
     new, baselined = baseline.split(findings)
     stale = baseline.stale(findings)
 
-    if args.json:
-        _emit_json(root, new, baselined, stale, rule_filter)
+    active_rules = tuple(rule_filter) if rule_filter else known
+    if format_ == "json":
+        _write_report(
+            _json_payload(root, new, baselined, stale, active_rules, report),
+            args.output,
+        )
+    elif format_ == "sarif":
+        from repro.analysis.sarif import dumps_sarif
+
+        text = dumps_sarif(
+            new, active_rules, properties={"engine": report.to_dict()}
+        )
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+        else:
+            sys.stdout.write(text)
+        _emit_summary(new, baselined, stale, report, check=args.check)
     else:
-        _emit_human(new, baselined, stale, check=args.check)
+        _emit_human(new, baselined, stale, report, check=args.check)
+    if args.profile:
+        _emit_profile()
     return 1 if new else 0
 
 
-def _emit_json(
+def _write_report(payload: dict, output: str | None) -> None:
+    text = json.dumps(payload, indent=2) + "\n"
+    if output:
+        Path(output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+
+def _json_payload(
     root: Path,
     new: list[Finding],
     baselined: list[Finding],
     stale: list[str],
-    rule_filter: list[str] | None,
-) -> None:
-    payload = {
+    active_rules: tuple[str, ...],
+    report: EngineReport,
+) -> dict:
+    return {
         "version": 1,
         "root": str(root),
-        "rules": list(rule_filter) if rule_filter else list(_KNOWN_RULES),
+        "rules": list(active_rules),
         "findings": [f.to_dict() for f in new],
         "baselined": [f.to_dict() for f in baselined],
         "stale_baseline_entries": stale,
         "new_count": len(new),
+        "engine": report.to_dict(),
     }
-    json.dump(payload, sys.stdout, indent=2)
-    print()
 
 
-def _emit_human(
+def _emit_summary(
     new: list[Finding],
     baselined: list[Finding],
     stale: list[str],
+    report: EngineReport,
     check: bool,
 ) -> None:
-    for finding in new:
-        print(finding.format())
+    """The stderr status lines shared by the human and SARIF paths."""
     if stale:
         print(
             f"note: {len(stale)} baseline entr"
@@ -152,16 +239,52 @@ def _emit_human(
             "down); retire with --update-baseline",
             file=sys.stderr,
         )
+    cache_note = ""
+    if report.cache_hits or report.cache_misses:
+        cache_note = (
+            f"; cache {report.cache_hits} hit(s) / "
+            f"{report.cache_misses} miss(es)"
+        )
     if new:
         rules = sorted({f.rule for f in new})
         print(
             f"{len(new)} new finding(s) across {', '.join(rules)}"
-            + (f"; {len(baselined)} baselined" if baselined else ""),
+            + (f"; {len(baselined)} baselined" if baselined else "")
+            + cache_note,
             file=sys.stderr,
         )
     elif not check:
         print(
             "clean"
-            + (f" ({len(baselined)} baselined finding(s))" if baselined else ""),
+            + (f" ({len(baselined)} baselined finding(s))" if baselined else "")
+            + cache_note,
             file=sys.stderr,
         )
+
+
+def _emit_human(
+    new: list[Finding],
+    baselined: list[Finding],
+    stale: list[str],
+    report: EngineReport,
+    check: bool,
+) -> None:
+    for finding in new:
+        print(finding.format())
+    _emit_summary(new, baselined, stale, report, check)
+
+
+def _emit_profile() -> None:
+    """Per-rule wall time from the profiling registry, slowest first."""
+    stats = {
+        name: stat
+        for name, stat in PROFILER.report().items()
+        if name.startswith("lint.")
+    }
+    if not stats:
+        print("profile: no per-rule timings collected", file=sys.stderr)
+        return
+    width = max(len(name) for name in stats)
+    print(f"{'rule section':{width}s} {'total':>10s}", file=sys.stderr)
+    for name, stat in stats.items():
+        print(f"{name:{width}s} {stat.seconds:9.4f}s", file=sys.stderr)

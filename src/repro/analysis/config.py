@@ -78,6 +78,19 @@ class AnalysisConfig:
         deadline_wrappers: Call names that bound an await — awaiting
             one of these, or sitting inside ``async with <wrapper>``,
             satisfies R006.
+        async_scope: Where R007 (async-race & cancellation safety)
+            applies — the asyncio service package.
+        async_blocking_calls: Dotted call names R007 treats as
+            event-loop-blocking inside a coroutine (route them through
+            ``run_in_executor`` or waive).
+        async_lock_names: Lowercase substrings that mark an
+            ``async with`` context as a serializing lock; mutations
+            inside such a block are exempt from the cross-``await``
+            race check.
+        ffi_sources: C sources whose exported (non-``static``)
+            functions R008 parses as the contract side.
+        ffi_bindings: Python modules whose ``argtypes``/``restype``
+            assignments R008 cross-checks against the C prototypes.
     """
 
     paths: tuple[str, ...] = ("src",)
@@ -128,6 +141,30 @@ class AnalysisConfig:
         "accept", "wait_closed", "serve_forever",
     )
     deadline_wrappers: tuple[str, ...] = ("wait_for", "timeout", "timeout_at")
+    async_scope: tuple[str, ...] = ("src/repro/service",)
+    async_blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+    )
+    async_lock_names: tuple[str, ...] = ("lock", "mutex", "sem")
+    ffi_sources: tuple[str, ...] = (
+        "src/repro/kernels/multicore_native.c",
+        "src/repro/kernels/pipeline_native.c",
+    )
+    ffi_bindings: tuple[str, ...] = (
+        "src/repro/kernels/native.py",
+        "src/repro/kernels/pipeline.py",
+    )
 
 
 def find_repo_root(start: Path | None = None) -> Path | None:

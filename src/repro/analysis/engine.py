@@ -1,0 +1,324 @@
+"""The incremental, parallel analysis engine behind ``repro lint``.
+
+:func:`repro.analysis.framework.run_analysis` is the simple driver —
+load everything, run everything.  This module is the production
+driver: the same rule dispatch composed with
+
+* the content-hash incremental cache (:mod:`repro.analysis.cache`):
+  per-file rule results are reused when the file, the rule set, and
+  the configuration are unchanged;
+* multi-process **file-level** parallelism: files are partitioned into
+  contiguous chunks (the file list is canonically sorted, so the
+  partition is deterministic) and farmed to worker processes; each
+  worker re-parses only its own files and returns raw findings;
+* ``--changed REF`` git-diff scoping: per-file rules run only on files
+  that differ from ``REF``, while project-level rules (cross-file
+  invariants) always see the full tree;
+* per-rule wall-time accounting folded into the process-global
+  :data:`repro.util.profiling.PROFILER` registry under
+  ``lint.<rule>`` sections, so slow rules are visible as the set grows.
+
+The engine's contract, enforced by ``tests/analysis/test_lint_engine.py``:
+**cold, warm, serial, and parallel runs produce byte-identical
+findings** — caching and parallelism are pure execution strategies,
+never semantics.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Iterable, Sequence
+
+from repro.analysis.cache import ResultCache, content_hash
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    SourceFile,
+    apply_suppressions,
+    collect_files,
+    in_scope,
+    run_project_rules,
+    syntax_error_finding,
+)
+from repro.analysis.rules import default_rules
+from repro.util.profiling import PROFILER
+
+__all__ = ["EngineReport", "analyze", "changed_files", "resolve_workers"]
+
+
+@dataclass
+class EngineReport:
+    """How a run executed (the *what* is the findings list).
+
+    Attributes:
+        files_analyzed: Files whose per-file rules ran or were served
+            from cache this run (the ``--changed`` subset when active).
+        files_total: Files in the configured trees.
+        workers: Worker processes used (1 = in-process).
+        cache_hits: (file, rule) results served from the cache.
+        cache_misses: (file, rule) results computed fresh.
+        rule_seconds: Wall time per rule id, fresh computations only.
+        changed_ref: The git ref that scoped this run, if any.
+    """
+
+    files_analyzed: int = 0
+    files_total: int = 0
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    changed_ref: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (rule seconds rounded, keys sorted)."""
+        return {
+            "files_analyzed": self.files_analyzed,
+            "files_total": self.files_total,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rule_seconds": {
+                rule: round(seconds, 6)
+                for rule, seconds in sorted(self.rule_seconds.items())
+            },
+            "changed_ref": self.changed_ref,
+        }
+
+
+def resolve_workers(spec: str | int | None) -> int:
+    """``--workers`` value to a process count (``auto`` = CPU count)."""
+    if spec in (None, "", 1, "1"):
+        return 1
+    if spec == "auto":
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    count = int(spec)
+    if count < 1:
+        raise ValueError(f"--workers must be >= 1 or 'auto', got {spec!r}")
+    return count
+
+
+def changed_files(root: Path, ref: str) -> set[str]:
+    """Repo-relative paths that differ from ``ref`` (plus untracked).
+
+    Uses ``git diff --name-only ref`` for tracked changes and
+    ``git ls-files --others --exclude-standard`` for new files, so a
+    freshly added module is linted before its first commit.  Raises
+    ``ValueError`` with git's own message when the ref is unknown.
+    """
+    def run(*args: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        if proc.returncode != 0:
+            raise ValueError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+            )
+        return [line for line in proc.stdout.splitlines() if line]
+
+    tracked = run("diff", "--name-only", ref, "--")
+    untracked = run("ls-files", "--others", "--exclude-standard")
+    return set(tracked) | set(untracked)
+
+
+def _rules_for_file(rel: str, rule_ids: Sequence[str], config: AnalysisConfig):
+    """The per-file rules (by id) whose scope covers ``rel``."""
+    wanted = []
+    for rule in default_rules():
+        if rule.id not in rule_ids:
+            continue
+        prefixes = rule.scope(config)
+        if prefixes and not in_scope(rel, prefixes):
+            continue
+        wanted.append(rule)
+    return wanted
+
+
+def _lint_one(
+    file: SourceFile, rule_ids: Sequence[str], config: AnalysisConfig
+) -> tuple[dict[str, list[Finding]], dict[str, float]]:
+    """Run the scoped per-file rules on one parsed file.
+
+    Returns (findings per rule id, seconds per rule id).  Every
+    applicable rule gets an entry even when clean, so cache entries
+    record "ran and found nothing".
+    """
+    results: dict[str, list[Finding]] = {}
+    seconds: dict[str, float] = {}
+    for rule in _rules_for_file(file.rel, rule_ids, config):
+        started = perf_counter()
+        results[rule.id] = list(rule.check_file(file, config))
+        seconds[rule.id] = seconds.get(rule.id, 0.0) + (
+            perf_counter() - started
+        )
+    return results, seconds
+
+
+def _worker_chunk(
+    root_str: str,
+    config: AnalysisConfig,
+    rule_ids: tuple[str, ...],
+    rels: tuple[str, ...],
+) -> list[tuple[str, dict[str, list[dict]], dict[str, float]]]:
+    """Process-pool entry point: lint a chunk of files fresh.
+
+    Findings cross the process boundary as dicts (``Finding`` is a
+    frozen dataclass, but the dict form keeps the IPC payload
+    version-stable with the cache entries).
+    """
+    root = Path(root_str)
+    out = []
+    for rel in rels:
+        file = SourceFile.load(root / rel, rel)
+        results, seconds = _lint_one(file, rule_ids, config)
+        out.append(
+            (
+                rel,
+                {
+                    rule_id: [f.to_dict() for f in findings]
+                    for rule_id, findings in results.items()
+                },
+                seconds,
+            )
+        )
+    return out
+
+
+def _chunk(items: Sequence[str], chunks: int) -> list[tuple[str, ...]]:
+    """Contiguous, deterministic partition of a sorted item list."""
+    if not items:
+        return []
+    size = max(1, (len(items) + chunks - 1) // chunks)
+    return [
+        tuple(items[start : start + size])
+        for start in range(0, len(items), size)
+    ]
+
+
+def analyze(
+    root: Path,
+    config: AnalysisConfig,
+    rule_filter: Iterable[str] | None = None,
+    *,
+    workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: Path | None = None,
+    changed_ref: str | None = None,
+    files: Sequence[SourceFile] | None = None,
+) -> tuple[list[Finding], EngineReport]:
+    """The full engine pass: findings plus an execution report.
+
+    Byte-identical to :func:`~repro.analysis.framework.run_analysis`
+    on the same inputs (without ``changed_ref``); cache and workers
+    only change *how fast* the answer arrives.
+    """
+    all_rules = default_rules()
+    wanted = set(rule_filter) if rule_filter is not None else None
+    active = [r for r in all_rules if wanted is None or r.id in wanted]
+    rule_ids = tuple(r.id for r in active)
+
+    if files is None:
+        files = collect_files(root, config.paths)
+    report = EngineReport(files_total=len(files), workers=workers)
+
+    targets = list(files)
+    if changed_ref is not None:
+        changed = changed_files(root, changed_ref)
+        targets = [f for f in files if f.rel in changed]
+        report.changed_ref = changed_ref
+
+    findings: list[Finding] = []
+    for file in targets:
+        if file.tree is None:
+            findings.append(syntax_error_finding(file))
+
+    cache = (
+        ResultCache(root, config, rule_ids, directory=cache_dir)
+        if use_cache
+        else None
+    )
+
+    # -- per-file rules: cache, then fresh (parallel when asked) ------
+    parseable = [f for f in targets if f.tree is not None]
+    report.files_analyzed = len(parseable)
+    fresh: list[SourceFile] = []
+    hashes: dict[str, str] = {}
+    for file in parseable:
+        applicable = [
+            r.id for r in _rules_for_file(file.rel, rule_ids, config)
+        ]
+        if not applicable:
+            continue
+        if cache is not None:
+            file_hash = content_hash(file.text)
+            hashes[file.rel] = file_hash
+            cached = cache.lookup(file.rel, file_hash, applicable)
+            if cached is not None:
+                for per_rule in cached.values():
+                    findings.extend(per_rule)
+                continue
+        fresh.append(file)
+
+    if fresh and workers > 1:
+        chunks = _chunk(tuple(f.rel for f in fresh), workers)
+        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(_worker_chunk, str(root), config, rule_ids, rels)
+                for rels in chunks
+            ]
+            produced: dict[str, dict[str, list[Finding]]] = {}
+            for future in futures:
+                for rel, payload, seconds in future.result():
+                    produced[rel] = {
+                        rule_id: [Finding.from_dict(d) for d in items]
+                        for rule_id, items in payload.items()
+                    }
+                    for rule_id, spent in seconds.items():
+                        report.rule_seconds[rule_id] = (
+                            report.rule_seconds.get(rule_id, 0.0) + spent
+                        )
+        # Reassemble in canonical (sorted-rel) order regardless of
+        # worker completion order.
+        for file in fresh:
+            results = produced[file.rel]
+            for per_rule in results.values():
+                findings.extend(per_rule)
+            if cache is not None:
+                cache.store(file.rel, hashes[file.rel], results)
+    else:
+        for file in fresh:
+            results, seconds = _lint_one(file, rule_ids, config)
+            for per_rule in results.values():
+                findings.extend(per_rule)
+            for rule_id, spent in seconds.items():
+                report.rule_seconds[rule_id] = (
+                    report.rule_seconds.get(rule_id, 0.0) + spent
+                )
+            if cache is not None:
+                if file.rel not in hashes:
+                    hashes[file.rel] = content_hash(file.text)
+                cache.store(file.rel, hashes[file.rel], results)
+
+    # -- project rules: always over the full tree, never cached -------
+    for rule in active:
+        started = perf_counter()
+        findings.extend(rule.check_project(files, config, root))
+        report.rule_seconds[rule.id] = report.rule_seconds.get(
+            rule.id, 0.0
+        ) + (perf_counter() - started)
+
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    for rule_id, spent in report.rule_seconds.items():
+        PROFILER.record(f"lint.{rule_id}", spent)
+
+    return apply_suppressions(findings, files), report

@@ -13,10 +13,11 @@ from dataclasses import asdict, dataclass
 
 __all__ = ["Finding", "SEVERITIES", "sort_findings"]
 
-#: Recognized severities, most severe first.  Severity is display
+#: Recognized severities, most severe first, matching SARIF's levels
+#: 1:1 (see :mod:`repro.analysis.sarif`).  Severity is display
 #: metadata: ``repro lint --check`` fails on any non-baselined finding
 #: regardless (a warning you can ignore forever is not an invariant).
-SEVERITIES = ("error", "warning")
+SEVERITIES = ("error", "warning", "note")
 
 
 @dataclass(frozen=True)

@@ -22,9 +22,13 @@ from repro.analysis.findings import Finding, sort_findings
 __all__ = [
     "Rule",
     "SourceFile",
+    "apply_suppressions",
     "collect_files",
     "in_scope",
     "run_analysis",
+    "run_file_rules",
+    "run_project_rules",
+    "syntax_error_finding",
 ]
 
 #: ``# lint-ok: R001, R004`` waives the listed rules on that line;
@@ -126,8 +130,12 @@ def in_scope(rel: str, prefixes: tuple[str, ...]) -> bool:
 def collect_files(root: Path, paths: Iterable[str]) -> list[SourceFile]:
     """Load every ``.py`` file under the configured trees, sorted.
 
-    Sorting makes the walk order (and therefore report order and
-    baseline content) independent of filesystem enumeration order.
+    The returned list is **always** in sorted repo-relative path order
+    — an explicit contract, not an accident of ``rglob``: parallel
+    lint workers, the incremental cache, and the baseline fingerprints
+    all assume one canonical file order, so cold, warm, serial, and
+    parallel runs report byte-identical findings
+    (``tests/analysis/test_framework.py`` asserts it).
     """
     seen: dict[str, SourceFile] = {}
     for entry in paths:
@@ -147,7 +155,8 @@ def collect_files(root: Path, paths: Iterable[str]) -> list[SourceFile]:
     return [seen[rel] for rel in sorted(seen)]
 
 
-def _syntax_error_finding(file: SourceFile) -> Finding:
+def syntax_error_finding(file: SourceFile) -> Finding:
+    """The R000 finding reported for a file that does not parse."""
     return Finding(
         rule="R000",
         severity="error",
@@ -156,6 +165,63 @@ def _syntax_error_finding(file: SourceFile) -> Finding:
         col=0,
         message="file does not parse; fix the syntax error first",
     )
+
+
+def run_file_rules(
+    file: SourceFile, rules: Sequence[Rule], config: AnalysisConfig
+) -> dict[str, list[Finding]]:
+    """One file's per-rule findings, scope-filtered, unsuppressed.
+
+    Returns an entry for **every** rule that applies to the file (empty
+    list = ran clean), so the incremental cache can distinguish "ran
+    and found nothing" from "never ran".  Suppressions are *not*
+    applied here — they are part of presentation, not of the rule
+    result — so cached entries stay waiver-agnostic and
+    :func:`apply_suppressions` filters at assembly time.
+    """
+    results: dict[str, list[Finding]] = {}
+    if file.tree is None:
+        return results
+    for rule in rules:
+        prefixes = rule.scope(config)
+        if prefixes and not in_scope(file.rel, prefixes):
+            continue
+        results[rule.id] = list(rule.check_file(file, config))
+    return results
+
+
+def run_project_rules(
+    files: Sequence[SourceFile],
+    rules: Sequence[Rule],
+    config: AnalysisConfig,
+    root: Path,
+) -> list[Finding]:
+    """Cross-file findings of every rule (never cached — they depend
+    on the whole tree, not one file's content)."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check_project(files, config, root))
+    return findings
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], files: Sequence[SourceFile]
+) -> list[Finding]:
+    """Drop findings waived by ``# lint-ok`` markers; sort the rest.
+
+    ``R000`` can never be suppressed, and findings anchored outside
+    the analyzed file set (e.g. R008 findings on a C source) have no
+    waiver surface, so they always report.
+    """
+    by_rel = {file.rel: file for file in files}
+    kept = [
+        f
+        for f in findings
+        if f.rule == "R000"
+        or f.path not in by_rel
+        or not by_rel[f.path].suppressed(f.rule, f.line)
+    ]
+    return sort_findings(kept)
 
 
 def run_analysis(
@@ -167,9 +233,13 @@ def run_analysis(
 ) -> list[Finding]:
     """Run ``rules`` over the configured trees; returns sorted findings.
 
-    ``rule_filter`` restricts to the given rule ids (``R000`` parse
-    errors always report).  ``files`` lets tests inject a synthetic
-    file set.
+    The simple in-process driver: no cache, no workers — the
+    incremental/parallel engine (:mod:`repro.analysis.engine`) composes
+    the same :func:`run_file_rules` / :func:`run_project_rules` /
+    :func:`apply_suppressions` pieces and must stay byte-identical to
+    this.  ``rule_filter`` restricts to the given rule ids (``R000``
+    parse errors always report).  ``files`` lets tests inject a
+    synthetic file set.
     """
     wanted = set(rule_filter) if rule_filter is not None else None
     if files is None:
@@ -177,23 +247,10 @@ def run_analysis(
     findings: list[Finding] = []
     for file in files:
         if file.tree is None:
-            findings.append(_syntax_error_finding(file))
+            findings.append(syntax_error_finding(file))
     active = [r for r in rules if wanted is None or r.id in wanted]
-    for rule in active:
-        prefixes = rule.scope(config)
-        for file in files:
-            if file.tree is None:
-                continue
-            if prefixes and not in_scope(file.rel, prefixes):
-                continue
-            findings.extend(rule.check_file(file, config))
-        findings.extend(rule.check_project(files, config, root))
-    by_rel = {file.rel: file for file in files}
-    kept = [
-        f
-        for f in findings
-        if f.rule == "R000"
-        or f.path not in by_rel
-        or not by_rel[f.path].suppressed(f.rule, f.line)
-    ]
-    return sort_findings(kept)
+    for file in files:
+        for per_rule in run_file_rules(file, active, config).values():
+            findings.extend(per_rule)
+    findings.extend(run_project_rules(files, active, config, root))
+    return apply_suppressions(findings, files)

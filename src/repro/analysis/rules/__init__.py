@@ -14,6 +14,11 @@ R005      warning   no iteration over unordered sets feeding
                     ordered outputs
 R006      warning   deadline hygiene: no unbounded awaits on
                     blocking primitives in the service scope
+R007      warning   async safety: no cross-await races, blocking
+                    calls, task leaks, or swallowed cancellations
+                    in the service scope
+R008      error     C prototypes and ctypes argtypes/restype
+                    bindings agree; every exported symbol is bound
 ========  ========  ==============================================
 
 ``R000`` (syntax error) is emitted by the framework itself.
@@ -22,13 +27,15 @@ R006      warning   deadline hygiene: no unbounded awaits on
 from __future__ import annotations
 
 from repro.analysis.framework import Rule
+from repro.analysis.rules.asyncsafety import AsyncSafetyRule
 from repro.analysis.rules.cost import CostAccountingRule
 from repro.analysis.rules.deadline import DeadlineHygieneRule
 from repro.analysis.rules.determinism import SeedHygieneRule, UnorderedIterationRule
+from repro.analysis.rules.ffi import FfiContractRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.parity import TierParityRule
 
-__all__ = ["default_rules"]
+__all__ = ["default_rules", "known_rule_ids"]
 
 
 def default_rules() -> list[Rule]:
@@ -40,5 +47,12 @@ def default_rules() -> list[Rule]:
         FloatEqualityRule(),
         UnorderedIterationRule(),
         DeadlineHygieneRule(),
+        AsyncSafetyRule(),
+        FfiContractRule(),
     ]
     return sorted(rules, key=lambda r: r.id)
+
+
+def known_rule_ids() -> tuple[str, ...]:
+    """Every valid ``--rule`` id, R000 (the parse check) included."""
+    return ("R000",) + tuple(rule.id for rule in default_rules())

@@ -531,8 +531,9 @@ def main(argv: list[str] | None = None) -> int:
         "lint",
         help="run the repo-specific static-analysis pass",
         description="Enforce the reproduction's determinism, "
-                    "cost-accounting, and engine-tier parity invariants "
-                    "(rules R001-R005); see docs/static_analysis.md. "
+                    "cost-accounting, engine-tier parity, async-safety, "
+                    "and FFI-contract invariants (rules R001-R008); see "
+                    "docs/static_analysis.md. "
                     "Exits 1 on any finding not in the baseline.",
     )
     from repro.analysis.cli import add_lint_arguments

@@ -114,8 +114,7 @@ def _build_library() -> ctypes.CDLL:
             if not lib_path.exists():  # another worker may have built it
                 _compile(lib_path)
     lib = ctypes.CDLL(str(lib_path))
-    fn = lib.desc_mc_run
-    _configure_mc_prototype(fn)
+    _prototypes(lib)
     return lib
 
 
@@ -144,9 +143,13 @@ def _compile(lib_path: Path) -> None:
     os.replace(tmp_path, lib_path)  # atomic vs concurrent builders
 
 
-def _configure_mc_prototype(fn) -> None:
-    fn.restype = ctypes.c_int64
-    fn.argtypes = (
+def _prototypes(lib: ctypes.CDLL) -> None:
+    # Declared symbol-by-symbol (lib.<name>.argtypes = ...) so the R008
+    # FFI-contract rule can cross-check each binding against the C
+    # declaration; keep the grouping aligned with desc_mc_run's
+    # parameter blocks in multicore_native.c.
+    lib.desc_mc_run.restype = ctypes.c_int64
+    lib.desc_mc_run.argtypes = (
         [_I64P, ctypes.c_int64, ctypes.c_int64]
         + [_I64P] * 10
         + [_I64P] * 8

@@ -170,7 +170,10 @@ class ChaosController:
                 self.failures += 1
                 raise RuntimeError(f"chaos failure injection on shard {shard}")
             elif mode == "slow":
-                self.delays += 1
+                # Monotone stats counter: += is atomic between awaits on
+                # the single event loop, and no reader couples delays to
+                # other state, so interleaved increments are benign.
+                self.delays += 1  # lint-ok: R007
                 await asyncio.sleep(self.latency_s)
 
         return intercept

@@ -173,7 +173,10 @@ class ServiceServer:
             asyncio.TimeoutError,
         ):
             pass  # client went away; nothing to answer
-        except asyncio.CancelledError:
+        # Top of the per-connection task: stop() cancels these tasks and
+        # then awaits them, so swallowing the cancellation here is the
+        # shutdown protocol — nothing above this frame needs to see it.
+        except asyncio.CancelledError:  # lint-ok: R007
             pass  # server shutting down; drop the connection quietly
         except Exception:
             _log.exception("connection handler failed")
@@ -185,7 +188,9 @@ class ServiceServer:
                 await asyncio.wait_for(
                     writer.wait_closed(), timeout=_IDLE_TIMEOUT_S
                 )
-            except (
+            # Best-effort socket teardown while already unwinding; a
+            # second cancellation here must not mask the original exit.
+            except (  # lint-ok: R007
                 ConnectionError,
                 OSError,
                 asyncio.CancelledError,
@@ -249,6 +254,8 @@ class ServiceServer:
         except _HttpError as exc:
             await _respond_error(writer, exc, keep_alive)
             return keep_alive
+        except asyncio.CancelledError:
+            raise  # shutdown must not be answered as a 500
         except Exception as exc:  # a route handler bug; still answer
             _log.exception("unhandled error serving %s %s", method, path)
             await _respond_error(

@@ -675,12 +675,16 @@ class Executor:
             # escape here and kill the drain task.
             try:
                 await self._interceptor(jobs)
+            except asyncio.CancelledError:
+                raise  # shutdown outranks fault injection
             except Exception as exc:
                 failure = FailedJob(job=None, reason="error", error=repr(exc))
                 return [failure] * len(jobs)
         loop = asyncio.get_running_loop()
         try:
             return await loop.run_in_executor(None, self._run_many, jobs)
+        except asyncio.CancelledError:
+            raise  # drain-task cancellation must reach the supervisor
         except Exception as exc:  # engine infrastructure, not a job
             _log.exception(
                 "batch of %d job(s) failed in the engine", len(jobs)

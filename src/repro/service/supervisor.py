@@ -98,7 +98,9 @@ class ShardSupervisor:
             self._task.cancel()
             try:
                 await self._task  # lint-ok: R006 - cancelled above
-            except asyncio.CancelledError:
+            # We cancelled the task one line up; awaiting it re-raises
+            # that same CancelledError, which is the join succeeding.
+            except asyncio.CancelledError:  # lint-ok: R007
                 pass
             self._task = None
         if self._reroutes:

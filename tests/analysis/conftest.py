@@ -13,8 +13,8 @@ from pathlib import Path
 import pytest
 
 # A [tool.repro.analysis] block that disables the project-level checks
-# (engine tiers, transfer models, stage protocol) so file-rule fixtures
-# stay minimal.
+# (engine tiers, transfer models, stage protocol, FFI contracts) so
+# file-rule fixtures stay minimal.
 FILE_RULES_ONLY = """
 [tool.repro.analysis]
 tier_classes = []
@@ -22,6 +22,8 @@ dispatch_class = ""
 kernel_dispatchers = []
 check_transfer_models = false
 stage_protocol = ""
+ffi_sources = []
+ffi_bindings = []
 """
 
 

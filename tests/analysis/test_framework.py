@@ -39,6 +39,28 @@ class TestCollectFiles:
         with pytest.raises(FileNotFoundError):
             collect_files(root, ["src/nowhere"])
 
+    def test_order_is_deterministic_across_inputs(self, make_repo):
+        # The ordering contract: sorted repo-relative paths, regardless
+        # of how the configured path entries are spelled or ordered.
+        # Everything downstream (parallel chunking, the cache, baseline
+        # diffs) assumes this.
+        root = make_repo(
+            {
+                "src/repro/zeta.py": "Z = 1\n",
+                "src/repro/sub/alpha.py": "A = 1\n",
+                "src/repro/mid.py": "M = 1\n",
+            }
+        )
+        forward = [f.rel for f in collect_files(root, ["src"])]
+        shuffled = [
+            f.rel
+            for f in collect_files(
+                root, ["src/repro/zeta.py", "src", "src/repro/sub"]
+            )
+        ]
+        assert forward == sorted(forward)
+        assert shuffled == forward
+
 
 class TestSyntaxErrors:
     def test_unparsable_file_reports_r000(self, make_repo):

@@ -1,0 +1,307 @@
+"""The incremental engine: cache, workers, ``--changed``, SARIF.
+
+The engine's one contract — cold, warm, serial, and parallel runs are
+byte-identical — is asserted directly, alongside the cache's
+invalidation triggers (file edit, config change) and the git-scoped
+``--changed`` path against a scratch repository.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import CACHE_DIR_NAME, ResultCache, config_fingerprint
+from repro.analysis.config import load_config
+from repro.analysis.engine import analyze, changed_files, resolve_workers
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import SARIF_VERSION, to_sarif
+
+FIXTURE = {
+    "src/repro/service/eaten.py": """
+    import asyncio
+
+    async def drain(queue):
+        try:
+            await queue.join()
+        except asyncio.CancelledError:
+            pass
+    """,
+    "src/repro/clean.py": "VALUE = 1\n",
+    "src/repro/leak.py": """
+    import time
+
+    def stamp():
+        return time.time()
+    """,
+}
+
+
+def run(root: Path, **kwargs):
+    return analyze(root, load_config(root), **kwargs)
+
+
+class TestResolveWorkers:
+    def test_defaults_and_auto(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers("1") == 1
+        assert resolve_workers("3") == 3
+        assert resolve_workers("auto") >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers("0")
+
+
+class TestCacheRoundTrip:
+    def test_cold_then_warm_identical_findings(self, make_repo):
+        root = make_repo(FIXTURE)
+        cold, cold_report = run(root)
+        warm, warm_report = run(root)
+        assert cold == warm
+        assert cold_report.cache_hits == 0
+        assert cold_report.cache_misses > 0
+        assert warm_report.cache_hits == cold_report.cache_misses
+        assert warm_report.cache_misses == 0
+        assert (root / CACHE_DIR_NAME).is_dir()
+
+    def test_file_edit_invalidates_only_that_file(self, make_repo):
+        root = make_repo(FIXTURE)
+        cold, _ = run(root)
+        target = root / "src/repro/clean.py"
+        target.write_text("VALUE = 2\n")
+        warm, report = run(root)
+        assert warm == cold  # the edit introduced no finding
+        # Only the edited file's rules re-ran; everything else was warm.
+        assert 0 < report.cache_misses < report.cache_hits
+
+    def test_edit_that_adds_finding_shows_up_warm(self, make_repo):
+        root = make_repo(FIXTURE)
+        cold, _ = run(root)
+        target = root / "src/repro/clean.py"
+        target.write_text("import time\nSTAMP = time.time()\n")
+        warm, _ = run(root)
+        assert len(warm) == len(cold) + 1
+        assert any(f.path == "src/repro/clean.py" for f in warm)
+
+    def test_config_change_invalidates_everything(self, make_repo):
+        root = make_repo(FIXTURE)
+        _, cold_report = run(root)
+        pyproject = root / "pyproject.toml"
+        pyproject.write_text(
+            pyproject.read_text().replace(
+                'async_lock_names = ["lock", "mutex", "sem"]',
+                'async_lock_names = ["lock"]',
+            )
+            if "async_lock_names" in pyproject.read_text()
+            else pyproject.read_text() + 'async_lock_names = ["lock"]\n'
+        )
+        _, report = run(root)
+        assert report.cache_hits == 0
+        assert report.cache_misses == cold_report.cache_misses
+
+    def test_rule_filter_fingerprint_is_separate(self, make_repo):
+        root = make_repo(FIXTURE)
+        config = load_config(root)
+        assert config_fingerprint(config, ["R001"]) != config_fingerprint(
+            config, ["R001", "R007"]
+        )
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, make_repo):
+        root = make_repo(FIXTURE)
+        cold, _ = run(root)
+        for entry in (root / CACHE_DIR_NAME).glob("*.json"):
+            entry.write_text("{not json")
+        warm, report = run(root)
+        assert warm == cold
+        assert report.cache_hits == 0
+
+    def test_no_cache_leaves_no_directory(self, make_repo):
+        root = make_repo(FIXTURE)
+        run(root, use_cache=False)
+        assert not (root / CACHE_DIR_NAME).exists()
+
+    def test_store_and_lookup_unit(self, make_repo):
+        root = make_repo({"src/repro/ok.py": "VALUE = 1\n"})
+        config = load_config(root)
+        cache = ResultCache(root, config, ("R001",))
+        finding = Finding(
+            rule="R001", severity="error", path="src/repro/ok.py",
+            line=1, col=0, message="synthetic",
+        )
+        cache.store("src/repro/ok.py", "hash", {"R001": [finding]})
+        assert cache.lookup("src/repro/ok.py", "hash", ["R001"]) == {
+            "R001": [finding]
+        }
+        # Wrong content hash and uncovered rule ids both miss.
+        assert cache.lookup("src/repro/ok.py", "other", ["R001"]) is None
+        assert cache.lookup("src/repro/ok.py", "hash", ["R001", "R007"]) is None
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, make_repo):
+        root = make_repo(FIXTURE)
+        serial, _ = run(root, use_cache=False)
+        parallel, report = run(root, workers=4, use_cache=False)
+        assert parallel == serial
+        assert report.workers == 4
+
+    def test_parallel_populates_cache(self, make_repo):
+        root = make_repo(FIXTURE)
+        _, cold = run(root, workers=4)
+        _, warm = run(root)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+
+
+class TestChangedScoping:
+    def make_git_repo(self, make_repo, files) -> Path:
+        root = make_repo(files)
+
+        def git(*args: str) -> None:
+            subprocess.run(
+                ["git", "-C", str(root), *args],
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "lint@test")
+        git("config", "user.name", "lint test")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        return root
+
+    def test_only_changed_files_relinted(self, make_repo):
+        root = self.make_git_repo(make_repo, FIXTURE)
+        (root / "src/repro/clean.py").write_text("VALUE = 2\n")
+        findings, report = run(root, use_cache=False, changed_ref="HEAD")
+        assert report.changed_ref == "HEAD"
+        assert report.files_analyzed == 1
+        # Per-file findings from unchanged files are out of scope...
+        assert not any(f.path == "src/repro/leak.py" for f in findings)
+
+    def test_untracked_files_count_as_changed(self, make_repo):
+        root = self.make_git_repo(make_repo, FIXTURE)
+        (root / "src/repro/fresh.py").write_text(
+            "import time\nSTAMP = time.time()\n"
+        )
+        changed = changed_files(root, "HEAD")
+        assert "src/repro/fresh.py" in changed
+        findings, _ = run(root, use_cache=False, changed_ref="HEAD")
+        assert any(f.path == "src/repro/fresh.py" for f in findings)
+
+    def test_bad_ref_raises_value_error(self, make_repo):
+        root = self.make_git_repo(make_repo, FIXTURE)
+        with pytest.raises(ValueError, match="bad revision"):
+            changed_files(root, "no-such-ref")
+
+
+class TestSarifShape:
+    def sarif(self, make_repo) -> dict:
+        root = make_repo(FIXTURE)
+        findings, report = run(
+            root, rule_filter=["R001", "R007"], use_cache=False
+        )
+        return to_sarif(
+            findings,
+            ("R001", "R007"),
+            properties={"engine": report.to_dict()},
+        )
+
+    def test_log_envelope(self, make_repo):
+        log = self.sarif(make_repo)
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(log["runs"]) == 1
+
+    def test_driver_rules_and_results(self, make_repo):
+        log = self.sarif(make_repo)
+        run_ = log["runs"][0]
+        driver = run_["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert [r["id"] for r in driver["rules"]] == ["R001", "R007"]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning", "note",
+            )
+        assert run_["results"], "fixture must produce findings"
+        for result in run_["results"]:
+            assert result["ruleId"] in ("R001", "R007")
+            assert result["level"] in ("error", "warning", "note")
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+            assert result["partialFingerprints"]["reproLintBaseline/v1"]
+
+    def test_engine_report_in_properties(self, make_repo):
+        log = self.sarif(make_repo)
+        engine = log["runs"][0]["properties"]["engine"]
+        assert engine["files_total"] > 0
+        assert "cache_hits" in engine
+        assert "rule_seconds" in engine
+
+    def test_round_trips_through_json(self, make_repo):
+        log = self.sarif(make_repo)
+        assert json.loads(json.dumps(log)) == log
+
+
+class TestCliIntegration:
+    def lint(self, *argv: str) -> int:
+        from repro.analysis.cli import add_lint_arguments, run_lint
+
+        parser = argparse.ArgumentParser(prog="repro lint")
+        add_lint_arguments(parser)
+        return run_lint(parser.parse_args(list(argv)))
+
+    def test_comma_separated_rules(self, make_repo, capsys):
+        root = make_repo(FIXTURE)
+        assert (
+            self.lint("--root", str(root), "--rule", "R004,R005", "--json")
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["R004", "R005"]
+
+    def test_comma_list_rejects_unknown(self, make_repo, capsys):
+        root = make_repo({})
+        assert self.lint("--root", str(root), "--rule", "R001,R999") == 2
+        assert "unknown rule 'R999'" in capsys.readouterr().err
+
+    def test_sarif_output_file(self, make_repo, tmp_path, capsys):
+        root = make_repo(FIXTURE)
+        out = tmp_path / "report" / "lint.sarif"
+        out.parent.mkdir()
+        assert (
+            self.lint(
+                "--root", str(root), "--format", "sarif",
+                "--output", str(out), "--no-cache",
+            )
+            == 1
+        )
+        log = json.loads(out.read_text())
+        assert log["version"] == SARIF_VERSION
+        assert log["runs"][0]["results"]
+
+    def test_json_engine_stats_and_warm_cache(self, make_repo, capsys):
+        root = make_repo(FIXTURE)
+        assert self.lint("--root", str(root), "--json") == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert self.lint("--root", str(root), "--json") == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["engine"]["cache_hits"] == 0
+        assert warm["engine"]["cache_hits"] > 0
+        assert warm["engine"]["cache_misses"] == 0
+        assert cold["findings"] == warm["findings"]
+
+    def test_profile_prints_rule_timings(self, make_repo, capsys):
+        root = make_repo(FIXTURE)
+        self.lint("--root", str(root), "--profile", "--no-cache")
+        err = capsys.readouterr().err
+        assert "lint.R001" in err
