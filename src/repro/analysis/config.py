@@ -42,6 +42,14 @@ class AnalysisConfig:
             :class:`~repro.service.clock.Clock` so tests can drive a
             fake; one real read lives in ``clock.py`` behind a
             ``lint-ok`` waiver.
+        explore_seed_scope: Where R001 additionally enforces the
+            explorer's *threaded-seed* contract: a function parameter
+            named ``seed`` (or ``*_seed``) may not default to ``None``,
+            and ``random.Random``/``numpy.random.default_rng`` may not
+            be called with a literal ``None`` seed.  Byte-reproducible
+            studies require every sampling entry point to take an
+            explicit seed; "``None`` means fresh entropy" defaults are
+            how nondeterminism sneaks back in.
         cost_scope: Where R002 (cost accounting) applies.
         cost_charge_sites: Files allowed to write TransferCost fields —
             the protocol's whitelisted charge sites.
@@ -97,6 +105,7 @@ class AnalysisConfig:
     baseline: str = "lint_baseline.json"
     seed_scope: tuple[str, ...] = ("src/repro",)
     clock_scope: tuple[str, ...] = ("src/repro/service",)
+    explore_seed_scope: tuple[str, ...] = ("src/repro/explore",)
     cost_scope: tuple[str, ...] = ("src/repro",)
     cost_charge_sites: tuple[str, ...] = (
         "src/repro/core/link.py",

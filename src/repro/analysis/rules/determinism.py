@@ -76,6 +76,17 @@ class SeedHygieneRule(Rule):
     :class:`repro.service.clock.Clock` so tests can drive a fake
     clock.  There, direct monotonic reads are flagged too; the one
     real read in ``clock.py`` carries a justified ``lint-ok`` waiver.
+
+    Inside the configured ``explore_seed_scope`` (the design-space
+    explorer), the rule additionally enforces the threaded-seed
+    contract byte-reproducible studies depend on:
+
+    * a function parameter named ``seed`` (or ``*_seed``) may not
+      default to ``None`` — "``None`` means fresh OS entropy" is the
+      exact back door the explorer must not have;
+    * ``random.Random(None)`` and
+      ``numpy.random.default_rng(None)`` are flagged — a literal
+      ``None`` seed is an unseeded stream wearing a seed's clothes.
     """
 
     id = "R001"
@@ -107,18 +118,85 @@ class SeedHygieneRule(Rule):
         datetime_from = _from_imports(tree, "datetime")
         time_from = _from_imports(tree, "time")
         clock_scoped = in_scope(file.rel, tuple(config.clock_scope))
+        explore_scoped = in_scope(file.rel, tuple(config.explore_seed_scope))
+        rng_names = (
+            {alias + ".Random" for alias in random_aliases}
+            | ({"Random"} if "Random" in random_from else set())
+            | {
+                alias + ".random.default_rng" for alias in numpy_aliases
+            }
+        )
         for node in ast.walk(tree):
+            if explore_scoped and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from self._check_seed_defaults(file, node)
             if not isinstance(node, ast.Call):
                 continue
             name = _dotted(node.func)
             if not name:
                 continue
+            if explore_scoped:
+                yield from self._check_none_seed(file, node, name, rng_names)
             yield from self._check_call(
                 file, node, name,
                 random_aliases, numpy_aliases, time_aliases,
                 datetime_aliases, random_from, datetime_from, time_from,
                 clock_scoped,
             )
+
+    def _check_seed_defaults(
+        self,
+        file: SourceFile,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        """Explore scope: no ``seed=None`` defaults on any parameter."""
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(
+            zip(positional[len(positional) - len(args.defaults):],
+                args.defaults, strict=True)
+        ) + [
+            (arg, default)
+            for arg, default in zip(
+                args.kwonlyargs, args.kw_defaults, strict=True
+            )
+            if default is not None
+        ]
+        for arg, default in pairs:
+            if not (arg.arg == "seed" or arg.arg.endswith("_seed")):
+                continue
+            if isinstance(default, ast.Constant) and default.value is None:
+                yield self.finding(
+                    file, default,
+                    f"parameter {arg.arg!r} of {node.name}() defaults to "
+                    "None; explorer sampling entry points must thread an "
+                    "explicit seed (None means fresh OS entropy)",
+                )
+
+    def _check_none_seed(
+        self,
+        file: SourceFile,
+        node: ast.Call,
+        name: str,
+        rng_names: set[str],
+    ) -> Iterator[Finding]:
+        """Explore scope: no literal ``None`` seed to an RNG factory."""
+        if name not in rng_names:
+            return
+        seed_args = list(node.args[:1]) + [
+            keyword.value
+            for keyword in node.keywords
+            if keyword.arg == "seed"
+        ]
+        for value in seed_args:
+            if isinstance(value, ast.Constant) and value.value is None:
+                yield self.finding(
+                    file, node,
+                    f"{name}(None) is an unseeded stream wearing a "
+                    "seed's clothes; thread a real seed through the "
+                    "explorer instead",
+                )
 
     def _check_call(
         self,

@@ -14,6 +14,9 @@ Usage::
     python -m repro faults --quick           # fault-injection sweep
     python -m repro faults --quick --check   # CI smoke assertions
     python -m repro sweep --scheme desc-zero --field num_banks=2,8,32
+    python -m repro explore --preset quick   # adaptive Pareto study
+    python -m repro explore --preset quick --check   # explore smoke checks
+    python -m repro explore --resume out/    # continue a crashed study
     python -m repro lint                     # repo-specific static analysis
     python -m repro lint --check --json      # CI mode, machine-readable
     python -m repro serve --port 8765        # async simulation service
@@ -294,17 +297,28 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         parser.error(str(exc))
     _save_store()
     if args.json:
-        payload = [
-            {
-                "params": p.params,
-                "cycles": p.cycles,
-                "l2_energy_j": p.l2_energy_j,
-                "processor_energy_j": p.processor_energy_j,
-                "hit_latency": p.hit_latency,
-                "edp": p.edp,
-            }
-            for p in points
-        ]
+        payload = {
+            "points": [
+                {
+                    "params": p.params,
+                    "cycles": p.cycles,
+                    "l2_energy_j": p.l2_energy_j,
+                    "processor_energy_j": p.processor_energy_j,
+                    "hit_latency": p.hit_latency,
+                    "edp": p.edp,
+                }
+                for p in points
+            ],
+            "failed_points": [
+                {
+                    "params": f.params,
+                    "app": f.app,
+                    "reason": f.reason,
+                    "attempts": f.attempts,
+                }
+                for f in points.failed_points
+            ],
+        }
         json.dump(payload, sys.stdout, indent=2, default=str)
         print()
         return 0
@@ -314,6 +328,13 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         print(
             f"{params}: cycles={p.cycles:.4g} l2={p.l2_energy_j:.4g} J "
             f"proc={p.processor_energy_j:.4g} J hit={p.hit_latency:.4g}"
+        )
+    for f in points.failed_points:
+        params = ", ".join(f"{k}={v}" for k, v in f.params.items())
+        print(
+            f"failed: {f.app} at {params}: {f.reason} "
+            f"({f.attempts} attempt(s))",
+            file=sys.stderr,
         )
     return 0
 
@@ -463,6 +484,98 @@ def _run_chaos(args: argparse.Namespace) -> int:
     if code == 0:
         print("chaos checks passed", file=sys.stderr)
     return code
+
+
+def _run_explore(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``explore`` subcommand: adaptive Pareto design-space studies."""
+    from repro.explore import (
+        LocalBackend,
+        ServiceBackend,
+        load_spec,
+        preset_spec,
+        resume_study,
+        run_study,
+        study_report,
+        summarize,
+    )
+
+    if args.study and args.preset:
+        parser.error("--study and --preset are mutually exclusive")
+    if args.check:
+        from repro.explore.check import run_check
+
+        spec = None
+        if args.study:
+            spec = load_spec(args.study)
+        elif args.preset:
+            spec = preset_spec(args.preset)
+        code, summary = run_check(
+            spec=spec,
+            quick=args.quick,
+            shards=args.shards,
+            warehouse=args.warehouse,
+            out_dir=args.out,
+            report_out=args.report_out,
+            workers=args.workers,
+        )
+        if code == 0:
+            print("explore self-checks passed", file=sys.stderr)
+        else:
+            for problem in summary["problems"]:
+                print(f"FAIL: {problem}", file=sys.stderr)
+        return code
+
+    backend = (
+        ServiceBackend(
+            host=args.host, port=args.port,
+            max_in_flight=args.max_in_flight,
+            timeout=300.0, max_attempts=10, jitter_seed=args.seed,
+        )
+        if args.backend == "service"
+        else LocalBackend(
+            max_workers=args.workers if args.workers > 1 else None
+        )
+    )
+    try:
+        if args.resume:
+            result = resume_study(
+                args.resume, backend, budget=args.budget,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+        else:
+            spec = (
+                load_spec(args.study) if args.study
+                else preset_spec(args.preset or "quick")
+            )
+            if args.budget is not None:
+                spec = spec.with_(budget=args.budget)
+            if args.seed is not None:
+                spec = spec.with_(seed=args.seed)
+            result = run_study(
+                spec, backend, args.out, budget=None,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+    except ValueError as exc:
+        parser.error(str(exc))
+    finally:
+        backend.close()
+    _save_store()
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(study_report(result))
+        print(f"wrote {args.report_out}", file=sys.stderr)
+    if args.json:
+        json.dump(summarize(result), sys.stdout, indent=2)
+        print()
+        return 0
+    print(study_report(result))
+    for record in result.failed_points:
+        print(
+            f"warning: design point {record['params']} failed: "
+            f"{record['reason']}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -681,6 +794,70 @@ def main(argv: list[str] | None = None) -> int:
                               help="write the chaos report to a JSON "
                                    "file (CI artifact)")
 
+    explore_parser = sub.add_parser(
+        "explore",
+        help="adaptive Pareto exploration of the design space",
+        description="Search chunk size, skip policy, wire count, resync "
+                    "interval, scheme, fault rate, and engine geometry "
+                    "for energy x latency x resilience Pareto frontiers "
+                    "without enumerating the full grid: a seeded "
+                    "low-discrepancy coarse pass, then refinement rounds "
+                    "bisecting axes around frontier points, under a fixed "
+                    "evaluation budget.  Studies journal crash-safely and "
+                    "resume byte-identically; see docs/explore.md.",
+    )
+    explore_parser.add_argument("--study", metavar="FILE", default=None,
+                                help="study spec JSON file (see "
+                                     "docs/explore.md for the format)")
+    explore_parser.add_argument("--preset", default=None,
+                                help="built-in study: quick or frontier "
+                                     "(default quick)")
+    explore_parser.add_argument("--budget", type=int, default=None,
+                                help="override the spec's evaluation budget")
+    explore_parser.add_argument("--backend",
+                                choices=("local", "service"),
+                                default="local",
+                                help="evaluate in-process (local) or "
+                                     "through a running 'repro serve' "
+                                     "instance (service)")
+    explore_parser.add_argument("--host", default="127.0.0.1",
+                                help="service host for --backend service")
+    explore_parser.add_argument("--port", type=int, default=8765,
+                                help="service port for --backend service")
+    explore_parser.add_argument("--max-in-flight", type=int, default=8,
+                                help="concurrent service requests per "
+                                     "batch (--backend service)")
+    explore_parser.add_argument("--out", metavar="DIR", default=None,
+                                help="journal directory (crash-safe; "
+                                     "resumable with --resume DIR)")
+    explore_parser.add_argument("--resume", metavar="DIR", default=None,
+                                help="resume an interrupted study from "
+                                     "its journal directory")
+    explore_parser.add_argument("--seed", type=int, default=None,
+                                help="override the spec's master seed")
+    explore_parser.add_argument("--workers", type=int, default=1,
+                                help="engine process-pool width "
+                                     "(--backend local)")
+    explore_parser.add_argument("--json", action="store_true",
+                                help="emit the study summary as JSON")
+    explore_parser.add_argument("--report-out", metavar="PATH", default=None,
+                                help="write the Markdown study report "
+                                     "to a file (CI artifact)")
+    explore_parser.add_argument("--check", action="store_true",
+                                help="run the explore self-checks (resume "
+                                     "byte-parity, service/local backend "
+                                     "parity, frontier vs random baseline); "
+                                     "exit 1 on violation")
+    explore_parser.add_argument("--quick", action="store_true",
+                                help="shrink the check's budget and value "
+                                     "samples (CI smoke mode)")
+    explore_parser.add_argument("--shards", type=int, default=2,
+                                help="shard count of the check's live "
+                                     "service leg")
+    explore_parser.add_argument("--warehouse", metavar="DIR", default=None,
+                                help="warehouse directory for the check's "
+                                     "service leg")
+
     args = parser.parse_args(argv)
 
     if args.command == "cache-stats":
@@ -769,6 +946,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args, parser)
+
+    if args.command == "explore":
+        return _run_explore(args, parser)
 
     figures = _figures()
 

@@ -1,0 +1,181 @@
+"""Epsilon-dominance Pareto archive with byte-stable snapshots.
+
+All objectives are minimized.  The archive keeps the classic
+epsilon-Pareto invariants:
+
+* no archived point epsilon-dominates another archived point;
+* every point ever offered is epsilon-dominated by (or is) some
+  archived point.
+
+Epsilon-dominance uses a *relative* margin: ``a`` epsilon-dominates
+``b`` when ``a_i <= b_i * (1 + epsilon)`` on every objective and
+``a_i < b_i`` strictly on at least one.  Relative margins suit this
+domain — energies and cycle counts live on wildly different scales —
+and degenerate zero objectives (a zero fault-rate risk) are compared
+exactly.
+
+Determinism: epsilon-ties (two points that each epsilon-dominate the
+other) are broken by canonical key, so the archive does not depend on
+which of the two arrived first.  Snapshots sort by key and encode
+through :func:`repro.service.codec.encode_json`, so "the same
+frontier" is byte-comparable across runs, resumes, and backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.service import codec
+
+__all__ = [
+    "FrontierPoint",
+    "ParetoFrontier",
+    "coverage",
+    "dominates",
+    "point_key",
+]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One archived design point.
+
+    Attributes:
+        key: Canonical identity of the design point (the canonical JSON
+            of its resolved parameters).
+        params: The resolved axis values.
+        objectives: Objective values, in the study's objective order
+            (all minimized).
+    """
+
+    key: str
+    params: dict[str, Any]
+    objectives: tuple[float, ...]
+
+    def to_payload(self) -> dict:
+        """The JSON shape of this point (snapshots, reports)."""
+        return {
+            "key": self.key,
+            "params": dict(self.params),
+            "objectives": list(self.objectives),
+        }
+
+
+def point_key(params: Mapping[str, Any]) -> str:
+    """The canonical identity of a design point: sorted-key JSON."""
+    return codec.encode_json(dict(params)).decode("utf-8")
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float], epsilon: float = 0.0
+) -> bool:
+    """Whether ``a`` (epsilon-)dominates ``b``, minimizing everywhere.
+
+    With ``epsilon`` zero this is plain Pareto dominance.  Positive
+    epsilon widens every comparison by a relative margin, collapsing
+    near-duplicates onto one representative.
+    """
+    no_worse = all(
+        ai <= bi * (1.0 + epsilon) if bi > 0 else ai <= bi
+        for ai, bi in zip(a, b, strict=True)
+    )
+    strictly_better = any(ai < bi for ai, bi in zip(a, b, strict=True))
+    return no_worse and strictly_better
+
+
+class ParetoFrontier:
+    """An epsilon-dominance archive of minimized objective vectors."""
+
+    def __init__(self, epsilon: float = 0.0) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = epsilon
+        self._points: dict[str, FrontierPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[FrontierPoint]:
+        """Archived points in canonical (key-sorted) order."""
+        for key in sorted(self._points):
+            yield self._points[key]
+
+    def add(
+        self,
+        params: Mapping[str, Any],
+        objectives: Sequence[float],
+        key: str | None = None,
+    ) -> bool:
+        """Offer a point; returns True when it enters the archive.
+
+        A point enters unless an archived point epsilon-dominates it;
+        on entry, every archived point it epsilon-dominates is evicted.
+        An epsilon-tie — candidate and incumbent each epsilon-dominate
+        the other — keeps whichever key sorts first, so insertion order
+        never decides the archive.  NaN objectives never enter.
+        """
+        objectives = tuple(float(v) for v in objectives)
+        if any(v != v for v in objectives):
+            return False
+        if key is None:
+            key = point_key(params)
+        if key in self._points:
+            return False
+        for incumbent in self._points.values():
+            if dominates(incumbent.objectives, objectives, self.epsilon):
+                tie = dominates(objectives, incumbent.objectives, self.epsilon)
+                if not tie or incumbent.key < key:
+                    return False
+        evicted = [
+            incumbent_key
+            for incumbent_key, incumbent in self._points.items()
+            if dominates(objectives, incumbent.objectives, self.epsilon)
+        ]
+        for incumbent_key in evicted:
+            del self._points[incumbent_key]
+        self._points[key] = FrontierPoint(
+            key=key, params=dict(params), objectives=objectives
+        )
+        return True
+
+    def points(self) -> list[FrontierPoint]:
+        """The archived points, in canonical order."""
+        return list(self)
+
+    def snapshot(self) -> list[dict]:
+        """The archive as JSON-able payloads, in canonical order."""
+        return [point.to_payload() for point in self]
+
+    def snapshot_bytes(self) -> bytes:
+        """Canonical bytes of the archive — the byte-identity contract.
+
+        Two studies reached the same frontier iff these bytes match.
+        """
+        return codec.encode_json(self.snapshot())
+
+
+def coverage(
+    a: Sequence[FrontierPoint],
+    b: Sequence[FrontierPoint],
+    epsilon: float = 0.0,
+) -> float:
+    """Fraction of ``b``'s points matched-or-beaten by ``a``.
+
+    Zitzler's C-metric: ``coverage(A, B) = 1.0`` means every point of
+    ``B`` is equalled or (epsilon-)dominated by some point of ``A``.
+    The self-check uses it to assert the adaptive frontier dominates
+    the equal-budget random baseline.  Empty ``b`` is covered
+    trivially (returns 1.0).
+    """
+    if not b:
+        return 1.0
+    covered = 0
+    for point in b:
+        for candidate in a:
+            if candidate.objectives == point.objectives or dominates(
+                candidate.objectives, point.objectives, epsilon
+            ):
+                covered += 1
+                break
+    return covered / len(b)

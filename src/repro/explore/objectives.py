@@ -1,0 +1,214 @@
+"""Design-point resolution and the energy/latency/risk objectives.
+
+A resolved axis assignment maps to concrete simulator configs
+(:func:`resolve_design`) and, once the per-application results are in,
+to the study's objective vector (:func:`objectives_from_payloads`):
+
+* ``energy_j`` — suite-geomean L2 energy, multiplied by the resync
+  protocol's energy overhead (periodic resyncs every
+  ``resync_interval`` blocks cost
+  :data:`~repro.core.link.RESYNC_STROBE_FLIPS` strobe flips each, a
+  fraction of the per-block wire activity — the same cost the
+  cycle-accurate link charges in :meth:`repro.core.link.DescLink.resync`);
+* ``latency_cycles`` — suite-geomean execution time;
+* ``risk`` — the analytic fault-exposure model: with a per-wire-cycle
+  toggle-fault probability ``fault_rate``, a block transfer occupying
+  ``wires x transfer_cycles`` wire-cycles is disturbed with probability
+  ``1 - (1 - p)^exposure``.  On a DESC link a disturbance desynchronizes
+  the counters and corrupts every following block until the next
+  periodic resync (``resync_interval / 2`` blocks in expectation, the
+  behaviour the fault campaigns of :mod:`repro.faults` measure); the
+  fixed-beat baselines corrupt only the disturbed block.
+
+The model deliberately trades campaign fidelity for purity: it is an
+exact function of the design point and the simulator's transfer
+statistics, so both submission backends compute byte-identical
+objectives, and the trade-off it encodes (short resync intervals buy
+resilience with energy; DESC buys energy with fault exposure) is the
+one the link-level fault campaigns quantify in full.
+
+All functions here are pure; nothing draws randomness or reads clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.link import RESYNC_STROBE_FLIPS
+from repro.sim.config import SchemeConfig, SystemConfig, baseline_scheme, desc_scheme
+from repro.sim.engine import SimJob
+from repro.util.stats import geomean
+
+__all__ = [
+    "Design",
+    "canonical_params",
+    "objectives_from_payloads",
+    "resolve_design",
+]
+
+#: Scheme-choice spellings (the CLI's) to constructor calls.
+_DESC_SKIPS = {"desc": "none", "desc-zero": "zero",
+               "desc-last-value": "last-value"}
+
+#: SchemeConfig fields an axis may drive.
+_SCHEME_FIELDS = ("chunk_bits", "data_wires", "segment_bits")
+
+#: Virtual link axes consumed by the risk model.
+_LINK_FIELDS = ("fault_rate", "resync_interval")
+
+#: Link-axis defaults when a spec does not sweep them.
+_DEFAULT_FAULT_RATE = 0.0
+_DEFAULT_RESYNC_INTERVAL = 64
+
+
+@dataclass(frozen=True)
+class Design:
+    """One concrete design point, ready to simulate.
+
+    Attributes:
+        params: The canonical axis values (see :func:`canonical_params`).
+        scheme: The transfer scheme configuration.
+        system_fields: SystemConfig overrides applied on the study base.
+        fault_rate: Per-wire-cycle fault probability of the risk model.
+        resync_interval: Blocks between periodic resyncs (DESC only).
+    """
+
+    params: dict[str, Any]
+    scheme: SchemeConfig
+    system_fields: dict[str, Any]
+    fault_rate: float
+    resync_interval: int
+
+    def jobs(
+        self, apps: Sequence[str], sample_blocks: int
+    ) -> list[SimJob]:
+        """The per-application simulation jobs of this design point."""
+        system = SystemConfig(sample_blocks=sample_blocks).with_(
+            **self.system_fields
+        )
+        return [SimJob.of(app, self.scheme, system) for app in apps]
+
+
+def canonical_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Canonicalize axis values: drop fields the scheme cannot feel.
+
+    Two assignments that mean the same simulation must share one key,
+    or the explorer wastes budget re-evaluating aliases: the fixed-beat
+    baselines have no chunks to size and no counters to resync, so
+    ``chunk_bits`` and ``resync_interval`` are dropped for them (and a
+    zero fault rate makes ``resync_interval`` irrelevant for everyone).
+    """
+    canonical = dict(params)
+    scheme_name = canonical.get("scheme", "desc-zero")
+    if scheme_name not in _DESC_SKIPS:
+        canonical.pop("chunk_bits", None)
+        canonical.pop("resync_interval", None)
+    elif float(canonical.get("fault_rate", _DEFAULT_FAULT_RATE)) == 0.0:
+        canonical.pop("resync_interval", None)
+    return canonical
+
+
+def resolve_design(params: Mapping[str, Any]) -> Design:
+    """Resolve axis values into a concrete :class:`Design`.
+
+    Axis routing: ``scheme`` and the SchemeConfig fields build the
+    scheme; ``fault_rate``/``resync_interval`` feed the risk model;
+    everything else must name a SystemConfig field (unknown names
+    surface as ``TypeError`` from the config layer when jobs are
+    built, exactly like :func:`repro.sim.sweeps.sweep`).
+    """
+    canonical = canonical_params(params)
+    scheme_name = canonical.get("scheme", "desc-zero")
+    scheme_fields = {
+        name: canonical[name] for name in _SCHEME_FIELDS if name in canonical
+    }
+    if scheme_name in _DESC_SKIPS:
+        scheme_fields.pop("segment_bits", None)
+        scheme = desc_scheme(_DESC_SKIPS[scheme_name], **scheme_fields)
+    elif scheme_name == "binary":
+        scheme = baseline_scheme(**scheme_fields)
+    else:
+        raise ValueError(
+            f"unknown scheme choice {scheme_name!r}; known: "
+            f"binary, {', '.join(sorted(_DESC_SKIPS))}"
+        )
+    system_fields = {
+        name: value
+        for name, value in canonical.items()
+        if name != "scheme"
+        and name not in _SCHEME_FIELDS
+        and name not in _LINK_FIELDS
+    }
+    return Design(
+        params=canonical,
+        scheme=scheme,
+        system_fields=system_fields,
+        fault_rate=float(canonical.get("fault_rate", _DEFAULT_FAULT_RATE)),
+        resync_interval=int(
+            canonical.get("resync_interval", _DEFAULT_RESYNC_INTERVAL)
+        ),
+    )
+
+
+def _l2_energy(payload: Mapping[str, Any]) -> float:
+    l2 = payload["l2"]
+    return l2["static_j"] + l2["htree_dynamic_j"] + l2["array_dynamic_j"]
+
+
+def objectives_from_payloads(
+    design: Design,
+    payloads: Sequence[Mapping[str, Any]],
+    objective_names: Sequence[str],
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Fold per-application result payloads into objective values.
+
+    Returns ``(objectives, metrics)``: the selected objectives (in the
+    given order) and the full metric set (for reports).  Payloads are
+    the JSON shapes of :class:`~repro.sim.metrics.RunResult` — the
+    service's ``/simulate`` response and the local backend's
+    :func:`~repro.service.codec.result_to_payload` are the same shape,
+    which is what makes the two backends byte-comparable.
+    """
+    if not payloads:
+        raise ValueError("a design point needs at least one result payload")
+    energy = geomean(_l2_energy(p) for p in payloads)
+    latency = geomean(p["cycles"] for p in payloads)
+    stats = [p["transfer_stats"] for p in payloads]
+    wires = geomean(
+        s["data_wires"] + s["overhead_wires"] for s in stats
+    )
+    transfer_cycles = geomean(s["transfer_cycles"] for s in stats)
+    flips_per_block = geomean(
+        max(s["data_flips"] + s["overhead_flips"] + s["sync_flips"], 1e-12)
+        for s in stats
+    )
+    is_desc = design.scheme.is_desc
+    exposure = wires * transfer_cycles
+    p_disturb = (
+        -math.expm1(exposure * math.log1p(-design.fault_rate))
+        if 0.0 < design.fault_rate < 1.0
+        else (1.0 if design.fault_rate >= 1.0 else 0.0)
+    )
+    if is_desc and design.fault_rate > 0.0:
+        # A desynchronized counter corrupts until the next periodic
+        # resync: resync_interval/2 extra blocks in expectation.
+        risk = min(1.0, p_disturb * (1.0 + design.resync_interval / 2.0))
+        resync_overhead = RESYNC_STROBE_FLIPS / (
+            design.resync_interval * flips_per_block
+        )
+    else:
+        risk = p_disturb
+        resync_overhead = 0.0
+    metrics = {
+        "energy_j": energy * (1.0 + resync_overhead),
+        "latency_cycles": latency,
+        "risk": risk,
+        "l2_energy_j": energy,
+        "resync_overhead": resync_overhead,
+        "p_disturb": p_disturb,
+        "flips_per_block": flips_per_block,
+    }
+    objectives = {name: metrics[name] for name in objective_names}
+    return objectives, metrics

@@ -1,0 +1,77 @@
+"""Per-study report emission: JSON summaries and Markdown reports.
+
+Two views of a finished :class:`~repro.explore.study.StudyResult`:
+
+* :func:`summarize` — the machine view: a JSON-ready dict with the
+  spec, the frontier snapshot, budget accounting, and the failure
+  list (the CLI's ``--json`` output and the smoke job's artifact);
+* :func:`study_report` — the human view: a Markdown document with the
+  frontier table (via :mod:`repro.reporting`), the budget ledger, and
+  a failure section when any design point failed.
+
+Both are pure functions of the result; writing files is the CLI's job.
+"""
+
+from __future__ import annotations
+
+from repro.explore.study import StudyResult
+from repro.reporting import frontier_rows, markdown_table
+
+__all__ = ["study_report", "summarize"]
+
+
+def summarize(result: StudyResult) -> dict:
+    """The JSON-ready summary of a study result.
+
+    Extends :meth:`StudyResult.to_payload` with the failure records
+    (config + reason each, mirroring ``sweep``'s ``failed_points``)
+    so a report consumer never has to re-derive them.
+    """
+    payload = result.to_payload()
+    payload["failed_points"] = [
+        {"params": record["params"], "reason": record["reason"]}
+        for record in result.failed_points
+    ]
+    return payload
+
+
+def study_report(result: StudyResult) -> str:
+    """The Markdown report of a study result.
+
+    Sections: a header with the budget ledger, the Pareto frontier
+    table in canonical order, and (when present) the failed design
+    points with their reasons.
+    """
+    spec = result.spec
+    lines = [
+        f"# Study report: {spec.name}",
+        "",
+        f"- applications: {', '.join(spec.apps)}",
+        f"- objectives: {', '.join(spec.objectives)} (all minimized)",
+        f"- axes: {', '.join(axis.name for axis in spec.axes)}",
+        f"- budget spent: {result.spent} design point(s)"
+        + (f" ({result.reused} replayed from journal)" if result.reused else ""),
+        f"- refinement rounds: {result.rounds}",
+        f"- epsilon: {spec.epsilon:g}",
+        f"- seed: {spec.seed}",
+        "",
+        f"## Pareto frontier ({len(result.frontier)} point(s))",
+        "",
+    ]
+    snapshot = result.frontier.snapshot()
+    if snapshot:
+        headers, rows = frontier_rows(snapshot, spec.objectives)
+        lines.append(markdown_table(headers, rows))
+    else:
+        lines.append("*(empty frontier — every design point failed)*")
+    failed = result.failed_points
+    if failed:
+        lines.extend(["", f"## Failed design points ({len(failed)})", ""])
+        lines.append(
+            markdown_table(
+                ["params", "reason"],
+                [[str(r["params"]), r["reason"]] for r in failed],
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)

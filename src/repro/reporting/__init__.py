@@ -1,5 +1,6 @@
 """Dependency-free result formatting: text, Markdown, and TSV tables."""
 
+from repro.reporting.frontier import frontier_rows
 from repro.reporting.tables import (
     markdown_table,
     series_to_rows,
@@ -7,4 +8,10 @@ from repro.reporting.tables import (
     tsv_table,
 )
 
-__all__ = ["markdown_table", "series_to_rows", "text_table", "tsv_table"]
+__all__ = [
+    "frontier_rows",
+    "markdown_table",
+    "series_to_rows",
+    "text_table",
+    "tsv_table",
+]

@@ -1,0 +1,46 @@
+"""Tabulating Pareto-frontier payloads for study reports.
+
+The explorer's frontier snapshots are lists of point payloads
+(``{"key", "params", "objectives"}`` — see
+:meth:`repro.explore.frontier.FrontierPoint.to_payload`).  This module
+flattens them into the ``(headers, rows)`` shape the table formatters
+in :mod:`repro.reporting.tables` consume, keeping the explore package
+free of formatting concerns and the reporting package free of explore
+imports (it works on the plain JSON payloads).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["frontier_rows"]
+
+
+def frontier_rows(
+    points: Sequence[Mapping],
+    objective_names: Sequence[str],
+) -> tuple[list[str], list[list]]:
+    """Flatten frontier point payloads into ``(headers, rows)``.
+
+    Parameter columns are the union of parameter names across points
+    (sorted, so tables are stable); objective columns follow in the
+    study's objective order.  Points are row-ordered as given — the
+    frontier's canonical (key-sorted) order when the caller passes a
+    snapshot straight through.
+    """
+    param_names: set[str] = set()
+    for point in points:
+        param_names.update(point["params"])
+    params = sorted(param_names)
+    headers = [*params, *objective_names]
+    rows = []
+    for point in points:
+        row = [point["params"].get(name, "") for name in params]
+        row.extend(
+            value
+            for value, _ in zip(
+                point["objectives"], objective_names, strict=True
+            )
+        )
+        rows.append(row)
+    return headers, rows

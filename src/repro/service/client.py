@@ -197,6 +197,107 @@ class ServiceClient:
         """Run one simulation from a ready request payload."""
         return self._request("POST", "/simulate", dict(payload))
 
+    def submit_many(
+        self,
+        payloads: Sequence[Mapping[str, Any]],
+        *,
+        max_in_flight: int = 8,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Run many ``/simulate`` requests with bounded concurrency.
+
+        The fan-out helper callers used to hand-roll with threads: at
+        most ``max_in_flight`` requests are in flight at once, each on
+        its own keep-alive connection with this client's full retry /
+        backoff / deadline / hedging discipline, and the results come
+        back **in payload order**.
+
+        Worker clients draw their jitter seeds from this client's
+        seeded RNG, so a seeded client fans out reproducibly.
+
+        Args:
+            payloads: Ready ``/simulate`` request payloads.
+            max_in_flight: Concurrent in-flight requests (>= 1).
+            return_exceptions: When True, a failed request puts its
+                exception in its result slot instead of raising; when
+                False (default), the first failure (by payload order)
+                is raised after all in-flight work drains.
+
+        Returns:
+            One response payload (or exception) per request, ordered.
+        """
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        results: list = [None] * len(payloads)
+        workers = min(max_in_flight, len(payloads))
+        if workers == 1:
+            for index, payload in enumerate(payloads):
+                try:
+                    results[index] = self.simulate_payload(payload)
+                except ServiceClientError as exc:
+                    if not return_exceptions:
+                        raise
+                    results[index] = exc
+            return results
+        indices: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        for index in range(len(payloads)):
+            indices.put(index)
+        failed = threading.Event()
+
+        def drain(client: "ServiceClient") -> None:
+            with client:
+                while not (failed.is_set() and not return_exceptions):
+                    try:
+                        index = indices.get_nowait()
+                    except queue_mod.Empty:
+                        return
+                    try:
+                        results[index] = client.simulate_payload(
+                            payloads[index]
+                        )
+                    except ServiceClientError as exc:
+                        results[index] = exc
+                        failed.set()
+
+        threads = [
+            threading.Thread(
+                target=drain,
+                args=(self._clone(),),
+                name=f"repro-client-fanout-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
+    def _clone(self) -> "ServiceClient":
+        """A worker client with this client's settings and a derived
+        jitter seed (deterministic for a seeded parent)."""
+        return ServiceClient(
+            host=self.host,
+            port=self.port,
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+            deadline_s=self.deadline_s,
+            clock=self.clock,
+            jitter_seed=self._rng.randrange(2**32),
+            hedge_after_s=self.hedge_after_s,
+        )
+
     def sweep(
         self,
         fields: Mapping[str, Sequence],
@@ -204,7 +305,8 @@ class ServiceClient:
         system: SystemConfig | Mapping[str, Any] | None = None,
         apps: Sequence[str] | None = None,
     ) -> dict:
-        """Run a grid sweep; returns ``{"scheme", "apps", "points"}``."""
+        """Run a grid sweep; returns ``{"scheme", "apps", "points",
+        "failed_points"}``."""
         payload: dict[str, Any] = {
             "fields": {name: list(values) for name, values in fields.items()}
         }

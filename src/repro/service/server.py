@@ -383,6 +383,15 @@ class ServiceServer:
                 }
                 for point in points
             ],
+            "failed_points": [
+                {
+                    "params": failed.params,
+                    "app": failed.app,
+                    "reason": failed.reason,
+                    "attempts": failed.attempts,
+                }
+                for failed in points.failed_points
+            ],
         }
 
     async def _submit(self, job: SimJob, deadline_s: float | None = None):

@@ -40,7 +40,14 @@ from repro.sim.engine import FailedJob, SimJob, simulate_many
 from repro.workloads.profiles import AppProfile
 from repro.workloads.suites import PARALLEL_SUITE
 
-__all__ = ["SweepPoint", "aggregate_points", "expand_grid", "sweep"]
+__all__ = [
+    "FailedPoint",
+    "SweepPoint",
+    "SweepResult",
+    "aggregate_points",
+    "expand_grid",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,44 @@ class SweepPoint:
         return self.l2_energy_j * self.cycles
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """One failed (combination, application) simulation of a sweep.
+
+    Attributes:
+        params: The swept field values of the degraded combination.
+        app: Application whose simulation failed.
+        reason: The engine's failure reason (timeout, crash, ...).
+        attempts: How many times the engine tried the job.
+    """
+
+    params: dict[str, object]
+    app: str
+    reason: str
+    attempts: int
+
+
+class SweepResult(list):
+    """The sweep points, plus what failed along the way.
+
+    A plain ``list`` of :class:`SweepPoint` (fully backward compatible
+    with callers that index or iterate), with the degradations that
+    were previously only visible as warnings attached as data:
+    ``failed_points`` holds one :class:`FailedPoint` per failed
+    (combination, application) simulation, in job order, so callers —
+    the CLI, the explorer, services — can report *which* configs
+    degraded and why without scraping warning text.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint] = (),
+        failed_points: Sequence[FailedPoint] = (),
+    ) -> None:
+        super().__init__(points)
+        self.failed_points: list[FailedPoint] = list(failed_points)
+
+
 def expand_grid(field_values: dict[str, Sequence]) -> list[dict[str, object]]:
     """Every combination of the given field/value lists, in grid order.
 
@@ -87,14 +132,16 @@ def aggregate_points(
     combos: Sequence[dict[str, object]],
     apps: Sequence[AppProfile],
     results: Sequence,
-) -> list[SweepPoint]:
+) -> SweepResult:
     """Fold per-(combo, app) results into suite-geomean sweep points.
 
     ``results`` is job-ordered — every app of combo 0, then every app
     of combo 1, ... exactly as the job list of :func:`sweep` (and the
     service's sweep endpoint) is built.  A :class:`FailedJob` slot
-    degrades its point instead of sinking the sweep: warn, aggregate
-    over the survivors, and emit NaNs when no application of the
+    degrades its point instead of sinking the sweep: warn (naming the
+    failing config and every per-application reason), record a
+    :class:`FailedPoint` on the returned :class:`SweepResult`, and
+    aggregate over the survivors — NaNs when no application of the
     combination completed.
     """
     if len(results) != len(combos) * len(apps):
@@ -102,14 +149,25 @@ def aggregate_points(
             f"{len(results)} results do not cover {len(combos)} combos x "
             f"{len(apps)} apps"
         )
-    points = []
+    points = SweepResult()
     for index, params in enumerate(combos):
         group = results[index * len(apps):(index + 1) * len(apps)]
-        failed = [r for r in group if isinstance(r, FailedJob)]
+        failed = [
+            FailedPoint(
+                params=dict(params),
+                app=app.name,
+                reason=r.reason,
+                attempts=r.attempts,
+            )
+            for app, r in zip(apps, group, strict=True)
+            if isinstance(r, FailedJob)
+        ]
         if failed:
+            points.failed_points.extend(failed)
+            details = "; ".join(f"{f.app}: {f.reason}" for f in failed)
             warnings.warn(
                 f"{len(failed)} of {len(group)} simulations failed at "
-                f"{params} ({failed[0].reason}); point computed from the "
+                f"config {params} ({details}); point computed from the "
                 f"remaining {len(group) - len(failed)}",
                 RuntimeWarning,
                 stacklevel=2,
@@ -146,12 +204,14 @@ def sweep(
     apps: Sequence[AppProfile] = PARALLEL_SUITE,
     max_workers: int | None = None,
     **field_values: Sequence,
-) -> list[SweepPoint]:
+) -> SweepResult:
     """Simulate every combination of the given SystemConfig fields.
 
     ``max_workers`` > 1 distributes the whole grid over a process pool
     (``None`` keeps the engine's default); the returned points are
-    identical to a serial run.
+    identical to a serial run.  The result is a :class:`SweepResult`:
+    a list of :class:`SweepPoint`, with any per-application failures
+    surfaced on ``result.failed_points``.
     """
     base = base if base is not None else SystemConfig()
     combos = expand_grid(field_values)

@@ -119,6 +119,69 @@ class TestSeedHygiene:
         )
         assert lint(root, "R001") == []
 
+
+class TestExploreSeedContract:
+    """R001's explore-scope extension: seeds must be threaded, never
+    defaulted to ``None`` (which means fresh OS entropy)."""
+
+    def test_flags_none_defaults_and_none_seeded_rngs(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/explore/bad.py": """
+                import random
+                import numpy as np
+
+                def sample(points, seed=None):
+                    return points
+
+                def fan_out(*, jitter_seed=None):
+                    return jitter_seed
+
+                def build():
+                    a = random.Random(None)
+                    b = np.random.default_rng(None)
+                    c = np.random.default_rng(seed=None)
+                    return a, b, c
+                """
+            }
+        )
+        findings = lint(root, "R001")
+        assert sum("defaults to" in f.message for f in findings) == 2
+        assert sum(
+            "wearing a seed's clothes" in f.message for f in findings
+        ) == 3
+        assert len(findings) == 5
+
+    def test_threaded_seeds_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/explore/good.py": """
+                import random
+
+                def sample(points, seed=0):
+                    return random.Random(seed)
+
+                def derive(base_seed: int, offset: int = 1):
+                    return random.Random(base_seed + offset)
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
+    def test_contract_is_confined_to_explore_scope(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/sim/elsewhere.py": """
+                import random
+
+                def sample(points, seed=None):
+                    rng = random.Random(seed if seed is not None else 7)
+                    return rng.random()
+                """
+            }
+        )
+        assert lint(root, "R001") == []
+
     def test_import_aliases_are_tracked(self, make_repo):
         root = make_repo(
             {

@@ -1,0 +1,113 @@
+"""The epsilon-dominance archive: invariants, determinism, coverage."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.explore.frontier import (
+    FrontierPoint,
+    ParetoFrontier,
+    coverage,
+    dominates,
+    point_key,
+)
+
+
+class TestDominates:
+    def test_plain_pareto(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 3.0), (2.0, 2.0))  # trade-off
+        assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal: no strict
+
+    def test_epsilon_widens_the_margin(self):
+        # 1.04 is within 5% of 1.0 and strictly better on the second.
+        assert dominates((1.04, 1.0), (1.0, 2.0), epsilon=0.05)
+        assert not dominates((1.04, 1.0), (1.0, 2.0), epsilon=0.0)
+
+    def test_zero_objectives_compare_exactly(self):
+        # Relative margins are meaningless at 0; epsilon must not let a
+        # positive risk "dominate" a zero risk.
+        assert not dominates((1.0, 0.001), (2.0, 0.0), epsilon=0.5)
+        assert dominates((1.0, 0.0), (2.0, 0.0), epsilon=0.5)
+
+
+class TestParetoFrontier:
+    def test_keeps_only_nondominated(self):
+        frontier = ParetoFrontier()
+        assert frontier.add({"a": 1}, (2.0, 2.0))
+        assert frontier.add({"a": 2}, (1.0, 3.0))  # trade-off: both stay
+        assert len(frontier) == 2
+        assert frontier.add({"a": 3}, (0.5, 0.5))  # dominates both
+        assert len(frontier) == 1
+
+    def test_dominated_candidate_rejected(self):
+        frontier = ParetoFrontier()
+        frontier.add({"a": 1}, (1.0, 1.0))
+        assert not frontier.add({"a": 2}, (2.0, 2.0))
+        assert len(frontier) == 1
+
+    def test_nan_never_enters(self):
+        frontier = ParetoFrontier()
+        assert not frontier.add({"a": 1}, (math.nan, 1.0))
+        assert len(frontier) == 0
+
+    def test_duplicate_key_rejected(self):
+        frontier = ParetoFrontier()
+        assert frontier.add({"a": 1}, (1.0, 2.0))
+        assert not frontier.add({"a": 1}, (0.5, 0.5))
+
+    def test_insertion_order_never_decides_the_archive(self):
+        points = [
+            ({"a": 1}, (1.0, 2.0)),
+            ({"a": 2}, (1.004, 1.996)),  # epsilon-tie with the first
+            ({"a": 3}, (2.0, 1.0)),
+            ({"a": 4}, (3.0, 3.0)),  # dominated
+        ]
+        snapshots = set()
+        for order in itertools.permutations(points):
+            frontier = ParetoFrontier(epsilon=0.01)
+            for params, objectives in order:
+                frontier.add(params, objectives)
+            snapshots.add(frontier.snapshot_bytes())
+        assert len(snapshots) == 1
+
+    def test_snapshot_bytes_are_canonical(self):
+        frontier = ParetoFrontier()
+        frontier.add({"b": 2, "a": 1}, (1.0, 2.0))
+        frontier.add({"a": 9}, (2.0, 1.0))
+        again = ParetoFrontier()
+        again.add({"a": 9}, (2.0, 1.0))
+        again.add({"a": 1, "b": 2}, (1.0, 2.0))
+        assert frontier.snapshot_bytes() == again.snapshot_bytes()
+
+    def test_iteration_is_key_sorted(self):
+        frontier = ParetoFrontier()
+        frontier.add({"z": 1}, (1.0, 2.0))
+        frontier.add({"a": 1}, (2.0, 1.0))
+        keys = [point.key for point in frontier]
+        assert keys == sorted(keys)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            ParetoFrontier(epsilon=-0.1)
+
+
+class TestCoverage:
+    def points(self, *objectives):
+        return [
+            FrontierPoint(key=point_key({"i": i}), params={"i": i},
+                          objectives=tuple(obj))
+            for i, obj in enumerate(objectives)
+        ]
+
+    def test_full_and_partial_coverage(self):
+        a = self.points((1.0, 1.0))
+        b = self.points((2.0, 2.0), (0.5, 0.5))
+        assert coverage(a, b) == 0.5  # dominates (2,2), not (0.5,0.5)
+        assert coverage(a, a) == 1.0  # equal points are covered
+        assert coverage(a, []) == 1.0
+        assert coverage([], b) == 0.0

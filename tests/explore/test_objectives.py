@@ -1,0 +1,176 @@
+"""Design resolution and the analytic objective model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.link import RESYNC_STROBE_FLIPS
+from repro.explore.objectives import (
+    canonical_params,
+    objectives_from_payloads,
+    resolve_design,
+)
+
+
+class TestCanonicalParams:
+    def test_baseline_drops_desc_only_fields(self):
+        params = {
+            "scheme": "binary",
+            "chunk_bits": 4,
+            "resync_interval": 64,
+            "num_banks": 8,
+        }
+        assert canonical_params(params) == {"scheme": "binary", "num_banks": 8}
+
+    def test_zero_fault_rate_drops_resync_interval(self):
+        params = {
+            "scheme": "desc-zero",
+            "resync_interval": 64,
+            "fault_rate": 0.0,
+        }
+        assert "resync_interval" not in canonical_params(params)
+
+    def test_faulted_desc_keeps_everything(self):
+        params = {
+            "scheme": "desc-zero",
+            "chunk_bits": 4,
+            "resync_interval": 64,
+            "fault_rate": 1e-6,
+        }
+        assert canonical_params(params) == params
+
+    def test_aliases_share_one_design(self):
+        a = resolve_design({"scheme": "binary", "chunk_bits": 2})
+        b = resolve_design({"scheme": "binary", "chunk_bits": 8})
+        assert a.params == b.params
+
+
+class TestResolveDesign:
+    def test_routes_fields_to_their_layers(self):
+        design = resolve_design(
+            {
+                "scheme": "desc-zero",
+                "chunk_bits": 4,
+                "num_banks": 8,
+                "fault_rate": 1e-6,
+                "resync_interval": 32,
+            }
+        )
+        assert design.scheme.is_desc
+        assert design.scheme.chunk_bits == 4
+        assert design.system_fields == {"num_banks": 8}
+        assert design.fault_rate == 1e-6
+        assert design.resync_interval == 32
+
+    def test_binary_scheme(self):
+        design = resolve_design({"scheme": "binary"})
+        assert not design.scheme.is_desc
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme choice"):
+            resolve_design({"scheme": "ternary"})
+
+    def test_jobs_apply_system_overrides(self):
+        design = resolve_design({"scheme": "desc-zero", "num_banks": 4})
+        [job] = design.jobs(["Ocean"], sample_blocks=100)
+        assert job.system.num_banks == 4
+        assert job.system.sample_blocks == 100
+
+
+def payload(
+    *,
+    cycles=1000.0,
+    l2=(1.0, 2.0, 3.0),
+    data_flips=50.0,
+    wires=32.0,
+    transfer_cycles=4.0,
+):
+    static, htree, array = l2
+    return {
+        "cycles": cycles,
+        "l2": {
+            "static_j": static,
+            "htree_dynamic_j": htree,
+            "array_dynamic_j": array,
+        },
+        "transfer_stats": {
+            "data_flips": data_flips,
+            "overhead_flips": 1.0,
+            "sync_flips": 0.0,
+            "data_wires": wires,
+            "overhead_wires": 2.0,
+            "transfer_cycles": transfer_cycles,
+        },
+    }
+
+
+class TestObjectives:
+    def design(self, **params):
+        return resolve_design({"scheme": "desc-zero", **params})
+
+    def test_zero_fault_rate_means_zero_risk_and_overhead(self):
+        objectives, metrics = objectives_from_payloads(
+            self.design(), [payload()], ("energy_j", "risk")
+        )
+        assert objectives["risk"] == 0.0
+        assert metrics["resync_overhead"] == 0.0
+        assert objectives["energy_j"] == metrics["l2_energy_j"]
+
+    def test_risk_grows_with_fault_rate_and_resync_interval(self):
+        def risk(fault_rate, resync_interval):
+            _, metrics = objectives_from_payloads(
+                self.design(
+                    fault_rate=fault_rate, resync_interval=resync_interval
+                ),
+                [payload()],
+                ("risk",),
+            )
+            return metrics["risk"]
+
+        assert risk(1e-7, 64) < risk(1e-6, 64)
+        assert risk(1e-6, 16) < risk(1e-6, 64)
+        assert 0.0 < risk(1e-6, 64) <= 1.0
+        assert risk(1.0, 64) == 1.0  # certainty saturates
+
+    def test_desc_disturbance_amplified_by_resync_interval(self):
+        _, metrics = objectives_from_payloads(
+            self.design(fault_rate=1e-8, resync_interval=64),
+            [payload()],
+            ("risk",),
+        )
+        assert metrics["risk"] == pytest.approx(
+            metrics["p_disturb"] * (1.0 + 32.0), rel=1e-9
+        )
+
+    def test_baseline_risk_is_bare_disturbance_probability(self):
+        design = resolve_design({"scheme": "binary", "fault_rate": 1e-6})
+        _, metrics = objectives_from_payloads(design, [payload()], ("risk",))
+        assert metrics["risk"] == metrics["p_disturb"]
+        assert metrics["resync_overhead"] == 0.0
+
+    def test_resync_energy_overhead_matches_the_model(self):
+        design = self.design(fault_rate=1e-6, resync_interval=16)
+        _, metrics = objectives_from_payloads(
+            design, [payload()], ("energy_j",)
+        )
+        expected = RESYNC_STROBE_FLIPS / (16 * metrics["flips_per_block"])
+        assert metrics["resync_overhead"] == pytest.approx(expected)
+        assert metrics["energy_j"] == pytest.approx(
+            metrics["l2_energy_j"] * (1.0 + expected)
+        )
+
+    def test_suite_aggregation_is_geomean(self):
+        objectives, _ = objectives_from_payloads(
+            self.design(),
+            [payload(cycles=100.0), payload(cycles=400.0)],
+            ("latency_cycles",),
+        )
+        assert objectives["latency_cycles"] == pytest.approx(
+            math.sqrt(100.0 * 400.0)
+        )
+
+    def test_empty_payloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one result payload"):
+            objectives_from_payloads(self.design(), [], ("energy_j",))

@@ -1,0 +1,166 @@
+"""Axis and StudySpec: mapping, grids, validation, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore.spec import (
+    PRESETS,
+    Axis,
+    StudySpec,
+    load_spec,
+    preset_spec,
+    split_params,
+)
+
+
+class TestAxis:
+    def test_categorical_partitions_evenly(self):
+        axis = Axis("scheme", "categorical", values=("a", "b", "c"))
+        assert axis.value_at(0.0) == "a"
+        assert axis.value_at(0.5) == "b"
+        assert axis.value_at(0.99) == "c"
+        assert axis.value_at(1.0) == "c"  # closed upper edge
+
+    def test_linear_float_interpolates(self):
+        axis = Axis("x", "float", low=1.0, high=3.0)
+        assert axis.value_at(0.0) == 1.0
+        assert axis.value_at(0.5) == 2.0
+        assert axis.value_at(1.0) == 3.0
+
+    def test_log_axis_is_geometric(self):
+        axis = Axis("rate", "float", low=1e-8, high=1e-4, log=True)
+        assert axis.value_at(0.0) == pytest.approx(1e-8)
+        assert axis.value_at(0.5) == pytest.approx(1e-6)
+        assert axis.value_at(1.0) == pytest.approx(1e-4)
+
+    def test_int_axis_rounds_and_clamps(self):
+        axis = Axis("n", "int", low=2, high=10)
+        assert axis.value_at(0.0) == 2
+        assert axis.value_at(1.0) == 10
+        assert isinstance(axis.value_at(0.37), int)
+
+    def test_coordinates_clip_to_unit_interval(self):
+        axis = Axis("n", "int", low=2, high=10)
+        assert axis.value_at(-0.5) == 2
+        assert axis.value_at(1.5) == 10
+
+    def test_grid_compiles_to_value_lists(self):
+        categorical = Axis("s", "categorical", values=(1, 2))
+        assert categorical.grid(7) == [1, 2]
+        numeric = Axis("x", "float", low=0.0, high=1.0)
+        assert numeric.grid(3) == [0.0, 0.5, 1.0]
+
+    def test_int_grid_deduplicates(self):
+        axis = Axis("n", "int", low=1, high=2)
+        assert axis.grid(5) == [1, 2]
+
+    def test_payload_round_trip(self):
+        for axis in (
+            Axis("s", "categorical", values=("a", "b")),
+            Axis("x", "float", low=0.5, high=2.0, log=True),
+            Axis("n", "int", low=1, high=9),
+        ):
+            assert Axis.from_payload(axis.to_payload()) == axis
+
+    def test_unknown_payload_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis field"):
+            Axis.from_payload({"name": "x", "kind": "int", "step": 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Axis("x", "fancy")
+        with pytest.raises(ValueError, match="at least one value"):
+            Axis("x", "categorical", values=())
+        with pytest.raises(ValueError, match="high must be >= low"):
+            Axis("x", "float", low=2.0, high=1.0)
+        with pytest.raises(ValueError, match="positive bounds"):
+            Axis("x", "float", low=0.0, high=1.0, log=True)
+
+
+class TestStudySpec:
+    def spec(self, **overrides) -> StudySpec:
+        base = dict(
+            name="t",
+            axes=(
+                Axis("scheme", "categorical", values=("binary", "desc")),
+                Axis("num_banks", "int", low=2, high=16),
+            ),
+            apps=("Ocean",),
+            budget=8,
+        )
+        base.update(overrides)
+        return StudySpec(**base)
+
+    def test_resolve_maps_coordinates_in_axis_order(self):
+        spec = self.spec()
+        params = spec.resolve((0.0, 1.0))
+        assert params == {"scheme": "binary", "num_banks": 16}
+
+    def test_to_grid_compiles_to_expand_grid_substrate(self):
+        from repro.sim.sweeps import expand_grid
+
+        grid = self.spec().to_grid(resolution=3)
+        combos = expand_grid(grid)
+        assert {"scheme": "binary", "num_banks": 2} in combos
+        assert len(combos) == len(grid["scheme"]) * len(grid["num_banks"])
+
+    def test_payload_round_trip(self):
+        spec = self.spec(epsilon=0.05, seed=3)
+        assert StudySpec.from_payload(spec.to_payload()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            self.spec(axes=())
+        with pytest.raises(ValueError, match="duplicate axis names"):
+            self.spec(
+                axes=(
+                    Axis("n", "int", low=1, high=2),
+                    Axis("n", "int", low=1, high=3),
+                )
+            )
+        with pytest.raises(ValueError, match="unknown objective"):
+            self.spec(objectives=("energy_j", "vibes"))
+        with pytest.raises(ValueError, match="two objectives"):
+            self.spec(objectives=("energy_j",))
+        with pytest.raises(ValueError, match="budget"):
+            self.spec(budget=0)
+
+    def test_init_samples_covers_at_least_one(self):
+        assert self.spec(budget=1, init_fraction=0.01).init_samples == 1
+
+    def test_presets_resolve(self):
+        for name in PRESETS:
+            spec = preset_spec(name)
+            assert spec.dimensions == len(spec.axes)
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_spec("warp")
+
+    def test_load_spec(self, tmp_path):
+        path = tmp_path / "study.json"
+        spec = self.spec()
+        path.write_text(json.dumps(spec.to_payload()))
+        assert load_spec(path) == spec
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_spec(path)
+
+
+def test_split_params_routes_by_destination():
+    scheme, system, link = split_params(
+        {
+            "scheme": "desc",
+            "chunk_bits": 4,
+            "num_banks": 8,
+            "fault_rate": 1e-6,
+            "resync_interval": 64,
+        }
+    )
+    assert scheme == {"scheme": "desc", "chunk_bits": 4}
+    assert system == {"num_banks": 8}
+    assert link == {"fault_rate": 1e-6, "resync_interval": 64}

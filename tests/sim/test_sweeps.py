@@ -80,6 +80,34 @@ class TestFailureDegradation:
         assert degraded.cycles > 0
         assert healthy.cycles > 0
 
+    def test_failed_points_name_config_and_reason(self, monkeypatch):
+        from repro.sim.sweeps import FailedPoint
+
+        import repro.sim.sweeps as sweeps_mod
+
+        monkeypatch.setattr(
+            sweeps_mod, "simulate_many",
+            self._flaky(lambda job: job.system.num_banks == 4
+                        and job.app.name == "LU"),
+        )
+        with pytest.warns(RuntimeWarning) as captured:
+            points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                           num_banks=[4, 8])
+        assert points.failed_points == [
+            FailedPoint(params={"num_banks": 4}, app="LU",
+                        reason="error", attempts=1)
+        ]
+        # The warning names the failing config and the per-app reason —
+        # no more guessing which combination degraded.
+        message = str(captured[0].message)
+        assert "{'num_banks': 4}" in message
+        assert "LU: error" in message
+
+    def test_clean_sweep_reports_no_failures(self):
+        points = sweep(desc_scheme("zero"), base=BASE, apps=APPS,
+                       num_banks=[8])
+        assert points.failed_points == []
+
     def test_total_failure_emits_nan_point(self, monkeypatch):
         import math
 

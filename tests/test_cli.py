@@ -202,12 +202,14 @@ class TestSweepCommand:
 
     def test_sweep_json(self, capsys):
         assert main(self.ARGS + ["--field", "num_banks=8", "--json"]) == 0
-        [point] = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)
+        [point] = payload["points"]
         assert point["params"] == {"num_banks": 8}
         assert point["cycles"] > 0
         assert point["edp"] == pytest.approx(
             point["cycles"] * point["l2_energy_j"]
         )
+        assert payload["failed_points"] == []
 
     def test_field_required(self):
         with pytest.raises(SystemExit) as excinfo:
